@@ -1,0 +1,43 @@
+"""Combinatorial lemma checks (Lemmas 3.2, 4.2, A.1, A.2) on stress graphs.
+
+The lemmas are theorems, so the assertions must hold on every input; the
+bench reports the measured slack on adversarial heavy-edge / overused-wedge
+families, showing how far the constants are from tight in practice.
+"""
+
+from repro.analysis.lemmas import run_all_checks
+from repro.experiments import report
+from repro.graph.generators import book_graph, complete_graph, theta_graph, windmill_graph
+from repro.graph.planted import planted_four_cycles_theta, planted_triangles_book
+
+WORKLOADS = {
+    "book(40)": lambda: book_graph(40),
+    "windmill(25)": lambda: windmill_graph(25),
+    "theta(14)": lambda: theta_graph(14),
+    "K10": lambda: complete_graph(10),
+    "book+noise": lambda: planted_triangles_book(200, 120, seed=1).graph,
+    "theta+noise": lambda: planted_four_cycles_theta(150, 12, seed=2).graph,
+}
+
+
+def _run():
+    results = []
+    for name, make in WORKLOADS.items():
+        graph = make()
+        for check in run_all_checks(graph, stream_seed=7):
+            results.append((name, check))
+    return results
+
+
+def test_lemma_checks(once):
+    results = once(_run)
+    report.print_table(
+        ["workload", "lemma", "lhs", "cmp", "rhs", "holds", "slack"],
+        [
+            [name, c.name, c.lhs, c.comparison, c.rhs, c.holds, c.slack]
+            for name, c in results
+        ],
+        title="Combinatorial lemma checks on adversarial workloads",
+    )
+    for name, check in results:
+        assert check.holds, f"{check.name} failed on {name}: {check.lhs} vs {check.rhs}"

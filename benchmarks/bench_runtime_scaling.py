@@ -1,0 +1,53 @@
+"""Runtime scaling of the core algorithms (engineering, not paper claims).
+
+The reference implementation's per-pass cost is O(n · m') for the
+two-pass triangle counter (each adjacency list is checked against the
+edge sample) and O(n · |Q|) for the 4-cycle counter.  These timed
+benchmarks pin the absolute cost at two workload sizes so regressions in
+the hot loops are visible in the pytest-benchmark table.
+"""
+
+import pytest
+
+from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter, recommended_sample_size
+from repro.graph.planted import planted_cycles, planted_triangles
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+TRIANGLE_WORKLOADS = {
+    "small(m=1500,T=200)": (1500, 200),
+    "medium(m=6000,T=800)": (6000, 800),
+}
+
+
+@pytest.mark.parametrize("label", list(TRIANGLE_WORKLOADS))
+def test_two_pass_triangle_runtime(benchmark, label):
+    m_target, t = TRIANGLE_WORKLOADS[label]
+    planted = planted_triangles(m_target - 3 * t, t, seed=1)
+    graph = planted.graph
+    stream = AdjacencyListStream(graph, seed=2)
+    budget = recommended_sample_size(graph.m, t, epsilon=0.5)
+
+    def run():
+        algo = TwoPassTriangleCounter(sample_size=budget, seed=3)
+        return run_algorithm(algo, stream).estimate
+
+    estimate = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert abs(estimate - t) <= 0.75 * t
+
+
+@pytest.mark.parametrize("label", list(TRIANGLE_WORKLOADS))
+def test_two_pass_fourcycle_runtime(benchmark, label):
+    m_target, t = TRIANGLE_WORKLOADS[label]
+    planted = planted_cycles(m_target - 4 * t, t, length=4, seed=4)
+    graph = planted.graph
+    stream = AdjacencyListStream(graph, seed=5)
+    budget = max(2, round(4 * graph.m / t**0.375))
+
+    def run():
+        algo = TwoPassFourCycleCounter(sample_size=budget, wedge_cap=4 * budget, seed=6)
+        return run_algorithm(algo, stream).estimate
+
+    estimate = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert t / 4 <= estimate <= 4 * t

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Estimating without knowing T: the adaptive geometric-level counter.
+
+Every Table-1 bound is parameterised by the unknown count T, so the
+theorem-rate sample sizes cannot be computed up front.  The standard
+remedy (implemented here as an extension, not part of the paper) runs
+geometrically shrinking levels in the same two passes and trusts the
+cheapest level with enough counted evidence.
+
+The script runs the adaptive counter over three graphs whose triangle
+counts span two orders of magnitude — using the *same* configuration for
+all three — and shows which level each one selects.
+"""
+
+from repro.core import AdaptiveTriangleCounter
+from repro.graph import planted_triangles
+from repro.streaming import AdjacencyListStream, run_algorithm
+
+
+def main() -> None:
+    m_target = 3000
+    for true_t in (20, 200, 900):
+        planted = planted_triangles(m_target - 3 * true_t, true_t, seed=true_t)
+        graph = planted.graph
+        algo = AdaptiveTriangleCounter(max_sample_size=graph.m, seed=1)
+        result = run_algorithm(algo, AdjacencyListStream(graph, seed=2))
+        chosen = algo.chosen_level()
+        err = abs(result.estimate - true_t) / true_t
+        print(
+            f"T = {true_t:4d}: estimate {result.estimate:7.1f} (rel err {err:.2f}) "
+            f"from level m' = {chosen.sample_size:5d} "
+            f"with {chosen.counted_pairs()} counted pairs"
+        )
+        for row in algo.level_report():
+            marker = "<-- chosen" if row["sample_size"] == chosen.sample_size else ""
+            print(
+                f"    level m'={row['sample_size']:5d}: support={row['counted_pairs']:4d}"
+                f" estimate={row['estimate']:8.1f} {marker}"
+            )
+
+
+if __name__ == "__main__":
+    main()

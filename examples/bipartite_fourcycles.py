@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""4-cycle counting: butterfly census of a bipartite interaction graph.
+
+In bipartite graphs (users x items, authors x papers) the 4-cycle
+("butterfly") count is the basic clustering statistic — triangles cannot
+exist.  This example builds a bipartite graph with planted co-interaction
+structure and runs the paper's two-pass 4-cycle counter (Theorem 4.6) at
+the Õ(m/T^{3/8}) budget, in both counting modes, against ground truth.
+
+It also demonstrates the one-pass/two-pass separation (Theorems 5.3 vs
+4.6): the one-pass heuristic's detections collapse at the same space
+budget where the two-pass algorithm is accurate.
+"""
+
+from repro import (
+    OnePassFourCycleHeuristic,
+    TwoPassFourCycleCounter,
+    fourcycle_sample_size,
+    run_algorithm,
+)
+from repro.graph import count_four_cycles, random_bipartite_graph
+from repro.streaming import AdjacencyListStream
+
+
+def main() -> None:
+    graph = random_bipartite_graph(400, 400, 4000, seed=20)
+    truth = count_four_cycles(graph)
+    print(f"bipartite graph: n={graph.n} m={graph.m}, true 4-cycle count T={truth}")
+
+    stream = AdjacencyListStream(graph, seed=21)
+    budget = fourcycle_sample_size(graph.m, truth)
+    print(f"sample size m' = {budget} = Θ(m/T^(3/8))  (vs m = {graph.m})")
+
+    for mode in ("multiplicity", "distinct"):
+        algo = TwoPassFourCycleCounter(sample_size=budget, mode=mode, seed=22)
+        result = run_algorithm(algo, stream)
+        factor = result.estimate / truth if truth else float("nan")
+        print(
+            f"two-pass [{mode:>12}]: T^ = {result.estimate:9.0f}"
+            f"  (x{factor:.2f} of truth, {algo.wedge_sample_size} wedges tracked,"
+            f" peak {result.peak_space_words} words)"
+        )
+
+    # One-pass attempt at the same edge-sampling rate: no guarantee exists
+    # (Theorem 5.3), and detections are a small, order-dependent fraction.
+    rate = min(1.0, budget / graph.m)
+    heuristic = OnePassFourCycleHeuristic(sample_rate=rate, seed=23)
+    h_result = run_algorithm(heuristic, stream)
+    print(
+        f"one-pass heuristic at p={rate:.3f}: detected {heuristic.detected_cycles}"
+        f" cycles, optimistic estimate {heuristic.estimate():.0f} (truth {truth})"
+    )
+
+
+if __name__ == "__main__":
+    main()

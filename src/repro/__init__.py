@@ -1,0 +1,76 @@
+"""Cycle counting in the adjacency-list streaming model.
+
+Reproduction of Kallaugher, McGregor, Price & Vorotnikova, "The Complexity
+of Counting Cycles in the Adjacency List Streaming Model" (PODS 2019).
+
+The package is organised bottom-up:
+
+* :mod:`repro.util` — hashing, sampling, statistics;
+* :mod:`repro.graph` — graphs, exact counting, generators, finite fields,
+  projective planes;
+* :mod:`repro.streaming` — adjacency-list streams, orderings, the
+  streaming-algorithm interface, multi-pass runner, space accounting;
+* :mod:`repro.core` — the paper's algorithms (Theorems 3.7 and 4.6) plus
+  median boosting and transitivity estimation;
+* :mod:`repro.baselines` — prior-work algorithms from Table 1;
+* :mod:`repro.lowerbounds` — communication problems, the five Figure-1
+  reductions, and the protocol simulator;
+* :mod:`repro.analysis` — heaviness classification and lemma checks;
+* :mod:`repro.experiments` — drivers regenerating Table 1 and Figure 1.
+
+Quickstart::
+
+    from repro import TwoPassTriangleCounter, AdjacencyListStream, run_algorithm
+    from repro.graph import gnm_random_graph
+
+    graph = gnm_random_graph(1000, 5000, seed=0)
+    stream = AdjacencyListStream(graph, seed=1)
+    algo = TwoPassTriangleCounter(sample_size=500, seed=2)
+    print(run_algorithm(algo, stream).estimate)
+"""
+
+from repro.baselines import (
+    ExactCycleCounter,
+    NaiveSamplingTriangleCounter,
+    OnePassFourCycleHeuristic,
+    OnePassTriangleCounter,
+    TwoPassTriangleDistinguisher,
+    WedgeSamplingTriangleCounter,
+)
+from repro.core import (
+    MedianBoosted,
+    ThreePassTriangleCounter,
+    TransitivityEstimator,
+    TwoPassFourCycleCounter,
+    TwoPassTriangleCounter,
+    copies_for_confidence,
+    fourcycle_sample_size,
+    triangle_sample_size,
+)
+from repro.graph import Graph
+from repro.streaming import AdjacencyListStream, SpaceMeter, StreamingAlgorithm, run_algorithm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "AdjacencyListStream",
+    "StreamingAlgorithm",
+    "SpaceMeter",
+    "run_algorithm",
+    "TwoPassTriangleCounter",
+    "ThreePassTriangleCounter",
+    "TwoPassFourCycleCounter",
+    "WedgeSamplingTriangleCounter",
+    "triangle_sample_size",
+    "fourcycle_sample_size",
+    "MedianBoosted",
+    "copies_for_confidence",
+    "TransitivityEstimator",
+    "OnePassTriangleCounter",
+    "TwoPassTriangleDistinguisher",
+    "NaiveSamplingTriangleCounter",
+    "ExactCycleCounter",
+    "OnePassFourCycleHeuristic",
+    "__version__",
+]

@@ -1,0 +1,61 @@
+"""Structural analysis: heaviness, lightest-edge oracles, lemma checks."""
+
+from repro.analysis.heaviness import (
+    HeavinessReport,
+    classify,
+    cycle_edge_loads,
+    cycle_wedge_loads,
+    cycles_with_all_overused_wedges,
+    cycles_with_at_most_one_heavy_edge,
+    cycles_with_heavy_edge_and_opposite_wedges_overused,
+)
+from repro.analysis.lemmas import (
+    LemmaCheck,
+    check_lemma_3_2,
+    check_lemma_4_2,
+    check_lemma_a_1,
+    check_lemma_a_2,
+    check_lemma_a_3,
+    check_max_triangles_bound,
+    check_triangle_edge_bound,
+    run_all_checks,
+)
+from repro.analysis.lightest_edge import (
+    h_statistics,
+    rho_assignment,
+    te_counts,
+    te_square_sum,
+)
+from repro.analysis.variance import (
+    TrialProfile,
+    compare_estimators,
+    predicted_naive_relative_sd,
+    profile_estimator,
+)
+
+__all__ = [
+    "HeavinessReport",
+    "classify",
+    "cycle_edge_loads",
+    "cycle_wedge_loads",
+    "cycles_with_at_most_one_heavy_edge",
+    "cycles_with_all_overused_wedges",
+    "cycles_with_heavy_edge_and_opposite_wedges_overused",
+    "LemmaCheck",
+    "check_lemma_3_2",
+    "check_lemma_4_2",
+    "check_lemma_a_1",
+    "check_lemma_a_2",
+    "check_lemma_a_3",
+    "check_triangle_edge_bound",
+    "check_max_triangles_bound",
+    "run_all_checks",
+    "h_statistics",
+    "rho_assignment",
+    "te_counts",
+    "te_square_sum",
+    "TrialProfile",
+    "profile_estimator",
+    "compare_estimators",
+    "predicted_naive_relative_sd",
+]

@@ -1,0 +1,167 @@
+"""Heavy/light classification of edges and wedges — Definition 4.1.
+
+The 4-cycle algorithm's correctness rests on most cycles containing a
+"good" wedge.  Quoting the paper (with the constant 40 parameterised):
+
+* an edge is **heavy** if it lies in at least ``40·√T`` 4-cycles;
+* a wedge is **overused** if it lies in at least ``40·T^{1/4}`` 4-cycles,
+  **heavy** if it contains a heavy edge, **bad** if overused or heavy,
+  and **good** otherwise;
+* a 4-cycle is **good** if it contains at least one good wedge.
+
+Lemma 4.2 asserts that at least a constant fraction (the proof yields
+``T/50``) of 4-cycles are good; :mod:`repro.analysis.lemmas` checks this
+empirically through the classification computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.graph.counting import count_four_cycles, enumerate_four_cycles
+from repro.graph.graph import Edge, Graph, canonical_edge
+from repro.graph.wedges import Wedge, wedges_of_four_cycle
+
+FourCycle = Tuple
+
+
+@dataclass(frozen=True)
+class HeavinessReport:
+    """Classification summary of a graph's edges, wedges and 4-cycles."""
+
+    cycle_count: int
+    heavy_edge_threshold: float
+    overused_wedge_threshold: float
+    heavy_edges: FrozenSet[Edge]
+    overused_wedges: FrozenSet[Wedge]
+    bad_wedges: FrozenSet[Wedge]
+    good_cycle_count: int
+
+    @property
+    def good_fraction(self) -> float:
+        """Fraction of 4-cycles containing a good wedge (1.0 when T = 0)."""
+        if self.cycle_count == 0:
+            return 1.0
+        return self.good_cycle_count / self.cycle_count
+
+
+def cycle_edge_loads(graph: Graph) -> Dict[Edge, int]:
+    """``T_e`` for every edge appearing in at least one 4-cycle."""
+    loads: Dict[Edge, int] = {}
+    for cycle in enumerate_four_cycles(graph):
+        a, b, c, d = cycle
+        for e in ((a, b), (b, c), (c, d), (d, a)):
+            key = canonical_edge(*e)
+            loads[key] = loads.get(key, 0) + 1
+    return loads
+
+
+def cycle_wedge_loads(graph: Graph) -> Dict[Wedge, int]:
+    """``T_w`` for every wedge appearing in at least one 4-cycle."""
+    loads: Dict[Wedge, int] = {}
+    for cycle in enumerate_four_cycles(graph):
+        for wedge in wedges_of_four_cycle(cycle):
+            loads[wedge] = loads.get(wedge, 0) + 1
+    return loads
+
+
+def classify(graph: Graph, constant: float = 40.0) -> HeavinessReport:
+    """Apply Definition 4.1 to ``graph`` (``constant`` defaults to 40).
+
+    Returns the full classification; exponential only in the exact cycle
+    enumeration, so intended for analysis-scale graphs.
+    """
+    cycles = list(enumerate_four_cycles(graph))
+    t = len(cycles)
+    heavy_edge_threshold = constant * t**0.5
+    overused_threshold = constant * t**0.25
+
+    edge_loads = cycle_edge_loads(graph)
+    wedge_loads = cycle_wedge_loads(graph)
+    heavy_edges = {e for e, load in edge_loads.items() if load >= heavy_edge_threshold}
+
+    overused: Set[Wedge] = set()
+    bad: Set[Wedge] = set()
+    for wedge, load in wedge_loads.items():
+        is_overused = load >= overused_threshold
+        is_heavy = any(e in heavy_edges for e in wedge.edges)
+        if is_overused:
+            overused.add(wedge)
+        if is_overused or is_heavy:
+            bad.add(wedge)
+
+    good_cycles = 0
+    for cycle in cycles:
+        if any(w not in bad for w in wedges_of_four_cycle(cycle)):
+            good_cycles += 1
+
+    return HeavinessReport(
+        cycle_count=t,
+        heavy_edge_threshold=heavy_edge_threshold,
+        overused_wedge_threshold=overused_threshold,
+        heavy_edges=frozenset(heavy_edges),
+        overused_wedges=frozenset(overused),
+        bad_wedges=frozenset(bad),
+        good_cycle_count=good_cycles,
+    )
+
+
+def cycles_with_at_most_one_heavy_edge(graph: Graph, constant: float = 40.0) -> int:
+    """Count 4-cycles containing at most one heavy edge (Lemma A.1's LHS)."""
+    t = count_four_cycles(graph)
+    threshold = constant * t**0.5
+    edge_loads = cycle_edge_loads(graph)
+    heavy = {e for e, load in edge_loads.items() if load >= threshold}
+    count = 0
+    for cycle in enumerate_four_cycles(graph):
+        a, b, c, d = cycle
+        edges = [canonical_edge(*e) for e in ((a, b), (b, c), (c, d), (d, a))]
+        if sum(1 for e in edges if e in heavy) <= 1:
+            count += 1
+    return count
+
+
+def cycles_with_all_overused_wedges(graph: Graph, constant: float = 40.0) -> int:
+    """Count 4-cycles all of whose wedges are overused (Lemma A.2's LHS)."""
+    t = count_four_cycles(graph)
+    threshold = constant * t**0.25
+    wedge_loads = cycle_wedge_loads(graph)
+    count = 0
+    for cycle in enumerate_four_cycles(graph):
+        if all(wedge_loads.get(w, 0) >= threshold for w in wedges_of_four_cycle(cycle)):
+            count += 1
+    return count
+
+
+def cycles_with_heavy_edge_and_opposite_wedges_overused(
+    graph: Graph, constant: float = 40.0
+) -> int:
+    """Count 4-cycles with a heavy edge whose two avoiding wedges are overused.
+
+    Lemma A.3's LHS: cycles containing a heavy edge ``e`` such that both
+    wedges of the cycle *not* containing ``e`` are overused.  (Each edge of
+    a 4-cycle lies in two of its four wedges and avoids the other two.)
+    """
+    t = count_four_cycles(graph)
+    edge_threshold = constant * t**0.5
+    wedge_threshold = constant * t**0.25
+    edge_loads = cycle_edge_loads(graph)
+    wedge_loads = cycle_wedge_loads(graph)
+    heavy = {e for e, load in edge_loads.items() if load >= edge_threshold}
+    count = 0
+    for cycle in enumerate_four_cycles(graph):
+        a, b, c, d = cycle
+        edges = [canonical_edge(*e) for e in ((a, b), (b, c), (c, d), (d, a))]
+        wedges = wedges_of_four_cycle(cycle)
+        qualifying = False
+        for e in edges:
+            if e not in heavy:
+                continue
+            avoiding = [w for w in wedges if e not in w.edges]
+            if all(wedge_loads.get(w, 0) >= wedge_threshold for w in avoiding):
+                qualifying = True
+                break
+        if qualifying:
+            count += 1
+    return count

@@ -1,0 +1,144 @@
+"""Empirical verification of the paper's combinatorial lemmas.
+
+The lemmas are theorems — these checks cannot fail on any graph if the
+implementation is correct, so they double as deep consistency tests of
+the counting machinery, and the measured ratios show how much slack the
+constants have on concrete (including adversarial) inputs:
+
+* **Lemma 3.2**: ``Σ_e T_e² = O(T^{4/3})`` for the ρ-assigned triangle
+  loads (stream-order dependent).
+* **Lemma 4.2**: at least ``T/50`` 4-cycles are good.
+* **Lemma A.1**: at least ``(13/50)·T`` 4-cycles contain ≤ 1 heavy edge.
+* **Lemma A.2**: at most ``(3/25)·T`` 4-cycles have all wedges overused.
+* The triangle bound behind both: a graph with m edges has at most
+  ``m^{3/2}`` triangles (and a graph with T triangles has ≥ ``T^{2/3}``
+  triangle edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.heaviness import (
+    classify,
+    cycles_with_all_overused_wedges,
+    cycles_with_at_most_one_heavy_edge,
+)
+from repro.analysis.lightest_edge import te_square_sum
+from repro.graph.counting import count_four_cycles, count_triangles, triangles_per_edge
+from repro.graph.graph import Graph
+from repro.streaming.stream import AdjacencyListStream
+
+
+@dataclass(frozen=True)
+class LemmaCheck:
+    """One verified inequality: ``lhs (cmp) rhs`` with measured slack."""
+
+    name: str
+    lhs: float
+    rhs: float
+    comparison: str  # "<=" or ">="
+
+    @property
+    def holds(self) -> bool:
+        """Whether the inequality is satisfied."""
+        if self.comparison == "<=":
+            return self.lhs <= self.rhs
+        return self.lhs >= self.rhs
+
+    @property
+    def slack(self) -> float:
+        """``rhs / lhs`` for ≤, ``lhs / rhs`` for ≥ (∞ when trivial)."""
+        num, den = (self.rhs, self.lhs) if self.comparison == "<=" else (self.lhs, self.rhs)
+        if den == 0:
+            return float("inf")
+        return num / den
+
+
+def check_lemma_3_2(stream: AdjacencyListStream, constant: float = 16.0) -> LemmaCheck:
+    """``Σ_e T_e² ≤ C · T^{4/3}`` for the ρ assignment of this ordering.
+
+    The paper's proof yields an absolute constant; ``constant`` is the
+    budget this check grants it.
+    """
+    t = count_triangles(stream.graph)
+    lhs = te_square_sum(stream)
+    rhs = constant * t ** (4.0 / 3.0)
+    return LemmaCheck(name="lemma_3_2", lhs=lhs, rhs=rhs, comparison="<=")
+
+
+def check_lemma_4_2(graph: Graph, definition_constant: float = 40.0) -> LemmaCheck:
+    """``|F_G| ≥ T / 50``: good 4-cycles are a constant fraction."""
+    report = classify(graph, constant=definition_constant)
+    return LemmaCheck(
+        name="lemma_4_2",
+        lhs=report.good_cycle_count,
+        rhs=report.cycle_count / 50.0,
+        comparison=">=",
+    )
+
+
+def check_lemma_a_1(graph: Graph, definition_constant: float = 40.0) -> LemmaCheck:
+    """``≥ (13/50)·T`` 4-cycles contain at most one heavy edge."""
+    t = count_four_cycles(graph)
+    lhs = cycles_with_at_most_one_heavy_edge(graph, constant=definition_constant)
+    return LemmaCheck(name="lemma_a_1", lhs=lhs, rhs=13.0 * t / 50.0, comparison=">=")
+
+
+def check_lemma_a_2(graph: Graph, definition_constant: float = 40.0) -> LemmaCheck:
+    """``≤ (3/25)·T`` 4-cycles have all four wedges overused."""
+    t = count_four_cycles(graph)
+    lhs = cycles_with_all_overused_wedges(graph, constant=definition_constant)
+    return LemmaCheck(name="lemma_a_2", lhs=lhs, rhs=3.0 * t / 25.0, comparison="<=")
+
+
+def check_triangle_edge_bound(graph: Graph) -> LemmaCheck:
+    """Graphs with T triangles have ≥ T^{2/3} triangle edges ([15])."""
+    t = count_triangles(graph)
+    triangle_edges = sum(1 for _, load in triangles_per_edge(graph).items() if load > 0)
+    return LemmaCheck(
+        name="triangle_edge_bound",
+        lhs=triangle_edges,
+        rhs=t ** (2.0 / 3.0),
+        comparison=">=",
+    )
+
+
+def check_max_triangles_bound(graph: Graph) -> LemmaCheck:
+    """Graphs with m edges have at most m^{3/2} triangles ([15])."""
+    return LemmaCheck(
+        name="max_triangles_bound",
+        lhs=count_triangles(graph),
+        rhs=graph.m**1.5,
+        comparison="<=",
+    )
+
+
+def run_all_checks(graph: Graph, stream_seed=0) -> List[LemmaCheck]:
+    """Run every lemma check on ``graph`` (with a seeded stream order)."""
+    stream = AdjacencyListStream(graph, seed=stream_seed)
+    checks = [
+        check_lemma_3_2(stream),
+        check_lemma_4_2(graph),
+        check_lemma_a_1(graph),
+        check_lemma_a_2(graph),
+        check_lemma_a_3(graph),
+        check_triangle_edge_bound(graph),
+        check_max_triangles_bound(graph),
+    ]
+    return checks
+
+
+def check_lemma_a_3(graph: Graph, definition_constant: float = 40.0) -> LemmaCheck:
+    """``≤ (3/25)·T`` 4-cycles have a heavy edge with both avoiding wedges
+    overused (Lemma A.3)."""
+    from repro.analysis.heaviness import (
+        cycles_with_heavy_edge_and_opposite_wedges_overused,
+    )
+
+    t = count_four_cycles(graph)
+    lhs = cycles_with_heavy_edge_and_opposite_wedges_overused(
+        graph, constant=definition_constant
+    )
+    return LemmaCheck(name="lemma_a_3", lhs=lhs, rhs=3.0 * t / 25.0, comparison="<=")

@@ -1,0 +1,69 @@
+"""Offline oracles for the lightest-edge machinery of Section 3.
+
+Given a concrete stream ordering, these compute — by brute force over the
+whole graph — the exact quantities the streaming algorithm estimates
+incrementally:
+
+* ``H_{e,τ}``: the number of triangles on edge ``e`` whose opposite vertex
+  arrives (as an adjacency list) after ``τ``'s opposite vertex;
+* ``ρ(τ)``: the edge of ``τ`` minimising ``H_{e,τ}`` (ties by edge key —
+  the same rule the streaming implementation uses);
+* ``T_e``: the number of triangles assigned to ``e`` by ρ.
+
+They exist to cross-validate the streaming counters in tests and to drive
+the Lemma 3.2 checks (``Σ_e T_e² = O(T^{4/3})``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List
+
+from repro.core.triangle_two_pass import Triangle, apex, triangle_edges
+from repro.graph.counting import enumerate_triangles
+from repro.graph.graph import Edge, Graph
+from repro.streaming.stream import AdjacencyListStream
+
+
+def h_statistics(stream: AdjacencyListStream) -> Dict[Triangle, Dict[Edge, int]]:
+    """Return ``H_{e,τ}`` for every triangle ``τ`` and every edge ``e ∈ τ``."""
+    graph: Graph = stream.graph
+    triangles = list(enumerate_triangles(graph))
+    # Apex positions per edge, sorted, for O(log) rank queries.
+    apex_positions: Dict[Edge, List[int]] = {}
+    for tri in triangles:
+        for e in triangle_edges(tri):
+            apex_positions.setdefault(e, []).append(stream.position(apex(tri, e)))
+    for positions in apex_positions.values():
+        positions.sort()
+
+    result: Dict[Triangle, Dict[Edge, int]] = {}
+    for tri in triangles:
+        per_edge: Dict[Edge, int] = {}
+        for e in triangle_edges(tri):
+            positions = apex_positions[e]
+            my_pos = stream.position(apex(tri, e))
+            per_edge[e] = len(positions) - bisect_right(positions, my_pos)
+        result[tri] = per_edge
+    return result
+
+
+def rho_assignment(stream: AdjacencyListStream) -> Dict[Triangle, Edge]:
+    """Return ``ρ(τ)`` for every triangle of the stream's graph."""
+    assignment: Dict[Triangle, Edge] = {}
+    for tri, per_edge in h_statistics(stream).items():
+        assignment[tri] = min(per_edge.items(), key=lambda item: (item[1], item[0]))[0]
+    return assignment
+
+
+def te_counts(stream: AdjacencyListStream) -> Dict[Edge, int]:
+    """Return ``T_e = |{τ : ρ(τ) = e}|`` for every edge with a positive count."""
+    counts: Dict[Edge, int] = {}
+    for edge in rho_assignment(stream).values():
+        counts[edge] = counts.get(edge, 0) + 1
+    return counts
+
+
+def te_square_sum(stream: AdjacencyListStream) -> int:
+    """Return ``Σ_e T_e²`` — the quantity Lemma 3.2 bounds by O(T^{4/3})."""
+    return sum(c * c for c in te_counts(stream).values())

@@ -1,0 +1,35 @@
+"""Arbitrary-order edge-stream model (the Section 1.1 comparison model)."""
+
+from repro.arbitrary.algorithm import (
+    EdgeRunResult,
+    EdgeStreamAlgorithm,
+    run_edge_algorithm,
+)
+from repro.arbitrary.stream import (
+    EdgeStream,
+    EdgeStreamFormatError,
+    random_edge_stream,
+    sorted_edge_stream,
+    triangle_edges_last_stream,
+    validate_edge_sequence,
+)
+from repro.arbitrary.triangle_wedge import (
+    EdgeStreamWedgeCountEstimator,
+    EdgeStreamWedgeCounter,
+    ExactEdgeStreamCounter,
+)
+
+__all__ = [
+    "EdgeStream",
+    "EdgeStreamFormatError",
+    "validate_edge_sequence",
+    "random_edge_stream",
+    "sorted_edge_stream",
+    "triangle_edges_last_stream",
+    "EdgeStreamAlgorithm",
+    "EdgeRunResult",
+    "run_edge_algorithm",
+    "EdgeStreamWedgeCounter",
+    "EdgeStreamWedgeCountEstimator",
+    "ExactEdgeStreamCounter",
+]

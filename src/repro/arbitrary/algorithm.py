@@ -1,0 +1,72 @@
+"""Algorithm interface and runner for arbitrary-order edge streams."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graph.graph import Vertex
+from repro.streaming.space import SpaceMeter
+from repro.arbitrary.stream import EdgeStream
+
+
+class EdgeStreamAlgorithm(abc.ABC):
+    """Base class for multi-pass arbitrary-order streaming algorithms."""
+
+    #: Number of passes over the edge stream.
+    n_passes: int = 1
+
+    def begin_pass(self, pass_index: int) -> None:
+        """Called before pass ``pass_index`` (0-based) starts."""
+
+    @abc.abstractmethod
+    def process_edge(self, u: Vertex, v: Vertex) -> None:
+        """Called once per edge, in stream order."""
+
+    def end_pass(self, pass_index: int) -> None:
+        """Called after pass ``pass_index`` completes."""
+
+    @abc.abstractmethod
+    def result(self) -> float:
+        """Return the final estimate (valid after the last pass)."""
+
+    @abc.abstractmethod
+    def space_words(self) -> int:
+        """Return the current live state size in machine words."""
+
+
+@dataclass(frozen=True)
+class EdgeRunResult:
+    """Outcome of an edge-stream run: estimate plus space facts."""
+
+    estimate: float
+    peak_space_words: int
+    passes: int
+    edges_per_pass: int
+
+
+def run_edge_algorithm(
+    algorithm: EdgeStreamAlgorithm,
+    stream: EdgeStream,
+    meter: Optional[SpaceMeter] = None,
+) -> EdgeRunResult:
+    """Run ``algorithm`` for its declared passes over ``stream``.
+
+    Space is polled after every edge (edge streams have no natural coarser
+    boundary).
+    """
+    meter = meter if meter is not None else SpaceMeter()
+    for pass_index in range(algorithm.n_passes):
+        algorithm.begin_pass(pass_index)
+        for u, v in stream:
+            algorithm.process_edge(u, v)
+            meter.observe(algorithm.space_words())
+        algorithm.end_pass(pass_index)
+        meter.observe(algorithm.space_words())
+    return EdgeRunResult(
+        estimate=algorithm.result(),
+        peak_space_words=meter.peak_words,
+        passes=algorithm.n_passes,
+        edges_per_pass=len(stream),
+    )

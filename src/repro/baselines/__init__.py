@@ -1,0 +1,27 @@
+"""Baseline algorithms from prior work (Table 1 comparison rows)."""
+
+from repro.baselines.distinguisher import TwoPassTriangleDistinguisher
+from repro.baselines.distinguisher import (
+    recommended_sample_size as distinguisher_sample_size,
+)
+from repro.baselines.exact_stream import ExactCycleCounter
+from repro.baselines.fourcycle_one_pass import OnePassFourCycleHeuristic
+from repro.baselines.naive_sampling import NaiveSamplingTriangleCounter
+from repro.baselines.one_pass_triangle import OnePassTriangleCounter
+from repro.baselines.one_pass_triangle import recommended_rate as one_pass_rate
+from repro.baselines.wedge_sampling import WedgeSamplingTriangleCounter
+from repro.baselines.wedge_sampling import (
+    recommended_sample_size as wedge_sampling_size,
+)
+
+__all__ = [
+    "OnePassTriangleCounter",
+    "one_pass_rate",
+    "TwoPassTriangleDistinguisher",
+    "distinguisher_sample_size",
+    "NaiveSamplingTriangleCounter",
+    "ExactCycleCounter",
+    "OnePassFourCycleHeuristic",
+    "WedgeSamplingTriangleCounter",
+    "wedge_sampling_size",
+]

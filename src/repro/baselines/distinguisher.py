@@ -1,0 +1,77 @@
+"""Two-pass triangle *distinguisher* from McGregor et al. [27].
+
+Table 1 row "2 passes, Õ(m/T^{2/3}), distinguishing between 0 and T
+triangles".  This is the algorithm that motivated Theorem 3.7 (Section
+2.1): pass 1 samples ``m'`` edges; pass 2 checks whether any sampled edge
+lies in a triangle — two flag bits per sampled edge suffice.  Any graph
+with ``T`` triangles has at least ``T^{2/3}`` edges involved in triangles,
+so ``m' ≥ m / T^{2/3}`` finds one with constant probability; a
+triangle-free graph can never produce a hit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from repro.graph.graph import Edge, Vertex, canonical_edge
+from repro.streaming.algorithm import StreamingAlgorithm
+from repro.util.rng import SeedLike
+from repro.util.sampling import BottomKSampler
+
+
+class TwoPassTriangleDistinguisher(StreamingAlgorithm):
+    """Distinguish triangle-free graphs from graphs with ≥ T triangles.
+
+    ``result()`` is 1.0 when a triangle was found (graph certainly has
+    one) and 0.0 otherwise (graph is likely triangle-free when ``m'`` was
+    sized for the promised ``T``).
+    """
+
+    n_passes = 2
+
+    def __init__(self, sample_size: int, seed: SeedLike = None):
+        if sample_size < 1:
+            raise ValueError("sample_size must be at least 1")
+        self.sample_size = sample_size
+        self._sampler: BottomKSampler[Edge] = BottomKSampler(sample_size, seed=seed)
+        self._pass = 0
+        self._triangle_edges: Set[Edge] = set()
+
+    def begin_pass(self, pass_index: int) -> None:
+        self._pass = pass_index
+
+    def process(self, source: Vertex, neighbor: Vertex) -> None:
+        if self._pass == 0:
+            self._sampler.offer(canonical_edge(source, neighbor))
+
+    def end_list(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
+        if self._pass != 1:
+            return
+        nset = set(neighbors)
+        for edge in self._sampler.members():
+            if edge[0] in nset and edge[1] in nset:
+                self._triangle_edges.add(edge)
+
+    @property
+    def found_triangle(self) -> bool:
+        """Whether any sampled edge was observed inside a triangle."""
+        return bool(self._triangle_edges)
+
+    @property
+    def hit_count(self) -> int:
+        """Number of sampled edges observed inside triangles."""
+        return len(self._triangle_edges)
+
+    def result(self) -> float:
+        return 1.0 if self._triangle_edges else 0.0
+
+    def space_words(self) -> int:
+        return self._sampler.space_words() + len(self._triangle_edges)
+
+
+def recommended_sample_size(m: int, promised_triangles: int, constant: float = 4.0) -> int:
+    """Return ``m' = c · m / T^{2/3}``, the distinguishing sample size."""
+    if m < 0 or promised_triangles < 1:
+        raise ValueError("need m >= 0 and a positive promised count")
+    size = constant * m / promised_triangles ** (2.0 / 3.0)
+    return max(1, int(round(size)))

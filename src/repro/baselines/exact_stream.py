@@ -1,0 +1,43 @@
+"""Exact one-pass cycle counting — the trivial O(m)-space upper bound.
+
+Stores the whole graph and counts offline at the end of the pass.  This is
+the baseline every sublinear algorithm is measured against, and the only
+possibility for ℓ ≥ 5 by Theorem 5.5.
+"""
+
+from __future__ import annotations
+
+from repro.graph.counting import count_cycles, count_four_cycles, count_triangles
+from repro.graph.graph import Graph, Vertex
+from repro.streaming.algorithm import StreamingAlgorithm
+
+
+class ExactCycleCounter(StreamingAlgorithm):
+    """Store-everything exact counter for cycles of a fixed length."""
+
+    n_passes = 1
+
+    def __init__(self, length: int = 3):
+        if length < 3:
+            raise ValueError("cycles have at least 3 vertices")
+        self.length = length
+        self._graph = Graph()
+
+    def process(self, source: Vertex, neighbor: Vertex) -> None:
+        self._graph.add_edge(source, neighbor)
+
+    def result(self) -> float:
+        if self.length == 3:
+            return float(count_triangles(self._graph))
+        if self.length == 4:
+            return float(count_four_cycles(self._graph))
+        return float(count_cycles(self._graph, self.length))
+
+    def space_words(self) -> int:
+        """Two words per stored edge plus one per vertex."""
+        return 2 * self._graph.m + self._graph.n
+
+    @property
+    def graph(self) -> Graph:
+        """The reconstructed graph (exposed for inspection in tests)."""
+        return self._graph

@@ -1,0 +1,237 @@
+"""Command-line interface: count cycles in graph files, generate workloads.
+
+Installed as ``repro-cycles``.  Subcommands:
+
+* ``count`` — stream a graph file in adjacency-list order and estimate its
+  triangle or 4-cycle count with any of the implemented algorithms;
+* ``generate`` — write a synthetic workload graph (random families or
+  planted cycle counts) to an edge-list / adjacency-list file;
+* ``validate`` — check that a raw pair file respects the adjacency-list
+  streaming model's promise;
+* ``experiment`` — regenerate the paper's Table-1 rows or Figure-1 panels
+  and print them.
+
+Examples::
+
+    repro-cycles generate --family gnm --n 1000 --m 8000 --out g.adj
+    repro-cycles count g.adj --length 3 --algorithm two-pass --sample-size 600
+    repro-cycles count g.adj --length 4 --algorithm exact
+    repro-cycles experiment table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines.exact_stream import ExactCycleCounter
+from repro.baselines.naive_sampling import NaiveSamplingTriangleCounter
+from repro.baselines.one_pass_triangle import OnePassTriangleCounter
+from repro.baselines.wedge_sampling import WedgeSamplingTriangleCounter
+from repro.core.adaptive import AdaptiveTriangleCounter
+from repro.core.boosting import MedianBoosted
+from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
+from repro.core.triangle_three_pass import ThreePassTriangleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.graph import generators, planted
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    read_adjacency_list,
+    read_edge_list,
+    write_adjacency_list,
+    write_edge_list,
+)
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream, validate_pair_sequence
+
+TRIANGLE_ALGORITHMS = (
+    "two-pass", "three-pass", "one-pass", "wedge", "naive", "adaptive", "exact"
+)
+FOURCYCLE_ALGORITHMS = ("two-pass", "exact")
+
+
+def _read_graph(path: str, fmt: Optional[str]) -> Graph:
+    if fmt is None:
+        fmt = "adj" if path.endswith(".adj") else "edges"
+    if fmt == "adj":
+        return read_adjacency_list(path)
+    if fmt == "edges":
+        return read_edge_list(path)
+    raise SystemExit(f"unknown format {fmt!r} (choose 'adj' or 'edges')")
+
+
+def _build_counter(args, graph: Graph):
+    size = args.sample_size or max(1, graph.m // 10)
+    if args.length == 3:
+        if args.algorithm == "two-pass":
+            return lambda seed: TwoPassTriangleCounter(size, seed=seed)
+        if args.algorithm == "three-pass":
+            return lambda seed: ThreePassTriangleCounter(size, seed=seed)
+        if args.algorithm == "one-pass":
+            rate = min(1.0, size / max(graph.m, 1))
+            return lambda seed: OnePassTriangleCounter(rate, seed=seed)
+        if args.algorithm == "wedge":
+            return lambda seed: WedgeSamplingTriangleCounter(size, seed=seed)
+        if args.algorithm == "naive":
+            return lambda seed: NaiveSamplingTriangleCounter(size, seed=seed)
+        if args.algorithm == "adaptive":
+            # No prior T needed: geometric levels under the given ceiling.
+            ceiling = args.sample_size or graph.m
+            return lambda seed: AdaptiveTriangleCounter(ceiling, seed=seed)
+        if args.algorithm == "exact":
+            return lambda seed: ExactCycleCounter(3)
+        raise SystemExit(f"triangle algorithms: {', '.join(TRIANGLE_ALGORITHMS)}")
+    if args.length == 4:
+        if args.algorithm == "two-pass":
+            return lambda seed: TwoPassFourCycleCounter(max(size, 2), seed=seed)
+        if args.algorithm == "exact":
+            return lambda seed: ExactCycleCounter(4)
+        raise SystemExit(f"4-cycle algorithms: {', '.join(FOURCYCLE_ALGORITHMS)}")
+    if args.algorithm == "exact":
+        return lambda seed: ExactCycleCounter(args.length)
+    raise SystemExit(
+        f"no sublinear algorithm exists for length {args.length} (Theorem 5.5); "
+        "use --algorithm exact"
+    )
+
+
+def cmd_count(args) -> int:
+    """Estimate a graph file's cycle count and print estimate + space."""
+    graph = _read_graph(args.input, args.format)
+    factory = _build_counter(args, graph)
+    algo = (
+        MedianBoosted(factory, copies=args.copies, seed=args.seed)
+        if args.copies > 1
+        else factory(args.seed)
+    )
+    stream = AdjacencyListStream(graph, seed=args.seed)
+    result = run_algorithm(algo, stream)
+    print(f"graph: n={graph.n} m={graph.m}")
+    print(f"estimated {args.length}-cycles: {result.estimate:.1f}")
+    print(
+        f"passes={result.passes} peak_space_words={result.peak_space_words}"
+        f" (store-everything ~{2 * graph.m + graph.n})"
+    )
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """Generate a synthetic workload graph and write it to disk."""
+    if args.family == "gnm":
+        graph = generators.gnm_random_graph(args.n, args.m, seed=args.seed)
+    elif args.family == "gnp":
+        graph = generators.gnp_random_graph(args.n, args.p, seed=args.seed)
+    elif args.family == "ba":
+        graph = generators.barabasi_albert_graph(args.n, args.attach, seed=args.seed)
+    elif args.family == "powerlaw":
+        graph = generators.powerlaw_cluster_graph(
+            args.n, args.attach, args.p, seed=args.seed
+        )
+    elif args.family == "planted-triangles":
+        graph = planted.planted_triangles(args.m, args.count, seed=args.seed).graph
+    elif args.family == "planted-4cycles":
+        graph = planted.planted_four_cycles(args.m, args.count, seed=args.seed).graph
+    else:
+        raise SystemExit(f"unknown family {args.family!r}")
+    if args.out.endswith(".adj"):
+        write_adjacency_list(graph, args.out)
+    else:
+        write_edge_list(graph, args.out)
+    print(f"wrote {args.out}: n={graph.n} m={graph.m}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Validate a graph file against the adjacency-list stream model."""
+    graph = _read_graph(args.input, args.format)
+    stream = AdjacencyListStream(graph, seed=args.seed)
+    validate_pair_sequence(list(stream.iter_pairs()))
+    print(f"OK: {args.input} streams as a valid adjacency-list sequence "
+          f"({2 * graph.m} pairs, {graph.n} lists)")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """Regenerate a paper artifact (Table-1 row / Figure-1 panel) inline."""
+    from repro.experiments.report import print_table
+
+    if args.which == "table1":
+        from repro.experiments.table1 import (
+            rows_as_dicts,
+            triangle_two_pass_rows,
+        )
+
+        rows = rows_as_dicts(triangle_two_pass_rows(runs=args.runs, seed=args.seed))
+        print_table(list(rows[0].keys()), [list(r.values()) for r in rows],
+                    title="Table 1 / Theorem 3.7 row")
+    elif args.which == "figure1":
+        from repro.experiments.figure1 import panel_e_rows, rows_as_dicts
+
+        rows = rows_as_dicts(panel_e_rows(seed=args.seed))
+        print_table(list(rows[0].keys()), [list(r.values()) for r in rows],
+                    title="Figure 1e")
+    else:
+        raise SystemExit("experiments: table1, figure1 (full set: pytest benchmarks/)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the repro-cycles argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cycles",
+        description="Cycle counting in the adjacency-list streaming model (PODS'19)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    count = sub.add_parser("count", help="estimate a graph file's cycle count")
+    count.add_argument("input", help="graph file (.adj or edge list)")
+    count.add_argument("--format", choices=("adj", "edges"), default=None)
+    count.add_argument("--length", type=int, default=3, help="cycle length (default 3)")
+    count.add_argument(
+        "--algorithm",
+        default="two-pass",
+        help="two-pass | three-pass | one-pass | wedge | naive | adaptive | exact",
+    )
+    count.add_argument("--sample-size", type=int, default=None, help="m' (default m/10)")
+    count.add_argument("--copies", type=int, default=1, help="median-boost copies")
+    count.add_argument("--seed", type=int, default=0)
+    count.set_defaults(func=cmd_count)
+
+    gen = sub.add_parser("generate", help="write a synthetic workload graph")
+    gen.add_argument("--family", required=True,
+                     help="gnm | gnp | ba | powerlaw | planted-triangles | planted-4cycles")
+    gen.add_argument("--n", type=int, default=1000)
+    gen.add_argument("--m", type=int, default=5000,
+                     help="edges (gnm) or noise edges (planted families)")
+    gen.add_argument("--p", type=float, default=0.1,
+                     help="edge probability (gnp) / triad probability (powerlaw)")
+    gen.add_argument("--attach", type=int, default=3, help="attachment degree (ba/powerlaw)")
+    gen.add_argument("--count", type=int, default=100, help="planted cycle count")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help=".adj or edge-list output path")
+    gen.set_defaults(func=cmd_generate)
+
+    val = sub.add_parser("validate", help="validate a file against the stream model")
+    val.add_argument("input")
+    val.add_argument("--format", choices=("adj", "edges"), default=None)
+    val.add_argument("--seed", type=int, default=0)
+    val.set_defaults(func=cmd_validate)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument("which", help="table1 | figure1")
+    exp.add_argument("--runs", type=int, default=12)
+    exp.add_argument("--seed", type=int, default=0)
+    exp.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

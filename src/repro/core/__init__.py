@@ -1,0 +1,27 @@
+"""The paper's algorithms: Theorems 3.7 and 4.6 plus applications."""
+
+from repro.core.adaptive import AdaptiveTriangleCounter
+from repro.core.boosting import MedianBoosted, copies_for_confidence
+from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
+from repro.core.fourcycle_two_pass import (
+    recommended_sample_size as fourcycle_sample_size,
+)
+from repro.core.transitivity import TransitivityEstimator, WedgeCounter
+from repro.core.triangle_three_pass import ThreePassTriangleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.core.triangle_two_pass import (
+    recommended_sample_size as triangle_sample_size,
+)
+
+__all__ = [
+    "TwoPassTriangleCounter",
+    "ThreePassTriangleCounter",
+    "triangle_sample_size",
+    "TwoPassFourCycleCounter",
+    "fourcycle_sample_size",
+    "AdaptiveTriangleCounter",
+    "MedianBoosted",
+    "copies_for_confidence",
+    "TransitivityEstimator",
+    "WedgeCounter",
+]

@@ -1,0 +1,226 @@
+"""Two-pass O(1)-approximate 4-cycle counting — Theorem 4.6.
+
+The algorithm (Section 4.2):
+
+1. Pass 1 keeps a uniform size-``m'`` edge sample ``S`` and measures ``m``.
+2. ``Q`` is the set of wedges both of whose edges lie in ``S``.
+3. Pass 2 counts, for the wedges in ``Q``, the 4-cycles of the graph that
+   contain them: the wedge ``u - c - v`` is completed by every vertex
+   ``z ∉ {u, c, v}`` adjacent to both ``u`` and ``v``, which is visible on
+   ``z``'s adjacency list.
+4. The count is scaled by the inverse wedge-sampling probability
+   ``≈ k² = (m/m')²``.
+
+Correctness (Section 4.3.2 and Appendix A) rests on Lemma 4.2: a constant
+fraction of 4-cycles contain a *good* wedge — one not contained in too many
+4-cycles and with neither edge too heavy — so sampling at rate
+``m' = Θ(m / T^{3/8})`` finds a constant fraction of cycles while the
+variance contributed by bad wedges stays ``O(T²)``.
+
+Two counting modes are provided, reflecting the two readings of the
+paper's estimator (its pseudocode accumulates wedge counts with
+multiplicity, while its analysis counts distinct cycles hit by ``Q``; the
+two differ by at most the factor 4 absorbed into the O(1) guarantee):
+
+* ``"multiplicity"`` (default, matches the pseudocode; constant space
+  beyond ``Q``): accumulate ``Σ_{w ∈ Q} T_w`` and divide by 4 (each cycle
+  has 4 wedges), making the estimator unbiased whenever wedge inclusions
+  are uncorrelated — empirically well calibrated.
+* ``"distinct"`` (matches the analysis): count distinct 4-cycles containing
+  at least one wedge of ``Q``, i.e. ``f_G + f_B``; overestimates by a
+  factor between 1 and 4 (a cycle is hit when *any* of its wedges is
+  sampled) — exactly the slack Theorem 4.6's O(1) guarantee absorbs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+from repro.graph.graph import Edge, Vertex, canonical_edge
+from repro.graph.wedges import Wedge
+from repro.streaming.algorithm import StreamingAlgorithm
+from repro.util.rng import SeedLike, resolve_rng, spawn_rng
+from repro.util.sampling import BottomKSampler
+
+#: Cycle identity used for distinct counting: the unordered vertex pair of
+#: one diagonal plus the pair of the other.  Two 4-cycles coincide iff both
+#: diagonals match.
+CycleKey = FrozenSet[FrozenSet[Vertex]]
+
+
+def cycle_key(u: Vertex, c: Vertex, v: Vertex, z: Vertex) -> CycleKey:
+    """Canonical identity of the 4-cycle ``u - c - v - z``.
+
+    ``{u, v}`` and ``{c, z}`` are the two diagonals; the frozenset of
+    diagonals identifies the cycle independent of traversal.
+    """
+    return frozenset((frozenset((u, v)), frozenset((c, z))))
+
+
+class TwoPassFourCycleCounter(StreamingAlgorithm):
+    """Theorem 4.6: 2-pass O(1)-approx 4-cycle counting in Õ(m/T^{3/8}) space.
+
+    Parameters
+    ----------
+    sample_size:
+        ``m'``, the first-pass edge sample size.  For the O(1) guarantee
+        with probability 4/5 choose ``m' = c · m / T^{3/8}``
+        (:func:`recommended_sample_size`).
+    mode:
+        ``"distinct"`` or ``"multiplicity"`` — see the module docstring.
+    seed:
+        Randomness for the hash-based edge sampler.
+    """
+
+    n_passes = 2
+    requires_same_order = False
+
+    def __init__(
+        self,
+        sample_size: int,
+        mode: str = "multiplicity",
+        wedge_cap: int = None,
+        seed: SeedLike = None,
+    ):
+        if sample_size < 1:
+            raise ValueError("sample_size must be at least 1")
+        if mode not in ("distinct", "multiplicity"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if wedge_cap is not None and wedge_cap < 1:
+            raise ValueError("wedge_cap must be positive")
+        rng = resolve_rng(seed)
+        self.sample_size = sample_size
+        self.mode = mode
+        #: Optional bound on |Q|.  The paper stores every wedge of S, but a
+        #: sampled hub can make |Q| quadratic in m'; capping subsamples Q
+        #: uniformly and rescales, trading constant-factor variance for a
+        #: hard space bound.
+        self.wedge_cap = wedge_cap
+        self._wedge_rng = spawn_rng(rng)
+        self._sampler: BottomKSampler[Edge] = BottomKSampler(sample_size, seed=spawn_rng(rng))
+        self._pass = 0
+        self._pair_count = 0
+        self._wedges: List[Wedge] = []
+        self._wedge_population = 0
+        self._multiplicity_total = 0
+        self._distinct_cycles: Set[CycleKey] = set()
+
+    # -- streaming interface ---------------------------------------------------
+
+    def begin_pass(self, pass_index: int) -> None:
+        self._pass = pass_index
+        if pass_index == 1:
+            self._build_wedges()
+
+    def process(self, source: Vertex, neighbor: Vertex) -> None:
+        if self._pass == 0:
+            self._pair_count += 1
+            self._sampler.offer(canonical_edge(source, neighbor))
+
+    def end_list(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
+        if self._pass != 1:
+            return
+        nset = set(neighbors)
+        for wedge in self._wedges:
+            if wedge.u in nset and wedge.v in nset and vertex != wedge.center:
+                self._multiplicity_total += 1
+                if self.mode == "distinct":
+                    self._distinct_cycles.add(cycle_key(wedge.u, wedge.center, wedge.v, vertex))
+
+    def _build_wedges(self) -> None:
+        """Form Q: wedges with both edges sampled (reservoir-capped)."""
+        from repro.util.sampling import ReservoirSampler
+
+        reservoir: ReservoirSampler[Wedge] = None
+        if self.wedge_cap is not None:
+            reservoir = ReservoirSampler(self.wedge_cap, seed=self._wedge_rng)
+        by_vertex: Dict[Vertex, List[Vertex]] = {}
+        for u, v in self._sampler.members():
+            by_vertex.setdefault(u, []).append(v)
+            by_vertex.setdefault(v, []).append(u)
+        for center, others in by_vertex.items():
+            others.sort()
+            for i, a in enumerate(others):
+                for b in others[i + 1 :]:
+                    self._wedge_population += 1
+                    wedge = Wedge.make(center, a, b)
+                    if reservoir is None:
+                        self._wedges.append(wedge)
+                    else:
+                        reservoir.offer(wedge)
+        if reservoir is not None:
+            self._wedges = reservoir.items()
+
+    # -- results -----------------------------------------------------------------
+
+    @property
+    def edge_count(self) -> int:
+        """``m`` as measured during pass 1."""
+        return self._pair_count // 2
+
+    @property
+    def wedge_sample_size(self) -> int:
+        """``|Q|`` — number of sampled wedges (valid from pass 2)."""
+        return len(self._wedges)
+
+    @property
+    def inverse_inclusion_probability(self) -> float:
+        """Exact ``1 / P[a fixed wedge has both edges sampled]`` (≈ k²)."""
+        m = self.edge_count
+        s = min(self.sample_size, m)
+        if m <= 1 or s >= m:
+            return 1.0
+        if s < 2:
+            return float(m * (m - 1))  # a wedge can never be sampled; degenerate
+        return (m * (m - 1)) / (s * (s - 1))
+
+    @property
+    def wedge_population(self) -> int:
+        """Total wedges of S before any capping (valid from pass 2)."""
+        return self._wedge_population
+
+    @property
+    def wedge_keep_fraction(self) -> float:
+        """Fraction of S's wedges retained in Q (1.0 without a cap)."""
+        if self._wedge_population == 0:
+            return 1.0
+        return len(self._wedges) / self._wedge_population
+
+    def raw_hits(self) -> int:
+        """Unscaled count: distinct cycles hit, or Σ T_w by mode."""
+        if self.mode == "distinct":
+            return len(self._distinct_cycles)
+        return self._multiplicity_total
+
+    def result(self) -> float:
+        """The 4-cycle estimate ``T̂`` (valid after pass 2)."""
+        scale = self.inverse_inclusion_probability
+        keep = self.wedge_keep_fraction
+        if keep == 0.0:
+            return 0.0
+        scale /= keep
+        if self.mode == "distinct":
+            return scale * len(self._distinct_cycles)
+        return scale * self._multiplicity_total / 4.0
+
+    def space_words(self) -> int:
+        """Live state: sampler slots, wedge triples, dedup keys, counters."""
+        return (
+            self._sampler.space_words()
+            + 3 * len(self._wedges)
+            + 4 * len(self._distinct_cycles)
+            + 3
+        )
+
+
+def recommended_sample_size(m: int, cycle_count: int, constant: float = 4.0) -> int:
+    """Return ``m' = c · m / T^{3/8}`` (at least 2), per Theorem 4.6.
+
+    At least 2 because a wedge needs two sampled edges.
+    """
+    if m < 0 or cycle_count < 0:
+        raise ValueError("m and cycle_count must be non-negative")
+    if cycle_count == 0:
+        return max(m, 2)
+    size = constant * m / cycle_count**0.375
+    return max(2, int(round(size)))

@@ -1,0 +1,311 @@
+"""Two-pass (1 ± ε) triangle counting — Theorem 3.7, the paper's main result.
+
+The algorithm (Section 3.2):
+
+1. Pass 1 keeps a uniform size-``m'`` edge sample ``S`` (bottom-k hashing:
+   an edge belonging to the final sample is in the running sample from its
+   first stream occurrence onward) and counts ``m``.
+2. Across both passes it collects ``Q``, a uniform size-``m'`` subsample of
+   the candidate pairs ``{(e, τ) : e ∈ S, τ ∈ L(e)}``, where ``L(e)`` is
+   the set of triangles containing ``e``.  A candidate is detected at the
+   adjacency list of the triangle's third vertex: both endpoints of the
+   sampled edge appear in that list.
+3. Pass 2 computes, for every collected pair and every edge ``f`` of its
+   triangle ``τ``, the order statistic
+
+       ``H_{f,τ} = |{σ ∈ L(f) : σ^{-f} arrives after τ^{-f}}|``
+
+   where ``x^{-f}`` is the vertex of triangle ``x`` not on ``f`` and
+   "arrives" refers to the position of that vertex's adjacency list (the
+   second pass replays the first pass's order).
+4. A collected pair ``(e, τ)`` is *counted* iff ``e = ρ(τ)``, the edge of
+   ``τ`` minimising ``H_{f,τ}`` (ties broken by canonical edge key).  Since
+   exactly one edge of each triangle wins, every triangle contributes
+   through exactly one edge — killing the heavy-edge variance that plagues
+   naive edge sampling — and the scaled count
+
+       ``T̂ = k · (T' / |Q|) · |{(e, τ) ∈ Q : ρ(τ) = e}|``
+
+   (``k = max(m/m', 1)``, ``T'`` = total number of candidate pairs) is an
+   unbiased estimator of the triangle count with relative variance
+   ``O(k / T^{2/3})`` (Lemmas 3.1–3.6).
+
+Setting ``m' = Θ(m / (ε² T^{2/3}))`` yields a (1 ± ε)-approximation with
+probability 2/3; see :mod:`repro.core.boosting` for the median
+amplification to probability ``1 - δ``.
+
+Detection bookkeeping (faithful to Section 3.3.1):
+
+* A pair detectable in pass 1 (the apex list arrives after the edge's
+  first occurrence) is offered to the reservoir there; in pass 2 it is
+  recognised as already-considered because the edge has already appeared
+  in pass 2 by the time the apex list arrives.  A pair *not* detectable in
+  pass 1 is offered in pass 2, where the same test (edge not yet seen)
+  identifies it.  Every candidate is therefore considered exactly once.
+* ``H`` counters: each collected pair installs three *watchers*, one per
+  triangle edge ``f``, holding the apex ``x = τ^{-f}``.  When an adjacency
+  list closes a triangle on a watched edge, the watcher increments iff
+  ``x``'s list has already arrived in pass 2 — that is exactly the
+  "arrives after" order.  Section 3.3.1 proves all relevant closings occur
+  after the pair is collected, so mid-stream installation loses nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.graph import Edge, Vertex, canonical_edge
+from repro.streaming.algorithm import StreamingAlgorithm
+from repro.util.rng import SeedLike, resolve_rng, spawn_rng
+from repro.util.sampling import BottomKSampler, ReservoirSampler
+
+Triangle = Tuple[Vertex, Vertex, Vertex]
+
+
+def triangle_key(a: Vertex, b: Vertex, c: Vertex) -> Triangle:
+    """Canonical (sorted) form of a triangle's vertex set."""
+    return tuple(sorted((a, b, c)))
+
+
+def triangle_edges(tri: Triangle) -> Tuple[Edge, Edge, Edge]:
+    """The three edges of a triangle, canonically oriented."""
+    a, b, c = tri
+    return (canonical_edge(a, b), canonical_edge(a, c), canonical_edge(b, c))
+
+
+def apex(tri: Triangle, edge: Edge) -> Vertex:
+    """Return ``τ^{-e}``: the vertex of ``tri`` not on ``edge``."""
+    if edge[0] not in tri or edge[1] not in tri:
+        raise ValueError(f"{edge} is not an edge of triangle {tri}")
+    for v in tri:
+        if v != edge[0] and v != edge[1]:
+            return v
+    raise ValueError(f"{edge} has no opposite vertex in {tri}")
+
+
+@dataclass(eq=False)
+class _Watcher:
+    """H-counter for one (collected pair, triangle edge) combination."""
+
+    edge: Edge  # the watched edge f
+    x: Vertex  # apex of the pair's triangle opposite f
+    x_arrived: bool = False
+    h: int = 0
+
+
+@dataclass(eq=False)
+class _Pair:
+    """A collected candidate pair (e, τ) with its three watchers."""
+
+    edge: Edge
+    triangle: Triangle
+    watchers: List[_Watcher] = field(default_factory=list)
+
+    def rho_edge(self) -> Edge:
+        """The lightest edge ρ(τ): min H, ties by canonical edge key."""
+        return min(self.watchers, key=lambda w: (w.h, w.edge)).edge
+
+
+class TwoPassTriangleCounter(StreamingAlgorithm):
+    """Theorem 3.7: 2-pass (1 ± ε) triangle estimation in Õ(m/T^{2/3}) space.
+
+    Parameters
+    ----------
+    sample_size:
+        ``m'``, the size of both the edge sample ``S`` and the pair sample
+        ``Q``.  For a (1 ± ε) guarantee with probability 2/3 choose
+        ``m' = c · m / (ε² T^{2/3})`` (use :func:`recommended_sample_size`).
+    seed:
+        Randomness for the hash sampler and the reservoir.
+    """
+
+    n_passes = 2
+    requires_same_order = True
+
+    def __init__(self, sample_size: int, seed: SeedLike = None):
+        if sample_size < 1:
+            raise ValueError("sample_size must be at least 1")
+        rng = resolve_rng(seed)
+        self.sample_size = sample_size
+        self._sampler: BottomKSampler[Edge] = BottomKSampler(
+            sample_size, seed=spawn_rng(rng), on_evict=self._edge_evicted
+        )
+        self._reservoir: ReservoirSampler[_Pair] = ReservoirSampler(
+            sample_size, seed=spawn_rng(rng)
+        )
+        self._pass = 0
+        self._pair_count = 0  # running count of stream pairs; m = count / 2
+        self._candidate_total = 0  # T' = |{(e, τ) : e ∈ final S}| (pass-2 exact)
+        self._seen_p2: Set[Edge] = set()  # sampled edges already appeared in pass 2
+        self._watchers_by_edge: Dict[Edge, Set[_Watcher]] = {}
+        self._watchers_by_apex: Dict[Vertex, Set[_Watcher]] = {}
+
+    # -- sampler bookkeeping --------------------------------------------------
+
+    def _edge_evicted(self, edge: Edge) -> None:
+        """Drop reservoir pairs whose first-pass edge left the sample."""
+        removed = [p for p in self._reservoir.items() if p.edge == edge]
+        self._reservoir.discard(lambda p: p.edge == edge)
+        for pair in removed:
+            self._unregister_watchers(pair)
+
+    def _register_watchers(self, pair: _Pair, current_list: Optional[Vertex]) -> None:
+        """Create and index the three H-watchers of ``pair``.
+
+        ``current_list`` is the adjacency list being scanned when the pair
+        is collected in pass 2 (None when building watchers between
+        passes).  A watcher's apex has already "arrived" only when it *is*
+        the current list: for the sampled edge's own watcher the apex is
+        the list that just detected the triangle; for the two other edges
+        the apex is an endpoint of the sampled edge, whose list cannot have
+        arrived yet (otherwise the pair would have been collected in
+        pass 1).
+        """
+        for f in triangle_edges(pair.triangle):
+            x = apex(pair.triangle, f)
+            watcher = _Watcher(edge=f, x=x, x_arrived=(x == current_list))
+            pair.watchers.append(watcher)
+            self._watchers_by_edge.setdefault(f, set()).add(watcher)
+            self._watchers_by_apex.setdefault(x, set()).add(watcher)
+
+    def _unregister_watchers(self, pair: _Pair) -> None:
+        for watcher in pair.watchers:
+            bucket = self._watchers_by_edge.get(watcher.edge)
+            if bucket is not None:
+                bucket.discard(watcher)
+                if not bucket:
+                    del self._watchers_by_edge[watcher.edge]
+            bucket = self._watchers_by_apex.get(watcher.x)
+            if bucket is not None:
+                bucket.discard(watcher)
+                if not bucket:
+                    del self._watchers_by_apex[watcher.x]
+        pair.watchers.clear()
+
+    def _collect_pair(self, edge: Edge, tri: Triangle, current_list: Optional[Vertex]) -> None:
+        """Offer a candidate pair to the reservoir, maintaining indexes."""
+        pair = _Pair(edge=edge, triangle=tri)
+        in_pass_two = self._pass == 1
+        if in_pass_two:
+            self._register_watchers(pair, current_list)
+        admitted, displaced = self._reservoir.offer_detailed(pair)
+        if displaced is not None:
+            self._unregister_watchers(displaced)
+        if not admitted and in_pass_two:
+            self._unregister_watchers(pair)
+
+    # -- streaming interface ---------------------------------------------------
+
+    def begin_pass(self, pass_index: int) -> None:
+        self._pass = pass_index
+        if pass_index == 1:
+            # Pass-1 pairs get their watchers now; their apexes all arrive
+            # (again) during pass 2, so flags start False.
+            for pair in self._reservoir.items():
+                self._register_watchers(pair, current_list=None)
+
+    def begin_list(self, vertex: Vertex) -> None:
+        if self._pass == 1:
+            for watcher in self._watchers_by_apex.get(vertex, ()):
+                watcher.x_arrived = True
+
+    def process(self, source: Vertex, neighbor: Vertex) -> None:
+        edge = canonical_edge(source, neighbor)
+        if self._pass == 0:
+            self._pair_count += 1
+            self._sampler.offer(edge)
+        else:
+            if edge in self._sampler and edge not in self._seen_p2:
+                self._seen_p2.add(edge)
+
+    def end_list(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
+        nset = set(neighbors)
+        if self._pass == 1:
+            self._count_h(vertex, nset)
+        self._detect_candidates(vertex, nset)
+
+    def _count_h(self, vertex: Vertex, nset: Set[Vertex]) -> None:
+        """Increment watchers whose edge is closed by the current list."""
+        for f, watchers in self._watchers_by_edge.items():
+            if f[0] in nset and f[1] in nset:
+                for watcher in watchers:
+                    if vertex != watcher.x and watcher.x_arrived:
+                        watcher.h += 1
+
+    def _detect_candidates(self, vertex: Vertex, nset: Set[Vertex]) -> None:
+        """Find triangles on sampled edges closed by the current list."""
+        for edge in self._sampler.members():
+            u, v = edge
+            if u in nset and v in nset:
+                tri = triangle_key(u, v, vertex)
+                if self._pass == 0:
+                    self._collect_pair(edge, tri, current_list=vertex)
+                else:
+                    self._candidate_total += 1
+                    # Offer only pairs that pass 1 could not have seen:
+                    # the edge's first occurrence lies after this list.
+                    if edge not in self._seen_p2:
+                        self._collect_pair(edge, tri, current_list=vertex)
+
+    # -- results -----------------------------------------------------------------
+
+    @property
+    def edge_count(self) -> int:
+        """``m`` as measured during pass 1."""
+        return self._pair_count // 2
+
+    @property
+    def scale_factor(self) -> float:
+        """``k = max(m / m', 1)``."""
+        return max(self.edge_count / self.sample_size, 1.0)
+
+    @property
+    def candidate_total(self) -> int:
+        """``T' = Σ_{e ∈ S} T(e)``, measured exactly during pass 2."""
+        return self._candidate_total
+
+    def counted_pairs(self) -> int:
+        """``|{(e, τ) ∈ Q : ρ(τ) = e}|`` — pairs won by their own edge."""
+        return sum(1 for pair in self._reservoir.items() if pair.rho_edge() == pair.edge)
+
+    def result(self) -> float:
+        """The triangle estimate ``T̂`` (valid after pass 2)."""
+        q_size = len(self._reservoir)
+        if q_size == 0 or self._candidate_total == 0:
+            return 0.0
+        subsample_scale = max(self._candidate_total / q_size, 1.0)
+        return self.scale_factor * subsample_scale * self.counted_pairs()
+
+    def space_words(self) -> int:
+        """Live state: sampler slots, reservoir pairs, watchers, flags."""
+        pair_words = 0
+        for pair in self._reservoir.items():
+            # edge (2) + triangle (3) + watchers (edge 2 + apex 1 + flag 1
+            # + counter 1 each).
+            pair_words += 5 + 5 * len(pair.watchers)
+        return (
+            self._sampler.space_words()
+            + pair_words
+            + len(self._seen_p2)
+            + 4  # m counter, T' counter, pass index, k
+        )
+
+
+def recommended_sample_size(
+    m: int, triangle_count: int, epsilon: float = 0.5, constant: float = 4.0
+) -> int:
+    """Return ``m' = c · m / (ε² T^{2/3})`` (at least 1), per Theorem 3.7.
+
+    ``triangle_count`` may be a lower bound on the true count; the space
+    bound degrades gracefully when it is an underestimate (larger sample)
+    and the accuracy guarantee is lost only when it overestimates.
+    """
+    if m < 0 or triangle_count < 0:
+        raise ValueError("m and triangle_count must be non-negative")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if triangle_count == 0:
+        return max(m, 1)
+    size = constant * m / (epsilon**2 * triangle_count ** (2.0 / 3.0))
+    return max(1, int(round(size)))

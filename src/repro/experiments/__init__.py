@@ -1,0 +1,18 @@
+"""Experiment drivers regenerating Table 1 and Figure 1."""
+
+from repro.experiments.harness import (
+    AccuracyPoint,
+    accuracy_sweep,
+    measure_accuracy,
+    min_budget_for_accuracy,
+)
+from repro.experiments.report import format_table, print_table
+
+__all__ = [
+    "AccuracyPoint",
+    "measure_accuracy",
+    "accuracy_sweep",
+    "min_budget_for_accuracy",
+    "format_table",
+    "print_table",
+]

@@ -1,0 +1,138 @@
+"""Sweep harness shared by the Table-1 / Figure-1 experiments.
+
+Provides repeated-trial accuracy measurement at a given space budget, a
+search for the minimum space achieving a target accuracy, and simple row
+records that the report renderer and the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.streaming.algorithm import StreamingAlgorithm
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+from repro.util.rng import SeedLike, resolve_rng, spawn_rng
+from repro.util.stats import median, relative_error, success_rate
+
+#: factory(space_budget, seed) -> algorithm
+SizedFactory = Callable[[int, SeedLike], StreamingAlgorithm]
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    """Accuracy of an estimator at one space budget."""
+
+    budget: int
+    truth: float
+    runs: int
+    median_estimate: float
+    median_relative_error: float
+    success_rate: float  # fraction of runs within the epsilon used
+    epsilon: float
+    mean_peak_space_words: float
+
+
+def measure_accuracy(
+    factory: SizedFactory,
+    graph: Graph,
+    truth: float,
+    budget: int,
+    runs: int = 20,
+    epsilon: float = 0.5,
+    seed: SeedLike = None,
+) -> AccuracyPoint:
+    """Run the estimator ``runs`` times at ``budget`` and summarise."""
+    rng = resolve_rng(seed)
+    estimates: List[float] = []
+    peaks: List[int] = []
+    for i in range(runs):
+        algorithm = factory(budget, spawn_rng(rng, stream=2 * i))
+        stream = AdjacencyListStream(graph, seed=spawn_rng(rng, stream=2 * i + 1))
+        result = run_algorithm(algorithm, stream)
+        estimates.append(result.estimate)
+        peaks.append(result.peak_space_words)
+    rel = [relative_error(e, truth) for e in estimates]
+    return AccuracyPoint(
+        budget=budget,
+        truth=truth,
+        runs=runs,
+        median_estimate=median(estimates),
+        median_relative_error=median(rel),
+        success_rate=success_rate([r <= epsilon for r in rel]),
+        epsilon=epsilon,
+        mean_peak_space_words=sum(peaks) / len(peaks),
+    )
+
+
+def accuracy_sweep(
+    factory: SizedFactory,
+    graph: Graph,
+    truth: float,
+    budgets: Sequence[int],
+    runs: int = 20,
+    epsilon: float = 0.5,
+    seed: SeedLike = None,
+) -> List[AccuracyPoint]:
+    """Measure accuracy at each budget (shared seeding across budgets)."""
+    rng = resolve_rng(seed)
+    return [
+        measure_accuracy(
+            factory, graph, truth, budget, runs=runs, epsilon=epsilon, seed=spawn_rng(rng)
+        )
+        for budget in budgets
+    ]
+
+
+def min_budget_for_accuracy(
+    factory: SizedFactory,
+    graph: Graph,
+    truth: float,
+    epsilon: float = 0.5,
+    target_success: float = 0.6,
+    runs: int = 15,
+    start_budget: int = 4,
+    max_budget: Optional[int] = None,
+    growth: float = 2.0,
+    confirm: int = 2,
+    seed: SeedLike = None,
+) -> Optional[int]:
+    """Smallest budget (up to ``growth``-factor resolution) hitting the target.
+
+    Multiplies the budget by ``growth`` until ``target_success`` of runs
+    land within ``(1 ± ε)`` of the truth at ``confirm`` *consecutive*
+    budgets (guarding against lucky streaks when many budgets are probed),
+    then returns the first budget of that streak.  Returns ``None`` if
+    even ``max_budget`` (default: 4m) fails — which for this library's
+    algorithms indicates a misconfigured workload.
+    """
+    if growth <= 1.0:
+        raise ValueError("growth must exceed 1")
+    if confirm < 1:
+        raise ValueError("confirm must be at least 1")
+    rng = resolve_rng(seed)
+    if max_budget is None:
+        max_budget = max(4 * graph.m, start_budget)
+    budget = float(start_budget)
+    streak_start: Optional[int] = None
+    streak = 0
+    while budget <= max_budget:
+        point = measure_accuracy(
+            factory, graph, truth, round(budget), runs=runs, epsilon=epsilon,
+            seed=spawn_rng(rng),
+        )
+        if point.success_rate >= target_success:
+            if streak == 0:
+                streak_start = round(budget)
+            streak += 1
+            if streak >= confirm:
+                return streak_start
+        else:
+            streak = 0
+            streak_start = None
+        budget *= growth
+    # A partially confirmed streak that ran off the end still counts: the
+    # trivial budget m always succeeds for these estimators.
+    return streak_start

@@ -1,0 +1,86 @@
+"""Experiment result persistence: JSON round-tripping of result records.
+
+Benchmarks print their tables; for longitudinal comparison (did a change
+move the measured numbers?) the same records can be saved to and loaded
+from JSON.  Dataclass-based records (Table-1 rows, Figure-1 panel rows,
+accuracy points) are serialised with their type names so that loading
+restores fully typed objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.experiments.figure1 import HeuristicFailureRow, PanelRow
+from repro.experiments.harness import AccuracyPoint
+from repro.experiments.table1 import DistinguisherRow, ScalingResult, Table1Row
+
+PathLike = Union[str, Path]
+
+#: Types that may appear in result files, keyed by their serialised name.
+RECORD_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        AccuracyPoint,
+        Table1Row,
+        DistinguisherRow,
+        ScalingResult,
+        PanelRow,
+        HeuristicFailureRow,
+    )
+}
+
+
+def record_to_dict(record: Any) -> Dict:
+    """Serialise one dataclass record (recursively) with its type tag."""
+    cls_name = type(record).__name__
+    if cls_name not in RECORD_TYPES:
+        raise TypeError(f"unsupported record type {cls_name!r}")
+    payload = {}
+    for field in dataclasses.fields(record):
+        value = getattr(record, field.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            value = record_to_dict(value)
+        payload[field.name] = value
+    return {"type": cls_name, "data": payload}
+
+
+def record_from_dict(blob: Dict) -> Any:
+    """Reconstruct a typed record from :func:`record_to_dict` output."""
+    if not isinstance(blob, dict) or set(blob) != {"type", "data"}:
+        raise ValueError("malformed record blob")
+    cls = RECORD_TYPES.get(blob["type"])
+    if cls is None:
+        raise ValueError(f"unknown record type {blob['type']!r}")
+    data = dict(blob["data"])
+    for field in dataclasses.fields(cls):
+        value = data.get(field.name)
+        if isinstance(value, dict) and set(value) == {"type", "data"}:
+            data[field.name] = record_from_dict(value)
+    return cls(**data)
+
+
+def save_results(records: Sequence[Any], path: PathLike, metadata: Dict = None) -> None:
+    """Write records (plus free-form metadata) to a JSON file."""
+    document = {
+        "metadata": metadata or {},
+        "records": [record_to_dict(r) for r in records],
+    }
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+
+
+def load_results(path: PathLike) -> List[Any]:
+    """Load records written by :func:`save_results`."""
+    with open(path) as fh:
+        document = json.load(fh)
+    return [record_from_dict(blob) for blob in document["records"]]
+
+
+def load_metadata(path: PathLike) -> Dict:
+    """Load only the metadata block of a results file."""
+    with open(path) as fh:
+        return json.load(fh)["metadata"]

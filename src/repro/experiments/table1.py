@@ -1,0 +1,315 @@
+"""Table 1 experiments: empirical validation of every upper-bound row.
+
+The paper's Table 1 has no measured numbers (it is a complexity table);
+"reproducing" a row means demonstrating the stated space–accuracy
+relationship empirically:
+
+* ``triangle_two_pass_rows`` — Theorem 3.7 at ``m' = c·m/T^{2/3}``;
+* ``triangle_one_pass_rows`` — the [27] baseline at ``p = c/√T``;
+* ``distinguisher_rows`` — the [27] 0-vs-T distinguisher at
+  ``m' = c·m/T^{2/3}``;
+* ``fourcycle_rows`` — Theorem 4.6 at ``m' = c·m/T^{3/8}``;
+* ``scaling_experiment`` — the "who wins" shape: minimum space for fixed
+  accuracy as a function of T, with fitted exponents (≈ −2/3 for the
+  2-pass algorithm vs ≈ −1/2 for the 1-pass baseline, so the new
+  algorithm wins for every sufficiently large T).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.distinguisher import TwoPassTriangleDistinguisher
+from repro.baselines.one_pass_triangle import OnePassTriangleCounter
+from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.experiments.harness import (
+    AccuracyPoint,
+    measure_accuracy,
+    min_budget_for_accuracy,
+)
+from repro.graph.generators import random_bipartite_graph
+from repro.graph.planted import planted_cycles, planted_triangles
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+from repro.util.rng import SeedLike, resolve_rng, spawn_rng
+from repro.util.stats import fit_power_law, success_rate
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured row: workload, space rule, and achieved accuracy."""
+
+    label: str
+    m: int
+    true_count: int
+    budget_rule: str
+    budget: int
+    point: AccuracyPoint
+
+
+def _two_pass_factory(budget: int, seed: SeedLike) -> TwoPassTriangleCounter:
+    return TwoPassTriangleCounter(sample_size=max(budget, 1), seed=seed)
+
+
+def _one_pass_factory_for(m: int):
+    def factory(budget: int, seed: SeedLike) -> OnePassTriangleCounter:
+        rate = min(1.0, max(budget, 1) / m)
+        return OnePassTriangleCounter(sample_rate=rate, seed=seed)
+
+    return factory
+
+
+def _fourcycle_factory(budget: int, seed: SeedLike) -> TwoPassFourCycleCounter:
+    return TwoPassFourCycleCounter(sample_size=max(budget, 2), seed=seed)
+
+
+def triangle_two_pass_rows(
+    t_values: Sequence[int] = (64, 216, 512),
+    m_target: int = 2400,
+    constant: float = 6.0,
+    epsilon: float = 0.5,
+    runs: int = 20,
+    seed: SeedLike = 0,
+) -> List[Table1Row]:
+    """Theorem 3.7 row: (1±ε) accuracy at ``m' = c·m/T^{2/3}``."""
+    rng = resolve_rng(seed)
+    rows = []
+    for t in t_values:
+        planted = planted_triangles(m_target - 3 * t, t, seed=spawn_rng(rng))
+        m = planted.graph.m
+        budget = max(1, round(constant * m / t ** (2.0 / 3.0)))
+        point = measure_accuracy(
+            _two_pass_factory,
+            planted.graph,
+            t,
+            budget,
+            runs=runs,
+            epsilon=epsilon,
+            seed=spawn_rng(rng),
+        )
+        rows.append(
+            Table1Row(
+                label="triangle 2-pass (Thm 3.7)",
+                m=m,
+                true_count=t,
+                budget_rule=f"{constant:g}*m/T^(2/3)",
+                budget=budget,
+                point=point,
+            )
+        )
+    return rows
+
+
+def triangle_one_pass_rows(
+    t_values: Sequence[int] = (64, 216, 512),
+    m_target: int = 2400,
+    constant: float = 6.0,
+    epsilon: float = 0.5,
+    runs: int = 20,
+    seed: SeedLike = 0,
+) -> List[Table1Row]:
+    """[27] baseline row: (1±ε) accuracy at ``m' = c·m/√T``."""
+    rng = resolve_rng(seed)
+    rows = []
+    for t in t_values:
+        planted = planted_triangles(m_target - 3 * t, t, seed=spawn_rng(rng))
+        m = planted.graph.m
+        budget = max(1, round(constant * m / t**0.5))
+        point = measure_accuracy(
+            _one_pass_factory_for(m),
+            planted.graph,
+            t,
+            budget,
+            runs=runs,
+            epsilon=epsilon,
+            seed=spawn_rng(rng),
+        )
+        rows.append(
+            Table1Row(
+                label="triangle 1-pass ([27])",
+                m=m,
+                true_count=t,
+                budget_rule=f"{constant:g}*m/sqrt(T)",
+                budget=budget,
+                point=point,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class DistinguisherRow:
+    """Detection rates for the 0-vs-T distinguisher at one budget."""
+
+    m: int
+    promised_t: int
+    budget: int
+    detect_rate_on_t: float  # should be high
+    false_positive_rate: float  # provably 0
+
+
+def distinguisher_rows(
+    t_values: Sequence[int] = (64, 216, 512),
+    m_target: int = 2400,
+    constant: float = 6.0,
+    runs: int = 20,
+    seed: SeedLike = 0,
+) -> List[DistinguisherRow]:
+    """[27] distinguishing row: find a triangle at ``m' = c·m/T^{2/3}``."""
+    rng = resolve_rng(seed)
+    rows = []
+    for t in t_values:
+        planted = planted_triangles(m_target - 3 * t, t, seed=spawn_rng(rng))
+        side = max(4, m_target // 2)
+        free_graph = random_bipartite_graph(side, side, m_target, seed=spawn_rng(rng))
+        m = planted.graph.m
+        budget = max(1, round(constant * m / t ** (2.0 / 3.0)))
+        hits = []
+        false_hits = []
+        for i in range(runs):
+            algo = TwoPassTriangleDistinguisher(budget, seed=spawn_rng(rng))
+            stream = AdjacencyListStream(planted.graph, seed=spawn_rng(rng))
+            hits.append(run_algorithm(algo, stream).estimate > 0)
+            algo0 = TwoPassTriangleDistinguisher(budget, seed=spawn_rng(rng))
+            stream0 = AdjacencyListStream(free_graph, seed=spawn_rng(rng))
+            false_hits.append(run_algorithm(algo0, stream0).estimate > 0)
+        rows.append(
+            DistinguisherRow(
+                m=m,
+                promised_t=t,
+                budget=budget,
+                detect_rate_on_t=success_rate(hits),
+                false_positive_rate=success_rate(false_hits),
+            )
+        )
+    return rows
+
+
+def fourcycle_rows(
+    t_values: Sequence[int] = (64, 256, 1024),
+    m_target: int = 2400,
+    constant: float = 6.0,
+    epsilon: float = 0.75,
+    runs: int = 20,
+    seed: SeedLike = 0,
+) -> List[Table1Row]:
+    """Theorem 4.6 row: O(1)-approx accuracy at ``m' = c·m/T^{3/8}``.
+
+    ``epsilon`` here is the constant-factor tolerance (the theorem only
+    promises O(1)); the default counts a run successful when the estimate
+    lies within (1 ± 0.75)·T.
+    """
+    rng = resolve_rng(seed)
+    rows = []
+    for t in t_values:
+        planted = planted_cycles(m_target - 4 * t, t, length=4, seed=spawn_rng(rng))
+        m = planted.graph.m
+        budget = max(2, round(constant * m / t**0.375))
+        point = measure_accuracy(
+            _fourcycle_factory,
+            planted.graph,
+            t,
+            budget,
+            runs=runs,
+            epsilon=epsilon,
+            seed=spawn_rng(rng),
+        )
+        rows.append(
+            Table1Row(
+                label="4-cycle 2-pass (Thm 4.6)",
+                m=m,
+                true_count=t,
+                budget_rule=f"{constant:g}*m/T^(3/8)",
+                budget=budget,
+                point=point,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Fitted space exponents: the Table-1 "who wins" shape."""
+
+    t_values: List[int]
+    two_pass_budgets: List[int]
+    one_pass_budgets: List[int]
+    two_pass_exponent: float
+    one_pass_exponent: float
+
+    @property
+    def two_pass_wins_everywhere(self) -> bool:
+        """True when the 2-pass algorithm needs ≤ the 1-pass space at every T."""
+        return all(
+            two <= one
+            for two, one in zip(self.two_pass_budgets, self.one_pass_budgets)
+        )
+
+
+def scaling_experiment(
+    t_values: Sequence[int] = (64, 125, 343, 729),
+    m_target: int = 6000,
+    epsilon: float = 0.5,
+    runs: int = 12,
+    growth: float = 1.4,
+    seed: SeedLike = 0,
+) -> Optional[ScalingResult]:
+    """Minimum space for (1±ε) accuracy vs T, for both triangle algorithms.
+
+    Theory predicts exponents −2/3 (2-pass, Theorem 3.7) and −1/2 (1-pass,
+    [27]); the doubling-search resolution makes the fits coarse but the
+    ordering and rough slopes reproduce Table 1's hierarchy.
+    """
+    rng = resolve_rng(seed)
+    if any(m_target <= 3 * t for t in t_values):
+        raise ValueError("m_target must exceed 3*T for every T in the sweep")
+    two_budgets: List[int] = []
+    one_budgets: List[int] = []
+    kept_t: List[int] = []
+    for t in t_values:
+        planted = planted_triangles(m_target - 3 * t, t, seed=spawn_rng(rng))
+        m = planted.graph.m
+        two = min_budget_for_accuracy(
+            _two_pass_factory, planted.graph, t, epsilon=epsilon, runs=runs,
+            growth=growth, seed=spawn_rng(rng),
+        )
+        one = min_budget_for_accuracy(
+            _one_pass_factory_for(m), planted.graph, t, epsilon=epsilon, runs=runs,
+            growth=growth, seed=spawn_rng(rng),
+        )
+        if two is None or one is None:
+            continue
+        kept_t.append(t)
+        two_budgets.append(two)
+        one_budgets.append(one)
+    if len(kept_t) < 2:
+        return None
+    two_alpha, _ = fit_power_law(kept_t, two_budgets)
+    one_alpha, _ = fit_power_law(kept_t, one_budgets)
+    return ScalingResult(
+        t_values=kept_t,
+        two_pass_budgets=two_budgets,
+        one_pass_budgets=one_budgets,
+        two_pass_exponent=two_alpha,
+        one_pass_exponent=one_alpha,
+    )
+
+
+def rows_as_dicts(rows: Sequence[Table1Row]) -> List[Dict]:
+    """Flatten rows for table printing."""
+    return [
+        {
+            "label": row.label,
+            "m": row.m,
+            "T": row.true_count,
+            "rule": row.budget_rule,
+            "m'": row.budget,
+            "median_est": row.point.median_estimate,
+            "median_rel_err": row.point.median_relative_error,
+            "success": row.point.success_rate,
+            "space_words": row.point.mean_peak_space_words,
+        }
+        for row in rows
+    ]

@@ -1,0 +1,284 @@
+"""Random and deterministic graph generators.
+
+Implemented from scratch (no networkx dependency in library code) so the
+whole pipeline is self-contained.  These provide the workloads for the
+Table-1 experiments: Erdős–Rényi graphs, preferential-attachment graphs
+with tunable clustering, bipartite (triangle-free) noise, and the classic
+deterministic families used as building blocks and adversarial cases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.graph.graph import Graph
+from repro.util.rng import SeedLike, resolve_rng
+
+
+def empty_graph(n: int) -> Graph:
+    """Return ``n`` isolated vertices labelled ``0..n-1``."""
+    return Graph(vertices=range(n))
+
+
+def complete_graph(n: int) -> Graph:
+    """Return the complete graph ``K_n``."""
+    g = empty_graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """Return ``K_{a,b}`` with sides ``0..a-1`` and ``a..a+b-1``."""
+    g = empty_graph(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            g.add_edge(u, v)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """Return the cycle ``C_n`` (n >= 3)."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    g = empty_graph(n)
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+def path_graph(n: int) -> Graph:
+    """Return the path on ``n`` vertices."""
+    g = empty_graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def star_graph(leaves: int) -> Graph:
+    """Return a star: center 0 joined to ``leaves`` leaf vertices."""
+    g = empty_graph(leaves + 1)
+    for i in range(1, leaves + 1):
+        g.add_edge(0, i)
+    return g
+
+
+def gnm_random_graph(n: int, m: int, seed: SeedLike = None) -> Graph:
+    """Return a uniform random graph with ``n`` vertices and ``m`` edges."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"G(n, m) with n={n} supports at most {max_edges} edges")
+    rng = resolve_rng(seed)
+    g = empty_graph(n)
+    if m > max_edges // 2:
+        # Dense regime: sample the complement of a random edge subset.
+        all_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        for u, v in rng.sample(all_edges, m):
+            g.add_edge(u, v)
+        return g
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def gnp_random_graph(n: int, p: float, seed: SeedLike = None) -> Graph:
+    """Return an Erdős–Rényi ``G(n, p)`` graph."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    rng = resolve_rng(seed)
+    g = empty_graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def random_bipartite_graph(a: int, b: int, m: int, seed: SeedLike = None) -> Graph:
+    """Return a uniform random bipartite (hence triangle-free) graph.
+
+    Sides are ``0..a-1`` and ``a..a+b-1`` with exactly ``m`` edges.  Used as
+    triangle-free noise when planting a known number of triangles.
+    """
+    if m > a * b:
+        raise ValueError(f"bipartite graph on {a}x{b} supports at most {a * b} edges")
+    rng = resolve_rng(seed)
+    g = empty_graph(a + b)
+    added = 0
+    while added < m:
+        u = rng.randrange(a)
+        v = a + rng.randrange(b)
+        if g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def barabasi_albert_graph(n: int, attach: int, seed: SeedLike = None) -> Graph:
+    """Return a Barabási–Albert preferential-attachment graph.
+
+    Each new vertex attaches to ``attach`` existing vertices chosen
+    proportionally to degree — a standard heavy-tailed-degree workload for
+    triangle counting benchmarks.
+    """
+    if attach < 1 or n < attach + 1:
+        raise ValueError("need n >= attach + 1 and attach >= 1")
+    rng = resolve_rng(seed)
+    g = complete_graph(attach + 1)
+    # Repeated-endpoint list: vertex v appears deg(v) times.
+    endpoints: List[int] = []
+    for u, v in g.edges():
+        endpoints.extend((u, v))
+    for new in range(attach + 1, n):
+        targets = set()
+        while len(targets) < attach:
+            targets.add(rng.choice(endpoints))
+        for t in targets:
+            g.add_edge(new, t)
+            endpoints.extend((new, t))
+    return g
+
+
+def powerlaw_cluster_graph(
+    n: int, attach: int, triangle_prob: float, seed: SeedLike = None
+) -> Graph:
+    """Return a Holme–Kim power-law graph with tunable clustering.
+
+    Like Barabási–Albert, but after each preferential attachment step a
+    triad-closure step links the new vertex to a neighbour of the previous
+    target with probability ``triangle_prob``, injecting triangles.  This is
+    the "social network" workload from the paper's motivation.
+    """
+    if not 0.0 <= triangle_prob <= 1.0:
+        raise ValueError("triangle_prob must lie in [0, 1]")
+    if attach < 1 or n < attach + 1:
+        raise ValueError("need n >= attach + 1 and attach >= 1")
+    rng = resolve_rng(seed)
+    g = complete_graph(attach + 1)
+    endpoints: List[int] = []
+    for u, v in g.edges():
+        endpoints.extend((u, v))
+    for new in range(attach + 1, n):
+        added = 0
+        last_target: Optional[int] = None
+        while added < attach:
+            if (
+                last_target is not None
+                and rng.random() < triangle_prob
+                and g.degree(last_target) > 0
+            ):
+                candidate = rng.choice(sorted(g.neighbors(last_target)))
+            else:
+                candidate = rng.choice(endpoints)
+            if candidate != new and g.add_edge(new, candidate):
+                endpoints.extend((new, candidate))
+                last_target = candidate
+                added += 1
+    return g
+
+
+def random_forest(n: int, edges: int, seed: SeedLike = None) -> Graph:
+    """Return a random forest with ``edges`` edges (acyclic noise).
+
+    Grows a uniform random attachment forest: each added edge joins a fresh
+    vertex to a uniformly random already-used vertex, so no cycles of any
+    length exist.  Requires ``edges < n``.
+    """
+    if edges >= n:
+        raise ValueError("a forest on n vertices has at most n - 1 edges")
+    rng = resolve_rng(seed)
+    g = empty_graph(n)
+    for new in range(1, edges + 1):
+        g.add_edge(new, rng.randrange(new))
+    return g
+
+
+def book_graph(pages: int) -> Graph:
+    """Return the book ``B_pages``: ``pages`` triangles sharing one edge.
+
+    The shared edge (0, 1) is the canonical "heavy edge" adversarial case
+    from Section 2.1: it lies in every triangle.
+    """
+    g = empty_graph(pages + 2)
+    g.add_edge(0, 1)
+    for i in range(pages):
+        g.add_edge(0, 2 + i)
+        g.add_edge(1, 2 + i)
+    return g
+
+
+def windmill_graph(blades: int) -> Graph:
+    """Return the friendship graph: ``blades`` triangles sharing vertex 0."""
+    g = empty_graph(2 * blades + 1)
+    for i in range(blades):
+        a, b = 1 + 2 * i, 2 + 2 * i
+        g.add_edge(0, a)
+        g.add_edge(0, b)
+        g.add_edge(a, b)
+    return g
+
+
+def theta_graph(spokes: int) -> Graph:
+    """Return ``K_{2, spokes}``: every pair of spokes forms a 4-cycle.
+
+    All ``C(spokes, 2)`` 4-cycles share the two hub vertices and every edge
+    lies in ``spokes - 1`` of them — the heavy-edge adversarial case for
+    4-cycle counting.
+    """
+    return complete_bipartite(2, spokes)
+
+
+def random_regular_graph(n: int, degree: int, seed: SeedLike = None, max_tries: int = 10000) -> Graph:
+    """Return a random ``degree``-regular graph via the pairing model.
+
+    Repeatedly shuffles the stub multiset and pairs stubs, restarting on
+    self loops or duplicate edges (rejection sampling, uniform over simple
+    graphs; the success probability is ``≈ exp(-(d²-1)/4)`` so the default
+    retry budget covers degrees up to ~7).  Requires ``n * degree`` even.
+    """
+    if degree < 0 or degree >= n:
+        raise ValueError("need 0 <= degree < n")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even")
+    rng = resolve_rng(seed)
+    for _ in range(max_tries):
+        stubs = [v for v in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        g = empty_graph(n)
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or g.has_edge(u, v):
+                ok = False
+                break
+            g.add_edge(u, v)
+        if ok:
+            return g
+    raise RuntimeError(f"failed to build a {degree}-regular graph in {max_tries} tries")
+
+
+def configuration_model_graph(degrees: List[int], seed: SeedLike = None) -> Graph:
+    """Return a simple graph approximating the given degree sequence.
+
+    Standard configuration model with self loops and duplicate pairings
+    *discarded* (so realised degrees may fall slightly short of the
+    targets — the usual simple-graph projection).  The degree sum must be
+    even.
+    """
+    if any(d < 0 for d in degrees):
+        raise ValueError("degrees must be non-negative")
+    if sum(degrees) % 2 != 0:
+        raise ValueError("degree sum must be even")
+    rng = resolve_rng(seed)
+    stubs = [v for v, d in enumerate(degrees) for _ in range(d)]
+    rng.shuffle(stubs)
+    g = empty_graph(len(degrees))
+    for i in range(0, len(stubs), 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g

@@ -1,0 +1,218 @@
+"""Finite field arithmetic GF(p^k), built from scratch.
+
+Section 5.2 of the paper uses incidence graphs of projective planes of
+order ``q`` (a prime power) as extremal 4-cycle-free graphs.  Constructing
+``PG(2, q)`` requires arithmetic in GF(q); this module implements it for
+any prime power: GF(p) directly, GF(p^k) as polynomials over GF(p) modulo
+an irreducible polynomial found by exhaustive search (fields used here are
+tiny, so the search is instant).
+
+Elements are represented as integers ``0 .. q-1`` encoding the coefficient
+vector in base ``p`` (least significant digit = constant term), which makes
+them hashable and cheap to compare.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test by trial division (fields are tiny)."""
+    if n < 2:
+        return False
+    if n % 2 == 0:
+        return n == 2
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def factor_prime_power(q: int) -> Tuple[int, int]:
+    """Return ``(p, k)`` with ``q = p**k`` for prime ``p``; raise otherwise."""
+    if q < 2:
+        raise ValueError(f"{q} is not a prime power")
+    for p in range(2, q + 1):
+        if not is_prime(p):
+            continue
+        if q % p == 0:
+            k = 0
+            rest = q
+            while rest % p == 0:
+                rest //= p
+                k += 1
+            if rest == 1:
+                return p, k
+            raise ValueError(f"{q} is not a prime power")
+    raise ValueError(f"{q} is not a prime power")
+
+
+def _poly_trim(poly: List[int]) -> List[int]:
+    """Strip trailing zero coefficients."""
+    while poly and poly[-1] == 0:
+        poly.pop()
+    return poly
+
+
+def _poly_mul(a: List[int], b: List[int], p: int) -> List[int]:
+    """Multiply polynomials over GF(p)."""
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            out[i + j] = (out[i + j] + ca * cb) % p
+    return _poly_trim(out)
+
+
+def _poly_mod(a: List[int], mod: List[int], p: int) -> List[int]:
+    """Reduce polynomial ``a`` modulo monic-leading ``mod`` over GF(p)."""
+    a = list(a)
+    inv_lead = pow(mod[-1], p - 2, p) if mod[-1] != 1 else 1
+    while len(a) >= len(mod):
+        coef = (a[-1] * inv_lead) % p
+        shift = len(a) - len(mod)
+        for i, c in enumerate(mod):
+            a[shift + i] = (a[shift + i] - coef * c) % p
+        _poly_trim(a)
+        if not a:
+            break
+    return a
+
+
+def _irreducible_poly(p: int, k: int) -> List[int]:
+    """Find a monic irreducible degree-``k`` polynomial over GF(p).
+
+    Exhaustive search, testing that the polynomial has no root-free proper
+    factorisation by checking divisibility against all lower-degree monic
+    polynomials.  Fine for the tiny fields we construct.
+    """
+    if k == 1:
+        return [0, 1]  # x
+
+    def poly_from_index(idx: int, degree: int) -> List[int]:
+        coeffs = []
+        for _ in range(degree):
+            coeffs.append(idx % p)
+            idx //= p
+        coeffs.append(1)  # monic
+        return coeffs
+
+    def divides(d: List[int], a: List[int]) -> bool:
+        return not _poly_mod(a, d, p)
+
+    for idx in range(p**k):
+        candidate = poly_from_index(idx, k)
+        if candidate[0] == 0:
+            continue  # divisible by x
+        reducible = False
+        max_factor_deg = k // 2
+        for deg in range(1, max_factor_deg + 1):
+            for fidx in range(p**deg):
+                factor = poly_from_index(fidx, deg)
+                if divides(factor, candidate):
+                    reducible = True
+                    break
+            if reducible:
+                break
+        if not reducible:
+            return candidate
+    raise RuntimeError(f"no irreducible polynomial of degree {k} over GF({p})")
+
+
+class GF:
+    """The finite field GF(q) for a prime power ``q``.
+
+    Elements are integers ``0..q-1``; arithmetic methods interpret them as
+    coefficient vectors in base ``p``.  For prime ``q`` the representation
+    is the field itself and all operations reduce to modular arithmetic.
+    """
+
+    def __init__(self, q: int):
+        self.q = q
+        self.p, self.k = factor_prime_power(q)
+        self._modulus = _irreducible_poly(self.p, self.k) if self.k > 1 else None
+        # Multiplication and inverse tables; fields here are tiny so tables
+        # are both the simplest and the fastest option.
+        self._mul_table = [[self._mul_direct(a, b) for b in range(q)] for a in range(q)]
+        self._inv_table = self._build_inverses()
+
+    # -- encoding ----------------------------------------------------------
+
+    def _to_poly(self, x: int) -> List[int]:
+        coeffs = []
+        while x:
+            coeffs.append(x % self.p)
+            x //= self.p
+        return coeffs
+
+    def _from_poly(self, poly: List[int]) -> int:
+        out = 0
+        for c in reversed(poly):
+            out = out * self.p + c
+        return out
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Return ``a + b`` in GF(q)."""
+        if self.k == 1:
+            return (a + b) % self.p
+        pa, pb = self._to_poly(a), self._to_poly(b)
+        length = max(len(pa), len(pb))
+        pa += [0] * (length - len(pa))
+        pb += [0] * (length - len(pb))
+        return self._from_poly(_poly_trim([(x + y) % self.p for x, y in zip(pa, pb)]))
+
+    def neg(self, a: int) -> int:
+        """Return ``-a`` in GF(q)."""
+        if self.k == 1:
+            return (-a) % self.p
+        return self._from_poly([(-c) % self.p for c in self._to_poly(a)])
+
+    def sub(self, a: int, b: int) -> int:
+        """Return ``a - b`` in GF(q)."""
+        return self.add(a, self.neg(b))
+
+    def _mul_direct(self, a: int, b: int) -> int:
+        if self.k == 1:
+            return (a * b) % self.p
+        prod = _poly_mul(self._to_poly(a), self._to_poly(b), self.p)
+        return self._from_poly(_poly_mod(prod, self._modulus, self.p))
+
+    def mul(self, a: int, b: int) -> int:
+        """Return ``a * b`` in GF(q) (table lookup)."""
+        return self._mul_table[a][b]
+
+    def _build_inverses(self) -> List[int]:
+        inv = [0] * self.q
+        for a in range(1, self.q):
+            for b in range(1, self.q):
+                if self._mul_table[a][b] == 1:
+                    inv[a] = b
+                    break
+            else:
+                raise RuntimeError(f"element {a} has no inverse; field construction bug")
+        return inv
+
+    def inv(self, a: int) -> int:
+        """Return the multiplicative inverse of ``a`` (a != 0)."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(q)")
+        return self._inv_table[a]
+
+    def div(self, a: int, b: int) -> int:
+        """Return ``a / b`` in GF(q)."""
+        return self.mul(a, self.inv(b))
+
+    def elements(self) -> range:
+        """Return all field elements."""
+        return range(self.q)
+
+    def __repr__(self) -> str:
+        return f"GF({self.q})"

@@ -1,0 +1,201 @@
+"""Undirected simple graph used throughout the library.
+
+The graph is deliberately minimal: vertices are arbitrary hashable,
+mutually comparable labels (ints for generated graphs; structured tuples
+for the lower-bound gadgets), edges are unordered pairs without self loops
+or multiplicity.  Adjacency is stored as sets for O(1) membership tests,
+which the exact counters and the streaming simulator both rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (sorted) form of the undirected edge ``{u, v}``.
+
+    Both stream passes and every sampler key edges through this function so
+    that the two directed appearances of an edge map to the same sample slot.
+    """
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """An undirected simple graph with set-based adjacency."""
+
+    def __init__(self, vertices: Iterable[Vertex] = (), edges: Iterable[Edge] = ()):
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._m = 0
+        for v in vertices:
+            self.add_vertex(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge]) -> "Graph":
+        """Build a graph from an iterable of vertex pairs."""
+        return cls(edges=edges)
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex (no-op if already present)."""
+        if v not in self._adj:
+            self._adj[v] = set()
+
+    def add_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Add the undirected edge ``{u, v}``; return True if it was new.
+
+        Self loops are rejected because cycle counting is defined on simple
+        graphs.
+        """
+        if u == v:
+            raise ValueError(f"self loop on {u!r} not allowed")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        return True
+
+    def add_edges(self, edges: Iterable[Edge]) -> int:
+        """Add many edges; return how many were new."""
+        return sum(1 for u, v in edges if self.add_edge(u, v))
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}``; raise KeyError if absent."""
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def has_vertex(self, v: Vertex) -> bool:
+        """Return whether ``v`` is a vertex of the graph."""
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return whether ``{u, v}`` is an edge of the graph."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        """Return the adjacency set of ``v`` (live view; do not mutate)."""
+        return self._adj[v]
+
+    def degree(self, v: Vertex) -> int:
+        """Return the degree of ``v``."""
+        return len(self._adj[v])
+
+    def vertices(self) -> List[Vertex]:
+        """Return all vertices in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield every edge once, in canonical orientation."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u <= v:
+                    yield (u, v)
+
+    def degree_sequence(self) -> List[int]:
+        """Return the sorted (descending) degree sequence."""
+        return sorted((len(nbrs) for nbrs in self._adj.values()), reverse=True)
+
+    def max_degree(self) -> int:
+        """Return the maximum degree (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def codegree(self, u: Vertex, v: Vertex) -> int:
+        """Return the number of common neighbours of ``u`` and ``v``."""
+        a, b = self._adj[u], self._adj[v]
+        if len(a) > len(b):
+            a, b = b, a
+        return sum(1 for w in a if w in b)
+
+    def common_neighbors(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        """Return the set of common neighbours of ``u`` and ``v``."""
+        return self._adj[u] & self._adj[v]
+
+    # -- transformation ----------------------------------------------------
+
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        clone = Graph()
+        for v, nbrs in self._adj.items():
+            clone._adj[v] = set(nbrs)
+        clone._m = self._m
+        return clone
+
+    def subgraph(self, keep: Iterable[Vertex]) -> "Graph":
+        """Return the induced subgraph on ``keep``."""
+        keep_set = set(keep)
+        sub = Graph(vertices=(v for v in keep_set if v in self._adj))
+        for u, v in self.edges():
+            if u in keep_set and v in keep_set:
+                sub.add_edge(u, v)
+        return sub
+
+    def relabeled(self) -> Tuple["Graph", Dict[Vertex, int]]:
+        """Return a copy with vertices relabelled ``0..n-1`` plus the map."""
+        mapping = {v: i for i, v in enumerate(self._adj)}
+        relab = Graph(vertices=range(self.n))
+        for u, v in self.edges():
+            relab.add_edge(mapping[u], mapping[v])
+        return relab, mapping
+
+    def disjoint_union(self, other: "Graph") -> "Graph":
+        """Return the disjoint union, tagging vertices with 0/1 origin."""
+        result = Graph()
+        for v in self._adj:
+            result.add_vertex((0, v))
+        for v in other._adj:
+            result.add_vertex((1, v))
+        for u, v in self.edges():
+            result.add_edge((0, u), (0, v))
+        for u, v in other.edges():
+            result.add_edge((1, u), (1, v))
+        return result
+
+    def adjacency_matrix(self):
+        """Return the dense numpy adjacency matrix and the vertex order."""
+        import numpy as np
+
+        order = self.vertices()
+        index = {v: i for i, v in enumerate(order)}
+        mat = np.zeros((self.n, self.n), dtype=np.int64)
+        for u, v in self.edges():
+            i, j = index[u], index[v]
+            mat[i, j] = 1
+            mat[j, i] = 1
+        return mat, order
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self):  # graphs are mutable
+        raise TypeError("Graph objects are unhashable")

@@ -1,0 +1,93 @@
+"""Graph serialization: edge-list and adjacency-list text formats.
+
+The adjacency-list format mirrors the streaming model's input contract:
+one line per vertex, ``vertex: neighbor neighbor ...``, so a file can be
+replayed directly as an adjacency-list stream.  Vertex labels are written
+with ``repr``-free plain text and parsed back as ints when possible.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.graph.graph import Graph, Vertex
+
+PathLike = Union[str, Path]
+
+
+def _format_vertex(v: Vertex) -> str:
+    text = str(v)
+    if any(ch.isspace() for ch in text) or ":" in text:
+        raise ValueError(f"vertex label {v!r} cannot be serialised to text")
+    return text
+
+
+def _parse_vertex(token: str) -> Vertex:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write one ``u v`` line per edge (canonical orientation)."""
+    with open(path, "w") as fh:
+        for u, v in graph.edges():
+            fh.write(f"{_format_vertex(u)} {_format_vertex(v)}\n")
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a graph from an edge-list file (``#`` comments allowed)."""
+    g = Graph()
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: expected 'u v', got {stripped!r}")
+            g.add_edge(_parse_vertex(parts[0]), _parse_vertex(parts[1]))
+    return g
+
+
+def write_adjacency_list(graph: Graph, path: PathLike) -> None:
+    """Write one ``v: n1 n2 ...`` line per vertex (isolated vertices too)."""
+    with open(path, "w") as fh:
+        for v in sorted(graph.vertices()):
+            nbrs = " ".join(_format_vertex(u) for u in sorted(graph.neighbors(v)))
+            fh.write(f"{_format_vertex(v)}: {nbrs}\n".rstrip() + "\n")
+
+
+def read_adjacency_list(path: PathLike) -> Graph:
+    """Read a graph from an adjacency-list file.
+
+    Each edge is expected to appear in both endpoints' lines (as in the
+    streaming model); single-sided mentions are accepted and symmetrised.
+    """
+    g = Graph()
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            if ":" not in stripped:
+                raise ValueError(f"{path}:{lineno}: expected 'v: ...', got {stripped!r}")
+            head, _, tail = stripped.partition(":")
+            v = _parse_vertex(head.strip())
+            g.add_vertex(v)
+            for token in tail.split():
+                u = _parse_vertex(token)
+                if u != v and not g.has_edge(u, v):
+                    g.add_edge(u, v)
+    return g
+
+
+def adjacency_lines(graph: Graph) -> List[str]:
+    """Return the adjacency-list serialisation as a list of lines."""
+    lines = []
+    for v in sorted(graph.vertices()):
+        nbrs = " ".join(_format_vertex(u) for u in sorted(graph.neighbors(v)))
+        lines.append(f"{_format_vertex(v)}: {nbrs}".rstrip())
+    return lines

@@ -1,0 +1,211 @@
+"""Workload generators with an exactly known cycle count.
+
+The Table-1 experiments need graphs where the true count ``T`` is a free
+parameter, independent of the edge count ``m``.  These generators combine
+cycle-free "noise" with planted cycles:
+
+* triangle workloads: bipartite noise (triangle-free) + planted triangles;
+* 4-cycle workloads: forest noise (acyclic) + planted 4-cycles;
+* ℓ-cycle workloads: forest noise + planted ℓ-cycles.
+
+Planted structure can be disjoint (light edges — the easy case) or share
+edges/vertices (heavy cases exercising the variance-reduction machinery).
+All vertex labels are integers, with noise occupying ``0..`` and planted
+components stacked above, so planted cycles never interact with the noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.counting import count_cycles, count_triangles
+from repro.graph.generators import (
+    book_graph,
+    random_bipartite_graph,
+    random_forest,
+    theta_graph,
+    windmill_graph,
+)
+from repro.graph.graph import Graph
+from repro.util.rng import SeedLike, resolve_rng
+
+
+@dataclass(frozen=True)
+class PlantedGraph:
+    """A generated graph together with its exact planted cycle count."""
+
+    graph: Graph
+    cycle_length: int
+    true_count: int
+
+    @property
+    def m(self) -> int:
+        """Edge count of the generated graph."""
+        return self.graph.m
+
+
+def _append_offset(target: Graph, component: Graph, offset: int) -> int:
+    """Copy ``component`` into ``target`` with labels shifted by ``offset``.
+
+    Returns the next free label.
+    """
+    labels = {}
+    relabeled, mapping = component.relabeled()
+    for v in relabeled.vertices():
+        labels[v] = offset + v
+        target.add_vertex(offset + v)
+    for u, v in relabeled.edges():
+        target.add_edge(labels[u], labels[v])
+    return offset + relabeled.n
+
+
+def planted_triangles(
+    noise_edges: int,
+    triangles: int,
+    seed: SeedLike = None,
+    noise_side: int = None,
+) -> PlantedGraph:
+    """Triangle-free bipartite noise plus ``triangles`` disjoint triangles.
+
+    ``noise_side`` controls the bipartite sides (defaults to a side size
+    that keeps the noise graph sparse, around average degree 4).
+    """
+    if noise_edges < 0:
+        raise ValueError("noise_edges must be non-negative")
+    rng = resolve_rng(seed)
+    if noise_side is None:
+        noise_side = max(4, noise_edges // 2)
+    g = random_bipartite_graph(noise_side, noise_side, noise_edges, seed=rng)
+    offset = 2 * noise_side
+    for _ in range(triangles):
+        g.add_edge(offset, offset + 1)
+        g.add_edge(offset + 1, offset + 2)
+        g.add_edge(offset, offset + 2)
+        offset += 3
+    return PlantedGraph(graph=g, cycle_length=3, true_count=triangles)
+
+
+def planted_triangles_book(
+    noise_edges: int,
+    pages: int,
+    seed: SeedLike = None,
+    noise_side: int = None,
+) -> PlantedGraph:
+    """Bipartite noise plus a book of ``pages`` triangles sharing one edge.
+
+    The shared edge lies in every triangle — the adversarial heavy-edge
+    profile motivating the lightest-edge rule of Section 2.1.
+    """
+    if noise_edges < 0:
+        raise ValueError("noise_edges must be non-negative")
+    rng = resolve_rng(seed)
+    if noise_side is None:
+        noise_side = max(4, noise_edges // 2)
+    g = random_bipartite_graph(noise_side, noise_side, noise_edges, seed=rng)
+    _append_offset(g, book_graph(pages), 2 * noise_side)
+    return PlantedGraph(graph=g, cycle_length=3, true_count=pages)
+
+
+def planted_triangles_windmill(
+    noise_edges: int,
+    blades: int,
+    seed: SeedLike = None,
+    noise_side: int = None,
+) -> PlantedGraph:
+    """Bipartite noise plus ``blades`` triangles sharing a single vertex."""
+    if noise_edges < 0:
+        raise ValueError("noise_edges must be non-negative")
+    rng = resolve_rng(seed)
+    if noise_side is None:
+        noise_side = max(4, noise_edges // 2)
+    g = random_bipartite_graph(noise_side, noise_side, noise_edges, seed=rng)
+    _append_offset(g, windmill_graph(blades), 2 * noise_side)
+    return PlantedGraph(graph=g, cycle_length=3, true_count=blades)
+
+
+def planted_cycles(
+    noise_edges: int,
+    cycles: int,
+    length: int,
+    seed: SeedLike = None,
+) -> PlantedGraph:
+    """Acyclic forest noise plus ``cycles`` disjoint ``length``-cycles.
+
+    Works for any ``length >= 3``; the forest contributes no cycles at all,
+    so the count is exact for every length simultaneously.
+    """
+    if length < 3:
+        raise ValueError("cycles have at least 3 vertices")
+    if noise_edges < 0:
+        raise ValueError("noise_edges must be non-negative")
+    rng = resolve_rng(seed)
+    noise_n = noise_edges + 1
+    g = random_forest(noise_n, noise_edges, seed=rng)
+    offset = noise_n
+    for _ in range(cycles):
+        for i in range(length):
+            g.add_edge(offset + i, offset + (i + 1) % length)
+        offset += length
+    return PlantedGraph(graph=g, cycle_length=length, true_count=cycles)
+
+
+def planted_four_cycles(noise_edges: int, cycles: int, seed: SeedLike = None) -> PlantedGraph:
+    """Forest noise plus ``cycles`` disjoint 4-cycles."""
+    return planted_cycles(noise_edges, cycles, length=4, seed=seed)
+
+
+def planted_four_cycles_theta(
+    noise_edges: int, spokes: int, seed: SeedLike = None
+) -> PlantedGraph:
+    """Forest noise plus ``K_{2, spokes}``: ``C(spokes, 2)`` entangled 4-cycles.
+
+    Every planted 4-cycle shares the two hub vertices — the heavy case for
+    wedge-sampling estimators.
+    """
+    rng = resolve_rng(seed)
+    noise_n = noise_edges + 1
+    g = random_forest(noise_n, noise_edges, seed=rng)
+    _append_offset(g, theta_graph(spokes), noise_n)
+    count = spokes * (spokes - 1) // 2
+    return PlantedGraph(graph=g, cycle_length=4, true_count=count)
+
+
+def planted_four_cycle_grid(
+    noise_edges: int, rows: int, cols: int, seed: SeedLike = None
+) -> PlantedGraph:
+    """Forest noise plus a ``rows x cols`` grid of unit 4-cycles.
+
+    A grid provides moderately overlapping 4-cycles (each interior edge is
+    shared by two) — an intermediate heaviness profile between disjoint
+    cycles and the theta graph.  The unit squares are the only 4-cycles of a
+    grid, giving ``(rows - 1) * (cols - 1)`` of them.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid needs at least 2 rows and 2 columns")
+    rng = resolve_rng(seed)
+    noise_n = noise_edges + 1
+    g = random_forest(noise_n, noise_edges, seed=rng)
+    base = noise_n
+
+    def vid(r: int, c: int) -> int:
+        return base + r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                g.add_edge(vid(r, c), vid(r, c + 1))
+            if r + 1 < rows:
+                g.add_edge(vid(r, c), vid(r + 1, c))
+    count = (rows - 1) * (cols - 1)
+    return PlantedGraph(graph=g, cycle_length=4, true_count=count)
+
+
+def verify_planted(planted: PlantedGraph) -> bool:
+    """Recount the planted cycles exactly; True iff the label is correct.
+
+    Exponential-time safety check used in tests and example scripts, not in
+    benchmarks.
+    """
+    if planted.cycle_length == 3:
+        return count_triangles(planted.graph) == planted.true_count
+    return count_cycles(planted.graph, planted.cycle_length) == planted.true_count

@@ -1,0 +1,113 @@
+"""Projective plane incidence graphs: extremal 4-cycle-free bipartite graphs.
+
+Section 5.2 of the paper uses the incidence graph of the field plane
+``PG(2, q)``: for a prime power ``q`` it has ``2(q^2 + q + 1)`` vertices,
+every vertex has degree ``q + 1`` (so ``(q^2 + q + 1)(q + 1)`` edges,
+which is ``Theta(r^{3/2})`` for ``r = q^2 + q + 1`` vertices per side),
+and girth 6 — no 4-cycles, because two points lie on exactly one common
+line and two lines meet in exactly one point.
+
+Points and lines are both represented by normalised homogeneous coordinate
+triples over GF(q) (first nonzero coordinate scaled to 1); a point ``P``
+is incident to a line ``L`` iff their dot product vanishes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.gf import GF
+from repro.graph.graph import Graph
+
+Triple = Tuple[int, int, int]
+
+#: Vertex tags for the two sides of the incidence graph.
+POINT = "P"
+LINE = "L"
+
+
+def plane_order_for_size(min_side: int) -> int:
+    """Return the smallest prime-power ``q`` with ``q^2 + q + 1 >= min_side``.
+
+    Convenience for the lower-bound reductions, which need a 4-cycle-free
+    bipartite graph with at least ``r`` vertices per side.
+    """
+    q = 2
+    while q * q + q + 1 < min_side:
+        q += 1
+        while not _is_prime_power(q):
+            q += 1
+    return q
+
+
+def _is_prime_power(q: int) -> bool:
+    from repro.graph.gf import factor_prime_power
+
+    try:
+        factor_prime_power(q)
+        return True
+    except ValueError:
+        return False
+
+
+def projective_points(field: GF) -> List[Triple]:
+    """Return normalised homogeneous coordinates of all points of PG(2, q).
+
+    Normalisation: the first nonzero coordinate equals 1, giving exactly
+    ``q^2 + q + 1`` representatives: ``(1, y, z)``, ``(0, 1, z)``,
+    ``(0, 0, 1)``.
+    """
+    q = field.q
+    points: List[Triple] = [(1, y, z) for y in range(q) for z in range(q)]
+    points.extend((0, 1, z) for z in range(q))
+    points.append((0, 0, 1))
+    return points
+
+
+def incident(field: GF, point: Triple, line: Triple) -> bool:
+    """Return whether ``point`` lies on ``line`` (dot product is zero)."""
+    acc = 0
+    for a, b in zip(point, line):
+        acc = field.add(acc, field.mul(a, b))
+    return acc == 0
+
+
+def projective_plane_incidence_graph(q: int) -> Graph:
+    """Return the point-line incidence graph of PG(2, q).
+
+    Vertices are ``(POINT, i)`` and ``(LINE, j)`` where ``i``/``j`` index
+    the normalised triples from :func:`projective_points` (lines are also
+    parameterised by triples, via duality).  The graph is bipartite,
+    ``(q + 1)``-regular, and has girth 6.
+    """
+    field = GF(q)
+    triples = projective_points(field)
+    g = Graph()
+    for i in range(len(triples)):
+        g.add_vertex((POINT, i))
+        g.add_vertex((LINE, i))
+    for i, pt in enumerate(triples):
+        for j, ln in enumerate(triples):
+            if incident(field, pt, ln):
+                g.add_edge((POINT, i), (LINE, j))
+    return g
+
+
+def relabeled_bipartite_sides(graph: Graph) -> Tuple[List, List]:
+    """Split an incidence graph's vertices into (points, lines) lists."""
+    points = [v for v in graph.vertices() if v[0] == POINT]
+    lines = [v for v in graph.vertices() if v[0] == LINE]
+    return points, lines
+
+
+def four_cycle_free_bipartite(min_side: int) -> Tuple[Graph, List, List]:
+    """Return a dense 4-cycle-free bipartite graph with >= ``min_side`` per side.
+
+    Used by the Theorem 5.3/5.4 reductions, which need bipartite 4-cycle-free
+    graphs on ``2r`` vertices with ``Theta(r^{3/2})`` edges.  Returns the
+    graph plus its two sides in a deterministic order.
+    """
+    q = plane_order_for_size(min_side)
+    graph = projective_plane_incidence_graph(q)
+    points, lines = relabeled_bipartite_sides(graph)
+    return graph, sorted(points), sorted(lines)

@@ -1,0 +1,107 @@
+"""Wedge (length-2 path) machinery for the 4-cycle algorithm.
+
+A wedge is a path ``u - center - v``; the 4-cycle counter of Section 4
+samples edges and forms wedges from pairs of sampled edges sharing an
+endpoint.  This module provides the canonical wedge representation, wedge
+enumeration, and the exact per-wedge / per-edge 4-cycle loads used by the
+heaviness classification of Definition 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.graph.counting import enumerate_four_cycles
+from repro.graph.graph import Edge, Graph, Vertex, canonical_edge
+
+
+@dataclass(frozen=True, order=True)
+class Wedge:
+    """A wedge ``u - center - v`` with canonically ordered endpoints."""
+
+    center: Vertex
+    u: Vertex
+    v: Vertex
+
+    @staticmethod
+    def make(center: Vertex, a: Vertex, b: Vertex) -> "Wedge":
+        """Build a wedge, normalising endpoint order."""
+        if a == b or a == center or b == center:
+            raise ValueError("wedge requires three distinct vertices")
+        u, v = (a, b) if a <= b else (b, a)
+        return Wedge(center=center, u=u, v=v)
+
+    @property
+    def endpoints(self) -> Tuple[Vertex, Vertex]:
+        """The two non-center vertices (canonically ordered)."""
+        return (self.u, self.v)
+
+    @property
+    def edges(self) -> Tuple[Edge, Edge]:
+        """The two edges of the wedge, in canonical orientation."""
+        return (canonical_edge(self.u, self.center), canonical_edge(self.v, self.center))
+
+
+def iter_wedges(graph: Graph) -> Iterator[Wedge]:
+    """Yield every wedge of ``graph`` exactly once."""
+    for center in graph.vertices():
+        nbrs = sorted(graph.neighbors(center))
+        for i, u in enumerate(nbrs):
+            for v in nbrs[i + 1 :]:
+                yield Wedge(center=center, u=u, v=v)
+
+
+def wedge_exists(graph: Graph, wedge: Wedge) -> bool:
+    """Return whether both edges of ``wedge`` are present in ``graph``."""
+    return graph.has_edge(wedge.u, wedge.center) and graph.has_edge(wedge.v, wedge.center)
+
+
+def four_cycles_through_wedge(graph: Graph, wedge: Wedge) -> int:
+    """Return ``T_w`` — the number of 4-cycles containing ``wedge``.
+
+    A 4-cycle through ``u - center - v`` closes with any common neighbour of
+    ``u`` and ``v`` other than the center, so ``T_w = codeg(u, v) - 1``
+    whenever the wedge exists (the center itself is always a common
+    neighbour).
+    """
+    if not wedge_exists(graph, wedge):
+        raise ValueError(f"{wedge} is not a wedge of the graph")
+    return graph.codegree(wedge.u, wedge.v) - 1
+
+
+def wedges_of_four_cycle(cycle: Tuple[Vertex, Vertex, Vertex, Vertex]) -> Tuple[Wedge, ...]:
+    """Return the four wedges of a 4-cycle given in cyclic order."""
+    a, b, c, d = cycle
+    return (
+        Wedge.make(b, a, c),
+        Wedge.make(c, b, d),
+        Wedge.make(d, c, a),
+        Wedge.make(a, d, b),
+    )
+
+
+def four_cycles_per_wedge(graph: Graph) -> Dict[Wedge, int]:
+    """Return ``T_w`` for every wedge of the graph (including zeros).
+
+    Convenience for the heaviness analysis; prefer
+    :func:`four_cycles_through_wedge` for single queries.
+    """
+    loads = {wedge: 0 for wedge in iter_wedges(graph)}
+    for cycle in enumerate_four_cycles(graph):
+        for wedge in wedges_of_four_cycle(cycle):
+            loads[wedge] += 1
+    return loads
+
+
+def count_wedges_on_edges(graph: Graph, edges) -> int:
+    """Count wedges whose two edges both lie in the given edge collection.
+
+    Used to size the wedge set ``Q`` formed from the first-pass edge sample.
+    """
+    edge_set = {canonical_edge(u, v) for u, v in edges}
+    by_vertex: Dict[Vertex, int] = {}
+    for u, v in edge_set:
+        by_vertex[u] = by_vertex.get(u, 0) + 1
+        by_vertex[v] = by_vertex.get(v, 0) + 1
+    return sum(d * (d - 1) // 2 for d in by_vertex.values())

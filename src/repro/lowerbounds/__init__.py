@@ -1,0 +1,35 @@
+"""Lower-bound machinery: communication problems, reductions, protocols."""
+
+from repro.lowerbounds.problems import (
+    DisjInstance,
+    IndexInstance,
+    ThreeDisjInstance,
+    ThreePJInstance,
+    random_disj_instance,
+    random_index_instance,
+    random_three_disj_instance,
+    random_three_pj_instance,
+)
+from repro.lowerbounds.protocol import (
+    Gadget,
+    Message,
+    ProtocolResult,
+    partition_is_valid,
+    run_protocol,
+)
+
+__all__ = [
+    "IndexInstance",
+    "DisjInstance",
+    "ThreePJInstance",
+    "ThreeDisjInstance",
+    "random_index_instance",
+    "random_disj_instance",
+    "random_three_pj_instance",
+    "random_three_disj_instance",
+    "Gadget",
+    "Message",
+    "ProtocolResult",
+    "run_protocol",
+    "partition_is_valid",
+]

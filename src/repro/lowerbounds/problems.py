@@ -1,0 +1,228 @@
+"""Communication complexity problems used in the paper's reductions.
+
+Section 5 reduces cycle counting to four problems; each is modelled as an
+immutable instance carrying every player's input plus the ground-truth
+answer, together with seeded generators for hard instances:
+
+* :class:`IndexInstance` (INDEX_r) — one-way, Ω(r).
+* :class:`DisjInstance` (DISJ_r) — multi-round, Ω(r); hard instances have
+  at most one intersecting coordinate.
+* :class:`ThreePJInstance` (3-PJ_r) — three-player number-on-forehead
+  pointer jumping; best known lower bound Ω(√r), conjectured Ω̃(r).
+* :class:`ThreeDisjInstance` (3-DISJ_r) — three-player NOF disjointness;
+  same state of the art.
+
+The "answer" convention follows the paper: 1 when the embedded graph will
+contain T cycles, 0 when it will be cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.util.rng import SeedLike, resolve_rng
+
+
+@dataclass(frozen=True)
+class IndexInstance:
+    """INDEX: Alice holds ``bits``; Bob holds ``index`` and wants ``bits[index]``."""
+
+    bits: Tuple[int, ...]
+    index: int
+
+    def __post_init__(self):
+        if not all(b in (0, 1) for b in self.bits):
+            raise ValueError("bits must be 0/1")
+        if not 0 <= self.index < len(self.bits):
+            raise ValueError("index out of range")
+
+    @property
+    def r(self) -> int:
+        """Input size."""
+        return len(self.bits)
+
+    @property
+    def answer(self) -> int:
+        """The bit Bob must output."""
+        return self.bits[self.index]
+
+
+def random_index_instance(r: int, answer: int, seed: SeedLike = None) -> IndexInstance:
+    """Uniform INDEX instance with the queried bit forced to ``answer``."""
+    if r < 1:
+        raise ValueError("r must be positive")
+    rng = resolve_rng(seed)
+    bits = [rng.randrange(2) for _ in range(r)]
+    index = rng.randrange(r)
+    bits[index] = answer
+    return IndexInstance(bits=tuple(bits), index=index)
+
+
+@dataclass(frozen=True)
+class DisjInstance:
+    """DISJ: do Alice's ``s1`` and Bob's ``s2`` intersect?"""
+
+    s1: Tuple[int, ...]
+    s2: Tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.s1) != len(self.s2):
+            raise ValueError("strings must have equal length")
+        if not all(b in (0, 1) for b in self.s1 + self.s2):
+            raise ValueError("bits must be 0/1")
+
+    @property
+    def r(self) -> int:
+        """Input size."""
+        return len(self.s1)
+
+    @property
+    def answer(self) -> int:
+        """1 iff some coordinate is 1 in both strings."""
+        return int(any(a and b for a, b in zip(self.s1, self.s2)))
+
+    def intersection(self) -> Tuple[int, ...]:
+        """Indices where both strings are 1."""
+        return tuple(i for i, (a, b) in enumerate(zip(self.s1, self.s2)) if a and b)
+
+
+def random_disj_instance(
+    r: int, intersecting: bool, density: float = 0.3, seed: SeedLike = None
+) -> DisjInstance:
+    """Hard DISJ instance: at most one intersecting coordinate.
+
+    Non-intersecting coordinates receive at most one 1 (placed on a random
+    side with probability ``density`` per side's marginal); when
+    ``intersecting``, exactly one random coordinate is set to 1 on both.
+    """
+    if r < 1:
+        raise ValueError("r must be positive")
+    rng = resolve_rng(seed)
+    s1 = [0] * r
+    s2 = [0] * r
+    for i in range(r):
+        roll = rng.random()
+        if roll < density:
+            s1[i] = 1
+        elif roll < 2 * density:
+            s2[i] = 1
+    if intersecting:
+        x = rng.randrange(r)
+        s1[x] = 1
+        s2[x] = 1
+    else:
+        # Re-separate any accidental overlap (cannot occur by construction,
+        # but keep the invariant explicit).
+        for i in range(r):
+            if s1[i] and s2[i]:
+                s2[i] = 0
+    return DisjInstance(s1=tuple(s1), s2=tuple(s2))
+
+
+@dataclass(frozen=True)
+class ThreePJInstance:
+    """3-PJ: four vertex layers; players see all edge layers but their own.
+
+    ``start`` is the pointer from the root into layer 2 (edge set E1, known
+    to Bob and Charlie), ``middle[i]`` the pointer from the i-th layer-2
+    vertex into layer 3 (E2, known to Alice and Charlie), ``last[i]`` the
+    0/1 pointer from the i-th layer-3 vertex (E3, known to Alice and Bob).
+    """
+
+    start: int
+    middle: Tuple[int, ...]
+    last: Tuple[int, ...]
+
+    def __post_init__(self):
+        r = len(self.middle)
+        if len(self.last) != r:
+            raise ValueError("middle and last must have equal length")
+        if not 0 <= self.start < r:
+            raise ValueError("start pointer out of range")
+        if not all(0 <= j < r for j in self.middle):
+            raise ValueError("middle pointer out of range")
+        if not all(b in (0, 1) for b in self.last):
+            raise ValueError("last layer must be 0/1")
+
+    @property
+    def r(self) -> int:
+        """Width of the middle layers."""
+        return len(self.middle)
+
+    @property
+    def answer(self) -> int:
+        """Follow the pointers: ``last[middle[start]]``."""
+        return self.last[self.middle[self.start]]
+
+
+def random_three_pj_instance(r: int, answer: int, seed: SeedLike = None) -> ThreePJInstance:
+    """Uniform 3-PJ instance with the jump target forced to ``answer``."""
+    if r < 1:
+        raise ValueError("r must be positive")
+    rng = resolve_rng(seed)
+    start = rng.randrange(r)
+    middle = tuple(rng.randrange(r) for _ in range(r))
+    last = [rng.randrange(2) for _ in range(r)]
+    last[middle[start]] = answer
+    return ThreePJInstance(start=start, middle=middle, last=tuple(last))
+
+
+@dataclass(frozen=True)
+class ThreeDisjInstance:
+    """3-DISJ: do ``s1``, ``s2``, ``s3`` share a common 1-coordinate?
+
+    NOF layout: Alice sees (s1, s2), Bob (s2, s3), Charlie (s3, s1).
+    """
+
+    s1: Tuple[int, ...]
+    s2: Tuple[int, ...]
+    s3: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not len(self.s1) == len(self.s2) == len(self.s3):
+            raise ValueError("strings must have equal length")
+        for s in (self.s1, self.s2, self.s3):
+            if not all(b in (0, 1) for b in s):
+                raise ValueError("bits must be 0/1")
+
+    @property
+    def r(self) -> int:
+        """Input size."""
+        return len(self.s1)
+
+    @property
+    def answer(self) -> int:
+        """1 iff some coordinate is 1 in all three strings."""
+        return int(any(a and b and c for a, b, c in zip(self.s1, self.s2, self.s3)))
+
+    def intersection(self) -> Tuple[int, ...]:
+        """Indices where all three strings are 1."""
+        return tuple(
+            i
+            for i, (a, b, c) in enumerate(zip(self.s1, self.s2, self.s3))
+            if a and b and c
+        )
+
+
+def random_three_disj_instance(
+    r: int, intersecting: bool, density: float = 0.25, seed: SeedLike = None
+) -> ThreeDisjInstance:
+    """Hard 3-DISJ instance: at most one coordinate common to all three."""
+    if r < 1:
+        raise ValueError("r must be positive")
+    rng = resolve_rng(seed)
+    strings = [[0] * r, [0] * r, [0] * r]
+    for i in range(r):
+        # Allow any pattern except all-three-ones.
+        pattern = rng.randrange(7)  # 0..6; 7 would be (1,1,1)
+        if rng.random() < density * 3:
+            for side in range(3):
+                strings[side][i] = (pattern >> side) & 1
+    if intersecting:
+        x = rng.randrange(r)
+        for side in range(3):
+            strings[side][x] = 1
+    return ThreeDisjInstance(
+        s1=tuple(strings[0]), s2=tuple(strings[1]), s3=tuple(strings[2])
+    )

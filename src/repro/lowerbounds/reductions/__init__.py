@@ -1,0 +1,17 @@
+"""The five lower-bound gadget constructions of Figure 1 (a-e)."""
+
+from repro.lowerbounds.reductions import (
+    fourcycle_multipass,
+    fourcycle_one_pass,
+    longcycle_multipass,
+    triangle_multipass,
+    triangle_one_pass,
+)
+
+__all__ = [
+    "triangle_one_pass",
+    "triangle_multipass",
+    "fourcycle_one_pass",
+    "fourcycle_multipass",
+    "longcycle_multipass",
+]

@@ -1,0 +1,101 @@
+"""Theorem 5.4 / Figure 1d: DISJ ↪ multipass 4-cycle counting — Ω(m/T^{2/3}).
+
+Two 4-cycle-free host graphs are used: ``H1`` (sides of size r) indexes
+the DISJ coordinates by its edges, and ``H2`` (sides of size k) provides
+the fixed "wiring" between each Alice block and its Bob block.  For every
+H1-edge ``(i, j)``:
+
+* Alice inserts a size-k matching ``A_i — B_j`` iff her bit is 1;
+* Bob inserts a size-k matching ``C_i — D_j`` iff his bit is 1;
+
+while fixed copies of H2 join ``A_i — C_i`` and ``B_j — D_j`` for all
+blocks.  A coordinate where both bits are 1 closes ``|E(H2)| = Θ(k^{3/2})``
+4-cycles ``(A_i,s) – (B_j,s) – (D_j,t) – (C_i,t)`` (one per H2 edge
+``(s, t)``), and the 4-cycle-freeness of H1 and H2 guarantees no other
+4-cycle can form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.graph import Graph, Vertex
+from repro.graph.projective_plane import four_cycle_free_bipartite
+from repro.lowerbounds.problems import DisjInstance, random_disj_instance
+from repro.lowerbounds.protocol import Gadget
+from repro.util.rng import SeedLike, resolve_rng
+
+from repro.lowerbounds.reductions.fourcycle_one_pass import (
+    host_graph_edges,
+    instance_size_for,
+)
+
+
+def _wiring_graph(min_side: int) -> Tuple[List[Tuple[int, int]], int]:
+    """H2 as (s, t) index pairs plus its side size."""
+    graph, points, lines = four_cycle_free_bipartite(min_side)
+    edges = host_graph_edges(min_side)
+    return edges, len(points)
+
+
+def build_gadget(instance: DisjInstance, min_side_r: int, min_side_k: int) -> Gadget:
+    """Encode a DISJ instance (sized to H1) as a 4-cycle gadget.
+
+    ``min_side_r`` sizes H1 (and thus the instance: one bit per H1 edge);
+    ``min_side_k`` sizes H2, giving ``T = |E(H2)| = Θ(k^{3/2})``.
+    """
+    h1_edges = host_graph_edges(min_side_r)
+    if instance.r != len(h1_edges):
+        raise ValueError(
+            f"instance size {instance.r} != H1 edge count {len(h1_edges)}; "
+            "use instance_size_for() or random_gadget()"
+        )
+    h2_edges, k = _wiring_graph(min_side_k)
+    rows = 1 + max(i for i, _ in h1_edges)
+    cols = 1 + max(j for _, j in h1_edges)
+
+    graph = Graph()
+    a_vertices: List[Vertex] = [("A", i, t) for i in range(rows) for t in range(k)]
+    b_vertices: List[Vertex] = [("B", j, t) for j in range(cols) for t in range(k)]
+    c_vertices: List[Vertex] = [("C", i, t) for i in range(rows) for t in range(k)]
+    d_vertices: List[Vertex] = [("D", j, t) for j in range(cols) for t in range(k)]
+    for v in a_vertices + b_vertices + c_vertices + d_vertices:
+        graph.add_vertex(v)
+
+    # Fixed H2 wiring: A_i — C_i and B_j — D_j.
+    for i in range(rows):
+        for s, t in h2_edges:
+            graph.add_edge(("A", i, s), ("C", i, t))
+    for j in range(cols):
+        for s, t in h2_edges:
+            graph.add_edge(("B", j, s), ("D", j, t))
+    # Input-dependent matchings along H1 edges.
+    for bit_a, bit_b, (i, j) in zip(instance.s1, instance.s2, h1_edges):
+        if bit_a:
+            for t in range(k):
+                graph.add_edge(("A", i, t), ("B", j, t))
+        if bit_b:
+            for t in range(k):
+                graph.add_edge(("C", i, t), ("D", j, t))
+
+    return Gadget(
+        graph=graph,
+        cycle_length=4,
+        promised_cycles=len(h2_edges),
+        answer=instance.answer,
+        player_lists=(
+            ("alice", tuple(a_vertices + b_vertices)),
+            ("bob", tuple(c_vertices + d_vertices)),
+        ),
+    )
+
+
+def random_gadget(
+    min_side_r: int, min_side_k: int, intersecting: bool, seed: SeedLike = None
+) -> Tuple[Gadget, DisjInstance]:
+    """Draw a correctly sized hard DISJ instance and build its gadget."""
+    rng = resolve_rng(seed)
+    instance = random_disj_instance(
+        instance_size_for(min_side_r), intersecting, seed=rng
+    )
+    return build_gadget(instance, min_side_r, min_side_k), instance

@@ -1,0 +1,110 @@
+"""Theorem 5.3 / Figure 1c: INDEX ↪ one-pass 4-cycle counting — Ω(m).
+
+Alice's ``Θ(r^{3/2})`` bits are identified with the edges of a 4-cycle-free
+bipartite graph ``H`` (a projective plane incidence graph, Section 5.2);
+she keeps exactly the H-edges whose bit is 1 between her vertex rows ``A``
+and ``B``.  Bob's index picks one H-edge ``(i*, j*)``; he inserts a size-k
+matching between blocks ``C_{i*}`` and ``D_{j*}``.  Fixed stars join each
+``a_i`` to its block ``C_i`` and each ``b_j`` to ``D_j``.  The graph then
+contains exactly ``k`` 4-cycles (``a_{i*} – b_{j*} – d_t – c_t``) when the
+queried bit is 1 and none otherwise, so any one-pass distinguisher hands
+Alice→Bob a message solving INDEX — forcing Ω(|E(H)|) = Ω(m) space.
+
+Because the instance size is tied to ``H``, the convenience constructor
+:func:`random_gadget` draws the INDEX instance of the right size itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.graph import Graph, Vertex
+from repro.graph.projective_plane import four_cycle_free_bipartite
+from repro.lowerbounds.problems import IndexInstance, random_index_instance
+from repro.lowerbounds.protocol import Gadget
+from repro.util.rng import SeedLike, resolve_rng
+
+
+def host_graph_edges(min_side: int) -> List[Tuple[int, int]]:
+    """Edges of the 4-cycle-free host graph ``H`` as (row, column) indices.
+
+    Deterministic order: callers use positions in this list as INDEX bit
+    positions.
+    """
+    graph, points, lines = four_cycle_free_bipartite(min_side)
+    point_index = {v: i for i, v in enumerate(points)}
+    line_index = {v: j for j, v in enumerate(lines)}
+    edges = []
+    for u, v in graph.edges():
+        if u in point_index:
+            edges.append((point_index[u], line_index[v]))
+        else:
+            edges.append((point_index[v], line_index[u]))
+    edges.sort()
+    return edges
+
+
+def instance_size_for(min_side: int) -> int:
+    """The INDEX instance size induced by the host graph for ``min_side``."""
+    return len(host_graph_edges(min_side))
+
+
+def build_gadget(instance: IndexInstance, min_side: int, k: int) -> Gadget:
+    """Encode an INDEX instance (sized to the host graph) as a gadget.
+
+    ``k`` is the promised 4-cycle count ``T``.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    h_edges = host_graph_edges(min_side)
+    if instance.r != len(h_edges):
+        raise ValueError(
+            f"instance size {instance.r} != host graph edge count {len(h_edges)}; "
+            "use instance_size_for() or random_gadget()"
+        )
+    rows = 1 + max(i for i, _ in h_edges)
+    cols = 1 + max(j for _, j in h_edges)
+
+    graph = Graph()
+    a_vertices: List[Vertex] = [("a", i) for i in range(rows)]
+    b_vertices: List[Vertex] = [("b", j) for j in range(cols)]
+    c_vertices: List[Vertex] = [("c", i, t) for i in range(rows) for t in range(k)]
+    d_vertices: List[Vertex] = [("d", j, t) for j in range(cols) for t in range(k)]
+    for v in a_vertices + b_vertices + c_vertices + d_vertices:
+        graph.add_vertex(v)
+
+    # Alice: the masked copy of H between A and B.
+    for bit, (i, j) in zip(instance.bits, h_edges):
+        if bit:
+            graph.add_edge(("a", i), ("b", j))
+    # Fixed stars: a_i — C_i and b_j — D_j.
+    for i in range(rows):
+        for t in range(k):
+            graph.add_edge(("a", i), ("c", i, t))
+    for j in range(cols):
+        for t in range(k):
+            graph.add_edge(("b", j), ("d", j, t))
+    # Bob: the matching selecting his H-edge.
+    i_star, j_star = h_edges[instance.index]
+    for t in range(k):
+        graph.add_edge(("c", i_star, t), ("d", j_star, t))
+
+    return Gadget(
+        graph=graph,
+        cycle_length=4,
+        promised_cycles=k,
+        answer=instance.answer,
+        player_lists=(
+            ("alice", tuple(a_vertices + b_vertices)),
+            ("bob", tuple(c_vertices + d_vertices)),
+        ),
+    )
+
+
+def random_gadget(
+    min_side: int, k: int, answer: int, seed: SeedLike = None
+) -> Tuple[Gadget, IndexInstance]:
+    """Draw a correctly sized random INDEX instance and build its gadget."""
+    rng = resolve_rng(seed)
+    instance = random_index_instance(instance_size_for(min_side), answer, seed=rng)
+    return build_gadget(instance, min_side, k), instance

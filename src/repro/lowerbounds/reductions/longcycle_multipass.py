@@ -1,0 +1,77 @@
+"""Theorem 5.5 / Figure 1e: DISJ ↪ ℓ-cycle counting, ℓ ≥ 5 — Ω(m).
+
+The killer for long cycles: a coordinate ``x`` where both DISJ strings are
+1 closes, for every hub vertex ``c_i``, the ℓ-cycle
+
+    ``a_x – a_{r+1} – c_i – d_{ℓ-4} – … – d_1 – b_x – a_x``
+
+(for ℓ = 5 the d-path is the single vertex ``d_1``).  Disjoint instances
+are ℓ-cycle-free because any candidate cycle routes through both an
+``a_x – a_{r+1}`` edge (``s1_x = 1``) and a ``b_x – d_1`` edge
+(``s2_x = 1``) at the same coordinate.  The graph has ``O(r + T)`` edges,
+so a constant-pass distinguisher would solve DISJ_r with o(r)
+communication — impossible.  This holds for *every* constant ℓ ≥ 5,
+proving long-cycle counting admits no sublinear streaming algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.graph import Graph, Vertex
+from repro.lowerbounds.problems import DisjInstance, random_disj_instance
+from repro.lowerbounds.protocol import Gadget
+from repro.util.rng import SeedLike, resolve_rng
+
+
+def build_gadget(instance: DisjInstance, cycles: int, length: int) -> Gadget:
+    """Encode a DISJ instance as an ℓ-cycle gadget with promise ``T = cycles``."""
+    if length < 5:
+        raise ValueError("this reduction needs cycle length >= 5")
+    if cycles < 1:
+        raise ValueError("cycles must be positive")
+    r = instance.r
+    d_count = length - 4
+
+    graph = Graph()
+    a_vertices: List[Vertex] = [("a", i) for i in range(r + 1)]
+    b_vertices: List[Vertex] = [("b", i) for i in range(r)]
+    c_vertices: List[Vertex] = [("c", i) for i in range(cycles)]
+    d_vertices: List[Vertex] = [("d", i) for i in range(d_count)]
+    for v in a_vertices + b_vertices + c_vertices + d_vertices:
+        graph.add_vertex(v)
+
+    hub = ("a", r)  # a_{r+1} in the paper's 1-based indexing
+    tail = ("d", d_count - 1)  # d_{ℓ-4}
+    for i in range(r):
+        graph.add_edge(("a", i), ("b", i))
+    for i in range(cycles):
+        graph.add_edge(hub, ("c", i))
+        graph.add_edge(tail, ("c", i))
+    for i in range(d_count - 1):
+        graph.add_edge(("d", i), ("d", i + 1))
+    for i in range(r):
+        if instance.s1[i]:
+            graph.add_edge(("a", i), hub)
+        if instance.s2[i]:
+            graph.add_edge(("b", i), ("d", 0))
+
+    return Gadget(
+        graph=graph,
+        cycle_length=length,
+        promised_cycles=cycles,
+        answer=instance.answer,
+        player_lists=(
+            ("alice", tuple(a_vertices)),
+            ("bob", tuple(b_vertices + c_vertices + d_vertices)),
+        ),
+    )
+
+
+def random_gadget(
+    r: int, cycles: int, length: int, intersecting: bool, seed: SeedLike = None
+) -> Tuple[Gadget, DisjInstance]:
+    """Draw a hard DISJ instance of size ``r`` and build its ℓ-cycle gadget."""
+    rng = resolve_rng(seed)
+    instance = random_disj_instance(r, intersecting, seed=rng)
+    return build_gadget(instance, cycles, length), instance

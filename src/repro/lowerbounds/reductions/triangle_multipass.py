@@ -1,0 +1,70 @@
+"""Theorem 5.2 / Figure 1b: 3-DISJ ↪ multipass triangle counting.
+
+Blocks ``A_i, B_i, C_i`` of ``k`` vertices each are completely joined in a
+pair ``(A_i, C_i)`` iff ``s1_i = 1``, ``(A_i, B_i)`` iff ``s2_i = 1``, and
+``(B_i, C_i)`` iff ``s3_i = 1`` — so index ``i`` contributes ``k³``
+triangles exactly when all three strings have a 1 there, and the NOF
+layout makes every player's lists a function of the two strings it sees.
+With ``k = Θ(T^{1/3})`` and ``r = m/T^{2/3}`` this gives the conditional
+Ω(f_d(m/T^{2/3})) multipass bound matching Theorem 3.7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.graph import Graph, Vertex
+from repro.lowerbounds.problems import ThreeDisjInstance
+from repro.lowerbounds.protocol import Gadget
+
+
+def build_gadget(instance: ThreeDisjInstance, k: int) -> Gadget:
+    """Encode a 3-DISJ instance as a triangle-counting gadget.
+
+    ``k`` controls the promised count ``T = k³`` per intersecting index.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    r = instance.r
+    graph = Graph()
+    a_vertices: List[Vertex] = [("a", i, t) for i in range(r) for t in range(k)]
+    b_vertices: List[Vertex] = [("b", i, t) for i in range(r) for t in range(k)]
+    c_vertices: List[Vertex] = [("c", i, t) for i in range(r) for t in range(k)]
+    for v in a_vertices + b_vertices + c_vertices:
+        graph.add_vertex(v)
+
+    for i in range(r):
+        if instance.s1[i]:
+            _join_blocks(graph, ("a", i), ("c", i), k)
+        if instance.s2[i]:
+            _join_blocks(graph, ("a", i), ("b", i), k)
+        if instance.s3[i]:
+            _join_blocks(graph, ("b", i), ("c", i), k)
+
+    return Gadget(
+        graph=graph,
+        cycle_length=3,
+        promised_cycles=k**3,
+        answer=instance.answer,
+        player_lists=(
+            ("alice", tuple(a_vertices)),
+            ("bob", tuple(b_vertices)),
+            ("charlie", tuple(c_vertices)),
+        ),
+    )
+
+
+def _join_blocks(graph: Graph, left: Tuple, right: Tuple, k: int) -> None:
+    """Add the complete bipartite join between two k-vertex blocks."""
+    for s in range(k):
+        for t in range(k):
+            graph.add_edge(left + (s,), right + (t,))
+
+
+def gadget_dimensions(m_target: int, t_target: int) -> Tuple[int, int]:
+    """Pick ``(r, k)`` per the theorem: ``k = Θ(T^{1/3})``, ``r = m/T^{2/3}``."""
+    if m_target < 1 or t_target < 1:
+        raise ValueError("targets must be positive")
+    k = max(1, round(t_target ** (1.0 / 3.0)))
+    r = max(1, round(m_target / max(k * k, 1)))
+    return r, k

@@ -1,0 +1,82 @@
+"""Theorem 5.1 / Figure 1a: 3-PJ ↪ one-pass triangle counting.
+
+The gadget encodes a three-player NOF pointer-jumping instance into a
+graph with ``Θ(rk + k²)`` edges that contains ``k²`` triangles when the
+pointer chase ends at 1 and is triangle-free otherwise.  With
+``k = Θ(√T)`` and ``r = Θ(m/√T)``, a one-pass streaming algorithm
+distinguishing 0 from T triangles yields a one-way 3-PJ protocol with
+message size equal to its space — hence the conditional Ω(f_pj(m/√T))
+lower bound.
+
+Vertex layout (players own the vertices whose lists they can produce):
+
+* Alice: ``A = {a_j}`` (r vertices).  Her lists use E2 (which C-block
+  points at each a_j) and E3 (whether a_j connects to all of B) — both
+  visible to Alice in the NOF layout.
+* Bob: ``B`` (k vertices).  His lists use E1 (which C-block B is joined
+  to) and E3.
+* Charlie: ``C_1 … C_r`` (k vertices each).  His lists use E1 and E2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.graph import Graph, Vertex
+from repro.lowerbounds.problems import ThreePJInstance
+from repro.lowerbounds.protocol import Gadget
+
+
+def build_gadget(instance: ThreePJInstance, k: int) -> Gadget:
+    """Encode a 3-PJ instance as a triangle-counting gadget.
+
+    ``k`` controls the promised triangle count ``T = k²``.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    r = instance.r
+    graph = Graph()
+    a_vertices: List[Vertex] = [("a", j) for j in range(r)]
+    b_vertices: List[Vertex] = [("b", t) for t in range(k)]
+    c_vertices: List[Vertex] = [("c", i, t) for i in range(r) for t in range(k)]
+    for v in a_vertices + b_vertices + c_vertices:
+        graph.add_vertex(v)
+
+    # E1: the root's pointer joins B to C_{start}, completely.
+    for t in range(k):
+        for s in range(k):
+            graph.add_edge(("b", t), ("c", instance.start, s))
+    # E2: each C_i block points at a_{middle[i]}.
+    for i in range(r):
+        target = ("a", instance.middle[i])
+        for t in range(k):
+            graph.add_edge(("c", i, t), target)
+    # E3: layer-3 vertices pointing at v41 join their a_j to all of B.
+    for j in range(r):
+        if instance.last[j] == 1:
+            for t in range(k):
+                graph.add_edge(("a", j), ("b", t))
+
+    return Gadget(
+        graph=graph,
+        cycle_length=3,
+        promised_cycles=k * k,
+        answer=instance.answer,
+        player_lists=(
+            ("alice", tuple(a_vertices)),
+            ("bob", tuple(b_vertices)),
+            ("charlie", tuple(c_vertices)),
+        ),
+    )
+
+
+def gadget_dimensions(m_target: int, t_target: int) -> Tuple[int, int]:
+    """Pick ``(r, k)`` hitting roughly ``m_target`` edges and ``T = t_target``.
+
+    Follows the theorem's setting ``k = Θ(√T)``, ``r = Θ(m/√T)``.
+    """
+    if m_target < 1 or t_target < 1:
+        raise ValueError("targets must be positive")
+    k = max(1, round(t_target**0.5))
+    r = max(1, round(m_target / k))
+    return r, k

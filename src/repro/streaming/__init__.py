@@ -1,0 +1,37 @@
+"""Streaming substrate: streams, orderings, algorithm interface, runner."""
+
+from repro.streaming.algorithm import FixedValueAlgorithm, StreamingAlgorithm
+from repro.streaming.orderings import (
+    ORDERING_FACTORIES,
+    bfs_stream,
+    degree_stream,
+    random_stream,
+    sorted_stream,
+    vertices_first_stream,
+    vertices_last_stream,
+)
+from repro.streaming.runner import RunResult, run_algorithm
+from repro.streaming.space import SpaceMeter
+from repro.streaming.stream import (
+    AdjacencyListStream,
+    StreamFormatError,
+    validate_pair_sequence,
+)
+
+__all__ = [
+    "StreamingAlgorithm",
+    "FixedValueAlgorithm",
+    "AdjacencyListStream",
+    "StreamFormatError",
+    "validate_pair_sequence",
+    "SpaceMeter",
+    "RunResult",
+    "run_algorithm",
+    "ORDERING_FACTORIES",
+    "random_stream",
+    "sorted_stream",
+    "degree_stream",
+    "bfs_stream",
+    "vertices_first_stream",
+    "vertices_last_stream",
+]

@@ -1,0 +1,75 @@
+"""The streaming algorithm interface.
+
+Every estimator in this library is a :class:`StreamingAlgorithm`: an object
+that consumes one or more passes over an adjacency-list stream through
+per-list callbacks and finally produces an estimate.  The interface exposes
+list boundaries explicitly because the adjacency-list model's power comes
+precisely from seeing each vertex's full neighbourhood contiguously.
+
+Algorithms must also report their live state size in machine words via
+:meth:`space_words`; the runner and the communication-protocol simulator
+both consume this to validate the paper's space bounds.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.graph.graph import Vertex
+
+
+class StreamingAlgorithm(abc.ABC):
+    """Base class for multi-pass adjacency-list streaming algorithms."""
+
+    #: Number of passes the algorithm requires over the stream.
+    n_passes: int = 1
+
+    #: Whether every pass must replay the first pass's exact ordering
+    #: (required by the two-pass triangle algorithm, Section 3.2).
+    requires_same_order: bool = False
+
+    def begin_pass(self, pass_index: int) -> None:
+        """Called before pass ``pass_index`` (0-based) starts."""
+
+    def begin_list(self, vertex: Vertex) -> None:
+        """Called when the adjacency list of ``vertex`` starts."""
+
+    def process(self, source: Vertex, neighbor: Vertex) -> None:
+        """Called for each pair ``(source, neighbor)`` of the stream."""
+
+    def end_list(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
+        """Called when ``vertex``'s list ends, with the full list.
+
+        Most algorithms do their per-list work here: in the adjacency-list
+        model the whole neighbourhood is available before the next list
+        starts without any extra memory (the pairs just streamed by).
+        Implementations must not retain ``neighbors`` beyond the call
+        unless they account for it in :meth:`space_words`.
+        """
+
+    def end_pass(self, pass_index: int) -> None:
+        """Called after pass ``pass_index`` completes."""
+
+    @abc.abstractmethod
+    def result(self) -> float:
+        """Return the final estimate (valid after the last pass)."""
+
+    @abc.abstractmethod
+    def space_words(self) -> int:
+        """Return the current live state size in machine words."""
+
+
+class FixedValueAlgorithm(StreamingAlgorithm):
+    """Trivial algorithm returning a constant; useful in tests."""
+
+    n_passes = 1
+
+    def __init__(self, value: float):
+        self._value = value
+
+    def result(self) -> float:
+        return self._value
+
+    def space_words(self) -> int:
+        return 1

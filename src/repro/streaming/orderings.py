@@ -1,0 +1,102 @@
+"""Adjacency-list ordering strategies.
+
+The paper's guarantees hold for *every* adjacency-list ordering, so the
+experiments exercise several: uniformly random, degree-sorted (both ways),
+BFS discovery order, and targeted adversarial orders that place planted
+structure first or last in the stream (stress-testing the detectability
+argument of Section 3.3.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence
+
+from repro.graph.graph import Graph, Vertex
+from repro.streaming.stream import AdjacencyListStream
+from repro.util.rng import SeedLike, resolve_rng
+
+
+def random_stream(graph: Graph, seed: SeedLike = None) -> AdjacencyListStream:
+    """Stream with uniformly random list and within-list orders."""
+    return AdjacencyListStream(graph, seed=seed)
+
+
+def sorted_stream(graph: Graph, seed: SeedLike = None) -> AdjacencyListStream:
+    """Deterministic stream: lists and neighbours in sorted label order.
+
+    ``seed`` is accepted (and ignored) so all ordering factories share one
+    signature.
+    """
+    order = sorted(graph.vertices())
+    nbr_orders = {v: sorted(graph.neighbors(v)) for v in order}
+    return AdjacencyListStream(graph, list_order=order, neighbor_orders=nbr_orders)
+
+
+def degree_stream(
+    graph: Graph, ascending: bool = True, seed: SeedLike = None
+) -> AdjacencyListStream:
+    """Stream with lists ordered by degree (ties broken randomly)."""
+    rng = resolve_rng(seed)
+    order = list(graph.vertices())
+    rng.shuffle(order)
+    order.sort(key=graph.degree, reverse=not ascending)
+    return AdjacencyListStream(graph, list_order=order, seed=rng)
+
+
+def bfs_stream(graph: Graph, seed: SeedLike = None) -> AdjacencyListStream:
+    """Stream with lists in BFS discovery order from random roots.
+
+    Produces highly correlated list orders (neighbouring lists adjacent in
+    the stream) — the opposite extreme from a random permutation.
+    """
+    rng = resolve_rng(seed)
+    remaining = set(graph.vertices())
+    order: List[Vertex] = []
+    while remaining:
+        root = rng.choice(sorted(remaining))
+        queue = deque([root])
+        remaining.discard(root)
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            nbrs = sorted(u for u in graph.neighbors(v) if u in remaining)
+            rng.shuffle(nbrs)
+            for u in nbrs:
+                remaining.discard(u)
+                queue.append(u)
+    return AdjacencyListStream(graph, list_order=order, seed=rng)
+
+
+def vertices_first_stream(
+    graph: Graph, first: Sequence[Vertex], seed: SeedLike = None
+) -> AdjacencyListStream:
+    """Adversarial stream: the given vertices' lists come first."""
+    rng = resolve_rng(seed)
+    first = list(first)
+    first_set = set(first)
+    rest = [v for v in graph.vertices() if v not in first_set]
+    rng.shuffle(rest)
+    return AdjacencyListStream(graph, list_order=first + rest, seed=rng)
+
+
+def vertices_last_stream(
+    graph: Graph, last: Sequence[Vertex], seed: SeedLike = None
+) -> AdjacencyListStream:
+    """Adversarial stream: the given vertices' lists come last."""
+    rng = resolve_rng(seed)
+    last = list(last)
+    last_set = set(last)
+    rest = [v for v in graph.vertices() if v not in last_set]
+    rng.shuffle(rest)
+    return AdjacencyListStream(graph, list_order=rest + last, seed=rng)
+
+
+ORDERING_FACTORIES = {
+    "random": random_stream,
+    "sorted": sorted_stream,
+    "degree_asc": lambda g, seed=None: degree_stream(g, ascending=True, seed=seed),
+    "degree_desc": lambda g, seed=None: degree_stream(g, ascending=False, seed=seed),
+    "bfs": bfs_stream,
+}
+"""Named ordering strategies used by the experiment sweeps."""

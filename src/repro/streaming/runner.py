@@ -1,0 +1,52 @@
+"""Multi-pass execution of streaming algorithms over adjacency-list streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.streaming.algorithm import StreamingAlgorithm
+from repro.streaming.space import SpaceMeter
+from repro.streaming.stream import AdjacencyListStream
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of running a streaming algorithm: estimate plus space facts."""
+
+    estimate: float
+    peak_space_words: int
+    mean_space_words: float
+    passes: int
+    pairs_per_pass: int
+
+
+def run_algorithm(
+    algorithm: StreamingAlgorithm,
+    stream: AdjacencyListStream,
+    meter: Optional[SpaceMeter] = None,
+) -> RunResult:
+    """Run ``algorithm`` for its declared number of passes over ``stream``.
+
+    The same stream object is replayed for each pass, which satisfies the
+    same-ordering requirement automatically (``AdjacencyListStream`` is
+    deterministic).  Space is polled after every adjacency list.
+    """
+    meter = meter if meter is not None else SpaceMeter()
+    for pass_index in range(algorithm.n_passes):
+        algorithm.begin_pass(pass_index)
+        for vertex, neighbors in stream.iter_lists():
+            algorithm.begin_list(vertex)
+            for nbr in neighbors:
+                algorithm.process(vertex, nbr)
+            algorithm.end_list(vertex, neighbors)
+            meter.observe(algorithm.space_words())
+        algorithm.end_pass(pass_index)
+        meter.observe(algorithm.space_words())
+    return RunResult(
+        estimate=algorithm.result(),
+        peak_space_words=meter.peak_words,
+        mean_space_words=meter.mean_words,
+        passes=algorithm.n_passes,
+        pairs_per_pass=len(stream),
+    )

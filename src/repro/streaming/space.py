@@ -1,0 +1,44 @@
+"""Space accounting for streaming algorithms.
+
+The paper's bounds are stated in machine words (edges sampled, counters,
+flags), up to ``O(log n)``-bit word size.  :class:`SpaceMeter` tracks the
+peak word count an algorithm reports over a run; the multi-pass runner
+polls the algorithm after every adjacency list so peaks inside a pass are
+captured, not just end-of-pass state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class SpaceMeter:
+    """Tracks current and peak space usage, in machine words."""
+
+    current_words: int = 0
+    peak_words: int = 0
+    _samples: List[int] = field(default_factory=list, repr=False)
+
+    def observe(self, words: int) -> None:
+        """Record an instantaneous space reading."""
+        if words < 0:
+            raise ValueError("space cannot be negative")
+        self.current_words = words
+        if words > self.peak_words:
+            self.peak_words = words
+        self._samples.append(words)
+
+    @property
+    def mean_words(self) -> float:
+        """Mean over all recorded readings (0 when never observed)."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def reset(self) -> None:
+        """Forget all readings."""
+        self.current_words = 0
+        self.peak_words = 0
+        self._samples.clear()

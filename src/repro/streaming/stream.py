@@ -1,0 +1,172 @@
+"""Adjacency-list streams: the paper's input model.
+
+A stream is a sequence of ordered pairs ``(x, y)``; for every edge
+``{x, y}`` both ``xy`` and ``yx`` appear, and all pairs with the same first
+vertex — that vertex's adjacency list — appear consecutively.  The order of
+the lists and the order within each list are arbitrary (adversarial).
+
+:class:`AdjacencyListStream` wraps a graph plus a concrete ordering and is
+replayable: iterating it twice yields the identical sequence, which is the
+"pass 2 has the same ordering as pass 1" requirement of the triangle
+algorithm (Section 3.2).  :func:`validate_pair_sequence` checks an arbitrary
+pair sequence against the model's promise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph, Vertex
+from repro.util.rng import SeedLike, resolve_rng
+
+Pair = Tuple[Vertex, Vertex]
+
+
+class StreamFormatError(ValueError):
+    """Raised when a pair sequence violates the adjacency-list promise."""
+
+
+class AdjacencyListStream:
+    """A replayable adjacency-list-order stream over a graph.
+
+    Parameters
+    ----------
+    graph:
+        The underlying undirected simple graph.
+    list_order:
+        The order in which adjacency lists appear; defaults to a uniformly
+        random permutation of all vertices (seeded).  Vertices with empty
+        adjacency lists are included (they emit no pairs).
+    neighbor_orders:
+        Optional per-vertex neighbour orderings; unspecified lists are
+        shuffled with the stream's seed.
+    seed:
+        Randomness for the default orderings.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        list_order: Optional[Sequence[Vertex]] = None,
+        neighbor_orders: Optional[Dict[Vertex, Sequence[Vertex]]] = None,
+        seed: SeedLike = None,
+    ):
+        self.graph = graph
+        rng = resolve_rng(seed)
+        if list_order is None:
+            order = list(graph.vertices())
+            rng.shuffle(order)
+        else:
+            order = list(list_order)
+            if len(order) != graph.n or set(order) != set(graph.vertices()):
+                raise ValueError("list_order must be a permutation of the vertices")
+        self._order = order
+        self._position = {v: i for i, v in enumerate(order)}
+        self._lists: Dict[Vertex, Tuple[Vertex, ...]] = {}
+        neighbor_orders = neighbor_orders or {}
+        for v in order:
+            if v in neighbor_orders:
+                nbrs = list(neighbor_orders[v])
+                if set(nbrs) != set(graph.neighbors(v)) or len(nbrs) != graph.degree(v):
+                    raise ValueError(f"neighbour order for {v!r} does not match the graph")
+            else:
+                nbrs = list(graph.neighbors(v))
+                rng.shuffle(nbrs)
+            self._lists[v] = tuple(nbrs)
+
+    # -- basic facts --------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices (adjacency lists) in the stream."""
+        return self.graph.n
+
+    @property
+    def m(self) -> int:
+        """Number of edges; the stream contains ``2m`` pairs."""
+        return self.graph.m
+
+    @property
+    def list_order(self) -> List[Vertex]:
+        """The vertices in the order their adjacency lists appear."""
+        return list(self._order)
+
+    def position(self, v: Vertex) -> int:
+        """Return the index of ``v``'s adjacency list in the stream."""
+        return self._position[v]
+
+    def neighbors_in_order(self, v: Vertex) -> Tuple[Vertex, ...]:
+        """Return ``v``'s adjacency list in stream order."""
+        return self._lists[v]
+
+    # -- iteration ------------------------------------------------------------
+
+    def iter_lists(self) -> Iterator[Tuple[Vertex, Tuple[Vertex, ...]]]:
+        """Yield ``(vertex, neighbours)`` for each adjacency list in order."""
+        for v in self._order:
+            yield v, self._lists[v]
+
+    def iter_pairs(self) -> Iterator[Pair]:
+        """Yield the raw ``(source, neighbour)`` pair sequence."""
+        for v, nbrs in self.iter_lists():
+            for u in nbrs:
+                yield (v, u)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return self.iter_pairs()
+
+    def __len__(self) -> int:
+        """Number of pairs in the stream (``2m``)."""
+        return 2 * self.m
+
+    def reordered(self, seed: SeedLike = None) -> "AdjacencyListStream":
+        """Return a new stream over the same graph with fresh random orders."""
+        return AdjacencyListStream(self.graph, seed=seed)
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Pair]) -> "AdjacencyListStream":
+        """Reconstruct a stream (graph + ordering) from a raw pair sequence.
+
+        The sequence is validated against the adjacency-list promise first.
+        """
+        validate_pair_sequence(pairs)
+        graph = Graph()
+        order: List[Vertex] = []
+        lists: Dict[Vertex, List[Vertex]] = {}
+        for src, dst in pairs:
+            if src not in lists:
+                order.append(src)
+                lists[src] = []
+            lists[src].append(dst)
+            graph.add_edge(src, dst)
+        return cls(graph, list_order=order, neighbor_orders=lists)
+
+
+def validate_pair_sequence(pairs: Sequence[Pair]) -> None:
+    """Check a raw pair sequence against the adjacency-list model.
+
+    Raises :class:`StreamFormatError` if any of the model's promises fail:
+    lists must be contiguous, each edge must appear exactly once per
+    direction, self loops and within-list duplicates are forbidden.
+    """
+    seen_lists: set = set()
+    current: Optional[Vertex] = None
+    current_neighbors: set = set()
+    directed_seen: set = set()
+    for src, dst in pairs:
+        if src == dst:
+            raise StreamFormatError(f"self loop {src!r} in stream")
+        if src != current:
+            if src in seen_lists:
+                raise StreamFormatError(f"adjacency list of {src!r} is not contiguous")
+            if current is not None:
+                seen_lists.add(current)
+            current = src
+            current_neighbors = set()
+        if dst in current_neighbors:
+            raise StreamFormatError(f"duplicate pair ({src!r}, {dst!r})")
+        current_neighbors.add(dst)
+        directed_seen.add((src, dst))
+    for src, dst in directed_seen:
+        if (dst, src) not in directed_seen:
+            raise StreamFormatError(f"edge ({src!r}, {dst!r}) lacks its reverse pair")

@@ -1,0 +1,95 @@
+"""Hash families used by the streaming samplers.
+
+The paper's edge samplers are hash based: each edge receives a pseudorandom
+priority fixed for the lifetime of the algorithm, so that both passes agree
+on which edges are sampled and an edge can be admitted the *first* time it
+appears in the stream.  Two families are provided:
+
+* :class:`MixHash64` — a splitmix64-style mixer keyed by a seed.  This is the
+  practical default: fast, stateless, and empirically uniform.
+* :class:`PairwiseHash` — a genuinely pairwise-independent family
+  ``h(x) = (a*x + b) mod p`` over a Mersenne prime, for components whose
+  analysis requires 2-wise independence.
+
+Both map arbitrary hashable keys to integers in ``[0, 2**64)`` and to floats
+in ``[0, 1)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.util.rng import SeedLike, resolve_rng
+
+_MASK64 = (1 << 64) - 1
+#: Mersenne prime 2^89 - 1, comfortably above 64-bit key space.
+_MERSENNE_P = (1 << 89) - 1
+
+
+def _to_int_key(key: Hashable) -> int:
+    """Map an arbitrary hashable key to a non-negative integer.
+
+    Tuples (the common case: canonical edge keys) are combined injectively
+    enough for hashing purposes; other objects fall back to ``hash``.
+    """
+    if isinstance(key, int):
+        return key & _MASK64
+    if isinstance(key, tuple):
+        acc = 0x243F6A8885A308D3
+        for part in key:
+            acc = (acc * 0x100000001B3) & _MASK64
+            acc ^= _to_int_key(part)
+        return acc
+    return hash(key) & _MASK64
+
+
+def _splitmix64(z: int) -> int:
+    z = (z + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class MixHash64:
+    """Seeded 64-bit mixing hash over arbitrary hashable keys."""
+
+    def __init__(self, seed: SeedLike = None):
+        rng = resolve_rng(seed)
+        self._key = rng.getrandbits(64)
+
+    def hash_int(self, key: Hashable) -> int:
+        """Return a pseudorandom integer in ``[0, 2**64)`` for ``key``."""
+        return _splitmix64(_to_int_key(key) ^ self._key)
+
+    def hash_unit(self, key: Hashable) -> float:
+        """Return a pseudorandom float in ``[0, 1)`` for ``key``."""
+        return self.hash_int(key) / 2.0**64
+
+
+class PairwiseHash:
+    """Pairwise-independent hash family ``h(x) = ((a*x + b) mod p) mod 2^64``.
+
+    ``a`` is drawn from ``[1, p)`` and ``b`` from ``[0, p)`` where ``p`` is a
+    Mersenne prime larger than the key space, giving exact 2-wise
+    independence over 64-bit integer keys.
+    """
+
+    def __init__(self, seed: SeedLike = None):
+        rng = resolve_rng(seed)
+        self._a = rng.randrange(1, _MERSENNE_P)
+        self._b = rng.randrange(_MERSENNE_P)
+
+    def hash_int(self, key: Hashable) -> int:
+        """Return a pseudorandom integer in ``[0, 2**64)`` for ``key``."""
+        x = _to_int_key(key)
+        return ((self._a * x + self._b) % _MERSENNE_P) & _MASK64
+
+    def hash_unit(self, key: Hashable) -> float:
+        """Return a pseudorandom float in ``[0, 1)`` for ``key``."""
+        return self.hash_int(key) / 2.0**64
+
+
+def fresh_hash(rng: random.Random) -> MixHash64:
+    """Draw a fresh :class:`MixHash64` keyed from ``rng``."""
+    return MixHash64(rng)

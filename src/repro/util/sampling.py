@@ -1,0 +1,206 @@
+"""Sampling primitives for the streaming algorithms.
+
+Three samplers back the paper's algorithms:
+
+* :class:`BottomKSampler` — a uniform fixed-size edge sample via bottom-k
+  hashing.  Every key has a fixed pseudorandom priority, and the sampler
+  retains the ``k`` smallest priorities seen so far.  Crucially, a key that
+  belongs to the *final* sample is a member of the running sample from its
+  first insertion onward (its priority is among the ``k`` smallest of every
+  prefix), which is exactly the property Section 3.3.1 of the paper relies
+  on: a triangle on a sampled edge is observable from the moment the edge
+  first appears.
+* :class:`ThresholdSampler` — Bernoulli sampling by hash threshold; a
+  simpler, independent-inclusion alternative with the same first-occurrence
+  property.
+* :class:`ReservoirSampler` — classic reservoir sampling with optional
+  deletion support, used for the pair sample ``Q`` in the triangle
+  algorithm.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+from repro.util.hashing import MixHash64
+from repro.util.rng import SeedLike, resolve_rng
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class BottomKSampler(Generic[K]):
+    """Uniform size-``k`` sample of a key universe via bottom-k hashing.
+
+    ``offer(key)`` admits the key if its priority is currently among the
+    ``k`` smallest; admitting a new key may evict the current maximum, in
+    which case ``on_evict`` (if provided) is called with the evicted key.
+    Offering the same key twice is a no-op the second time.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        seed: SeedLike = None,
+        on_evict: Optional[Callable[[K], None]] = None,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._hash = MixHash64(resolve_rng(seed))
+        self._heap: List[tuple] = []  # max-heap via negated priority
+        self._members: Dict[K, int] = {}
+        self._on_evict = on_evict
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._members
+
+    def priority(self, key: K) -> int:
+        """Return the fixed pseudorandom priority of ``key``."""
+        return self._hash.hash_int(key)
+
+    def offer(self, key: K) -> bool:
+        """Offer ``key`` to the sample; return True iff it is now sampled.
+
+        Returns True also for keys that were already members.
+        """
+        if self.capacity == 0:
+            return False
+        if key in self._members:
+            return True
+        prio = self.priority(key)
+        if len(self._members) < self.capacity:
+            heapq.heappush(self._heap, (-prio, key))
+            self._members[key] = prio
+            return True
+        worst_neg, worst_key = self._heap[0]
+        if prio >= -worst_neg:
+            return False
+        heapq.heapreplace(self._heap, (-prio, key))
+        self._members[key] = prio
+        del self._members[worst_key]
+        if self._on_evict is not None:
+            self._on_evict(worst_key)
+        return True
+
+    def members(self) -> List[K]:
+        """Return the currently sampled keys (unspecified order)."""
+        return list(self._members)
+
+    def space_words(self) -> int:
+        """Machine words of live state: one key plus one priority per slot."""
+        return 2 * len(self._members)
+
+
+class ThresholdSampler(Generic[K]):
+    """Bernoulli key sampler: ``key`` is sampled iff ``h(key) < rate``.
+
+    Inclusion decisions are independent across keys and fixed for the
+    sampler's lifetime, so both stream passes agree on the sample and a key
+    is recognisable as sampled from its first occurrence.
+    """
+
+    def __init__(self, rate: float, seed: SeedLike = None):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must lie in [0, 1]")
+        self.rate = rate
+        self._hash = MixHash64(resolve_rng(seed))
+        self._members: set = set()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._members
+
+    def wants(self, key: K) -> bool:
+        """Return whether ``key`` falls under the sampling threshold."""
+        return self._hash.hash_unit(key) < self.rate
+
+    def offer(self, key: K) -> bool:
+        """Offer ``key``; record and return True iff it is sampled."""
+        if key in self._members:
+            return True
+        if self.wants(key):
+            self._members.add(key)
+            return True
+        return False
+
+    def members(self) -> List[K]:
+        """Return the currently sampled keys (unspecified order)."""
+        return list(self._members)
+
+    def space_words(self) -> int:
+        """Machine words of live state: one word per retained key."""
+        return len(self._members)
+
+
+class ReservoirSampler(Generic[V]):
+    """Uniform size-``k`` reservoir over a stream of offered items.
+
+    Standard Algorithm R, with one extension: :meth:`discard` removes an
+    item (used when an edge is evicted from the first-pass sample and its
+    dependent pairs must be dropped).  After a discard the reservoir refills
+    from subsequent offers; the sample remains uniform over candidates that
+    were never invalidated whenever discards are themselves oblivious to the
+    items' identities, which holds in our use (eviction depends only on edge
+    hash priorities, drawn independently of the reservoir's randomness).
+    """
+
+    def __init__(self, capacity: int, seed: SeedLike = None):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._rng = resolve_rng(seed)
+        self._items: List[V] = []
+        self.offered = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def offer(self, item: V) -> Optional[V]:
+        """Offer ``item``; return it if admitted, else ``None``."""
+        admitted, _ = self.offer_detailed(item)
+        return item if admitted else None
+
+    def offer_detailed(self, item: V) -> Tuple[bool, Optional[V]]:
+        """Offer ``item``; return ``(admitted, displaced_item_or_None)``.
+
+        Callers that maintain side indexes over the reservoir contents use
+        the displaced item to unregister it.
+        """
+        self.offered += 1
+        if self.capacity == 0:
+            return False, None
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return True, None
+        j = self._rng.randrange(self.offered)
+        if j < len(self._items):
+            displaced = self._items[j]
+            self._items[j] = item
+            return True, displaced
+        return False, None
+
+    def discard(self, predicate: Callable[[V], bool]) -> int:
+        """Remove all items matching ``predicate``; return how many."""
+        kept = [item for item in self._items if not predicate(item)]
+        removed = len(self._items) - len(kept)
+        self._items = kept
+        return removed
+
+    def items(self) -> List[V]:
+        """Return the current sample contents."""
+        return list(self._items)
+
+    def saturated(self) -> bool:
+        """Return True if more candidates were offered than retained."""
+        return self.offered > self.capacity
+
+    def space_words(self) -> int:
+        """Machine words of live state: one word per retained item."""
+        return len(self._items)

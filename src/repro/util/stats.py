@@ -1,0 +1,144 @@
+"""Small statistics helpers shared across estimators and experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """Return the median of ``values`` (mean of middle two when even)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def mean(values: Sequence[float]) -> float:
+    """Return the arithmetic mean of ``values``."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Return the population variance of ``values``."""
+    mu = mean(values)
+    return sum((v - mu) ** 2 for v in values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Return the population standard deviation of ``values``."""
+    return math.sqrt(variance(values))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Return ``|estimate - truth| / truth``; infinity when truth is 0."""
+    if truth == 0:
+        return math.inf if estimate != 0 else 0.0
+    return abs(estimate - truth) / abs(truth)
+
+
+def median_of_runs(estimates: Sequence[float]) -> float:
+    """Median aggregation for probability amplification (Chernoff trick)."""
+    return median(estimates)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate accuracy of a batch of repeated estimates."""
+
+    truth: float
+    n_runs: int
+    mean_estimate: float
+    median_estimate: float
+    median_relative_error: float
+    mean_relative_error: float
+    stddev_estimate: float
+
+    @property
+    def median_within(self) -> float:
+        """Relative error of the median estimate (amplified accuracy)."""
+        return relative_error(self.median_estimate, self.truth)
+
+
+def summarize_errors(estimates: Sequence[float], truth: float) -> ErrorSummary:
+    """Summarise repeated estimates of a known ground truth."""
+    rel = [relative_error(e, truth) for e in estimates]
+    return ErrorSummary(
+        truth=truth,
+        n_runs=len(estimates),
+        mean_estimate=mean(estimates),
+        median_estimate=median(estimates),
+        median_relative_error=median(rel),
+        mean_relative_error=mean(rel),
+        stddev_estimate=stddev(estimates),
+    )
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> tuple:
+    """Least-squares fit of ``y = c * x**alpha``; returns ``(alpha, c)``.
+
+    Used by the Table-1 experiments to recover empirical space exponents
+    (e.g. required sample size vs. triangle count should fit alpha near
+    -2/3 for the two-pass algorithm).  Zero or negative data points are
+    rejected because the fit runs in log space.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit requires positive data")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((v - mx) ** 2 for v in lx)
+    sxy = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    if sxx == 0:
+        raise ValueError("x values must not all be equal")
+    alpha = sxy / sxx
+    c = math.exp(my - alpha * mx)
+    return alpha, c
+
+
+def geometric_range(lo: float, hi: float, count: int) -> List[float]:
+    """Return ``count`` geometrically spaced values from ``lo`` to ``hi``."""
+    if count < 1:
+        raise ValueError("count must be positive")
+    if lo <= 0 or hi <= 0:
+        raise ValueError("geometric range requires positive endpoints")
+    if count == 1:
+        return [lo]
+    ratio = (hi / lo) ** (1.0 / (count - 1))
+    return [lo * ratio**i for i in range(count)]
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Return the ``q``-quantile of ``values`` by linear interpolation."""
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must lie in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def success_rate(outcomes: Iterable[bool]) -> float:
+    """Return the fraction of True outcomes."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ValueError("success rate of empty sequence")
+    return sum(1 for o in outcomes if o) / len(outcomes)

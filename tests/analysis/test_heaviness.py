@@ -1,0 +1,94 @@
+"""Tests for the Definition 4.1 heaviness classification."""
+
+import pytest
+
+from repro.analysis.heaviness import (
+    classify,
+    cycle_edge_loads,
+    cycle_wedge_loads,
+    cycles_with_all_overused_wedges,
+    cycles_with_at_most_one_heavy_edge,
+)
+from repro.graph.counting import count_four_cycles, four_cycles_per_edge
+from repro.graph.generators import (
+    complete_bipartite,
+    cycle_graph,
+    gnm_random_graph,
+    random_forest,
+    theta_graph,
+)
+from repro.graph.wedges import four_cycles_per_wedge
+
+
+class TestLoadTables:
+    def test_edge_loads_match_counting_module(self):
+        g = gnm_random_graph(20, 70, seed=1)
+        sparse = cycle_edge_loads(g)
+        full = four_cycles_per_edge(g)
+        for edge, load in full.items():
+            assert sparse.get(edge, 0) == load
+
+    def test_wedge_loads_match_counting_module(self):
+        g = gnm_random_graph(15, 50, seed=2)
+        sparse = cycle_wedge_loads(g)
+        full = four_cycles_per_wedge(g)
+        for wedge, load in full.items():
+            assert sparse.get(wedge, 0) == load
+
+    def test_load_sums(self):
+        g = complete_bipartite(4, 4)
+        t = count_four_cycles(g)
+        assert sum(cycle_edge_loads(g).values()) == 4 * t
+        assert sum(cycle_wedge_loads(g).values()) == 4 * t
+
+
+class TestClassification:
+    def test_cycle_free_graph(self):
+        g = random_forest(30, 20, seed=3)
+        report = classify(g)
+        assert report.cycle_count == 0
+        assert report.good_fraction == 1.0
+        assert not report.heavy_edges
+
+    def test_single_cycle_all_good(self):
+        report = classify(cycle_graph(4))
+        assert report.cycle_count == 1
+        assert report.good_cycle_count == 1
+
+    def test_low_constant_marks_theta_heavy(self):
+        # With the definition constant lowered, the theta graph's shared
+        # hub edges become heavy and its hub wedges overused.
+        g = theta_graph(10)
+        report = classify(g, constant=0.5)
+        assert report.heavy_edges
+        assert report.bad_wedges
+
+    def test_default_constant_keeps_small_graphs_good(self):
+        g = gnm_random_graph(25, 80, seed=4)
+        report = classify(g)
+        # 40·sqrt(T) exceeds any load on a small graph: everything good.
+        assert report.good_fraction == 1.0
+
+    def test_heavy_edges_have_heavy_loads(self):
+        g = theta_graph(12)
+        report = classify(g, constant=0.2)
+        loads = cycle_edge_loads(g)
+        for edge in report.heavy_edges:
+            assert loads[edge] >= report.heavy_edge_threshold
+
+
+class TestLemmaHelpers:
+    def test_at_most_one_heavy_edge_counts_everything_when_no_heavy(self):
+        g = gnm_random_graph(20, 60, seed=5)
+        assert cycles_with_at_most_one_heavy_edge(g) == count_four_cycles(g)
+
+    def test_all_overused_is_zero_when_no_overused(self):
+        g = gnm_random_graph(20, 60, seed=6)
+        assert cycles_with_all_overused_wedges(g) == 0
+
+    def test_tiny_constant_flips_both(self):
+        g = complete_bipartite(5, 5)
+        t = count_four_cycles(g)
+        assert cycles_with_all_overused_wedges(g, constant=0.0) == t
+        # With every edge heavy, no cycle has <= 1 heavy edge.
+        assert cycles_with_at_most_one_heavy_edge(g, constant=0.0) == 0

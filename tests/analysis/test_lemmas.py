@@ -1,0 +1,111 @@
+"""The paper's combinatorial lemmas, checked on benign and adversarial graphs."""
+
+import pytest
+
+from repro.analysis.lemmas import (
+    LemmaCheck,
+    check_lemma_3_2,
+    check_lemma_4_2,
+    check_lemma_a_1,
+    check_lemma_a_2,
+    check_lemma_a_3,
+    check_max_triangles_bound,
+    check_triangle_edge_bound,
+    run_all_checks,
+)
+from repro.graph.generators import (
+    book_graph,
+    complete_bipartite,
+    complete_graph,
+    gnm_random_graph,
+    theta_graph,
+    windmill_graph,
+)
+from repro.graph.planted import (
+    planted_four_cycle_grid,
+    planted_four_cycles_theta,
+    planted_triangles_book,
+)
+from repro.streaming.stream import AdjacencyListStream
+
+ADVERSARIAL_GRAPHS = [
+    book_graph(25),
+    windmill_graph(15),
+    theta_graph(12),
+    complete_graph(9),
+    complete_bipartite(6, 6),
+    gnm_random_graph(30, 140, seed=1),
+    planted_triangles_book(100, 60, seed=2).graph,
+    planted_four_cycles_theta(80, 10, seed=3).graph,
+    planted_four_cycle_grid(50, 4, 5, seed=4).graph,
+]
+
+
+class TestLemmaCheckType:
+    def test_holds_le(self):
+        assert LemmaCheck("x", 1, 2, "<=").holds
+        assert not LemmaCheck("x", 3, 2, "<=").holds
+
+    def test_holds_ge(self):
+        assert LemmaCheck("x", 3, 2, ">=").holds
+
+    def test_slack(self):
+        assert LemmaCheck("x", 1, 4, "<=").slack == 4
+        assert LemmaCheck("x", 4, 1, ">=").slack == 4
+        assert LemmaCheck("x", 0, 1, "<=").slack == float("inf")
+
+
+@pytest.mark.parametrize("graph", ADVERSARIAL_GRAPHS, ids=range(len(ADVERSARIAL_GRAPHS)))
+class TestLemmasOnAdversarialGraphs:
+    def test_lemma_3_2(self, graph):
+        for seed in (0, 1):
+            check = check_lemma_3_2(AdjacencyListStream(graph, seed=seed))
+            assert check.holds, f"Σ T_e² = {check.lhs} > {check.rhs}"
+
+    def test_lemma_4_2(self, graph):
+        assert check_lemma_4_2(graph).holds
+
+    def test_lemma_a_1(self, graph):
+        assert check_lemma_a_1(graph).holds
+
+    def test_lemma_a_2(self, graph):
+        assert check_lemma_a_2(graph).holds
+
+    def test_lemma_a_3(self, graph):
+        assert check_lemma_a_3(graph).holds
+
+    def test_triangle_edge_bound(self, graph):
+        assert check_triangle_edge_bound(graph).holds
+
+    def test_max_triangles_bound(self, graph):
+        assert check_max_triangles_bound(graph).holds
+
+
+class TestRunAll:
+    def test_all_checks_returned_and_hold(self):
+        checks = run_all_checks(gnm_random_graph(25, 100, seed=5))
+        assert len(checks) == 7
+        names = {c.name for c in checks}
+        assert names == {
+            "lemma_3_2",
+            "lemma_4_2",
+            "lemma_a_1",
+            "lemma_a_2",
+            "lemma_a_3",
+            "triangle_edge_bound",
+            "max_triangles_bound",
+        }
+        assert all(c.holds for c in checks)
+
+
+class TestTightness:
+    def test_lemma_3_2_nontrivial_on_dense_graph(self):
+        """On K_n the bound is within a constant: Σ T_e² = Θ(T^{4/3})."""
+        check = check_lemma_3_2(AdjacencyListStream(complete_graph(10), seed=6))
+        assert check.holds
+        assert check.slack < 60  # genuinely exercised, not vacuous
+
+    def test_max_triangle_bound_tight_on_complete_graph(self):
+        check = check_max_triangles_bound(complete_graph(12))
+        assert check.holds
+        assert check.slack < 5

@@ -1,0 +1,103 @@
+"""Tests for the offline H / ρ / T_e oracles (Section 3 quantities)."""
+
+import pytest
+
+from repro.analysis.lightest_edge import (
+    h_statistics,
+    rho_assignment,
+    te_counts,
+    te_square_sum,
+)
+from repro.core.triangle_two_pass import apex, triangle_edges
+from repro.graph.counting import count_triangles, enumerate_triangles, triangles_per_edge
+from repro.graph.generators import book_graph, complete_graph, gnm_random_graph
+from repro.streaming.orderings import sorted_stream
+from repro.streaming.stream import AdjacencyListStream
+
+
+@pytest.fixture()
+def stream():
+    return AdjacencyListStream(gnm_random_graph(20, 70, seed=1), seed=2)
+
+
+class TestHStatistics:
+    def test_every_triangle_and_edge_covered(self, stream):
+        stats = h_statistics(stream)
+        triangles = set(enumerate_triangles(stream.graph))
+        assert set(stats) == triangles
+        for tri, per_edge in stats.items():
+            assert set(per_edge) == set(triangle_edges(tri))
+
+    def test_h_bounded_by_edge_load(self, stream):
+        stats = h_statistics(stream)
+        loads = triangles_per_edge(stream.graph)
+        for tri, per_edge in stats.items():
+            for edge, h in per_edge.items():
+                assert 0 <= h <= loads[edge] - 1  # own triangle never counted
+
+    def test_h_is_a_ranking_per_edge(self, stream):
+        """For a fixed edge e, the values H_{e,τ} over τ ∈ L(e) are exactly
+        {0, 1, ..., T(e)-1}: each triangle has a distinct apex position."""
+        stats = h_statistics(stream)
+        by_edge = {}
+        for tri, per_edge in stats.items():
+            for edge, h in per_edge.items():
+                by_edge.setdefault(edge, []).append(h)
+        for edge, hs in by_edge.items():
+            assert sorted(hs) == list(range(len(hs)))
+
+    def test_brute_force_cross_check(self):
+        g = complete_graph(5)
+        stream = sorted_stream(g)
+        stats = h_statistics(stream)
+        for tri, per_edge in stats.items():
+            for edge, h in per_edge.items():
+                my_pos = stream.position(apex(tri, edge))
+                expected = 0
+                for other in enumerate_triangles(g):
+                    if other == tri:
+                        continue
+                    if edge in triangle_edges(other):
+                        if stream.position(apex(other, edge)) > my_pos:
+                            expected += 1
+                assert h == expected
+
+
+class TestRhoAssignment:
+    def test_rho_is_an_edge_of_the_triangle(self, stream):
+        for tri, edge in rho_assignment(stream).items():
+            assert edge in triangle_edges(tri)
+
+    def test_rho_minimises_h(self, stream):
+        stats = h_statistics(stream)
+        for tri, edge in rho_assignment(stream).items():
+            assert stats[tri][edge] == min(stats[tri].values())
+
+    def test_book_graph_spine_rarely_chosen(self):
+        """On the book graph the spine edge is in every triangle; ρ assigns
+        each triangle to one of its two light edges except for at most one
+        triangle (the last in stream order)."""
+        g = book_graph(12)
+        stream = AdjacencyListStream(g, seed=5)
+        spine_assigned = sum(
+            1 for edge in rho_assignment(stream).values() if edge == (0, 1)
+        )
+        assert spine_assigned <= 1
+
+
+class TestTeCounts:
+    def test_sums_to_t(self, stream):
+        assert sum(te_counts(stream).values()) == count_triangles(stream.graph)
+
+    def test_square_sum_consistency(self, stream):
+        counts = te_counts(stream)
+        assert te_square_sum(stream) == sum(c * c for c in counts.values())
+
+    def test_book_square_sum_much_smaller_than_naive(self):
+        """Lemma 3.2's point: Σ T_e² under ρ is far below Σ T(e)² (which the
+        naive estimator pays) on heavy-edge graphs."""
+        g = book_graph(30)
+        stream = AdjacencyListStream(g, seed=6)
+        rho_sum = te_square_sum(stream)
+        naive_sum = sum(c * c for c in triangles_per_edge(g).values())
+        assert rho_sum < naive_sum / 5

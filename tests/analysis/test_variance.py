@@ -1,0 +1,158 @@
+"""Tests for the estimator variance profiler."""
+
+import pytest
+
+from repro.analysis.variance import compare_estimators, profile_estimator
+from repro.baselines.naive_sampling import NaiveSamplingTriangleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.graph.counting import count_triangles
+from repro.graph.planted import planted_triangles, planted_triangles_book
+from repro.streaming.algorithm import FixedValueAlgorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+class TestProfileEstimator:
+    def test_fixed_value_profile(self, triangle_workload):
+        profile = profile_estimator(
+            lambda s: FixedValueAlgorithm(triangle_workload.true_count),
+            triangle_workload.graph,
+            triangle_workload.true_count,
+            runs=5,
+            seed=1,
+        )
+        assert profile.errors.median_relative_error == 0
+        assert profile.relative_stddev == 0
+        assert len(profile.estimates) == 5
+
+    def test_space_profiling(self, triangle_workload):
+        g = triangle_workload.graph
+        profile = profile_estimator(
+            lambda s: TwoPassTriangleCounter(sample_size=100, seed=s),
+            g,
+            triangle_workload.true_count,
+            runs=4,
+            seed=2,
+        )
+        assert profile.mean_peak_space_words > 100
+
+    def test_seed_reproducibility(self, triangle_workload):
+        def run():
+            return profile_estimator(
+                lambda s: TwoPassTriangleCounter(sample_size=80, seed=s),
+                triangle_workload.graph,
+                triangle_workload.true_count,
+                runs=5,
+                seed=42,
+            ).estimates
+
+        assert run() == run()
+
+    def test_fixed_stream_pins_ordering(self, triangle_workload):
+        g = triangle_workload.graph
+        stream = AdjacencyListStream(g, seed=3)
+        profile = profile_estimator(
+            lambda s: TwoPassTriangleCounter(sample_size=2 * g.m + 1000, seed=s),
+            g,
+            triangle_workload.true_count,
+            runs=3,
+            seed=4,
+            fixed_stream=stream,
+        )
+        # Exact regime + fixed stream: all runs identical and exact.
+        assert set(profile.estimates) == {float(triangle_workload.true_count)}
+
+    def test_requires_runs(self, triangle_workload):
+        with pytest.raises(ValueError):
+            profile_estimator(
+                lambda s: FixedValueAlgorithm(0.0),
+                triangle_workload.graph,
+                1.0,
+                runs=0,
+            )
+
+
+class TestCompareEstimators:
+    def test_heavy_edge_ablation(self):
+        """The paper's Section 2.1 claim, as an assertion: on heavy-edge
+        graphs the lightest-edge rule beats naive sampling's spread."""
+        planted = planted_triangles_book(400, 200, seed=5)
+        g = planted.graph
+        truth = count_triangles(g)
+        budget = g.m // 6
+        profiles = compare_estimators(
+            {
+                "naive": lambda s: NaiveSamplingTriangleCounter(budget, seed=s),
+                "lightest_edge": lambda s: TwoPassTriangleCounter(budget, seed=s),
+            },
+            g,
+            truth,
+            runs=25,
+            seed=6,
+        )
+        assert profiles["lightest_edge"].relative_stddev < profiles["naive"].relative_stddev
+
+    def test_light_workload_both_fine(self):
+        planted = planted_triangles(500, 100, seed=7)
+        profiles = compare_estimators(
+            {
+                "naive": lambda s: NaiveSamplingTriangleCounter(300, seed=s),
+                "lightest_edge": lambda s: TwoPassTriangleCounter(300, seed=s),
+            },
+            planted.graph,
+            planted.true_count,
+            runs=15,
+            seed=8,
+        )
+        for profile in profiles.values():
+            assert profile.errors.median_relative_error < 0.5
+
+
+class TestPredictedVariance:
+    """§2.1's variance formula, cross-validated against measurement."""
+
+    def test_prediction_matches_empirical_on_heavy_graph(self):
+        planted = planted_triangles_book(400, 200, seed=9)
+        g = planted.graph
+        budget = g.m // 6
+        from repro.analysis.variance import predicted_naive_relative_sd
+
+        predicted = predicted_naive_relative_sd(g, budget)
+        profile = profile_estimator(
+            lambda s: NaiveSamplingTriangleCounter(budget, seed=s),
+            g,
+            count_triangles(g),
+            runs=40,
+            seed=10,
+        )
+        measured = profile.relative_stddev
+        assert predicted / 2.5 <= measured <= predicted * 2.5
+
+    def test_prediction_orders_workloads(self):
+        from repro.analysis.variance import predicted_naive_relative_sd
+
+        light = planted_triangles(400, 200, seed=11).graph
+        heavy = planted_triangles_book(400, 200, seed=12).graph
+        budget = 100
+        assert predicted_naive_relative_sd(heavy, budget) > 3 * (
+            predicted_naive_relative_sd(light, budget)
+        )
+
+    def test_full_sample_has_zero_predicted_spread(self):
+        g = planted_triangles(100, 10, seed=13).graph
+        from repro.analysis.variance import predicted_naive_relative_sd
+
+        assert predicted_naive_relative_sd(g, 2 * g.m) == 0.0
+
+    def test_triangle_free_graph(self):
+        from repro.analysis.variance import predicted_naive_relative_sd
+        from repro.graph.generators import random_bipartite_graph
+
+        g = random_bipartite_graph(20, 20, 60, seed=14)
+        assert predicted_naive_relative_sd(g, 10) == 0.0
+
+    def test_invalid_sample_size(self):
+        from repro.analysis.variance import predicted_naive_relative_sd
+
+        g = planted_triangles(50, 5, seed=15).graph
+        with pytest.raises(ValueError):
+            predicted_naive_relative_sd(g, 0)

@@ -1,0 +1,140 @@
+"""Tests for the arbitrary-order streaming algorithms."""
+
+import statistics
+
+import pytest
+
+from repro.arbitrary.algorithm import run_edge_algorithm
+from repro.arbitrary.stream import EdgeStream, sorted_edge_stream
+from repro.arbitrary.triangle_wedge import (
+    EdgeStreamWedgeCountEstimator,
+    EdgeStreamWedgeCounter,
+    ExactEdgeStreamCounter,
+)
+from repro.graph.counting import count_triangles, count_wedges
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    random_bipartite_graph,
+)
+from repro.graph.planted import planted_triangles
+
+
+class TestExactEdgeStreamCounter:
+    @pytest.mark.parametrize("length", [3, 4, 5])
+    def test_exact(self, length):
+        g = gnm_random_graph(20, 70, seed=length)
+        result = run_edge_algorithm(ExactEdgeStreamCounter(length), EdgeStream(g, seed=1))
+        from repro.graph.counting import count_cycles
+
+        assert result.estimate == count_cycles(g, length)
+
+    def test_space_linear(self, small_random_graph):
+        result = run_edge_algorithm(
+            ExactEdgeStreamCounter(3), EdgeStream(small_random_graph, seed=2)
+        )
+        assert result.peak_space_words == 2 * small_random_graph.m + small_random_graph.n
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            ExactEdgeStreamCounter(2)
+
+
+class TestWedgeClosureCounter:
+    def test_full_rate_counts_exactly_one_wedge_per_triangle(self):
+        """At p = 1 every triangle's last-edge wedge closes: estimate = T."""
+        for seed in range(5):
+            g = complete_graph(6)
+            algo = EdgeStreamWedgeCounter(1.0, seed=seed)
+            result = run_edge_algorithm(algo, EdgeStream(g, seed=10 + seed))
+            assert result.estimate == count_triangles(g)
+            assert algo.closed_wedges == count_triangles(g)
+
+    def test_unbiased_at_subsampling(self, triangle_workload):
+        g = triangle_workload.graph
+        truth = triangle_workload.true_count
+        estimates = []
+        for i in range(40):
+            algo = EdgeStreamWedgeCounter(0.35, seed=i)
+            estimates.append(
+                run_edge_algorithm(algo, EdgeStream(g, seed=100 + i)).estimate
+            )
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.2)
+
+    def test_triangle_free_gives_zero(self):
+        g = random_bipartite_graph(20, 20, 80, seed=1)
+        algo = EdgeStreamWedgeCounter(1.0, seed=2)
+        assert run_edge_algorithm(algo, EdgeStream(g, seed=3)).estimate == 0
+
+    def test_closing_edge_cannot_close_its_own_wedge(self):
+        # Triangle whose edges arrive in a fixed order: the wedge of the
+        # first two edges closes; the wedges involving the last edge don't.
+        g = cycle_graph(3)
+        stream = EdgeStream(g, edge_order=[(0, 1), (1, 2), (0, 2)])
+        algo = EdgeStreamWedgeCounter(1.0, seed=4)
+        run_edge_algorithm(algo, stream)
+        assert algo.closed_wedges == 1
+        assert algo.watched_wedges == 3
+
+    def test_estimate_invariant_to_order_in_expectation(self, triangle_workload):
+        """E[estimate] = T for any order: compare two fixed orders' means."""
+        g = triangle_workload.graph
+        truth = triangle_workload.true_count
+        fixed = sorted_edge_stream(g)
+
+        def mean_over_sampler_seeds(stream):
+            ests = [
+                run_edge_algorithm(EdgeStreamWedgeCounter(0.4, seed=i), stream).estimate
+                for i in range(30)
+            ]
+            return statistics.mean(ests)
+
+        assert mean_over_sampler_seeds(fixed) == pytest.approx(truth, rel=0.25)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            EdgeStreamWedgeCounter(0.0)
+
+    def test_space_grows_with_rate(self, triangle_workload):
+        g = triangle_workload.graph
+        low = run_edge_algorithm(
+            EdgeStreamWedgeCounter(0.1, seed=1), EdgeStream(g, seed=2)
+        ).peak_space_words
+        high = run_edge_algorithm(
+            EdgeStreamWedgeCounter(0.8, seed=1), EdgeStream(g, seed=2)
+        ).peak_space_words
+        assert low < high
+
+
+class TestWedgeCountEstimator:
+    def test_exact_at_full_rate(self, small_random_graph):
+        algo = EdgeStreamWedgeCountEstimator(1.0, seed=1)
+        result = run_edge_algorithm(algo, EdgeStream(small_random_graph, seed=2))
+        assert result.estimate == count_wedges(small_random_graph)
+
+    def test_unbiased_at_subsampling(self, small_random_graph):
+        truth = count_wedges(small_random_graph)
+        estimates = []
+        for i in range(40):
+            algo = EdgeStreamWedgeCountEstimator(0.4, seed=i)
+            estimates.append(
+                run_edge_algorithm(algo, EdgeStream(small_random_graph, seed=50 + i)).estimate
+            )
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_nonzero_variance_unlike_adjacency_model(self, small_random_graph):
+        """The edge model can only estimate P2 — unlike the adjacency-list
+        model's exact one-counter computation (WedgeCounter)."""
+        estimates = {
+            run_edge_algorithm(
+                EdgeStreamWedgeCountEstimator(0.3, seed=i),
+                EdgeStream(small_random_graph, seed=60 + i),
+            ).estimate
+            for i in range(10)
+        }
+        assert len(estimates) > 1
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            EdgeStreamWedgeCountEstimator(1.5)

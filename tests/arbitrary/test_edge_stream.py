@@ -1,0 +1,102 @@
+"""Tests for the arbitrary-order edge-stream substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arbitrary.stream import (
+    EdgeStream,
+    EdgeStreamFormatError,
+    random_edge_stream,
+    sorted_edge_stream,
+    triangle_edges_last_stream,
+    validate_edge_sequence,
+)
+from repro.graph.counting import triangles_per_edge
+from repro.graph.generators import cycle_graph, gnm_random_graph
+from repro.graph.planted import planted_triangles
+
+
+class TestEdgeStream:
+    def test_each_edge_once(self, small_random_graph):
+        stream = EdgeStream(small_random_graph, seed=1)
+        edges = list(stream)
+        assert len(edges) == small_random_graph.m
+        assert sorted(edges) == sorted(small_random_graph.edges())
+
+    def test_replayable(self, small_random_graph):
+        stream = EdgeStream(small_random_graph, seed=2)
+        assert list(stream) == list(stream)
+
+    def test_seed_determinism(self, small_random_graph):
+        a = EdgeStream(small_random_graph, seed=3)
+        b = EdgeStream(small_random_graph, seed=3)
+        assert list(a) == list(b)
+
+    def test_custom_order(self):
+        g = cycle_graph(4)
+        order = [(2, 3), (0, 1), (1, 2), (0, 3)]
+        stream = EdgeStream(g, edge_order=order)
+        assert list(stream) == order
+
+    def test_order_canonicalised(self):
+        g = cycle_graph(3)
+        stream = EdgeStream(g, edge_order=[(1, 0), (2, 1), (2, 0)])
+        assert all(u <= v for u, v in stream)
+
+    def test_invalid_order_rejected(self):
+        g = cycle_graph(4)
+        with pytest.raises(ValueError):
+            EdgeStream(g, edge_order=[(0, 1)])
+
+    def test_reordered_same_graph(self, small_random_graph):
+        stream = EdgeStream(small_random_graph, seed=4)
+        other = stream.reordered(seed=5)
+        assert sorted(other) == sorted(stream)
+        assert list(other) != list(stream)
+
+    def test_position(self):
+        g = cycle_graph(4)
+        stream = sorted_edge_stream(g)
+        assert stream.position(1, 0) == 0
+
+
+class TestValidation:
+    def test_valid(self, small_random_graph):
+        validate_edge_sequence(list(EdgeStream(small_random_graph, seed=6)))
+
+    def test_self_loop(self):
+        with pytest.raises(EdgeStreamFormatError, match="self loop"):
+            validate_edge_sequence([(1, 1)])
+
+    def test_duplicate(self):
+        with pytest.raises(EdgeStreamFormatError, match="duplicate"):
+            validate_edge_sequence([(0, 1), (1, 0)])
+
+
+class TestOrderings:
+    def test_sorted_stream_deterministic(self, small_random_graph):
+        assert list(sorted_edge_stream(small_random_graph)) == sorted(
+            small_random_graph.edges()
+        )
+
+    def test_random_streams_differ(self, small_random_graph):
+        a = random_edge_stream(small_random_graph, seed=1)
+        b = random_edge_stream(small_random_graph, seed=2)
+        assert list(a) != list(b)
+
+    def test_triangle_edges_last(self):
+        planted = planted_triangles(200, 20, seed=7)
+        g = planted.graph
+        stream = triangle_edges_last_stream(g, seed=8)
+        loads = triangles_per_edge(g)
+        order = list(stream)
+        first_loaded = next(i for i, e in enumerate(order) if loads.get(e, 0) > 0)
+        assert all(loads.get(e, 0) > 0 for e in order[first_loaded:])
+
+
+@given(n=st.integers(2, 14), frac=st.floats(0.1, 0.9), seed=st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_any_random_graph_streams_validly(n, frac, seed):
+    g = gnm_random_graph(n, int(frac * n * (n - 1) // 2), seed=seed)
+    validate_edge_sequence(list(EdgeStream(g, seed=seed)))

@@ -1,0 +1,81 @@
+"""Tests for the two-pass 0-vs-T distinguisher."""
+
+import pytest
+
+from repro.baselines.distinguisher import (
+    TwoPassTriangleDistinguisher,
+    recommended_sample_size,
+)
+from repro.graph.generators import random_bipartite_graph
+from repro.graph.planted import planted_triangles
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+class TestSoundness:
+    """On triangle-free graphs the distinguisher can never report a hit."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_false_positives(self, seed):
+        g = random_bipartite_graph(40, 40, 200, seed=seed)
+        algo = TwoPassTriangleDistinguisher(sample_size=200, seed=seed + 50)
+        result = run_algorithm(algo, AdjacencyListStream(g, seed=seed + 99))
+        assert result.estimate == 0.0
+        assert not algo.found_triangle
+
+
+class TestCompleteness:
+    def test_detects_with_full_sample(self, triangle_workload):
+        g = triangle_workload.graph
+        algo = TwoPassTriangleDistinguisher(sample_size=g.m, seed=1)
+        result = run_algorithm(algo, AdjacencyListStream(g, seed=2))
+        assert result.estimate == 1.0
+        assert algo.hit_count > 0
+
+    def test_detects_at_theorem_budget(self, triangle_workload):
+        g = triangle_workload.graph
+        t = triangle_workload.true_count
+        budget = recommended_sample_size(g.m, t)
+        detections = 0
+        runs = 20
+        for i in range(runs):
+            algo = TwoPassTriangleDistinguisher(sample_size=budget, seed=100 + i)
+            stream = AdjacencyListStream(g, seed=200 + i)
+            if run_algorithm(algo, stream).estimate > 0:
+                detections += 1
+        assert detections >= runs * 2 // 3
+
+    def test_detection_rate_grows_with_budget(self):
+        planted = planted_triangles(900, 20, seed=3)
+        g = planted.graph
+
+        def rate(budget):
+            hits = 0
+            for i in range(15):
+                algo = TwoPassTriangleDistinguisher(sample_size=budget, seed=i)
+                if run_algorithm(algo, AdjacencyListStream(g, seed=50 + i)).estimate:
+                    hits += 1
+            return hits / 15
+
+        assert rate(g.m) >= rate(g.m // 30)
+
+
+class TestConfiguration:
+    def test_two_passes(self):
+        assert TwoPassTriangleDistinguisher(sample_size=5).n_passes == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TwoPassTriangleDistinguisher(sample_size=0)
+
+    def test_recommended_size_scaling(self):
+        assert recommended_sample_size(8000, 8) == pytest.approx(
+            2 * recommended_sample_size(4000, 8), rel=0.01
+        )
+        assert recommended_sample_size(1000, 8) == pytest.approx(
+            recommended_sample_size(1000, 64) * 4, rel=0.01
+        )
+
+    def test_recommended_size_validation(self):
+        with pytest.raises(ValueError):
+            recommended_sample_size(100, 0)

@@ -1,0 +1,59 @@
+"""Tests for the store-everything exact streaming counter."""
+
+import pytest
+
+from repro.baselines.exact_stream import ExactCycleCounter
+from repro.graph.counting import count_cycles, count_four_cycles, count_triangles
+from repro.graph.generators import complete_graph, cycle_graph, gnm_random_graph
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+@pytest.mark.parametrize("length", [3, 4, 5, 6])
+def test_exact_counts(length):
+    g = gnm_random_graph(25, 90, seed=length)
+    algo = ExactCycleCounter(length)
+    result = run_algorithm(algo, AdjacencyListStream(g, seed=7))
+    if length == 3:
+        expected = count_triangles(g)
+    elif length == 4:
+        expected = count_four_cycles(g)
+    else:
+        expected = count_cycles(g, length)
+    assert result.estimate == expected
+
+
+def test_reconstructs_graph(small_random_graph):
+    algo = ExactCycleCounter(3)
+    run_algorithm(algo, AdjacencyListStream(small_random_graph, seed=1))
+    assert sorted(algo.graph.edges()) == sorted(small_random_graph.edges())
+
+
+def test_space_is_linear_in_m():
+    small = gnm_random_graph(20, 40, seed=1)
+    large = gnm_random_graph(40, 160, seed=1)
+    space_small = run_algorithm(
+        ExactCycleCounter(3), AdjacencyListStream(small, seed=2)
+    ).peak_space_words
+    space_large = run_algorithm(
+        ExactCycleCounter(3), AdjacencyListStream(large, seed=2)
+    ).peak_space_words
+    assert space_small == 2 * small.m + small.n
+    assert space_large == 2 * large.m + large.n
+
+
+def test_single_cycle_each_length():
+    for length in (5, 6, 7):
+        algo = ExactCycleCounter(length)
+        result = run_algorithm(algo, AdjacencyListStream(cycle_graph(length), seed=3))
+        assert result.estimate == 1
+
+
+def test_k5_counts():
+    algo = ExactCycleCounter(5)
+    assert run_algorithm(algo, AdjacencyListStream(complete_graph(5), seed=4)).estimate == 12
+
+
+def test_invalid_length():
+    with pytest.raises(ValueError):
+        ExactCycleCounter(2)

@@ -1,0 +1,73 @@
+"""Tests for the naive edge-sampling estimator (the Section 2.1 strawman)."""
+
+import statistics
+
+import pytest
+
+from repro.baselines.naive_sampling import NaiveSamplingTriangleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.graph.counting import count_triangles
+from repro.graph.generators import complete_graph, gnm_random_graph
+from repro.graph.planted import planted_triangles_book
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+class TestExactRegime:
+    def test_full_sample_is_exact(self):
+        g = complete_graph(8)
+        algo = NaiveSamplingTriangleCounter(sample_size=2 * g.m, seed=1)
+        result = run_algorithm(algo, AdjacencyListStream(g, seed=2))
+        assert result.estimate == count_triangles(g)
+        assert algo.raw_hits == 3 * count_triangles(g)
+
+    def test_edge_count(self, small_random_graph):
+        algo = NaiveSamplingTriangleCounter(sample_size=10, seed=3)
+        run_algorithm(algo, AdjacencyListStream(small_random_graph, seed=4))
+        assert algo.edge_count == small_random_graph.m
+
+
+class TestUnbiasedness:
+    def test_mean_near_truth(self, triangle_workload):
+        g = triangle_workload.graph
+        truth = triangle_workload.true_count
+        estimates = []
+        for i in range(40):
+            algo = NaiveSamplingTriangleCounter(sample_size=g.m // 4, seed=100 + i)
+            stream = AdjacencyListStream(g, seed=200 + i)
+            estimates.append(run_algorithm(algo, stream).estimate)
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+
+class TestHeavyEdgeFragility:
+    """The paper's motivation: naive sampling blows up on heavy edges."""
+
+    def test_higher_variance_than_lightest_edge_rule(self):
+        planted = planted_triangles_book(500, 250, seed=5)
+        g = planted.graph
+        budget = g.m // 6
+
+        def spread(factory):
+            estimates = []
+            for i in range(30):
+                stream = AdjacencyListStream(g, seed=300 + i)
+                estimates.append(run_algorithm(factory(i), stream).estimate)
+            return statistics.pstdev(estimates)
+
+        naive_sd = spread(lambda i: NaiveSamplingTriangleCounter(budget, seed=i))
+        smart_sd = spread(lambda i: TwoPassTriangleCounter(budget, seed=i))
+        assert naive_sd > 1.5 * smart_sd
+
+
+class TestConfiguration:
+    def test_two_passes(self):
+        assert NaiveSamplingTriangleCounter(sample_size=3).n_passes == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            NaiveSamplingTriangleCounter(sample_size=0)
+
+    def test_empty_graph_estimate_zero(self):
+        g = gnm_random_graph(5, 0, seed=1)
+        algo = NaiveSamplingTriangleCounter(sample_size=4, seed=2)
+        assert run_algorithm(algo, AdjacencyListStream(g, seed=3)).estimate == 0.0

@@ -1,0 +1,99 @@
+"""Tests for the one-pass Õ(m/√T) triangle counter."""
+
+import statistics
+
+import pytest
+
+from repro.baselines.one_pass_triangle import OnePassTriangleCounter, recommended_rate
+from repro.graph.counting import count_triangles
+from repro.graph.generators import (
+    complete_graph,
+    gnm_random_graph,
+    random_bipartite_graph,
+)
+from repro.streaming.orderings import ORDERING_FACTORIES
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+class TestExactRegime:
+    """At rate 1.0 every triangle is counted exactly once."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [complete_graph(7), gnm_random_graph(30, 120, seed=1)],
+    )
+    def test_rate_one_is_exact(self, graph):
+        algo = OnePassTriangleCounter(sample_rate=1.0, seed=2)
+        result = run_algorithm(algo, AdjacencyListStream(graph, seed=3))
+        assert result.estimate == count_triangles(graph)
+        assert algo.raw_hits == count_triangles(graph)
+
+    def test_rate_one_exact_under_every_ordering(self, small_random_graph):
+        truth = count_triangles(small_random_graph)
+        for name, factory in ORDERING_FACTORIES.items():
+            algo = OnePassTriangleCounter(sample_rate=1.0, seed=4)
+            result = run_algorithm(algo, factory(small_random_graph, seed=5))
+            assert result.estimate == truth, f"ordering {name}"
+
+    def test_triangle_free_gives_zero(self):
+        g = random_bipartite_graph(25, 25, 100, seed=6)
+        algo = OnePassTriangleCounter(sample_rate=0.8, seed=7)
+        assert run_algorithm(algo, AdjacencyListStream(g, seed=8)).estimate == 0
+
+
+class TestUnbiasedness:
+    def test_mean_near_truth(self, triangle_workload):
+        g = triangle_workload.graph
+        truth = triangle_workload.true_count
+        estimates = []
+        for i in range(40):
+            algo = OnePassTriangleCounter(sample_rate=0.25, seed=100 + i)
+            stream = AdjacencyListStream(g, seed=200 + i)
+            estimates.append(run_algorithm(algo, stream).estimate)
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_single_pass_only(self):
+        algo = OnePassTriangleCounter(sample_rate=0.5)
+        assert algo.n_passes == 1
+
+
+class TestSpace:
+    def test_space_proportional_to_rate(self, triangle_workload):
+        g = triangle_workload.graph
+        low = run_algorithm(
+            OnePassTriangleCounter(sample_rate=0.05, seed=1),
+            AdjacencyListStream(g, seed=2),
+        )
+        high = run_algorithm(
+            OnePassTriangleCounter(sample_rate=0.5, seed=1),
+            AdjacencyListStream(g, seed=2),
+        )
+        assert low.peak_space_words < high.peak_space_words
+        assert low.peak_space_words < 0.15 * high.peak_space_words / 0.5 * 3
+
+    def test_edge_count(self, small_random_graph):
+        algo = OnePassTriangleCounter(sample_rate=0.3, seed=3)
+        run_algorithm(algo, AdjacencyListStream(small_random_graph, seed=4))
+        assert algo.edge_count == small_random_graph.m
+
+
+class TestValidation:
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            OnePassTriangleCounter(sample_rate=0.0)
+        with pytest.raises(ValueError):
+            OnePassTriangleCounter(sample_rate=1.5)
+
+    def test_recommended_rate_scaling(self):
+        assert recommended_rate(400) == pytest.approx(2 * recommended_rate(1600))
+
+    def test_recommended_rate_capped(self):
+        assert recommended_rate(1) == 1.0
+        assert recommended_rate(0) == 1.0
+
+    def test_recommended_rate_validation(self):
+        with pytest.raises(ValueError):
+            recommended_rate(-1)
+        with pytest.raises(ValueError):
+            recommended_rate(10, epsilon=0)

@@ -1,0 +1,121 @@
+"""Tests for the one-pass wedge-sampling triangle counter ([12]-style)."""
+
+import statistics
+
+import pytest
+
+from repro.baselines.wedge_sampling import (
+    WedgeSamplingTriangleCounter,
+    recommended_sample_size,
+)
+from repro.graph.counting import count_triangles, count_wedges
+from repro.graph.generators import (
+    complete_graph,
+    gnm_random_graph,
+    random_bipartite_graph,
+    star_graph,
+)
+from repro.streaming.orderings import ORDERING_FACTORIES
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+class TestExactRegime:
+    """With every wedge retained, exactly 2 of each triangle's 3 wedges
+    are observed closed, so the estimate is exact."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [complete_graph(6), gnm_random_graph(25, 90, seed=1)],
+    )
+    def test_full_reservoir_is_exact(self, graph):
+        algo = WedgeSamplingTriangleCounter(sample_size=10**6, seed=2)
+        result = run_algorithm(algo, AdjacencyListStream(graph, seed=3))
+        assert result.estimate == pytest.approx(count_triangles(graph))
+        assert algo.closed_wedges == 2 * count_triangles(graph)
+
+    def test_exact_under_every_ordering(self, small_random_graph):
+        truth = count_triangles(small_random_graph)
+        for name, factory in ORDERING_FACTORIES.items():
+            algo = WedgeSamplingTriangleCounter(sample_size=10**6, seed=4)
+            result = run_algorithm(algo, factory(small_random_graph, seed=5))
+            assert result.estimate == pytest.approx(truth), f"ordering {name}"
+
+    def test_wedge_count_exact(self, small_random_graph):
+        algo = WedgeSamplingTriangleCounter(sample_size=10, seed=6)
+        run_algorithm(algo, AdjacencyListStream(small_random_graph, seed=7))
+        assert algo.wedge_count == count_wedges(small_random_graph)
+
+    def test_triangle_free_gives_zero(self):
+        g = random_bipartite_graph(20, 20, 80, seed=8)
+        algo = WedgeSamplingTriangleCounter(sample_size=10**5, seed=9)
+        assert run_algorithm(algo, AdjacencyListStream(g, seed=10)).estimate == 0
+
+    def test_star_has_wedges_but_no_closures(self):
+        g = star_graph(8)
+        algo = WedgeSamplingTriangleCounter(sample_size=100, seed=11)
+        run_algorithm(algo, AdjacencyListStream(g, seed=12))
+        assert algo.wedge_count == 28
+        assert algo.closed_wedges == 0
+
+
+class TestStatisticalBehaviour:
+    def test_mean_near_truth(self, triangle_workload):
+        g = triangle_workload.graph
+        truth = triangle_workload.true_count
+        wedges = count_wedges(g)
+        budget = recommended_sample_size(wedges, truth, epsilon=0.5)
+        estimates = []
+        for i in range(40):
+            algo = WedgeSamplingTriangleCounter(sample_size=budget, seed=100 + i)
+            stream = AdjacencyListStream(g, seed=200 + i)
+            estimates.append(run_algorithm(algo, stream).estimate)
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.2)
+
+    def test_theorem_budget_achieves_epsilon(self, triangle_workload):
+        g = triangle_workload.graph
+        truth = triangle_workload.true_count
+        budget = recommended_sample_size(count_wedges(g), truth, epsilon=0.5)
+        within = 0
+        runs = 20
+        for i in range(runs):
+            algo = WedgeSamplingTriangleCounter(sample_size=budget, seed=300 + i)
+            stream = AdjacencyListStream(g, seed=400 + i)
+            est = run_algorithm(algo, stream).estimate
+            if abs(est - truth) <= 0.5 * truth:
+                within += 1
+        assert within >= runs * 2 // 3
+
+    def test_space_is_sample_size_bound(self, triangle_workload):
+        g = triangle_workload.graph
+        result = run_algorithm(
+            WedgeSamplingTriangleCounter(sample_size=50, seed=13),
+            AdjacencyListStream(g, seed=14),
+        )
+        assert result.peak_space_words <= 4 * 50 + 1
+
+
+class TestConfiguration:
+    def test_single_pass(self):
+        assert WedgeSamplingTriangleCounter(sample_size=5).n_passes == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WedgeSamplingTriangleCounter(sample_size=0)
+
+    def test_recommended_size_scaling(self):
+        assert recommended_sample_size(8000, 100) == pytest.approx(
+            2 * recommended_sample_size(4000, 100), rel=0.02
+        )
+        assert recommended_sample_size(8000, 100) == pytest.approx(
+            recommended_sample_size(8000, 200) * 2, rel=0.02
+        )
+
+    def test_recommended_size_zero_triangles(self):
+        assert recommended_sample_size(500, 0) == 500
+
+    def test_recommended_size_validation(self):
+        with pytest.raises(ValueError):
+            recommended_sample_size(-1, 10)
+        with pytest.raises(ValueError):
+            recommended_sample_size(10, 10, epsilon=0)

@@ -1,0 +1,24 @@
+"""Shared fixtures: deterministic workload graphs used across test modules."""
+
+import pytest
+
+from repro.graph.generators import gnm_random_graph
+from repro.graph.planted import planted_four_cycles, planted_triangles
+
+
+@pytest.fixture(scope="session")
+def small_random_graph():
+    """A fixed 60-vertex, 200-edge random graph."""
+    return gnm_random_graph(60, 200, seed=12345)
+
+
+@pytest.fixture(scope="session")
+def triangle_workload():
+    """Planted-triangle workload: m = 1200, T = 150 (exactly)."""
+    return planted_triangles(750, 150, seed=777)
+
+
+@pytest.fixture(scope="session")
+def fourcycle_workload():
+    """Planted-4-cycle workload: m = 1000, T = 100 (exactly)."""
+    return planted_four_cycles(600, 100, seed=778)

@@ -1,0 +1,82 @@
+"""Tests for the unknown-T adaptive triangle counter."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveTriangleCounter
+from repro.graph.counting import count_triangles
+from repro.graph.generators import random_bipartite_graph
+from repro.graph.planted import planted_triangles
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+class TestConstruction:
+    def test_levels_default_geometric(self):
+        algo = AdaptiveTriangleCounter(max_sample_size=64, seed=1)
+        budgets = [level.sample_size for level in algo.levels]
+        assert budgets[0] == 64
+        assert all(budgets[i] == 2 * budgets[i + 1] for i in range(len(budgets) - 1))
+        assert budgets[-1] >= 8
+
+    def test_explicit_levels(self):
+        algo = AdaptiveTriangleCounter(max_sample_size=100, levels=3, seed=2)
+        assert [level.sample_size for level in algo.levels] == [100, 50, 25]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveTriangleCounter(max_sample_size=0)
+        with pytest.raises(ValueError):
+            AdaptiveTriangleCounter(max_sample_size=10, levels=0)
+
+    def test_metadata(self):
+        algo = AdaptiveTriangleCounter(max_sample_size=16)
+        assert algo.n_passes == 2
+        assert algo.requires_same_order
+
+
+class TestAccuracyWithoutKnowingT:
+    @pytest.mark.parametrize("t", [10, 100, 400])
+    def test_accurate_across_t_scales(self, t):
+        planted = planted_triangles(1500 - 3 * t, t, seed=t)
+        g = planted.graph
+        within = 0
+        runs = 8
+        for i in range(runs):
+            algo = AdaptiveTriangleCounter(max_sample_size=g.m, seed=100 * t + i)
+            result = run_algorithm(algo, AdjacencyListStream(g, seed=7 * t + i))
+            if abs(result.estimate - t) <= 0.5 * t:
+                within += 1
+        assert within >= runs * 2 // 3
+
+    def test_larger_t_selects_cheaper_level(self):
+        chosen_budgets = {}
+        for t in (10, 400):
+            planted = planted_triangles(1500 - 3 * t, t, seed=t)
+            algo = AdaptiveTriangleCounter(max_sample_size=planted.graph.m, seed=1)
+            run_algorithm(algo, AdjacencyListStream(planted.graph, seed=2))
+            chosen_budgets[t] = algo.chosen_level().sample_size
+        assert chosen_budgets[400] < chosen_budgets[10]
+
+    def test_triangle_free_graph(self):
+        g = random_bipartite_graph(30, 30, 150, seed=3)
+        algo = AdaptiveTriangleCounter(max_sample_size=g.m, seed=4)
+        result = run_algorithm(algo, AdjacencyListStream(g, seed=5))
+        assert result.estimate == 0.0
+        assert count_triangles(g) == 0
+
+    def test_level_report(self):
+        planted = planted_triangles(300, 30, seed=6)
+        algo = AdaptiveTriangleCounter(max_sample_size=planted.graph.m, seed=7)
+        run_algorithm(algo, AdjacencyListStream(planted.graph, seed=8))
+        report = algo.level_report()
+        assert len(report) == len(algo.levels)
+        assert all(
+            {"sample_size", "counted_pairs", "estimate"} <= set(row) for row in report
+        )
+        supports = [row["counted_pairs"] for row in report]
+        # Support shrinks (weakly) with the budget.
+        assert all(supports[i] >= supports[i + 1] - 2 for i in range(len(supports) - 1))
+
+    def test_space_is_sum_of_levels(self):
+        algo = AdaptiveTriangleCounter(max_sample_size=32, levels=2, seed=9)
+        assert algo.space_words() == sum(l.space_words() for l in algo.levels)

@@ -1,0 +1,144 @@
+"""Tests for median-of-copies amplification."""
+
+import pytest
+
+from repro.core.boosting import MedianBoosted, copies_for_confidence
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.graph.counting import count_triangles
+from repro.graph.planted import planted_triangles
+from repro.streaming.algorithm import FixedValueAlgorithm, StreamingAlgorithm
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+class TestCopiesForConfidence:
+    def test_monotone_in_confidence(self):
+        assert copies_for_confidence(0.01) > copies_for_confidence(0.3)
+
+    def test_always_odd(self):
+        for delta in (0.3, 0.1, 0.01, 0.001):
+            assert copies_for_confidence(delta) % 2 == 1
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            copies_for_confidence(0.0)
+        with pytest.raises(ValueError):
+            copies_for_confidence(1.0)
+
+
+class TestMedianBoosted:
+    def test_median_of_fixed_values(self):
+        values = iter([1.0, 100.0, 3.0])
+
+        def factory(seed):
+            return FixedValueAlgorithm(next(values))
+
+        boosted = MedianBoosted(factory, copies=3, seed=1)
+        assert boosted.result() == 3.0
+        assert boosted.estimates() == [1.0, 100.0, 3.0]
+
+    def test_copies_get_distinct_seeds(self):
+        seeds = []
+
+        def factory(seed):
+            seeds.append(seed)
+            return FixedValueAlgorithm(0.0)
+
+        MedianBoosted(factory, copies=4, seed=2)
+        draws = [s.random() for s in seeds]
+        assert len(set(draws)) == 4
+
+    def test_requires_positive_copies(self):
+        with pytest.raises(ValueError):
+            MedianBoosted(lambda s: FixedValueAlgorithm(0.0), copies=0)
+
+    def test_mixed_pass_counts_rejected(self):
+        calls = [0]
+
+        def factory(seed):
+            calls[0] += 1
+            algo = FixedValueAlgorithm(0.0)
+            algo.n_passes = calls[0]  # 1 then 2: inconsistent
+            return algo
+
+        with pytest.raises(ValueError):
+            MedianBoosted(factory, copies=2, seed=3)
+
+    def test_space_is_sum_of_copies(self):
+        boosted = MedianBoosted(lambda s: FixedValueAlgorithm(1.0), copies=5, seed=4)
+        assert boosted.space_words() == 5
+
+    def test_inherits_same_order_requirement(self):
+        boosted = MedianBoosted(
+            lambda s: TwoPassTriangleCounter(sample_size=10, seed=s), copies=2, seed=5
+        )
+        assert boosted.requires_same_order
+        assert boosted.n_passes == 2
+
+
+class TestEndToEndBoosting:
+    def test_boosting_improves_stability(self):
+        planted = planted_triangles(600, 120, seed=6)
+        g = planted.graph
+        truth = planted.true_count
+        budget = g.m // 8
+
+        def single_estimates(runs):
+            out = []
+            for i in range(runs):
+                algo = TwoPassTriangleCounter(sample_size=budget, seed=100 + i)
+                out.append(
+                    run_algorithm(algo, AdjacencyListStream(g, seed=200 + i)).estimate
+                )
+            return out
+
+        def boosted_estimates(runs):
+            out = []
+            for i in range(runs):
+                boosted = MedianBoosted(
+                    lambda s: TwoPassTriangleCounter(sample_size=budget, seed=s),
+                    copies=7,
+                    seed=300 + i,
+                )
+                out.append(
+                    run_algorithm(boosted, AdjacencyListStream(g, seed=400 + i)).estimate
+                )
+            return out
+
+        import statistics
+
+        single_sd = statistics.pstdev(single_estimates(20))
+        boosted_sd = statistics.pstdev(boosted_estimates(20))
+        assert boosted_sd < single_sd
+
+    def test_all_callbacks_fan_out(self):
+        events = []
+
+        class Recorder(StreamingAlgorithm):
+            n_passes = 1
+
+            def __init__(self, tag):
+                self.tag = tag
+
+            def begin_pass(self, i):
+                events.append((self.tag, "bp"))
+
+            def process(self, s, n):
+                events.append((self.tag, "p"))
+
+            def end_pass(self, i):
+                events.append((self.tag, "ep"))
+
+            def result(self):
+                return 0.0
+
+            def space_words(self):
+                return 0
+
+        tags = iter("ab")
+        boosted = MedianBoosted(lambda s: Recorder(next(tags)), copies=2, seed=7)
+        g = planted_triangles(20, 2, seed=8).graph
+        run_algorithm(boosted, AdjacencyListStream(g, seed=9))
+        assert ("a", "bp") in events and ("b", "bp") in events
+        assert ("a", "ep") in events and ("b", "ep") in events
+        assert count_triangles(g) == 2  # sanity on the fixture

@@ -1,0 +1,225 @@
+"""Tests for the two-pass 4-cycle counter (Theorem 4.6)."""
+
+import statistics
+
+import pytest
+
+from repro.core.fourcycle_two_pass import (
+    TwoPassFourCycleCounter,
+    cycle_key,
+    recommended_sample_size,
+)
+from repro.graph.counting import count_four_cycles
+from repro.graph.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    random_forest,
+    theta_graph,
+)
+from repro.graph.planted import planted_four_cycles, planted_four_cycles_theta
+from repro.streaming.orderings import ORDERING_FACTORIES
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+class TestCycleKey:
+    def test_rotation_invariant(self):
+        assert cycle_key(1, 2, 3, 4) == cycle_key(3, 4, 1, 2)
+
+    def test_reflection_invariant(self):
+        assert cycle_key(1, 2, 3, 4) == cycle_key(1, 4, 3, 2)
+
+    def test_distinguishes_diagonals(self):
+        # Same vertex set, different cycle (different diagonal pairing).
+        assert cycle_key(1, 2, 3, 4) != cycle_key(2, 1, 3, 4)
+
+
+class TestExactRegime:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            cycle_graph(4),
+            complete_bipartite(3, 3),
+            theta_graph(5),
+            complete_graph(6),
+            gnm_random_graph(30, 100, seed=1),
+        ],
+    )
+    @pytest.mark.parametrize("mode", ["distinct", "multiplicity"])
+    def test_exact_when_everything_sampled(self, graph, mode):
+        truth = count_four_cycles(graph)
+        algo = TwoPassFourCycleCounter(sample_size=2 * graph.m, mode=mode, seed=3)
+        stream = AdjacencyListStream(graph, seed=4)
+        assert run_algorithm(algo, stream).estimate == pytest.approx(truth)
+
+    def test_exact_under_every_ordering(self):
+        g = gnm_random_graph(25, 80, seed=2)
+        truth = count_four_cycles(g)
+        for name, factory in ORDERING_FACTORIES.items():
+            algo = TwoPassFourCycleCounter(sample_size=2 * g.m, seed=5)
+            estimate = run_algorithm(algo, factory(g, seed=6)).estimate
+            assert estimate == pytest.approx(truth), f"ordering {name}"
+
+    def test_cycle_free_graph_gives_zero(self):
+        g = random_forest(60, 40, seed=7)
+        algo = TwoPassFourCycleCounter(sample_size=30, seed=8)
+        assert run_algorithm(algo, AdjacencyListStream(g, seed=9)).estimate == 0.0
+
+    def test_edge_count_and_wedge_count(self):
+        g = gnm_random_graph(20, 60, seed=10)
+        algo = TwoPassFourCycleCounter(sample_size=2 * g.m, seed=11)
+        run_algorithm(algo, AdjacencyListStream(g, seed=12))
+        assert algo.edge_count == g.m
+        from repro.graph.counting import count_wedges
+
+        assert algo.wedge_sample_size == count_wedges(g)
+
+
+class TestStatisticalBehaviour:
+    def test_multiplicity_mode_unbiased(self, fourcycle_workload):
+        g = fourcycle_workload.graph
+        truth = fourcycle_workload.true_count
+        estimates = []
+        for i in range(40):
+            algo = TwoPassFourCycleCounter(sample_size=g.m // 3, seed=100 + i)
+            stream = AdjacencyListStream(g, seed=200 + i)
+            estimates.append(run_algorithm(algo, stream).estimate)
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.2)
+
+    def test_distinct_mode_within_constant_factor(self, fourcycle_workload):
+        g = fourcycle_workload.graph
+        truth = fourcycle_workload.true_count
+        estimates = []
+        for i in range(30):
+            algo = TwoPassFourCycleCounter(
+                sample_size=g.m // 3, mode="distinct", seed=300 + i
+            )
+            stream = AdjacencyListStream(g, seed=400 + i)
+            estimates.append(run_algorithm(algo, stream).estimate)
+        med = statistics.median(estimates)
+        # A cycle is hit when any of its 4 wedges is sampled: the distinct
+        # estimator concentrates in [T, 4T].
+        assert truth * 0.5 <= med <= truth * 5
+
+    def test_theorem_budget_constant_factor(self, fourcycle_workload):
+        g = fourcycle_workload.graph
+        truth = fourcycle_workload.true_count
+        budget = recommended_sample_size(g.m, truth)
+        within = 0
+        runs = 20
+        for i in range(runs):
+            algo = TwoPassFourCycleCounter(sample_size=budget, seed=500 + i)
+            stream = AdjacencyListStream(g, seed=600 + i)
+            est = run_algorithm(algo, stream).estimate
+            if truth / 4 <= est <= truth * 4:
+                within += 1
+        assert within >= runs * 2 // 3
+
+    def test_entangled_cycles_theta_workload(self):
+        planted = planted_four_cycles_theta(300, 14, seed=13)
+        g = planted.graph
+        truth = planted.true_count
+        estimates = []
+        for i in range(30):
+            algo = TwoPassFourCycleCounter(sample_size=g.m // 2, seed=700 + i)
+            stream = AdjacencyListStream(g, seed=800 + i)
+            estimates.append(run_algorithm(algo, stream).estimate)
+        assert statistics.median(estimates) == pytest.approx(truth, rel=0.6)
+
+
+class TestConfiguration:
+    def test_metadata(self):
+        algo = TwoPassFourCycleCounter(sample_size=5)
+        assert algo.n_passes == 2
+        assert not algo.requires_same_order
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            TwoPassFourCycleCounter(sample_size=5, mode="bogus")
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TwoPassFourCycleCounter(sample_size=0)
+
+    def test_inclusion_probability_exact_regime_is_one(self):
+        g = cycle_graph(6)
+        algo = TwoPassFourCycleCounter(sample_size=2 * g.m, seed=1)
+        run_algorithm(algo, AdjacencyListStream(g, seed=2))
+        assert algo.inverse_inclusion_probability == 1.0
+
+    def test_inclusion_probability_formula(self):
+        p = planted_four_cycles(200, 10, seed=3)
+        g = p.graph
+        algo = TwoPassFourCycleCounter(sample_size=50, seed=4)
+        run_algorithm(algo, AdjacencyListStream(g, seed=5))
+        m = g.m
+        assert algo.inverse_inclusion_probability == pytest.approx(
+            (m * (m - 1)) / (50 * 49)
+        )
+
+
+class TestRecommendedSampleSize:
+    def test_t_exponent(self):
+        small_t = recommended_sample_size(10**6, 2**8)
+        big_t = recommended_sample_size(10**6, 2**16)
+        assert small_t / big_t == pytest.approx(2 ** (8 * 0.375), rel=0.01)
+
+    def test_zero_cycles_store_everything(self):
+        assert recommended_sample_size(300, 0) == 300
+
+    def test_minimum_two(self):
+        assert recommended_sample_size(10, 10**9) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommended_sample_size(-5, 3)
+
+
+class TestWedgeCap:
+    """Optional |Q| bound: uniform wedge subsampling with rescaling."""
+
+    def test_cap_respected(self, fourcycle_workload):
+        g = fourcycle_workload.graph
+        algo = TwoPassFourCycleCounter(sample_size=g.m // 3, wedge_cap=40, seed=1)
+        run_algorithm(algo, AdjacencyListStream(g, seed=2))
+        assert algo.wedge_sample_size <= 40
+        assert algo.wedge_population >= algo.wedge_sample_size
+        assert 0 < algo.wedge_keep_fraction <= 1
+
+    def test_no_cap_keeps_everything(self, fourcycle_workload):
+        g = fourcycle_workload.graph
+        algo = TwoPassFourCycleCounter(sample_size=g.m // 3, seed=3)
+        run_algorithm(algo, AdjacencyListStream(g, seed=4))
+        assert algo.wedge_keep_fraction == 1.0
+        assert algo.wedge_sample_size == algo.wedge_population
+
+    def test_capped_estimator_stays_calibrated(self, fourcycle_workload):
+        g = fourcycle_workload.graph
+        truth = fourcycle_workload.true_count
+        estimates = []
+        for i in range(40):
+            algo = TwoPassFourCycleCounter(
+                sample_size=g.m // 3, wedge_cap=60, seed=900 + i
+            )
+            stream = AdjacencyListStream(g, seed=950 + i)
+            estimates.append(run_algorithm(algo, stream).estimate)
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.35)
+
+    def test_cap_bounds_space_on_hub_samples(self):
+        """A sampled star makes |Q| quadratic without the cap."""
+        from repro.graph.generators import star_graph
+
+        g = star_graph(60)
+        uncapped = TwoPassFourCycleCounter(sample_size=2 * g.m, seed=5)
+        run_algorithm(uncapped, AdjacencyListStream(g, seed=6))
+        assert uncapped.wedge_sample_size == 60 * 59 // 2
+        capped = TwoPassFourCycleCounter(sample_size=2 * g.m, wedge_cap=30, seed=5)
+        result = run_algorithm(capped, AdjacencyListStream(g, seed=6))
+        assert capped.wedge_sample_size == 30
+        assert result.estimate == 0.0  # stars have no 4-cycles
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            TwoPassFourCycleCounter(sample_size=5, wedge_cap=0)

@@ -1,0 +1,91 @@
+"""Tests for transitivity estimation and the exact wedge counter."""
+
+import pytest
+
+from repro.core.transitivity import TransitivityEstimator, WedgeCounter
+from repro.graph.counting import count_wedges, transitivity
+from repro.graph.generators import (
+    complete_bipartite,
+    complete_graph,
+    gnm_random_graph,
+    star_graph,
+)
+from repro.graph.planted import planted_triangles
+from repro.graph.graph import Graph
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+class TestWedgeCounter:
+    @pytest.mark.parametrize(
+        "graph",
+        [star_graph(7), complete_graph(6), gnm_random_graph(30, 90, seed=1)],
+    )
+    def test_exact(self, graph):
+        algo = WedgeCounter()
+        result = run_algorithm(algo, AdjacencyListStream(graph, seed=2))
+        assert result.estimate == count_wedges(graph)
+
+    def test_constant_space(self):
+        g = gnm_random_graph(50, 200, seed=3)
+        result = run_algorithm(WedgeCounter(), AdjacencyListStream(g, seed=4))
+        assert result.peak_space_words == 1
+
+    def test_empty_graph(self):
+        algo = WedgeCounter()
+        result = run_algorithm(algo, AdjacencyListStream(Graph(vertices=[0, 1]), seed=1))
+        assert result.estimate == 0
+
+
+class TestTransitivityEstimator:
+    def test_exact_regime_matches_truth(self):
+        g = gnm_random_graph(40, 160, seed=5)
+        algo = TransitivityEstimator(sample_size=4 * g.m, seed=6)
+        result = run_algorithm(algo, AdjacencyListStream(g, seed=7))
+        assert result.estimate == pytest.approx(transitivity(g))
+
+    def test_complete_graph_transitivity_one(self):
+        g = complete_graph(8)
+        # K8 has 56 triangles -> 168 candidate pairs; keep Q unsaturated.
+        algo = TransitivityEstimator(sample_size=2 * g.m + 170, seed=8)
+        result = run_algorithm(algo, AdjacencyListStream(g, seed=9))
+        assert result.estimate == pytest.approx(1.0)
+
+    def test_triangle_free_transitivity_zero(self):
+        g = complete_bipartite(5, 5)
+        algo = TransitivityEstimator(sample_size=20, seed=10)
+        result = run_algorithm(algo, AdjacencyListStream(g, seed=11))
+        assert result.estimate == 0.0
+
+    def test_wedgeless_graph(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        algo = TransitivityEstimator(sample_size=10, seed=12)
+        result = run_algorithm(algo, AdjacencyListStream(g, seed=13))
+        assert result.estimate == 0.0
+
+    def test_sampled_regime_reasonable(self):
+        planted = planted_triangles(700, 150, seed=14)
+        g = planted.graph
+        truth = transitivity(g)
+        estimates = []
+        for i in range(15):
+            algo = TransitivityEstimator(sample_size=g.m // 4, seed=100 + i)
+            result = run_algorithm(algo, AdjacencyListStream(g, seed=200 + i))
+            estimates.append(result.estimate)
+        import statistics
+
+        assert statistics.median(estimates) == pytest.approx(truth, rel=0.4)
+
+    def test_component_accessors(self):
+        g = gnm_random_graph(25, 80, seed=15)
+        algo = TransitivityEstimator(sample_size=4 * g.m, seed=16)
+        run_algorithm(algo, AdjacencyListStream(g, seed=17))
+        assert algo.wedge_count() == count_wedges(g)
+        assert algo.result() == pytest.approx(
+            3 * algo.triangle_estimate() / algo.wedge_count()
+        )
+
+    def test_metadata(self):
+        algo = TransitivityEstimator(sample_size=5)
+        assert algo.n_passes == 2
+        assert algo.requires_same_order

@@ -1,0 +1,100 @@
+"""Tests for the three-pass exact-lightest-edge counter (Section 2.1)."""
+
+import statistics
+
+import pytest
+
+from repro.core.triangle_three_pass import ThreePassTriangleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter, triangle_edges
+from repro.graph.counting import count_triangles, triangles_per_edge
+from repro.graph.generators import complete_graph, gnm_random_graph
+from repro.graph.planted import planted_triangles_book
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+class TestExactRegime:
+    @pytest.mark.parametrize(
+        "graph",
+        [complete_graph(7), gnm_random_graph(30, 120, seed=1)],
+    )
+    def test_exact_when_unsaturated(self, graph):
+        truth = count_triangles(graph)
+        budget = 2 * graph.m + 3 * truth + 5
+        algo = ThreePassTriangleCounter(sample_size=budget, seed=2)
+        result = run_algorithm(algo, AdjacencyListStream(graph, seed=3))
+        assert result.estimate == pytest.approx(truth)
+        assert result.passes == 3
+
+    def test_candidate_total_is_3t_when_all_sampled(self):
+        g = gnm_random_graph(25, 90, seed=4)
+        t = count_triangles(g)
+        algo = ThreePassTriangleCounter(sample_size=2 * g.m + 3 * t + 5, seed=5)
+        run_algorithm(algo, AdjacencyListStream(g, seed=6))
+        assert algo.candidate_total == 3 * t
+        assert algo.counted_pairs() == t
+
+    def test_edge_loads_are_exact(self):
+        g = gnm_random_graph(25, 90, seed=7)
+        t = count_triangles(g)
+        algo = ThreePassTriangleCounter(sample_size=2 * g.m + 3 * t + 5, seed=8)
+        run_algorithm(algo, AdjacencyListStream(g, seed=9))
+        truth = triangles_per_edge(g)
+        for pair in algo._reservoir.items():
+            for f in triangle_edges(pair.triangle):
+                assert algo.edge_load(f) == truth[f]
+
+    def test_edge_count_measured(self, small_random_graph):
+        algo = ThreePassTriangleCounter(sample_size=10, seed=10)
+        run_algorithm(algo, AdjacencyListStream(small_random_graph, seed=11))
+        assert algo.edge_count == small_random_graph.m
+
+
+class TestStatisticalBehaviour:
+    def test_mean_near_truth(self, triangle_workload):
+        g = triangle_workload.graph
+        truth = triangle_workload.true_count
+        estimates = []
+        for i in range(30):
+            algo = ThreePassTriangleCounter(sample_size=g.m // 4, seed=100 + i)
+            stream = AdjacencyListStream(g, seed=200 + i)
+            estimates.append(run_algorithm(algo, stream).estimate)
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_heavy_edge_robustness_matches_two_pass(self):
+        """The H-based two-pass rule was designed to match this exact-load
+        rule; their spreads on the heavy-edge workload should be within a
+        small factor of each other."""
+        planted = planted_triangles_book(500, 250, seed=12)
+        g = planted.graph
+        budget = g.m // 6
+
+        def spread(factory):
+            ests = []
+            for i in range(25):
+                stream = AdjacencyListStream(g, seed=300 + i)
+                ests.append(run_algorithm(factory(i), stream).estimate)
+            return statistics.pstdev(ests)
+
+        three_sd = spread(lambda i: ThreePassTriangleCounter(budget, seed=i))
+        two_sd = spread(lambda i: TwoPassTriangleCounter(budget, seed=50 + i))
+        assert three_sd < 3 * two_sd
+        assert two_sd < 3 * three_sd
+
+
+class TestConfiguration:
+    def test_three_passes_order_free(self):
+        algo = ThreePassTriangleCounter(sample_size=5)
+        assert algo.n_passes == 3
+        assert not algo.requires_same_order
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ThreePassTriangleCounter(sample_size=0)
+
+    def test_zero_triangles(self):
+        from repro.graph.generators import random_bipartite_graph
+
+        g = random_bipartite_graph(20, 20, 80, seed=13)
+        algo = ThreePassTriangleCounter(sample_size=40, seed=14)
+        assert run_algorithm(algo, AdjacencyListStream(g, seed=15)).estimate == 0.0

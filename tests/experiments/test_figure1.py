@@ -1,0 +1,73 @@
+"""Tests for the Figure-1 experiment drivers (small configurations)."""
+
+from repro.experiments.figure1 import (
+    panel_a_rows,
+    panel_b_rows,
+    panel_c_heuristic_failure,
+    panel_c_rows,
+    panel_d_rows,
+    panel_e_rows,
+    rows_as_dicts,
+)
+
+
+def _assert_panel_ok(rows):
+    assert rows
+    for row in rows:
+        assert row.structure_ok, f"structure failed: {row}"
+        assert row.protocol_correct, f"protocol failed: {row}"
+    answers = {row.answer for row in rows}
+    assert answers == {0, 1}, "both instance types must be exercised"
+
+
+class TestPanels:
+    def test_panel_a(self):
+        rows = panel_a_rows(r_values=(8,), k=4, seed=1)
+        _assert_panel_ok(rows)
+        # The matching sublinear upper bound must also decide correctly.
+        for row in rows:
+            assert row.sublinear_output == row.answer
+
+    def test_panel_b(self):
+        rows = panel_b_rows(r_values=(6,), k=3, seed=2)
+        _assert_panel_ok(rows)
+        for row in rows:
+            assert row.sublinear_output == row.answer
+
+    def test_panel_c(self):
+        rows = panel_c_rows(sides=(7,), k=6, seed=3)
+        _assert_panel_ok(rows)
+        for row in rows:
+            assert row.sublinear_output == row.answer
+
+    def test_panel_d(self):
+        rows = panel_d_rows(side_pairs=((7, 7),), seed=4)
+        _assert_panel_ok(rows)
+        for row in rows:
+            assert row.sublinear_output == row.answer
+
+    def test_panel_e(self):
+        rows = panel_e_rows(lengths=(5, 6), r=15, cycles=5, seed=5)
+        _assert_panel_ok(rows)
+        for row in rows:
+            assert row.sublinear_output is None  # no sublinear algorithm exists
+
+    def test_rows_as_dicts(self):
+        rows = panel_e_rows(lengths=(5,), r=10, cycles=3, seed=6)
+        dicts = rows_as_dicts(rows)
+        assert dicts[0]["panel"] == "1e"
+        assert dicts[0]["sublinear_out"] == "-"
+
+
+class TestHeuristicFailure:
+    def test_detection_rate_monotone_in_space(self):
+        rows = panel_c_heuristic_failure(
+            side=7, k=4, rates=(0.1, 1.0), trials=12, seed=7
+        )
+        assert rows[0].detect_rate <= rows[1].detect_rate
+        assert rows[1].detect_rate >= 0.9  # Θ(m) space: near-certain detection
+        assert rows[0].detect_rate <= 0.5  # sublinear space: unreliable
+
+    def test_space_column_scales_with_rate(self):
+        rows = panel_c_heuristic_failure(side=7, k=4, rates=(0.2, 0.8), trials=3, seed=8)
+        assert rows[0].expected_space_words < rows[1].expected_space_words

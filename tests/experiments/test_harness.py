@@ -1,0 +1,108 @@
+"""Tests for the experiment sweep harness."""
+
+import pytest
+
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.experiments.harness import (
+    accuracy_sweep,
+    measure_accuracy,
+    min_budget_for_accuracy,
+)
+from repro.streaming.algorithm import FixedValueAlgorithm
+
+
+def _two_pass(budget, seed):
+    return TwoPassTriangleCounter(sample_size=max(budget, 1), seed=seed)
+
+
+class TestMeasureAccuracy:
+    def test_perfect_estimator(self, triangle_workload):
+        point = measure_accuracy(
+            lambda b, s: FixedValueAlgorithm(triangle_workload.true_count),
+            triangle_workload.graph,
+            triangle_workload.true_count,
+            budget=10,
+            runs=4,
+            seed=1,
+        )
+        assert point.median_relative_error == 0
+        assert point.success_rate == 1.0
+        assert point.runs == 4
+        assert point.budget == 10
+
+    def test_real_estimator_in_exact_regime(self, triangle_workload):
+        g = triangle_workload.graph
+        point = measure_accuracy(
+            _two_pass,
+            g,
+            triangle_workload.true_count,
+            budget=2 * g.m + 3 * triangle_workload.true_count,
+            runs=3,
+            seed=2,
+        )
+        assert point.median_relative_error == 0
+        assert point.mean_peak_space_words > 0
+
+    def test_reproducible(self, triangle_workload):
+        kwargs = dict(
+            graph=triangle_workload.graph,
+            truth=triangle_workload.true_count,
+            budget=100,
+            runs=5,
+            seed=7,
+        )
+        p1 = measure_accuracy(_two_pass, **kwargs)
+        p2 = measure_accuracy(_two_pass, **kwargs)
+        assert p1 == p2
+
+
+class TestAccuracySweep:
+    def test_error_decreases_with_budget(self, triangle_workload):
+        g = triangle_workload.graph
+        points = accuracy_sweep(
+            _two_pass,
+            g,
+            triangle_workload.true_count,
+            budgets=[30, g.m],
+            runs=10,
+            seed=3,
+        )
+        assert len(points) == 2
+        assert points[1].median_relative_error <= points[0].median_relative_error
+
+
+class TestMinBudgetSearch:
+    def test_finds_budget(self, triangle_workload):
+        budget = min_budget_for_accuracy(
+            _two_pass,
+            triangle_workload.graph,
+            triangle_workload.true_count,
+            epsilon=0.5,
+            runs=6,
+            seed=4,
+        )
+        assert budget is not None
+        assert budget <= 4 * triangle_workload.graph.m
+
+    def test_impossible_target_returns_none(self, triangle_workload):
+        budget = min_budget_for_accuracy(
+            lambda b, s: FixedValueAlgorithm(0.0),  # always wrong
+            triangle_workload.graph,
+            triangle_workload.true_count,
+            epsilon=0.1,
+            runs=2,
+            max_budget=64,
+            seed=5,
+        )
+        assert budget is None
+
+    def test_trivial_estimator_start_budget(self, triangle_workload):
+        budget = min_budget_for_accuracy(
+            lambda b, s: FixedValueAlgorithm(triangle_workload.true_count),
+            triangle_workload.graph,
+            triangle_workload.true_count,
+            runs=2,
+            start_budget=8,
+            seed=6,
+        )
+        assert budget == 8

@@ -1,0 +1,86 @@
+"""Tests for experiment result persistence."""
+
+import pytest
+
+from repro.experiments.figure1 import PanelRow, panel_e_rows
+from repro.experiments.harness import AccuracyPoint
+from repro.experiments.persistence import (
+    load_metadata,
+    load_results,
+    record_from_dict,
+    record_to_dict,
+    save_results,
+)
+from repro.experiments.table1 import Table1Row
+
+
+@pytest.fixture()
+def accuracy_point():
+    return AccuracyPoint(
+        budget=100,
+        truth=50.0,
+        runs=10,
+        median_estimate=49.5,
+        median_relative_error=0.05,
+        success_rate=0.9,
+        epsilon=0.5,
+        mean_peak_space_words=1234.5,
+    )
+
+
+@pytest.fixture()
+def table_row(accuracy_point):
+    return Table1Row(
+        label="triangle 2-pass (Thm 3.7)",
+        m=3000,
+        true_count=50,
+        budget_rule="6*m/T^(2/3)",
+        budget=100,
+        point=accuracy_point,
+    )
+
+
+class TestRecordRoundtrip:
+    def test_flat_record(self, accuracy_point):
+        blob = record_to_dict(accuracy_point)
+        assert blob["type"] == "AccuracyPoint"
+        assert record_from_dict(blob) == accuracy_point
+
+    def test_nested_record(self, table_row):
+        blob = record_to_dict(table_row)
+        restored = record_from_dict(blob)
+        assert restored == table_row
+        assert isinstance(restored.point, AccuracyPoint)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            record_to_dict({"not": "a dataclass"})
+
+    def test_malformed_blob_rejected(self):
+        with pytest.raises(ValueError):
+            record_from_dict({"nope": 1})
+        with pytest.raises(ValueError):
+            record_from_dict({"type": "Bogus", "data": {}})
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, tmp_path, table_row, accuracy_point):
+        path = tmp_path / "results.json"
+        save_results([table_row, accuracy_point], path, metadata={"seed": 0})
+        restored = load_results(path)
+        assert restored == [table_row, accuracy_point]
+        assert load_metadata(path) == {"seed": 0}
+
+    def test_real_experiment_rows_roundtrip(self, tmp_path):
+        rows = panel_e_rows(lengths=(5,), r=8, cycles=3, seed=1)
+        path = tmp_path / "panel_e.json"
+        save_results(rows, path, metadata={"panel": "1e"})
+        restored = load_results(path)
+        assert restored == rows
+        assert all(isinstance(r, PanelRow) for r in restored)
+
+    def test_empty_results(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_results([], path)
+        assert load_results(path) == []
+        assert load_metadata(path) == {}

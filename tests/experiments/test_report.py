@@ -1,0 +1,36 @@
+"""Tests for the text table renderer."""
+
+from repro.experiments.report import format_table, print_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({line.rstrip() and len(line.rstrip()) for line in lines}) >= 1
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456], [12345.6], [0.0001234]])
+        assert "0.123" in text
+        assert "1.23e+04" in text
+        assert "0.000123" in text
+
+    def test_nan(self):
+        assert "nan" in format_table(["x"], [[float("nan")]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_print_table_smoke(self, capsys):
+        print_table(["col"], [[1]], title="T")
+        out = capsys.readouterr().out
+        assert "T" in out
+        assert "col" in out

@@ -1,0 +1,62 @@
+"""Tests for the Table-1 experiment drivers (small configurations)."""
+
+import pytest
+
+from repro.experiments.table1 import (
+    distinguisher_rows,
+    fourcycle_rows,
+    rows_as_dicts,
+    scaling_experiment,
+    triangle_one_pass_rows,
+    triangle_two_pass_rows,
+)
+
+
+class TestTriangleRows:
+    def test_two_pass_rows_hit_accuracy(self):
+        rows = triangle_two_pass_rows(t_values=(125,), m_target=1200, runs=10, seed=1)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.m == 1200
+        assert row.true_count == 125
+        assert row.point.success_rate >= 0.7
+        assert row.budget < row.m
+
+    def test_one_pass_rows_hit_accuracy(self):
+        rows = triangle_one_pass_rows(t_values=(125,), m_target=1200, runs=10, seed=2)
+        assert rows[0].point.success_rate >= 0.7
+
+    def test_rows_as_dicts(self):
+        rows = triangle_two_pass_rows(t_values=(64,), m_target=800, runs=4, seed=3)
+        dicts = rows_as_dicts(rows)
+        assert dicts[0]["T"] == 64
+        assert "median_rel_err" in dicts[0]
+
+
+class TestDistinguisherRows:
+    def test_no_false_positives_and_good_detection(self):
+        rows = distinguisher_rows(t_values=(125,), m_target=1200, runs=10, seed=4)
+        row = rows[0]
+        assert row.false_positive_rate == 0.0
+        assert row.detect_rate_on_t >= 0.7
+
+
+class TestFourCycleRows:
+    def test_constant_factor_accuracy(self):
+        rows = fourcycle_rows(t_values=(256,), m_target=1200, runs=10, seed=5)
+        assert rows[0].point.success_rate >= 0.7
+
+
+class TestScalingExperiment:
+    @pytest.mark.slow
+    def test_exponents_and_winner(self):
+        result = scaling_experiment(
+            t_values=(27, 125, 343), m_target=2000, runs=8, seed=6
+        )
+        assert result is not None
+        # Doubling-search resolution is coarse: just require the qualitative
+        # shape — both needs decrease with T, and the 2-pass algorithm's
+        # need decreases at least as fast as the 1-pass baseline's.
+        assert result.two_pass_exponent < 0
+        assert result.one_pass_exponent < 0
+        assert result.two_pass_budgets[-1] <= result.two_pass_budgets[0]

@@ -1,0 +1,197 @@
+"""Tests for exact subgraph counting, cross-validated three ways."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.counting import (
+    count_cycles,
+    count_cycles_by_trace,
+    count_four_cycles,
+    count_triangles,
+    count_wedges,
+    enumerate_four_cycles,
+    enumerate_triangles,
+    four_cycles_per_edge,
+    girth_at_least,
+    is_cycle_free,
+    transitivity,
+    triangles_per_edge,
+)
+from repro.graph.generators import (
+    book_graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    path_graph,
+    star_graph,
+    theta_graph,
+    windmill_graph,
+)
+from repro.graph.graph import Graph
+
+
+def random_graph_strategy():
+    return st.builds(
+        lambda n, m_frac, seed: gnm_random_graph(
+            n, int(m_frac * n * (n - 1) // 2), seed=seed
+        ),
+        n=st.integers(4, 18),
+        m_frac=st.floats(0.1, 0.8),
+        seed=st.integers(0, 10**6),
+    )
+
+
+class TestTriangles:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (complete_graph(3), 1),
+            (complete_graph(4), 4),
+            (complete_graph(5), 10),
+            (complete_graph(6), 20),
+            (cycle_graph(5), 0),
+            (path_graph(10), 0),
+            (star_graph(8), 0),
+            (complete_bipartite(3, 4), 0),
+            (book_graph(7), 7),
+            (windmill_graph(5), 5),
+        ],
+    )
+    def test_known_counts(self, graph, expected):
+        assert count_triangles(graph) == expected
+
+    def test_enumeration_matches_count(self, small_random_graph):
+        tris = list(enumerate_triangles(small_random_graph))
+        assert len(tris) == count_triangles(small_random_graph)
+        assert len(set(tris)) == len(tris)
+        for a, b, c in tris:
+            assert a < b < c
+            assert small_random_graph.has_edge(a, b)
+            assert small_random_graph.has_edge(b, c)
+            assert small_random_graph.has_edge(a, c)
+
+    def test_per_edge_sums_to_three_t(self, small_random_graph):
+        loads = triangles_per_edge(small_random_graph)
+        assert sum(loads.values()) == 3 * count_triangles(small_random_graph)
+
+    def test_book_per_edge_loads(self):
+        loads = triangles_per_edge(book_graph(6))
+        assert loads[(0, 1)] == 6  # spine edge is in every triangle
+        assert sum(1 for load in loads.values() if load == 1) == 12
+
+
+class TestFourCycles:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (cycle_graph(4), 1),
+            (cycle_graph(5), 0),
+            (complete_graph(4), 3),
+            (complete_graph(5), 15),
+            (complete_bipartite(2, 2), 1),
+            (complete_bipartite(3, 3), 9),
+            (complete_bipartite(2, 5), 10),
+            (theta_graph(6), 15),
+            (path_graph(6), 0),
+        ],
+    )
+    def test_known_counts(self, graph, expected):
+        assert count_four_cycles(graph) == expected
+
+    def test_enumeration_matches_count(self, small_random_graph):
+        cycles = list(enumerate_four_cycles(small_random_graph))
+        assert len(cycles) == count_four_cycles(small_random_graph)
+        assert len(set(cycles)) == len(cycles)
+        for u, x, v, y in cycles:
+            assert small_random_graph.has_edge(u, x)
+            assert small_random_graph.has_edge(x, v)
+            assert small_random_graph.has_edge(v, y)
+            assert small_random_graph.has_edge(y, u)
+            assert u == min(u, x, v, y)
+
+    def test_per_edge_sums_to_four_t(self, small_random_graph):
+        loads = four_cycles_per_edge(small_random_graph)
+        assert sum(loads.values()) == 4 * count_four_cycles(small_random_graph)
+
+    def test_theta_per_edge_loads(self):
+        loads = four_cycles_per_edge(theta_graph(5))
+        # Every edge of K_{2,5} lies in exactly spokes-1 = 4 cycles.
+        assert all(load == 4 for load in loads.values())
+
+
+class TestGenericCycleCounter:
+    @pytest.mark.parametrize("length", [3, 4, 5, 6, 7])
+    def test_single_cycle_graph(self, length):
+        assert count_cycles(cycle_graph(length), length) == 1
+        for other in range(3, 8):
+            if other != length:
+                assert count_cycles(cycle_graph(length), other) == 0
+
+    @pytest.mark.parametrize(
+        "length,expected",
+        [(3, 10), (4, 15), (5, 12)],
+    )
+    def test_k5_counts(self, length, expected):
+        assert count_cycles(complete_graph(5), length) == expected
+
+    def test_k6_hamiltonian_cycles(self):
+        # (6-1)!/2 = 60 Hamiltonian cycles in K6.
+        assert count_cycles(complete_graph(6), 6) == 60
+
+    def test_complete_bipartite_six_cycles(self):
+        # C6 count in K_{3,3}: 6 (choose 3 and 3 in orders) -> known value 6.
+        assert count_cycles(complete_bipartite(3, 3), 6) == 6
+
+    def test_rejects_short_length(self):
+        with pytest.raises(ValueError):
+            count_cycles(complete_graph(3), 2)
+
+
+class TestCrossValidation:
+    @given(random_graph_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_three_triangle_implementations_agree(self, graph):
+        specialized = count_triangles(graph)
+        generic = count_cycles(graph, 3)
+        trace = count_cycles_by_trace(graph, 3)
+        assert specialized == generic == trace
+
+    @given(random_graph_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_three_fourcycle_implementations_agree(self, graph):
+        specialized = count_four_cycles(graph)
+        generic = count_cycles(graph, 4)
+        trace = count_cycles_by_trace(graph, 4)
+        assert specialized == generic == trace
+
+    def test_trace_rejects_other_lengths(self):
+        with pytest.raises(ValueError):
+            count_cycles_by_trace(complete_graph(4), 5)
+
+
+class TestDerivedQuantities:
+    def test_wedge_count_star(self):
+        assert count_wedges(star_graph(5)) == 10
+
+    def test_wedge_count_triangle(self):
+        assert count_wedges(complete_graph(3)) == 3
+
+    def test_transitivity_complete(self):
+        assert transitivity(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_transitivity_triangle_free(self):
+        assert transitivity(complete_bipartite(4, 4)) == 0.0
+
+    def test_transitivity_empty(self):
+        assert transitivity(Graph()) == 0.0
+
+    def test_is_cycle_free(self):
+        assert is_cycle_free(path_graph(5), 3)
+        assert not is_cycle_free(complete_graph(3), 3)
+
+    def test_girth_at_least(self):
+        assert girth_at_least(cycle_graph(6), 6)
+        assert not girth_at_least(cycle_graph(6), 7)
+        assert girth_at_least(path_graph(4), 10)

@@ -1,0 +1,226 @@
+"""Tests for the graph generators."""
+
+import pytest
+
+from repro.graph.counting import count_four_cycles, count_triangles, is_cycle_free
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    book_graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    random_bipartite_graph,
+    random_forest,
+    star_graph,
+    theta_graph,
+    windmill_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_empty(self):
+        g = empty_graph(5)
+        assert g.n == 5
+        assert g.m == 0
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15
+        assert all(g.degree(v) == 5 for v in g.vertices())
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 4)
+        assert g.m == 12
+        assert count_triangles(g) == 0
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.m == 7
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4
+        assert g.degree(0) == g.degree(4) == 1
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6
+        assert g.m == 6
+
+    def test_book(self):
+        g = book_graph(4)
+        assert count_triangles(g) == 4
+        assert g.m == 9
+
+    def test_windmill(self):
+        g = windmill_graph(3)
+        assert count_triangles(g) == 3
+        assert g.degree(0) == 6
+
+    def test_theta(self):
+        g = theta_graph(4)
+        assert count_four_cycles(g) == 6
+        assert count_triangles(g) == 0
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm_random_graph(30, 100, seed=1)
+        assert g.n == 30
+        assert g.m == 100
+
+    def test_dense_regime(self):
+        g = gnm_random_graph(10, 40, seed=2)
+        assert g.m == 40
+
+    def test_full_graph(self):
+        g = gnm_random_graph(8, 28, seed=3)
+        assert g.m == 28
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(4, 10)
+
+    def test_deterministic_by_seed(self):
+        g1 = gnm_random_graph(20, 50, seed=9)
+        g2 = gnm_random_graph(20, 50, seed=9)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_different_seeds_differ(self):
+        g1 = gnm_random_graph(20, 50, seed=1)
+        g2 = gnm_random_graph(20, 50, seed=2)
+        assert sorted(g1.edges()) != sorted(g2.edges())
+
+
+class TestGnp:
+    def test_p_zero(self):
+        assert gnp_random_graph(10, 0.0, seed=1).m == 0
+
+    def test_p_one(self):
+        assert gnp_random_graph(10, 1.0, seed=1).m == 45
+
+    def test_expected_density(self):
+        g = gnp_random_graph(60, 0.2, seed=4)
+        expected = 0.2 * 60 * 59 / 2
+        assert abs(g.m - expected) < 4 * expected**0.5
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(5, 1.2)
+
+
+class TestBipartiteAndForest:
+    def test_bipartite_is_triangle_free(self):
+        g = random_bipartite_graph(20, 20, 80, seed=5)
+        assert g.m == 80
+        assert count_triangles(g) == 0
+
+    def test_bipartite_too_many_edges(self):
+        with pytest.raises(ValueError):
+            random_bipartite_graph(3, 3, 10)
+
+    def test_forest_is_acyclic(self):
+        g = random_forest(50, 30, seed=6)
+        assert g.m == 30
+        for length in (3, 4, 5, 6):
+            assert is_cycle_free(g, length)
+
+    def test_forest_edge_bound(self):
+        with pytest.raises(ValueError):
+            random_forest(5, 5)
+
+
+class TestPreferentialAttachment:
+    def test_ba_edge_count(self):
+        n, attach = 40, 3
+        g = barabasi_albert_graph(n, attach, seed=7)
+        seed_edges = (attach + 1) * attach // 2
+        assert g.m == seed_edges + (n - attach - 1) * attach
+
+    def test_ba_skewed_degrees(self):
+        g = barabasi_albert_graph(200, 2, seed=8)
+        degrees = g.degree_sequence()
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_ba_invalid_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, 3)
+
+    def test_powerlaw_cluster_has_more_triangles(self):
+        plain = barabasi_albert_graph(150, 3, seed=9)
+        clustered = powerlaw_cluster_graph(150, 3, triangle_prob=0.8, seed=9)
+        assert count_triangles(clustered) > count_triangles(plain)
+
+    def test_powerlaw_cluster_invalid_prob(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(10, 2, triangle_prob=1.5)
+
+    def test_powerlaw_deterministic(self):
+        g1 = powerlaw_cluster_graph(60, 2, 0.5, seed=10)
+        g2 = powerlaw_cluster_graph(60, 2, 0.5, seed=10)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+
+class TestRegularAndConfiguration:
+    def test_regular_degrees(self):
+        from repro.graph.generators import random_regular_graph
+
+        g = random_regular_graph(24, 5, seed=1)
+        assert all(g.degree(v) == 5 for v in g.vertices())
+        assert g.m == 24 * 5 // 2
+
+    def test_regular_parity_rejected(self):
+        from repro.graph.generators import random_regular_graph
+
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)
+
+    def test_regular_degree_bounds(self):
+        from repro.graph.generators import random_regular_graph
+
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4)
+
+    def test_regular_zero_degree(self):
+        from repro.graph.generators import random_regular_graph
+
+        g = random_regular_graph(6, 0, seed=2)
+        assert g.m == 0
+
+    def test_configuration_respects_degrees_upper_bound(self):
+        from repro.graph.generators import configuration_model_graph
+
+        degrees = [4, 3, 3, 2, 2, 2, 1, 1]
+        g = configuration_model_graph(degrees, seed=3)
+        for v, target in enumerate(degrees):
+            assert g.degree(v) <= target
+
+    def test_configuration_parity_rejected(self):
+        from repro.graph.generators import configuration_model_graph
+
+        with pytest.raises(ValueError):
+            configuration_model_graph([3, 2])
+
+    def test_configuration_negative_rejected(self):
+        from repro.graph.generators import configuration_model_graph
+
+        with pytest.raises(ValueError):
+            configuration_model_graph([-1, 1])
+
+    def test_configuration_deterministic(self):
+        from repro.graph.generators import configuration_model_graph
+
+        degrees = [3, 3, 2, 2, 2, 2]
+        g1 = configuration_model_graph(degrees, seed=4)
+        g2 = configuration_model_graph(degrees, seed=4)
+        assert sorted(g1.edges()) == sorted(g2.edges())

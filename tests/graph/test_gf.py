@@ -1,0 +1,146 @@
+"""Tests for finite field arithmetic: full field axioms on every element."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.gf import GF, factor_prime_power, is_prime
+
+FIELD_ORDERS = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27]
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        assert [p for p in range(2, 30) if is_prime(p)] == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+        ]
+
+    def test_non_primes(self):
+        for n in (0, 1, 4, 9, 15, 21, 25, 27):
+            assert not is_prime(n)
+
+
+class TestFactorPrimePower:
+    @pytest.mark.parametrize(
+        "q,expected",
+        [(2, (2, 1)), (4, (2, 2)), (8, (2, 3)), (9, (3, 2)), (27, (3, 3)), (25, (5, 2)), (7, (7, 1))],
+    )
+    def test_valid(self, q, expected):
+        assert factor_prime_power(q) == expected
+
+    @pytest.mark.parametrize("q", [1, 6, 10, 12, 15, 100])
+    def test_invalid(self, q):
+        with pytest.raises(ValueError):
+            factor_prime_power(q)
+
+
+@pytest.fixture(scope="module", params=FIELD_ORDERS)
+def field(request):
+    return GF(request.param)
+
+
+class TestFieldAxioms:
+    def test_additive_identity(self, field):
+        for a in field.elements():
+            assert field.add(a, 0) == a
+
+    def test_multiplicative_identity(self, field):
+        for a in field.elements():
+            assert field.mul(a, 1) == a
+
+    def test_additive_inverse(self, field):
+        for a in field.elements():
+            assert field.add(a, field.neg(a)) == 0
+
+    def test_multiplicative_inverse(self, field):
+        for a in range(1, field.q):
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_zero_has_no_inverse(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inv(0)
+
+    def test_commutativity(self, field):
+        for a in field.elements():
+            for b in field.elements():
+                assert field.add(a, b) == field.add(b, a)
+                assert field.mul(a, b) == field.mul(b, a)
+
+    def test_distributivity(self, field):
+        elements = list(field.elements())
+        sample = elements if field.q <= 9 else elements[:6]
+        for a in sample:
+            for b in sample:
+                for c in sample:
+                    lhs = field.mul(a, field.add(b, c))
+                    rhs = field.add(field.mul(a, b), field.mul(a, c))
+                    assert lhs == rhs
+
+    def test_associativity_of_multiplication(self, field):
+        elements = list(field.elements())
+        sample = elements if field.q <= 9 else elements[:6]
+        for a in sample:
+            for b in sample:
+                for c in sample:
+                    assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    def test_no_zero_divisors(self, field):
+        for a in range(1, field.q):
+            for b in range(1, field.q):
+                assert field.mul(a, b) != 0
+
+    def test_multiplicative_group_is_cyclic_order(self, field):
+        # Every nonzero element's multiplicative order divides q - 1.
+        for a in range(1, field.q):
+            power = a
+            order = 1
+            while power != 1:
+                power = field.mul(power, a)
+                order += 1
+                assert order <= field.q
+            assert (field.q - 1) % order == 0
+
+    def test_sub_and_div_roundtrip(self, field):
+        for a in field.elements():
+            for b in range(1, field.q):
+                assert field.add(field.sub(a, b), b) == a
+                assert field.mul(field.div(a, b), b) == a
+
+
+class TestFrobeniusAndCharacteristic:
+    @pytest.mark.parametrize("q", [4, 8, 9, 27])
+    def test_characteristic_p_sums_to_zero(self, q):
+        field = GF(q)
+        for a in field.elements():
+            total = 0
+            for _ in range(field.p):
+                total = field.add(total, a)
+            assert total == 0
+
+    @pytest.mark.parametrize("q", [4, 8, 9])
+    def test_frobenius_is_additive(self, q):
+        field = GF(q)
+
+        def frob(x):
+            result = 1
+            for _ in range(field.p):
+                result = field.mul(result, x)
+            return result
+
+        for a in field.elements():
+            for b in field.elements():
+                assert frob(field.add(a, b)) == field.add(frob(a), frob(b))
+
+
+@given(q=st.sampled_from([2, 3, 4, 5, 7, 8, 9]), seed=st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_linear_equation_solvable(q, seed):
+    """a*x + b = 0 has a unique solution for a != 0."""
+    import random
+
+    rng = random.Random(seed)
+    field = GF(q)
+    a = rng.randrange(1, q)
+    b = rng.randrange(q)
+    x = field.div(field.neg(b), a)
+    assert field.add(field.mul(a, x), b) == 0

@@ -1,0 +1,158 @@
+"""Tests for the Graph data structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph, canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_orders_ints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_orders_tuples(self):
+        assert canonical_edge(("b", 1), ("a", 2)) == (("a", 2), ("b", 1))
+
+    @given(st.integers(), st.integers())
+    @settings(max_examples=50)
+    def test_symmetric(self, u, v):
+        assert canonical_edge(u, v) == canonical_edge(v, u)
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.n == 0
+        assert g.m == 0
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex(1)
+        g.add_vertex(1)
+        assert g.n == 1
+
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        g.add_edge(4, 7)
+        assert g.has_vertex(4)
+        assert g.has_vertex(7)
+
+    def test_duplicate_edge_returns_false(self):
+        g = Graph()
+        assert g.add_edge(0, 1)
+        assert not g.add_edge(1, 0)
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(3, 3)
+
+    def test_add_edges_counts_new(self):
+        g = Graph()
+        assert g.add_edges([(0, 1), (1, 2), (0, 1)]) == 2
+
+    def test_remove_edge(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        g.remove_edge(1, 0)
+        assert g.m == 1
+        assert not g.has_edge(0, 1)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 2)
+
+
+class TestQueries:
+    @pytest.fixture()
+    def path(self):
+        return Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+
+    def test_degree(self, path):
+        assert path.degree(0) == 1
+        assert path.degree(1) == 2
+
+    def test_neighbors(self, path):
+        assert path.neighbors(1) == {0, 2}
+
+    def test_edges_canonical_and_unique(self, path):
+        edges = list(path.edges())
+        assert len(edges) == 3
+        assert all(u <= v for u, v in edges)
+        assert len(set(edges)) == 3
+
+    def test_codegree(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+        assert g.codegree(1, 2) == 2  # common: 0 and 3
+        assert g.common_neighbors(1, 2) == {0, 3}
+
+    def test_degree_sequence_sorted(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert g.degree_sequence() == [3, 1, 1, 1]
+
+    def test_max_degree_empty(self):
+        assert Graph().max_degree() == 0
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        g = Graph.from_edges([(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.m == 1
+        assert h.m == 2
+
+    def test_copy_equal(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert g.copy() == g
+
+    def test_subgraph_induced(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        sub = g.subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert sub.m == 3
+
+    def test_relabeled_preserves_structure(self):
+        g = Graph.from_edges([("x", "y"), ("y", "z")])
+        relab, mapping = g.relabeled()
+        assert relab.n == 3
+        assert relab.m == 2
+        assert relab.has_edge(mapping["x"], mapping["y"])
+
+    def test_disjoint_union(self):
+        g = Graph.from_edges([(0, 1)])
+        h = Graph.from_edges([(0, 1), (1, 2)])
+        u = g.disjoint_union(h)
+        assert u.n == 5
+        assert u.m == 3
+
+    def test_adjacency_matrix_symmetric(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        mat, order = g.adjacency_matrix()
+        assert (mat == mat.T).all()
+        assert mat.sum() == 2 * g.m
+
+    def test_graphs_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph())
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(lambda e: e[0] != e[1]),
+        max_size=80,
+    )
+)
+@settings(max_examples=60)
+def test_handshake_lemma(edges):
+    g = Graph.from_edges(edges)
+    assert sum(g.degree(v) for v in g.vertices()) == 2 * g.m
+    assert len(list(g.edges())) == g.m

@@ -1,0 +1,101 @@
+"""Tests for graph serialisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import gnm_random_graph
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    adjacency_lines,
+    read_adjacency_list,
+    read_edge_list,
+    write_adjacency_list,
+    write_edge_list,
+)
+
+
+class TestEdgeListRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        g = gnm_random_graph(20, 50, seed=1)
+        path = tmp_path / "graph.edges"
+        write_edge_list(g, path)
+        h = read_edge_list(path)
+        assert sorted(g.edges()) == sorted(h.edges())
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "with_comments.edges"
+        path.write_text("# a comment\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.m == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1 2\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_edge_list(path)
+
+    def test_string_labels(self, tmp_path):
+        g = Graph.from_edges([("alpha", "beta"), ("beta", "gamma")])
+        path = tmp_path / "labels.edges"
+        write_edge_list(g, path)
+        h = read_edge_list(path)
+        assert h.has_edge("alpha", "beta")
+
+    def test_unserialisable_label_rejected(self, tmp_path):
+        g = Graph.from_edges([("a b", "c")])
+        with pytest.raises(ValueError):
+            write_edge_list(g, tmp_path / "bad.edges")
+
+
+class TestAdjacencyListRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        g = gnm_random_graph(15, 40, seed=2)
+        path = tmp_path / "graph.adj"
+        write_adjacency_list(g, path)
+        h = read_adjacency_list(path)
+        assert sorted(g.edges()) == sorted(h.edges())
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        g = Graph(vertices=[0, 1, 2])
+        g.add_edge(0, 1)
+        path = tmp_path / "iso.adj"
+        write_adjacency_list(g, path)
+        h = read_adjacency_list(path)
+        assert h.n == 3
+        assert h.m == 1
+
+    def test_one_sided_mentions_symmetrised(self, tmp_path):
+        path = tmp_path / "oneside.adj"
+        path.write_text("0: 1 2\n1:\n2:\n")
+        g = read_adjacency_list(path)
+        assert g.has_edge(1, 0)
+        assert g.m == 2
+
+    def test_missing_colon_rejected(self, tmp_path):
+        path = tmp_path / "bad.adj"
+        path.write_text("0 1 2\n")
+        with pytest.raises(ValueError):
+            read_adjacency_list(path)
+
+    def test_adjacency_lines_match_file(self, tmp_path):
+        g = gnm_random_graph(8, 12, seed=3)
+        path = tmp_path / "cmp.adj"
+        write_adjacency_list(g, path)
+        assert path.read_text().splitlines() == adjacency_lines(g)
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 25), st.integers(0, 25)).filter(lambda e: e[0] != e[1]),
+        max_size=60,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_both_formats_roundtrip_any_graph(edges, tmp_path_factory):
+    g = Graph.from_edges(edges)
+    base = tmp_path_factory.mktemp("io")
+    write_edge_list(g, base / "g.edges")
+    write_adjacency_list(g, base / "g.adj")
+    assert sorted(read_edge_list(base / "g.edges").edges()) == sorted(g.edges())
+    assert sorted(read_adjacency_list(base / "g.adj").edges()) == sorted(g.edges())

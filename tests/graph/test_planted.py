@@ -1,0 +1,100 @@
+"""Tests for planted workload generators: the true counts must be exact."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.counting import count_cycles, count_four_cycles, count_triangles
+from repro.graph.planted import (
+    planted_cycles,
+    planted_four_cycle_grid,
+    planted_four_cycles,
+    planted_four_cycles_theta,
+    planted_triangles,
+    planted_triangles_book,
+    planted_triangles_windmill,
+    verify_planted,
+)
+
+
+class TestPlantedTriangles:
+    def test_exact_count(self):
+        p = planted_triangles(100, 12, seed=1)
+        assert count_triangles(p.graph) == 12
+        assert p.true_count == 12
+        assert verify_planted(p)
+
+    def test_zero_triangles(self):
+        p = planted_triangles(100, 0, seed=2)
+        assert count_triangles(p.graph) == 0
+
+    def test_edge_count(self):
+        p = planted_triangles(100, 10, seed=3)
+        assert p.m == 100 + 30
+
+    def test_deterministic(self):
+        p1 = planted_triangles(50, 5, seed=4)
+        p2 = planted_triangles(50, 5, seed=4)
+        assert sorted(p1.graph.edges()) == sorted(p2.graph.edges())
+
+    @given(noise=st.integers(10, 120), t=st.integers(0, 25), seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_count_always_exact(self, noise, t, seed):
+        p = planted_triangles(noise, t, seed=seed)
+        assert count_triangles(p.graph) == t
+
+
+class TestHeavyTriangleVariants:
+    def test_book_count(self):
+        p = planted_triangles_book(80, 15, seed=5)
+        assert count_triangles(p.graph) == 15
+        assert verify_planted(p)
+
+    def test_windmill_count(self):
+        p = planted_triangles_windmill(80, 9, seed=6)
+        assert count_triangles(p.graph) == 9
+        assert verify_planted(p)
+
+
+class TestPlantedCycles:
+    @pytest.mark.parametrize("length", [3, 4, 5, 6])
+    def test_exact_count_any_length(self, length):
+        p = planted_cycles(60, 7, length=length, seed=7)
+        assert count_cycles(p.graph, length) == 7
+        assert verify_planted(p)
+
+    def test_no_spurious_other_lengths(self):
+        p = planted_cycles(60, 5, length=5, seed=8)
+        assert count_cycles(p.graph, 3) == 0
+        assert count_cycles(p.graph, 4) == 0
+        assert count_cycles(p.graph, 6) == 0
+
+    def test_rejects_short_length(self):
+        with pytest.raises(ValueError):
+            planted_cycles(10, 1, length=2)
+
+    def test_four_cycle_alias(self):
+        p = planted_four_cycles(60, 8, seed=9)
+        assert count_four_cycles(p.graph) == 8
+        assert p.cycle_length == 4
+
+
+class TestHeavyFourCycleVariants:
+    def test_theta_count(self):
+        p = planted_four_cycles_theta(60, 6, seed=10)
+        assert count_four_cycles(p.graph) == 15
+        assert p.true_count == 15
+        assert verify_planted(p)
+
+    def test_grid_count(self):
+        p = planted_four_cycle_grid(40, 4, 5, seed=11)
+        assert count_four_cycles(p.graph) == 12
+        assert verify_planted(p)
+
+    def test_grid_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            planted_four_cycle_grid(10, 1, 5)
+
+    def test_grid_triangle_free(self):
+        p = planted_four_cycle_grid(40, 3, 3, seed=12)
+        assert count_triangles(p.graph) == 0

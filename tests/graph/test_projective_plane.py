@@ -1,0 +1,114 @@
+"""Tests for projective plane incidence graphs (the girth-6 extremal graphs)."""
+
+import pytest
+
+from repro.graph.counting import count_cycles, count_four_cycles, count_triangles
+from repro.graph.gf import GF
+from repro.graph.projective_plane import (
+    LINE,
+    POINT,
+    four_cycle_free_bipartite,
+    incident,
+    plane_order_for_size,
+    projective_plane_incidence_graph,
+    projective_points,
+)
+
+ORDERS = [2, 3, 4, 5, 7]
+
+
+@pytest.fixture(scope="module", params=ORDERS)
+def plane(request):
+    q = request.param
+    return q, projective_plane_incidence_graph(q)
+
+
+class TestPointSet:
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_point_count(self, q):
+        points = projective_points(GF(q))
+        assert len(points) == q * q + q + 1
+
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_points_distinct(self, q):
+        points = projective_points(GF(q))
+        assert len(set(points)) == len(points)
+
+    @pytest.mark.parametrize("q", ORDERS)
+    def test_normalisation(self, q):
+        for triple in projective_points(GF(q)):
+            first_nonzero = next(x for x in triple if x != 0)
+            assert first_nonzero == 1
+
+
+class TestIncidenceStructure:
+    def test_vertex_count(self, plane):
+        q, graph = plane
+        assert graph.n == 2 * (q * q + q + 1)
+
+    def test_regularity(self, plane):
+        q, graph = plane
+        assert all(graph.degree(v) == q + 1 for v in graph.vertices())
+
+    def test_edge_count(self, plane):
+        q, graph = plane
+        assert graph.m == (q * q + q + 1) * (q + 1)
+
+    def test_bipartite_no_triangles(self, plane):
+        _, graph = plane
+        assert count_triangles(graph) == 0
+
+    def test_no_four_cycles(self, plane):
+        _, graph = plane
+        assert count_four_cycles(graph) == 0
+
+    def test_girth_exactly_six(self, plane):
+        q, graph = plane
+        if q > 3:
+            pytest.skip("6-cycle counting too slow for larger planes")
+        assert count_cycles(graph, 6) > 0
+
+    def test_two_points_share_one_line(self, plane):
+        q, graph = plane
+        points = [v for v in graph.vertices() if v[0] == POINT]
+        # Sample a few point pairs; in a projective plane each pair has
+        # exactly one common line.
+        for a in points[:6]:
+            for b in points[6:12]:
+                assert graph.codegree(a, b) == 1
+
+
+class TestIncidencePredicate:
+    def test_dot_product_symmetry_under_duality(self):
+        field = GF(3)
+        points = projective_points(field)
+        for p in points[:5]:
+            for l in points[:5]:
+                assert incident(field, p, l) == incident(field, l, p)
+
+
+class TestPlaneOrderSelection:
+    @pytest.mark.parametrize(
+        "min_side,expected_q",
+        [(1, 2), (7, 2), (8, 3), (13, 3), (14, 4), (21, 4), (31, 5), (57, 7)],
+    )
+    def test_smallest_order(self, min_side, expected_q):
+        assert plane_order_for_size(min_side) == expected_q
+
+    def test_four_cycle_free_bipartite_contract(self):
+        graph, points, lines = four_cycle_free_bipartite(10)
+        assert len(points) >= 10
+        assert len(lines) >= 10
+        assert count_four_cycles(graph) == 0
+        assert all(v[0] == POINT for v in points)
+        assert all(v[0] == LINE for v in lines)
+
+    def test_density_is_theta_r_to_three_halves(self):
+        # m = r(q+1) with r = q^2+q+1, so m / r^{3/2} is Θ(1): check it
+        # stays in a narrow band across orders.
+        ratios = []
+        for q in (2, 3, 4, 5, 7):
+            r = q * q + q + 1
+            m = r * (q + 1)
+            ratios.append(m / r**1.5)
+        assert max(ratios) / min(ratios) < 1.5

@@ -1,0 +1,124 @@
+"""Tests for wedge machinery."""
+
+import pytest
+
+from repro.graph.counting import count_four_cycles, count_wedges, enumerate_four_cycles
+from repro.graph.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    star_graph,
+    theta_graph,
+)
+from repro.graph.wedges import (
+    Wedge,
+    count_wedges_on_edges,
+    four_cycles_per_wedge,
+    four_cycles_through_wedge,
+    iter_wedges,
+    wedge_exists,
+    wedges_of_four_cycle,
+)
+
+
+class TestWedgeType:
+    def test_endpoint_normalisation(self):
+        assert Wedge.make(5, 9, 2) == Wedge.make(5, 2, 9)
+
+    def test_distinctness_required(self):
+        with pytest.raises(ValueError):
+            Wedge.make(1, 1, 2)
+        with pytest.raises(ValueError):
+            Wedge.make(1, 2, 2)
+
+    def test_edges_are_canonical(self):
+        w = Wedge.make(5, 9, 2)
+        assert w.edges == ((2, 5), (5, 9))
+        assert w.endpoints == (2, 9)
+
+    def test_hashable_and_ordered(self):
+        wedges = {Wedge.make(0, 1, 2), Wedge.make(0, 2, 1)}
+        assert len(wedges) == 1
+        assert Wedge.make(0, 1, 2) < Wedge.make(1, 0, 2)
+
+
+class TestIteration:
+    def test_count_matches_formula(self):
+        g = gnm_random_graph(25, 60, seed=1)
+        wedges = list(iter_wedges(g))
+        assert len(wedges) == count_wedges(g)
+        assert len(set(wedges)) == len(wedges)
+
+    def test_star_wedges(self):
+        g = star_graph(5)
+        assert sum(1 for _ in iter_wedges(g)) == 10
+        assert all(w.center == 0 for w in iter_wedges(g))
+
+    def test_wedge_exists(self):
+        g = cycle_graph(5)
+        assert wedge_exists(g, Wedge.make(1, 0, 2))
+        assert not wedge_exists(g, Wedge.make(0, 2, 3))
+
+
+class TestPerWedgeLoads:
+    def test_single_cycle(self):
+        g = cycle_graph(4)
+        for w in iter_wedges(g):
+            assert four_cycles_through_wedge(g, w) == 1
+
+    def test_theta_graph_loads(self):
+        g = theta_graph(5)
+        # Wedge centered at a hub: endpoints are two spokes; they close with
+        # the other hub only -> 1 cycle.  Wedge centered at a spoke joins the
+        # two hubs and closes with any of the other 4 spokes.
+        hub_centered = Wedge.make(0, 2, 3)
+        spoke_centered = Wedge.make(2, 0, 1)
+        assert four_cycles_through_wedge(g, hub_centered) == 1
+        assert four_cycles_through_wedge(g, spoke_centered) == 4
+
+    def test_missing_wedge_raises(self):
+        g = cycle_graph(5)
+        with pytest.raises(ValueError):
+            four_cycles_through_wedge(g, Wedge.make(0, 2, 3))
+
+    def test_load_table_sums_to_4t(self):
+        g = gnm_random_graph(20, 60, seed=2)
+        loads = four_cycles_per_wedge(g)
+        assert sum(loads.values()) == 4 * count_four_cycles(g)
+
+    def test_load_table_matches_single_queries(self):
+        g = complete_bipartite(3, 4)
+        loads = four_cycles_per_wedge(g)
+        for wedge, load in loads.items():
+            assert load == four_cycles_through_wedge(g, wedge)
+
+
+class TestWedgesOfCycle:
+    def test_four_distinct_wedges(self):
+        g = complete_graph(5)
+        for cycle in enumerate_four_cycles(g):
+            wedges = wedges_of_four_cycle(cycle)
+            assert len(set(wedges)) == 4
+            for w in wedges:
+                assert wedge_exists(g, w)
+
+    def test_wedge_centers_are_cycle_vertices(self):
+        cycle = (0, 1, 2, 3)
+        centers = {w.center for w in wedges_of_four_cycle(cycle)}
+        assert centers == {0, 1, 2, 3}
+
+
+class TestWedgesOnEdges:
+    def test_star_subset(self):
+        g = star_graph(6)
+        edges = [(0, 1), (0, 2), (0, 3)]
+        assert count_wedges_on_edges(g, edges) == 3
+
+    def test_disjoint_edges_make_no_wedges(self):
+        g = gnm_random_graph(20, 30, seed=3)
+        assert count_wedges_on_edges(g, [(0, 1), (2, 3)]) == 0
+
+    def test_full_edge_set_matches_wedge_count(self):
+        g = gnm_random_graph(15, 40, seed=4)
+        assert count_wedges_on_edges(g, g.edges()) == count_wedges(g)

@@ -1,0 +1,108 @@
+"""Tests for the communication problem instances and generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbounds.problems import (
+    DisjInstance,
+    IndexInstance,
+    ThreeDisjInstance,
+    ThreePJInstance,
+    random_disj_instance,
+    random_index_instance,
+    random_three_disj_instance,
+    random_three_pj_instance,
+)
+
+
+class TestIndex:
+    def test_answer_reads_bit(self):
+        inst = IndexInstance(bits=(0, 1, 0), index=1)
+        assert inst.answer == 1
+        assert inst.r == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IndexInstance(bits=(0, 2), index=0)
+        with pytest.raises(ValueError):
+            IndexInstance(bits=(0, 1), index=2)
+
+    @given(r=st.integers(1, 100), answer=st.integers(0, 1), seed=st.integers(0, 10**6))
+    @settings(max_examples=50)
+    def test_generator_forces_answer(self, r, answer, seed):
+        inst = random_index_instance(r, answer, seed=seed)
+        assert inst.answer == answer
+        assert inst.r == r
+
+    def test_generator_validates_r(self):
+        with pytest.raises(ValueError):
+            random_index_instance(0, 1)
+
+
+class TestDisj:
+    def test_answer_detects_intersection(self):
+        assert DisjInstance(s1=(1, 0), s2=(1, 0)).answer == 1
+        assert DisjInstance(s1=(1, 0), s2=(0, 1)).answer == 0
+
+    def test_intersection_indices(self):
+        inst = DisjInstance(s1=(1, 0, 1), s2=(1, 0, 1))
+        assert inst.intersection() == (0, 2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DisjInstance(s1=(1,), s2=(1, 0))
+
+    @given(r=st.integers(1, 100), inter=st.booleans(), seed=st.integers(0, 10**6))
+    @settings(max_examples=60)
+    def test_generator_hard_instances(self, r, inter, seed):
+        inst = random_disj_instance(r, inter, seed=seed)
+        assert inst.answer == int(inter)
+        assert len(inst.intersection()) <= 1
+
+
+class TestThreePJ:
+    def test_answer_follows_pointers(self):
+        inst = ThreePJInstance(start=1, middle=(2, 0, 1), last=(1, 0, 0))
+        # start=1 -> middle[1]=0 -> last[0]=1
+        assert inst.answer == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreePJInstance(start=5, middle=(0,), last=(1,))
+        with pytest.raises(ValueError):
+            ThreePJInstance(start=0, middle=(3,), last=(0,))
+        with pytest.raises(ValueError):
+            ThreePJInstance(start=0, middle=(0,), last=(2,))
+        with pytest.raises(ValueError):
+            ThreePJInstance(start=0, middle=(0, 1), last=(0,))
+
+    @given(r=st.integers(1, 60), answer=st.integers(0, 1), seed=st.integers(0, 10**6))
+    @settings(max_examples=50)
+    def test_generator_forces_answer(self, r, answer, seed):
+        inst = random_three_pj_instance(r, answer, seed=seed)
+        assert inst.answer == answer
+        assert inst.r == r
+
+
+class TestThreeDisj:
+    def test_answer(self):
+        yes = ThreeDisjInstance(s1=(1, 0), s2=(1, 1), s3=(1, 0))
+        no = ThreeDisjInstance(s1=(1, 0), s2=(1, 1), s3=(0, 1))
+        assert yes.answer == 1
+        assert no.answer == 0
+
+    def test_intersection(self):
+        inst = ThreeDisjInstance(s1=(1, 1), s2=(1, 1), s3=(0, 1))
+        assert inst.intersection() == (1,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ThreeDisjInstance(s1=(1,), s2=(1,), s3=(1, 0))
+
+    @given(r=st.integers(1, 60), inter=st.booleans(), seed=st.integers(0, 10**6))
+    @settings(max_examples=60)
+    def test_generator_hard_instances(self, r, inter, seed):
+        inst = random_three_disj_instance(r, inter, seed=seed)
+        assert inst.answer == int(inter)
+        assert len(inst.intersection()) <= 1

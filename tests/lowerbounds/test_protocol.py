@@ -1,0 +1,123 @@
+"""Tests for the communication protocol simulator."""
+
+import pytest
+
+from repro.baselines.exact_stream import ExactCycleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.graph.graph import Graph
+from repro.lowerbounds.problems import random_three_pj_instance
+from repro.lowerbounds.protocol import Gadget, partition_is_valid, run_protocol
+from repro.lowerbounds.reductions.triangle_one_pass import build_gadget
+from repro.streaming.stream import validate_pair_sequence
+
+
+@pytest.fixture()
+def yes_gadget():
+    return build_gadget(random_three_pj_instance(8, 1, seed=1), k=3)
+
+
+@pytest.fixture()
+def no_gadget():
+    return build_gadget(random_three_pj_instance(8, 0, seed=2), k=3)
+
+
+class TestGadgetStructure:
+    def test_partition_valid(self, yes_gadget):
+        assert partition_is_valid(yes_gadget)
+
+    def test_partition_detects_overlap(self):
+        g = Graph.from_edges([(0, 1)])
+        bad = Gadget(
+            graph=g,
+            cycle_length=3,
+            promised_cycles=1,
+            answer=0,
+            player_lists=(("alice", (0, 1)), ("bob", (1,))),
+        )
+        assert not partition_is_valid(bad)
+
+    def test_partition_detects_missing_vertex(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        bad = Gadget(
+            graph=g,
+            cycle_length=3,
+            promised_cycles=1,
+            answer=0,
+            player_lists=(("alice", (0, 1)),),
+        )
+        assert not partition_is_valid(bad)
+
+    def test_stream_is_model_valid(self, yes_gadget):
+        validate_pair_sequence(list(yes_gadget.stream(seed=3).iter_pairs()))
+
+    def test_list_order_follows_players(self, yes_gadget):
+        order = yes_gadget.list_order()
+        boundaries = []
+        idx = 0
+        for _, vertices in yes_gadget.player_lists:
+            assert order[idx : idx + len(vertices)] == list(vertices)
+            idx += len(vertices)
+            boundaries.append(idx)
+        assert idx == len(order)
+
+
+class TestProtocolExecution:
+    def test_correct_output_both_answers(self, yes_gadget, no_gadget):
+        assert run_protocol(ExactCycleCounter(3), yes_gadget).output == 1
+        assert run_protocol(ExactCycleCounter(3), no_gadget).output == 0
+
+    def test_one_message_per_boundary_per_round(self, yes_gadget):
+        result = run_protocol(ExactCycleCounter(3), yes_gadget)
+        # 1 pass, 3 players: 2 internal boundaries (the last player outputs).
+        assert len(result.messages) == 2
+        assert result.rounds == 1
+
+    def test_multipass_message_count(self, yes_gadget):
+        algo = TwoPassTriangleCounter(sample_size=yes_gadget.graph.m, seed=4)
+        result = run_protocol(algo, yes_gadget)
+        # 2 passes, 3 players: 3 boundaries per full round except the last
+        # player of the last round -> 2*3 - 1 = 5 messages.
+        assert len(result.messages) == 5
+        assert result.rounds == 2
+
+    def test_message_accounting(self, yes_gadget):
+        result = run_protocol(ExactCycleCounter(3), yes_gadget)
+        assert result.total_words == sum(m.state_words for m in result.messages)
+        assert result.max_message_words == max(m.state_words for m in result.messages)
+        assert result.total_bytes is not None
+        assert result.total_bytes > 0
+
+    def test_senders_and_receivers(self, yes_gadget):
+        result = run_protocol(ExactCycleCounter(3), yes_gadget)
+        assert [m.sender for m in result.messages] == ["alice", "bob"]
+        assert [m.receiver for m in result.messages] == ["bob", "charlie"]
+
+    def test_custom_threshold(self, yes_gadget):
+        result = run_protocol(
+            ExactCycleCounter(3), yes_gadget, decision_threshold=10**9
+        )
+        assert result.output == 0  # estimate below the absurd threshold
+
+    def test_exact_counter_message_size_tracks_edges_seen(self, yes_gadget):
+        result = run_protocol(ExactCycleCounter(3), yes_gadget)
+        # The exact counter stores everything: messages grow monotonically.
+        words = [m.state_words for m in result.messages]
+        assert words == sorted(words)
+        assert words[-1] <= 2 * yes_gadget.graph.m + yes_gadget.graph.n
+
+
+class TestUnpicklableAlgorithms:
+    def test_byte_accounting_degrades_gracefully(self, yes_gadget):
+        """Unpicklable state (e.g. closures) yields word counts only."""
+        from repro.streaming.algorithm import FixedValueAlgorithm
+
+        algo = FixedValueAlgorithm(yes_gadget.promised_cycles + 1.0)
+        algo.hook = lambda: None  # closures cannot be pickled
+        result = run_protocol(algo, yes_gadget)
+        assert result.output == 1
+        assert all(msg.state_bytes is None for msg in result.messages)
+        assert result.total_bytes is None
+        assert result.total_words == sum(m.state_words for m in result.messages)
+
+    def test_players_property(self, yes_gadget):
+        assert yes_gadget.players == ["alice", "bob", "charlie"]

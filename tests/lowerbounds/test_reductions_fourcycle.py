@@ -1,0 +1,137 @@
+"""Tests for the 4-cycle lower-bound gadgets (Theorems 5.3 and 5.4)."""
+
+import pytest
+
+from repro.baselines.exact_stream import ExactCycleCounter
+from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
+from repro.graph.counting import count_four_cycles, count_triangles
+from repro.lowerbounds.problems import random_disj_instance, random_index_instance
+from repro.lowerbounds.protocol import partition_is_valid, run_protocol
+from repro.lowerbounds.reductions import fourcycle_multipass, fourcycle_one_pass
+from repro.streaming.stream import validate_pair_sequence
+
+
+class TestHostGraph:
+    def test_edges_are_c4_free_bipartite(self):
+        edges = fourcycle_one_pass.host_graph_edges(7)
+        assert len(edges) == fourcycle_one_pass.instance_size_for(7)
+        assert len(set(edges)) == len(edges)
+        # Verify no 4-cycle: no two rows share two columns.
+        from collections import defaultdict
+
+        cols_by_row = defaultdict(set)
+        for i, j in edges:
+            cols_by_row[i].add(j)
+        rows = list(cols_by_row)
+        for a_idx, a in enumerate(rows):
+            for b in rows[a_idx + 1 :]:
+                assert len(cols_by_row[a] & cols_by_row[b]) <= 1
+
+    def test_instance_size_is_theta_r_three_halves(self):
+        size7 = fourcycle_one_pass.instance_size_for(7)  # q=2: 7*3 = 21
+        size13 = fourcycle_one_pass.instance_size_for(13)  # q=3: 13*4 = 52
+        assert size7 == 21
+        assert size13 == 52
+
+
+class TestIndexGadget:
+    """Figure 1c / Theorem 5.3."""
+
+    @pytest.mark.parametrize("answer", [0, 1])
+    @pytest.mark.parametrize("k", [1, 3, 6])
+    def test_cycle_count_encodes_answer(self, answer, k):
+        gadget, inst = fourcycle_one_pass.random_gadget(
+            min_side=7, k=k, answer=answer, seed=answer * 10 + k
+        )
+        t = count_four_cycles(gadget.graph)
+        assert t == (k if answer else 0)
+        assert gadget.promised_cycles == k
+        assert partition_is_valid(gadget)
+
+    def test_no_triangles_ever(self):
+        gadget, _ = fourcycle_one_pass.random_gadget(min_side=7, k=4, answer=1, seed=3)
+        assert count_triangles(gadget.graph) == 0
+
+    def test_size_mismatch_rejected(self):
+        inst = random_index_instance(5, 1, seed=1)
+        with pytest.raises(ValueError, match="host graph edge count"):
+            fourcycle_one_pass.build_gadget(inst, min_side=7, k=2)
+
+    def test_invalid_k(self):
+        inst = random_index_instance(fourcycle_one_pass.instance_size_for(7), 1, seed=2)
+        with pytest.raises(ValueError):
+            fourcycle_one_pass.build_gadget(inst, min_side=7, k=0)
+
+    def test_protocol_solves_index(self):
+        for answer in (0, 1):
+            gadget, _ = fourcycle_one_pass.random_gadget(
+                min_side=7, k=4, answer=answer, seed=20 + answer
+            )
+            result = run_protocol(ExactCycleCounter(4), gadget)
+            assert result.output == answer
+            # One-way: a single Alice -> Bob message.
+            assert len(result.messages) == 1
+            assert result.messages[0].sender == "alice"
+
+    def test_stream_is_model_valid(self):
+        gadget, _ = fourcycle_one_pass.random_gadget(min_side=7, k=3, answer=1, seed=5)
+        validate_pair_sequence(list(gadget.stream(seed=6).iter_pairs()))
+
+    def test_alice_lists_do_not_depend_on_bobs_index(self):
+        size = fourcycle_one_pass.instance_size_for(7)
+        bits = tuple(i % 2 for i in range(size))
+        from repro.lowerbounds.problems import IndexInstance
+
+        g1 = fourcycle_one_pass.build_gadget(
+            IndexInstance(bits=bits, index=0), min_side=7, k=2
+        )
+        g2 = fourcycle_one_pass.build_gadget(
+            IndexInstance(bits=bits, index=size - 1), min_side=7, k=2
+        )
+        alice = dict(g1.player_lists)["alice"]
+        for v in alice:
+            assert g1.graph.neighbors(v) == g2.graph.neighbors(v)
+
+
+class TestDisjFourCycleGadget:
+    """Figure 1d / Theorem 5.4."""
+
+    @pytest.mark.parametrize("inter", [False, True])
+    def test_cycle_count_encodes_answer(self, inter):
+        gadget, _ = fourcycle_multipass.random_gadget(
+            min_side_r=7, min_side_k=7, intersecting=inter, seed=int(inter)
+        )
+        t = count_four_cycles(gadget.graph)
+        if inter:
+            assert t == gadget.promised_cycles  # unique intersection: exact
+        else:
+            assert t == 0
+        assert partition_is_valid(gadget)
+
+    def test_promised_count_is_h2_edge_count(self):
+        gadget, _ = fourcycle_multipass.random_gadget(
+            min_side_r=7, min_side_k=7, intersecting=True, seed=7
+        )
+        assert gadget.promised_cycles == 21  # |E(H2)| for q=2
+
+    def test_size_mismatch_rejected(self):
+        inst = random_disj_instance(4, True, seed=8)
+        with pytest.raises(ValueError, match="H1 edge count"):
+            fourcycle_multipass.build_gadget(inst, min_side_r=7, min_side_k=7)
+
+    def test_sublinear_two_pass_protocol_solves_disj(self):
+        for inter in (False, True):
+            gadget, _ = fourcycle_multipass.random_gadget(
+                min_side_r=7, min_side_k=7, intersecting=inter, seed=30 + int(inter)
+            )
+            t = gadget.promised_cycles
+            budget = max(2, round(6 * gadget.graph.m / t**0.375))
+            algo = TwoPassFourCycleCounter(sample_size=budget, seed=31)
+            result = run_protocol(algo, gadget)
+            assert result.output == int(inter)
+
+    def test_stream_is_model_valid(self):
+        gadget, _ = fourcycle_multipass.random_gadget(
+            min_side_r=7, min_side_k=7, intersecting=True, seed=9
+        )
+        validate_pair_sequence(list(gadget.stream(seed=10).iter_pairs()))

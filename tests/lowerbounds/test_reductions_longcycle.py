@@ -1,0 +1,82 @@
+"""Tests for the ℓ-cycle (ℓ ≥ 5) lower-bound gadget (Theorem 5.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact_stream import ExactCycleCounter
+from repro.graph.counting import count_cycles
+from repro.lowerbounds.problems import DisjInstance, random_disj_instance
+from repro.lowerbounds.protocol import partition_is_valid, run_protocol
+from repro.lowerbounds.reductions import longcycle_multipass
+from repro.streaming.stream import validate_pair_sequence
+
+
+class TestLongCycleGadget:
+    @given(
+        ell=st.integers(5, 8),
+        r=st.integers(2, 15),
+        cycles=st.integers(1, 6),
+        inter=st.booleans(),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cycle_count_encodes_answer(self, ell, r, cycles, inter, seed):
+        gadget, inst = longcycle_multipass.random_gadget(
+            r=r, cycles=cycles, length=ell, intersecting=inter, seed=seed
+        )
+        t = count_cycles(gadget.graph, ell)
+        if inter:
+            assert t == cycles  # unique intersection: exactly T planted
+        else:
+            assert t == 0
+        assert partition_is_valid(gadget)
+
+    def test_edge_count_is_linear(self):
+        # O(r + T) edges for constant ℓ.
+        gadget, _ = longcycle_multipass.random_gadget(
+            r=50, cycles=10, length=6, intersecting=True, seed=1
+        )
+        assert gadget.graph.m <= 3 * 50 + 2 * 10 + 10
+
+    def test_length_five_has_single_d_vertex(self):
+        inst = DisjInstance(s1=(1, 0), s2=(1, 0))
+        gadget = longcycle_multipass.build_gadget(inst, cycles=3, length=5)
+        d_vertices = [v for v in gadget.graph.vertices() if v[0] == "d"]
+        assert len(d_vertices) == 1
+
+    def test_rejects_short_cycles(self):
+        inst = DisjInstance(s1=(1,), s2=(1,))
+        with pytest.raises(ValueError):
+            longcycle_multipass.build_gadget(inst, cycles=1, length=4)
+        with pytest.raises(ValueError):
+            longcycle_multipass.build_gadget(inst, cycles=0, length=5)
+
+    def test_protocol_solves_disj_for_each_length(self):
+        for ell in (5, 6, 7):
+            for inter in (False, True):
+                gadget, _ = longcycle_multipass.random_gadget(
+                    r=15, cycles=5, length=ell, intersecting=inter, seed=ell
+                )
+                result = run_protocol(ExactCycleCounter(ell), gadget)
+                assert result.output == int(inter)
+
+    def test_stream_is_model_valid(self):
+        gadget, _ = longcycle_multipass.random_gadget(
+            r=10, cycles=4, length=6, intersecting=True, seed=2
+        )
+        validate_pair_sequence(list(gadget.stream(seed=3).iter_pairs()))
+
+    def test_alice_lists_independent_of_bobs_string(self):
+        a = DisjInstance(s1=(1, 0, 1), s2=(0, 1, 0))
+        b = DisjInstance(s1=(1, 0, 1), s2=(1, 0, 0))
+        g1 = longcycle_multipass.build_gadget(a, cycles=2, length=5)
+        g2 = longcycle_multipass.build_gadget(b, cycles=2, length=5)
+        alice = dict(g1.player_lists)["alice"]
+        for v in alice:
+            assert g1.graph.neighbors(v) == g2.graph.neighbors(v)
+
+    def test_multiple_intersections_give_at_least_t(self):
+        inst = DisjInstance(s1=(1, 1, 0), s2=(1, 1, 0))
+        gadget = longcycle_multipass.build_gadget(inst, cycles=4, length=5)
+        assert count_cycles(gadget.graph, 5) >= 4

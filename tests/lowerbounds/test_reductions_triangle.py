@@ -1,0 +1,122 @@
+"""Tests for the triangle lower-bound gadgets (Theorems 5.1 and 5.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact_stream import ExactCycleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.graph.counting import count_triangles
+from repro.lowerbounds.problems import (
+    ThreeDisjInstance,
+    ThreePJInstance,
+    random_three_disj_instance,
+    random_three_pj_instance,
+)
+from repro.lowerbounds.protocol import partition_is_valid, run_protocol
+from repro.lowerbounds.reductions import triangle_multipass, triangle_one_pass
+from repro.streaming.stream import validate_pair_sequence
+
+
+class TestThreePJGadget:
+    """Figure 1a / Theorem 5.1."""
+
+    @given(r=st.integers(2, 12), k=st.integers(1, 4), answer=st.integers(0, 1),
+           seed=st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_count_encodes_answer(self, r, k, answer, seed):
+        inst = random_three_pj_instance(r, answer, seed=seed)
+        gadget = triangle_one_pass.build_gadget(inst, k)
+        t = count_triangles(gadget.graph)
+        assert t == (k * k if answer else 0)
+        assert gadget.promised_cycles == k * k
+        assert partition_is_valid(gadget)
+
+    def test_edge_budget(self):
+        # Θ(rk + k²) edges, per the theorem.
+        inst = random_three_pj_instance(20, 1, seed=1)
+        gadget = triangle_one_pass.build_gadget(inst, k=5)
+        r, k = 20, 5
+        assert gadget.graph.m <= 2 * (r * k + k * k) + r * k
+
+    def test_stream_is_model_valid(self):
+        inst = random_three_pj_instance(6, 1, seed=2)
+        gadget = triangle_one_pass.build_gadget(inst, k=3)
+        validate_pair_sequence(list(gadget.stream(seed=3).iter_pairs()))
+
+    def test_players_cannot_see_private_input(self):
+        """Alice's lists must be computable without E1 (Bob/Charlie's
+        private layer): her adjacency depends only on E2 and E3."""
+        base = ThreePJInstance(start=0, middle=(1, 0, 2), last=(1, 0, 1))
+        changed_e1 = ThreePJInstance(start=2, middle=(1, 0, 2), last=(1, 0, 1))
+        g1 = triangle_one_pass.build_gadget(base, k=2)
+        g2 = triangle_one_pass.build_gadget(changed_e1, k=2)
+        alice1 = dict(g1.player_lists)["alice"]
+        for v in alice1:
+            assert g1.graph.neighbors(v) == g2.graph.neighbors(v), (
+                "Alice's adjacency lists changed when only E1 changed"
+            )
+
+    def test_protocol_solves_problem(self):
+        for answer in (0, 1):
+            inst = random_three_pj_instance(10, answer, seed=4 + answer)
+            gadget = triangle_one_pass.build_gadget(inst, k=3)
+            result = run_protocol(ExactCycleCounter(3), gadget)
+            assert result.output == answer
+
+    def test_dimension_helper(self):
+        r, k = triangle_one_pass.gadget_dimensions(10000, 100)
+        assert k == 10
+        assert r == 1000
+        with pytest.raises(ValueError):
+            triangle_one_pass.gadget_dimensions(0, 1)
+
+
+class TestThreeDisjGadget:
+    """Figure 1b / Theorem 5.2."""
+
+    @given(r=st.integers(2, 8), k=st.integers(1, 3), inter=st.booleans(),
+           seed=st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_count_encodes_answer(self, r, k, inter, seed):
+        inst = random_three_disj_instance(r, inter, seed=seed)
+        gadget = triangle_multipass.build_gadget(inst, k)
+        t = count_triangles(gadget.graph)
+        if inter:
+            assert t == k**3  # hard instances have a unique intersection
+        else:
+            assert t == 0
+        assert partition_is_valid(gadget)
+
+    def test_private_input_isolation(self):
+        """Bob's lists depend only on s2 and s3, never on s1."""
+        base = ThreeDisjInstance(s1=(1, 0, 1), s2=(0, 1, 1), s3=(1, 1, 0))
+        changed_s1 = ThreeDisjInstance(s1=(0, 1, 0), s2=(0, 1, 1), s3=(1, 1, 0))
+        g1 = triangle_multipass.build_gadget(base, k=2)
+        g2 = triangle_multipass.build_gadget(changed_s1, k=2)
+        bob1 = dict(g1.player_lists)["bob"]
+        for v in bob1:
+            assert g1.graph.neighbors(v) == g2.graph.neighbors(v)
+
+    def test_protocol_with_sublinear_algorithm(self):
+        """Theorem 3.7's algorithm, run as a protocol, solves 3-DISJ —
+        that is exactly the reduction's content."""
+        for inter in (False, True):
+            inst = random_three_disj_instance(8, inter, seed=11)
+            gadget = triangle_multipass.build_gadget(inst, k=3)
+            t = gadget.promised_cycles
+            budget = max(1, round(6 * gadget.graph.m / t ** (2 / 3)))
+            algo = TwoPassTriangleCounter(sample_size=budget, seed=12)
+            result = run_protocol(algo, gadget)
+            assert result.output == int(inter)
+            assert result.rounds == 2
+
+    def test_stream_is_model_valid(self):
+        inst = random_three_disj_instance(5, True, seed=13)
+        gadget = triangle_multipass.build_gadget(inst, k=2)
+        validate_pair_sequence(list(gadget.stream(seed=14).iter_pairs()))
+
+    def test_dimension_helper(self):
+        r, k = triangle_multipass.gadget_dimensions(8000, 64)
+        assert k == 4
+        assert r == 500

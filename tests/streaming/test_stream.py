@@ -1,0 +1,151 @@
+"""Tests for adjacency-list streams and the model's promise validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import cycle_graph, gnm_random_graph, star_graph
+from repro.graph.graph import Graph
+from repro.streaming.stream import (
+    AdjacencyListStream,
+    StreamFormatError,
+    validate_pair_sequence,
+)
+
+
+class TestStreamBasics:
+    def test_pair_count_is_2m(self, small_random_graph):
+        s = AdjacencyListStream(small_random_graph, seed=1)
+        assert len(s) == 2 * small_random_graph.m
+        assert sum(1 for _ in s.iter_pairs()) == 2 * small_random_graph.m
+
+    def test_every_edge_appears_twice(self, small_random_graph):
+        s = AdjacencyListStream(small_random_graph, seed=2)
+        from collections import Counter
+
+        counts = Counter(tuple(sorted(p)) for p in s.iter_pairs())
+        assert all(c == 2 for c in counts.values())
+        assert len(counts) == small_random_graph.m
+
+    def test_replay_is_identical(self, small_random_graph):
+        s = AdjacencyListStream(small_random_graph, seed=3)
+        assert list(s.iter_pairs()) == list(s.iter_pairs())
+        assert list(s.iter_lists()) == list(s.iter_lists())
+
+    def test_all_lists_present(self, small_random_graph):
+        s = AdjacencyListStream(small_random_graph, seed=4)
+        seen = [v for v, _ in s.iter_lists()]
+        assert sorted(seen) == sorted(small_random_graph.vertices())
+
+    def test_positions_match_order(self, small_random_graph):
+        s = AdjacencyListStream(small_random_graph, seed=5)
+        for i, v in enumerate(s.list_order):
+            assert s.position(v) == i
+
+    def test_lists_contain_exact_neighbourhoods(self, small_random_graph):
+        s = AdjacencyListStream(small_random_graph, seed=6)
+        for v, nbrs in s.iter_lists():
+            assert set(nbrs) == small_random_graph.neighbors(v)
+            assert len(nbrs) == small_random_graph.degree(v)
+
+
+class TestExplicitOrders:
+    def test_custom_list_order(self):
+        g = cycle_graph(5)
+        order = [3, 1, 4, 0, 2]
+        s = AdjacencyListStream(g, list_order=order, seed=1)
+        assert s.list_order == order
+
+    def test_invalid_permutation_rejected(self):
+        g = cycle_graph(4)
+        with pytest.raises(ValueError):
+            AdjacencyListStream(g, list_order=[0, 1, 2])
+        with pytest.raises(ValueError):
+            AdjacencyListStream(g, list_order=[0, 1, 2, 2])
+
+    def test_custom_neighbor_orders(self):
+        g = star_graph(4)
+        s = AdjacencyListStream(
+            g, list_order=[0, 1, 2, 3, 4], neighbor_orders={0: [4, 3, 2, 1]}, seed=1
+        )
+        assert s.neighbors_in_order(0) == (4, 3, 2, 1)
+
+    def test_wrong_neighbor_order_rejected(self):
+        g = star_graph(3)
+        with pytest.raises(ValueError):
+            AdjacencyListStream(g, neighbor_orders={0: [1, 2]}, seed=1)
+
+    def test_seed_determinism(self):
+        g = gnm_random_graph(20, 40, seed=7)
+        s1 = AdjacencyListStream(g, seed=42)
+        s2 = AdjacencyListStream(g, seed=42)
+        assert list(s1.iter_pairs()) == list(s2.iter_pairs())
+
+    def test_reordered_changes_order(self):
+        g = gnm_random_graph(20, 40, seed=8)
+        s1 = AdjacencyListStream(g, seed=1)
+        s2 = s1.reordered(seed=2)
+        assert list(s1.iter_pairs()) != list(s2.iter_pairs())
+        assert s2.graph is g
+
+
+class TestValidation:
+    def test_valid_stream_passes(self, small_random_graph):
+        s = AdjacencyListStream(small_random_graph, seed=9)
+        validate_pair_sequence(list(s.iter_pairs()))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(StreamFormatError, match="self loop"):
+            validate_pair_sequence([(1, 1)])
+
+    def test_non_contiguous_list_rejected(self):
+        pairs = [(0, 1), (1, 0), (0, 2), (2, 0)]
+        with pytest.raises(StreamFormatError, match="not contiguous"):
+            validate_pair_sequence(pairs)
+
+    def test_missing_reverse_rejected(self):
+        with pytest.raises(StreamFormatError, match="reverse"):
+            validate_pair_sequence([(0, 1)])
+
+    def test_duplicate_pair_rejected(self):
+        with pytest.raises(StreamFormatError, match="duplicate"):
+            validate_pair_sequence([(0, 1), (0, 1), (1, 0)])
+
+    def test_empty_stream_is_valid(self):
+        validate_pair_sequence([])
+
+
+class TestFromPairs:
+    def test_roundtrip(self, small_random_graph):
+        s = AdjacencyListStream(small_random_graph, seed=10)
+        pairs = list(s.iter_pairs())
+        rebuilt = AdjacencyListStream.from_pairs(pairs)
+        assert list(rebuilt.iter_pairs()) == pairs
+        assert sorted(rebuilt.graph.edges()) == sorted(small_random_graph.edges())
+
+    def test_invalid_pairs_rejected(self):
+        with pytest.raises(StreamFormatError):
+            AdjacencyListStream.from_pairs([(0, 1)])
+
+    def test_paper_example(self):
+        """The introduction's example stream for a triangle on v1, v2, v3."""
+        pairs = [
+            ("v3", "v1"), ("v3", "v2"),
+            ("v1", "v2"), ("v1", "v3"),
+            ("v2", "v3"), ("v2", "v1"),
+        ]
+        s = AdjacencyListStream.from_pairs(pairs)
+        assert s.graph.m == 3
+        assert s.list_order == ["v3", "v1", "v2"]
+
+
+@given(
+    n=st.integers(2, 15),
+    m_frac=st.floats(0.1, 0.9),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_any_generated_stream_is_model_valid(n, m_frac, seed):
+    g = gnm_random_graph(n, int(m_frac * n * (n - 1) // 2), seed=seed)
+    s = AdjacencyListStream(g, seed=seed)
+    validate_pair_sequence(list(s.iter_pairs()))

@@ -1,0 +1,151 @@
+"""Tests for the repro-cycles command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.counting import count_triangles
+from repro.graph.io import read_adjacency_list, read_edge_list
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "g.adj"
+    assert (
+        main(
+            [
+                "generate",
+                "--family",
+                "planted-triangles",
+                "--m",
+                "400",
+                "--count",
+                "40",
+                "--seed",
+                "1",
+                "--out",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestGenerate:
+    def test_adjacency_output(self, graph_file):
+        graph = read_adjacency_list(graph_file)
+        assert count_triangles(graph) == 40
+
+    def test_edge_list_output(self, tmp_path):
+        out = tmp_path / "g.edges"
+        main(["generate", "--family", "gnm", "--n", "50", "--m", "120",
+              "--out", str(out)])
+        graph = read_edge_list(out)
+        assert graph.m == 120
+
+    @pytest.mark.parametrize(
+        "family,extra",
+        [
+            ("gnp", ["--n", "30", "--p", "0.2"]),
+            ("ba", ["--n", "40", "--attach", "2"]),
+            ("powerlaw", ["--n", "40", "--attach", "2", "--p", "0.5"]),
+            ("planted-4cycles", ["--m", "100", "--count", "10"]),
+        ],
+    )
+    def test_all_families(self, tmp_path, family, extra):
+        out = tmp_path / "fam.edges"
+        assert main(["generate", "--family", family, "--out", str(out)] + extra) == 0
+        assert read_edge_list(out).m > 0
+
+    def test_unknown_family(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--family", "nope", "--out", str(tmp_path / "x.adj")])
+
+
+class TestCount:
+    def test_exact(self, graph_file, capsys):
+        assert main(["count", str(graph_file), "--algorithm", "exact"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated 3-cycles: 40.0" in out
+
+    @pytest.mark.parametrize(
+        "algorithm", ["two-pass", "three-pass", "one-pass", "wedge", "naive"]
+    )
+    def test_triangle_algorithms_run(self, graph_file, algorithm, capsys):
+        assert (
+            main(
+                [
+                    "count",
+                    str(graph_file),
+                    "--algorithm",
+                    algorithm,
+                    "--sample-size",
+                    "2000",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        value = float(out.split("estimated 3-cycles: ")[1].split()[0])
+        assert 20 <= value <= 80  # generous band around 40
+
+    def test_fourcycle_two_pass(self, graph_file, capsys):
+        assert main(["count", str(graph_file), "--length", "4"]) == 0
+        assert "estimated 4-cycles" in capsys.readouterr().out
+
+    def test_boosted_copies(self, graph_file, capsys):
+        assert main(["count", str(graph_file), "--copies", "3",
+                     "--sample-size", "500"]) == 0
+        assert "estimated 3-cycles" in capsys.readouterr().out
+
+    def test_long_cycles_need_exact(self, graph_file):
+        with pytest.raises(SystemExit, match="Theorem 5.5"):
+            main(["count", str(graph_file), "--length", "5"])
+
+    def test_long_cycles_exact_works(self, graph_file, capsys):
+        assert main(["count", str(graph_file), "--length", "5",
+                     "--algorithm", "exact"]) == 0
+        assert "estimated 5-cycles: 0.0" in capsys.readouterr().out
+
+    def test_unknown_algorithm(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["count", str(graph_file), "--algorithm", "bogus"])
+
+
+class TestValidate:
+    def test_valid_file(self, graph_file, capsys):
+        assert main(["validate", str(graph_file)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_experiment_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "bogus"])
+
+
+class TestAdaptiveAndExperiments:
+    def test_adaptive_algorithm(self, graph_file, capsys):
+        assert (
+            main(["count", str(graph_file), "--algorithm", "adaptive",
+                  "--sample-size", "400", "--seed", "5"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        value = float(out.split("estimated 3-cycles: ")[1].split()[0])
+        assert 15 <= value <= 90
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 3.7" in out
+
+    def test_experiment_figure1(self, capsys):
+        assert main(["experiment", "figure1"]) == 0
+        assert "Figure 1e" in capsys.readouterr().out

@@ -1,0 +1,40 @@
+"""Every example script must run cleanly and produce sane output."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLE_SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(EXAMPLE_SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_reports_accuracy(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "rel error" in out
+    # Parse the reported relative error and require the theorem's target.
+    line = next(l for l in out.splitlines() if l.startswith("rel error"))
+    value = float(line.split("=")[1].split("(")[0])
+    assert value < 0.5
+
+
+def test_lower_bound_demo_all_ok(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "lower_bound_demo.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "[WRONG]" not in out
+    assert out.count("[OK]") >= 14  # 2+2+2+2+6 gadget runs

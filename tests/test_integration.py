@@ -1,0 +1,132 @@
+"""End-to-end integration tests across package boundaries."""
+
+import statistics
+
+import pytest
+
+from repro import (
+    ExactCycleCounter,
+    MedianBoosted,
+    OnePassTriangleCounter,
+    TwoPassFourCycleCounter,
+    TwoPassTriangleCounter,
+    fourcycle_sample_size,
+    run_algorithm,
+    triangle_sample_size,
+)
+from repro.analysis import run_all_checks
+from repro.graph import (
+    count_four_cycles,
+    count_triangles,
+    gnm_random_graph,
+    planted_triangles_book,
+    powerlaw_cluster_graph,
+)
+from repro.lowerbounds import run_protocol
+from repro.lowerbounds.problems import random_three_disj_instance
+from repro.lowerbounds.reductions import triangle_multipass
+from repro.streaming import AdjacencyListStream
+
+
+class TestFullTrianglePipeline:
+    """Generate -> stream -> estimate -> verify, at the theorem's budget."""
+
+    def test_random_graph_pipeline(self):
+        graph = gnm_random_graph(300, 2200, seed=1)
+        truth = count_triangles(graph)
+        assert truth > 50  # workload sanity
+        budget = triangle_sample_size(graph.m, truth, epsilon=0.4)
+        estimates = []
+        for i in range(11):
+            algo = TwoPassTriangleCounter(sample_size=budget, seed=100 + i)
+            stream = AdjacencyListStream(graph, seed=200 + i)
+            estimates.append(run_algorithm(algo, stream).estimate)
+        median = statistics.median(estimates)
+        assert abs(median - truth) <= 0.4 * truth
+
+    def test_powerlaw_graph_pipeline(self):
+        graph = powerlaw_cluster_graph(400, 3, triangle_prob=0.7, seed=2)
+        truth = count_triangles(graph)
+        budget = triangle_sample_size(graph.m, truth, epsilon=0.5)
+        boosted = MedianBoosted(
+            lambda s: TwoPassTriangleCounter(sample_size=budget, seed=s),
+            copies=5,
+            seed=3,
+        )
+        result = run_algorithm(boosted, AdjacencyListStream(graph, seed=4))
+        assert abs(result.estimate - truth) <= 0.6 * truth
+
+    def test_two_pass_beats_one_pass_at_equal_space(self):
+        # Heavy-edge workload: the book's spine edge lies in every planted
+        # triangle, which is exactly where the one-pass estimator's variance
+        # blows up and the lightest-edge rule does not.
+        planted = planted_triangles_book(1200, 400, seed=5)
+        graph = planted.graph
+        budget = graph.m // 8
+
+        def spread(factory):
+            ests = []
+            for i in range(20):
+                stream = AdjacencyListStream(graph, seed=300 + i)
+                ests.append(run_algorithm(factory(i), stream).estimate)
+            return statistics.pstdev(ests)
+
+        two_sd = spread(lambda i: TwoPassTriangleCounter(budget, seed=i))
+        one_sd = spread(
+            lambda i: OnePassTriangleCounter(min(1.0, budget / graph.m), seed=50 + i)
+        )
+        assert two_sd < 0.5 * one_sd
+
+
+class TestFullFourCyclePipeline:
+    def test_random_graph_pipeline(self):
+        graph = gnm_random_graph(250, 1800, seed=6)
+        truth = count_four_cycles(graph)
+        assert truth > 100
+        budget = fourcycle_sample_size(graph.m, truth)
+        estimates = []
+        for i in range(11):
+            algo = TwoPassFourCycleCounter(sample_size=budget, seed=400 + i)
+            stream = AdjacencyListStream(graph, seed=500 + i)
+            estimates.append(run_algorithm(algo, stream).estimate)
+        median = statistics.median(estimates)
+        assert truth / 4 <= median <= 4 * truth  # Theorem 4.6's O(1) factor
+
+
+class TestEstimatorAgainstExactBaseline:
+    def test_same_stream_same_answer_shape(self):
+        graph = gnm_random_graph(350, 4000, seed=7)
+        stream = AdjacencyListStream(graph, seed=8)
+        exact = run_algorithm(ExactCycleCounter(3), stream)
+        approx = run_algorithm(
+            TwoPassTriangleCounter(sample_size=150, seed=9), stream
+        )
+        assert exact.estimate == count_triangles(graph)
+        assert approx.estimate == pytest.approx(exact.estimate, rel=1.0)
+        assert approx.peak_space_words < exact.peak_space_words
+
+
+class TestReductionPipeline:
+    """Upper and lower bound machinery composed: the sublinear algorithm
+    solves the communication problem through the gadget."""
+
+    def test_sublinear_algorithm_solves_three_disj(self):
+        outcomes = []
+        for seed in range(6):
+            inter = seed % 2 == 1
+            inst = random_three_disj_instance(8, inter, seed=seed)
+            gadget = triangle_multipass.build_gadget(inst, k=3)
+            budget = max(
+                1, round(6 * gadget.graph.m / gadget.promised_cycles ** (2 / 3))
+            )
+            algo = TwoPassTriangleCounter(sample_size=budget, seed=1000 + seed)
+            result = run_protocol(algo, gadget)
+            outcomes.append(result.output == int(inter))
+        assert all(outcomes)
+
+
+class TestLemmaChecksOnPipelineGraphs:
+    def test_all_lemmas_hold_on_generated_workloads(self):
+        for seed in range(3):
+            graph = gnm_random_graph(40, 180, seed=seed)
+            assert all(c.holds for c in run_all_checks(graph, stream_seed=seed))

@@ -1,0 +1,209 @@
+"""Cross-cutting property-based and robustness tests.
+
+Hypothesis-driven invariants over random graphs, pickling (which the
+protocol simulator's byte accounting relies on), and contract-violation
+behaviour (what happens when pass 2 does not replay pass 1's order).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.distinguisher import TwoPassTriangleDistinguisher
+from repro.baselines.naive_sampling import NaiveSamplingTriangleCounter
+from repro.baselines.one_pass_triangle import OnePassTriangleCounter
+from repro.baselines.wedge_sampling import WedgeSamplingTriangleCounter
+from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
+from repro.core.triangle_three_pass import ThreePassTriangleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.graph.counting import count_four_cycles, count_triangles
+from repro.graph.generators import gnm_random_graph
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+def graphs(min_n=4, max_n=16):
+    return st.builds(
+        lambda n, frac, seed: gnm_random_graph(n, int(frac * n * (n - 1) // 2), seed=seed),
+        n=st.integers(min_n, max_n),
+        frac=st.floats(0.2, 0.8),
+        seed=st.integers(0, 10**6),
+    )
+
+
+class TestExactRegimeProperties:
+    """Every estimator must be exact when nothing is subsampled."""
+
+    @given(graph=graphs(), stream_seed=st.integers(0, 10**6), algo_seed=st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_two_pass_triangles(self, graph, stream_seed, algo_seed):
+        truth = count_triangles(graph)
+        budget = 2 * graph.m + 3 * truth + 5
+        algo = TwoPassTriangleCounter(sample_size=budget, seed=algo_seed)
+        stream = AdjacencyListStream(graph, seed=stream_seed)
+        assert run_algorithm(algo, stream).estimate == pytest.approx(truth)
+
+    @given(graph=graphs(), stream_seed=st.integers(0, 10**6), algo_seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_three_pass_triangles(self, graph, stream_seed, algo_seed):
+        truth = count_triangles(graph)
+        budget = 2 * graph.m + 3 * truth + 5
+        algo = ThreePassTriangleCounter(sample_size=budget, seed=algo_seed)
+        stream = AdjacencyListStream(graph, seed=stream_seed)
+        assert run_algorithm(algo, stream).estimate == pytest.approx(truth)
+
+    @given(graph=graphs(), stream_seed=st.integers(0, 10**6), algo_seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_one_pass_triangles(self, graph, stream_seed, algo_seed):
+        algo = OnePassTriangleCounter(sample_rate=1.0, seed=algo_seed)
+        stream = AdjacencyListStream(graph, seed=stream_seed)
+        assert run_algorithm(algo, stream).estimate == count_triangles(graph)
+
+    @given(graph=graphs(), stream_seed=st.integers(0, 10**6), algo_seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_wedge_sampling_triangles(self, graph, stream_seed, algo_seed):
+        algo = WedgeSamplingTriangleCounter(sample_size=10**7, seed=algo_seed)
+        stream = AdjacencyListStream(graph, seed=stream_seed)
+        # approx: the ratio arithmetic (closed/kept * P2/2) rounds in floats
+        assert run_algorithm(algo, stream).estimate == pytest.approx(
+            count_triangles(graph)
+        )
+
+    @given(graph=graphs(), stream_seed=st.integers(0, 10**6), algo_seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_two_pass_four_cycles(self, graph, stream_seed, algo_seed):
+        algo = TwoPassFourCycleCounter(sample_size=2 * graph.m + 2, seed=algo_seed)
+        stream = AdjacencyListStream(graph, seed=stream_seed)
+        assert run_algorithm(algo, stream).estimate == pytest.approx(
+            count_four_cycles(graph)
+        )
+
+
+class TestGeneralInvariants:
+    @given(
+        graph=graphs(),
+        budget=st.integers(1, 60),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_estimates_are_finite_and_nonnegative(self, graph, budget, seed):
+        for algo in (
+            TwoPassTriangleCounter(sample_size=budget, seed=seed),
+            TwoPassFourCycleCounter(sample_size=max(budget, 2), seed=seed),
+            NaiveSamplingTriangleCounter(sample_size=budget, seed=seed),
+        ):
+            stream = AdjacencyListStream(graph, seed=seed)
+            estimate = run_algorithm(algo, stream).estimate
+            assert estimate >= 0
+            assert estimate == estimate  # not NaN
+            assert estimate != float("inf")
+
+    @given(graph=graphs(), seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_distinguisher_never_false_positive_on_triangle_free(self, graph, seed):
+        # Delete triangles by removing one edge per triangle greedily.
+        g = graph.copy()
+        from repro.graph.counting import enumerate_triangles
+
+        while True:
+            tri = next(enumerate_triangles(g), None)
+            if tri is None:
+                break
+            g.remove_edge(tri[0], tri[1])
+        algo = TwoPassTriangleDistinguisher(sample_size=max(g.m, 1), seed=seed)
+        stream = AdjacencyListStream(g, seed=seed)
+        assert run_algorithm(algo, stream).estimate == 0.0
+
+    @given(graph=graphs(), budget=st.integers(2, 50), seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_space_reporting_is_nonnegative_and_bounded(self, graph, budget, seed):
+        algo = TwoPassTriangleCounter(sample_size=budget, seed=seed)
+        stream = AdjacencyListStream(graph, seed=seed)
+        result = run_algorithm(algo, stream)
+        assert 0 <= result.peak_space_words
+        # Generous sanity ceiling: O(m' + pairs) with small constants.
+        assert result.peak_space_words <= 30 * budget + 10
+
+
+class TestPickling:
+    """The protocol simulator measures messages as pickled state."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: TwoPassTriangleCounter(sample_size=30, seed=1),
+            lambda: ThreePassTriangleCounter(sample_size=30, seed=1),
+            lambda: TwoPassFourCycleCounter(sample_size=30, seed=1),
+            lambda: OnePassTriangleCounter(sample_rate=0.4, seed=1),
+            lambda: WedgeSamplingTriangleCounter(sample_size=30, seed=1),
+            lambda: NaiveSamplingTriangleCounter(sample_size=30, seed=1),
+            lambda: TwoPassTriangleDistinguisher(sample_size=30, seed=1),
+        ],
+        ids=lambda f: type(f()).__name__,
+    )
+    def test_algorithms_picklable_mid_run(self, small_random_graph, make):
+        algo = make()
+        stream = AdjacencyListStream(small_random_graph, seed=2)
+        # Feed exactly one pass, then pickle (a protocol message boundary).
+        algo.begin_pass(0)
+        for vertex, neighbors in stream.iter_lists():
+            algo.begin_list(vertex)
+            for nbr in neighbors:
+                algo.process(vertex, nbr)
+            algo.end_list(vertex, neighbors)
+        algo.end_pass(0)
+        blob = pickle.dumps(algo)
+        assert len(blob) > 0
+        clone = pickle.loads(blob)
+        assert clone.space_words() == algo.space_words()
+
+    def test_pickled_clone_continues_identically(self, small_random_graph):
+        stream = AdjacencyListStream(small_random_graph, seed=3)
+        algo = TwoPassTriangleCounter(sample_size=60, seed=4)
+        algo.begin_pass(0)
+        for vertex, neighbors in stream.iter_lists():
+            algo.begin_list(vertex)
+            for nbr in neighbors:
+                algo.process(vertex, nbr)
+            algo.end_list(vertex, neighbors)
+        algo.end_pass(0)
+        clone = pickle.loads(pickle.dumps(algo))
+
+        def finish(a):
+            a.begin_pass(1)
+            for vertex, neighbors in stream.iter_lists():
+                a.begin_list(vertex)
+                for nbr in neighbors:
+                    a.process(vertex, nbr)
+                a.end_list(vertex, neighbors)
+            a.end_pass(1)
+            return a.result()
+
+        assert finish(clone) == finish(algo)
+
+
+class TestContractViolations:
+    def test_mismatched_pass_orders_do_not_crash(self, small_random_graph):
+        """Theorem 3.7 requires pass 2 to replay pass 1's order; violating
+        that voids the guarantee but must not corrupt the machinery."""
+        algo = TwoPassTriangleCounter(sample_size=50, seed=5)
+        stream_a = AdjacencyListStream(small_random_graph, seed=6)
+        stream_b = AdjacencyListStream(small_random_graph, seed=7)
+        for pass_index, stream in enumerate((stream_a, stream_b)):
+            algo.begin_pass(pass_index)
+            for vertex, neighbors in stream.iter_lists():
+                algo.begin_list(vertex)
+                for nbr in neighbors:
+                    algo.process(vertex, nbr)
+                algo.end_list(vertex, neighbors)
+            algo.end_pass(pass_index)
+        estimate = algo.result()
+        assert estimate >= 0
+        assert estimate == estimate
+
+    def test_requires_same_order_flag_documents_the_contract(self):
+        assert TwoPassTriangleCounter(sample_size=5).requires_same_order
+        assert not TwoPassFourCycleCounter(sample_size=5).requires_same_order
+        assert not ThreePassTriangleCounter(sample_size=5).requires_same_order

@@ -1,0 +1,88 @@
+"""Seeded-determinism contract: fixed seeds produce byte-identical results.
+
+Every stochastic component threads explicit seeds, so a (graph seed,
+stream seed, algorithm seed) triple fully determines an estimate.  These
+golden values pin the current behaviour; a change here means the
+samplers, hashing, or estimator arithmetic changed behaviourally — which
+must be deliberate (update the goldens in that case) and invalidates
+recorded experiment numbers in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import (
+    OnePassTriangleCounter,
+    TwoPassFourCycleCounter,
+    TwoPassTriangleCounter,
+    run_algorithm,
+)
+from repro.baselines import WedgeSamplingTriangleCounter
+from repro.core import ThreePassTriangleCounter
+from repro.graph import planted_four_cycles, planted_triangles
+from repro.streaming import AdjacencyListStream
+
+
+@pytest.fixture(scope="module")
+def triangle_stream():
+    return AdjacencyListStream(planted_triangles(600, 100, seed=42).graph, seed=7)
+
+
+@pytest.fixture(scope="module")
+def fourcycle_stream():
+    return AdjacencyListStream(planted_four_cycles(500, 60, seed=43).graph, seed=8)
+
+
+GOLDEN = {
+    "two_pass": 130.5,
+    "three_pass": 112.5,
+    "one_pass": 100.0,
+    "wedge": 97.955,
+    "fourcycle": 57.10184738955823,
+}
+
+
+class TestGoldenEstimates:
+    def test_two_pass(self, triangle_stream):
+        algo = TwoPassTriangleCounter(200, seed=11)
+        assert run_algorithm(algo, triangle_stream).estimate == GOLDEN["two_pass"]
+
+    def test_three_pass(self, triangle_stream):
+        algo = ThreePassTriangleCounter(200, seed=12)
+        assert run_algorithm(algo, triangle_stream).estimate == GOLDEN["three_pass"]
+
+    def test_one_pass(self, triangle_stream):
+        algo = OnePassTriangleCounter(0.3, seed=13)
+        assert run_algorithm(algo, triangle_stream).estimate == GOLDEN["one_pass"]
+
+    def test_wedge_sampling(self, triangle_stream):
+        algo = WedgeSamplingTriangleCounter(400, seed=14)
+        assert run_algorithm(algo, triangle_stream).estimate == GOLDEN["wedge"]
+
+    def test_fourcycle(self, fourcycle_stream):
+        algo = TwoPassFourCycleCounter(250, seed=15)
+        assert run_algorithm(algo, fourcycle_stream).estimate == GOLDEN["fourcycle"]
+
+
+class TestRunToRunDeterminism:
+    def test_same_triple_same_estimate(self, triangle_stream):
+        results = {
+            run_algorithm(
+                TwoPassTriangleCounter(150, seed=21), triangle_stream
+            ).estimate
+            for _ in range(3)
+        }
+        assert len(results) == 1
+
+    def test_different_algo_seeds_differ(self, triangle_stream):
+        results = {
+            run_algorithm(
+                TwoPassTriangleCounter(150, seed=s), triangle_stream
+            ).estimate
+            for s in range(6)
+        }
+        assert len(results) > 1
+
+    def test_graph_generation_is_seed_stable(self):
+        g1 = planted_triangles(600, 100, seed=42).graph
+        g2 = planted_triangles(600, 100, seed=42).graph
+        assert sorted(g1.edges()) == sorted(g2.edges())

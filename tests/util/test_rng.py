@@ -1,0 +1,63 @@
+"""Tests for seeded RNG helpers."""
+
+import random
+
+from repro.util.rng import derive_seed, resolve_rng, spawn_rng
+
+
+class TestResolveRng:
+    def test_none_gives_fresh_generator(self):
+        rng = resolve_rng(None)
+        assert isinstance(rng, random.Random)
+
+    def test_int_seed_is_deterministic(self):
+        a = resolve_rng(42)
+        b = resolve_rng(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert resolve_rng(1).random() != resolve_rng(2).random()
+
+    def test_existing_rng_passed_through(self):
+        rng = random.Random(7)
+        assert resolve_rng(rng) is rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(123, 4) == derive_seed(123, 4)
+
+    def test_stream_separation(self):
+        seeds = {derive_seed(123, s) for s in range(100)}
+        assert len(seeds) == 100
+
+    def test_seed_separation(self):
+        seeds = {derive_seed(s, 0) for s in range(100)}
+        assert len(seeds) == 100
+
+    def test_63_bit_range(self):
+        for s in range(50):
+            value = derive_seed(s, s + 1)
+            assert 0 <= value < 2**63
+
+
+class TestSpawnRng:
+    def test_children_are_independent_objects(self):
+        parent = random.Random(5)
+        a = spawn_rng(parent)
+        b = spawn_rng(parent)
+        assert a is not b
+        assert a.random() != b.random()
+
+    def test_stream_indexed_children_are_reproducible(self):
+        children1 = [spawn_rng(random.Random(9), stream=i).random() for i in range(4)]
+        children2 = [spawn_rng(random.Random(9), stream=i).random() for i in range(4)]
+        assert children1 == children2
+
+    def test_spawn_does_not_alias_parent_sequence(self):
+        parent = random.Random(11)
+        child = spawn_rng(parent)
+        reference = random.Random(11)
+        reference.getrandbits(63)  # parent consumed one draw
+        assert parent.random() == reference.random()
+        assert child.random() != parent.random()

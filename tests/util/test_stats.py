@@ -1,0 +1,178 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    fit_power_law,
+    geometric_range,
+    mean,
+    median,
+    quantile,
+    relative_error,
+    stddev,
+    success_rate,
+    summarize_errors,
+    variance,
+)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_even_interpolates(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_single(self):
+        assert median([7]) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_median_between_min_and_max(self, values):
+        m = median(values)
+        assert min(values) <= m <= max(values)
+
+
+class TestMoments:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_variance_constant_is_zero(self):
+        assert variance([5, 5, 5]) == 0
+
+    def test_variance_known_value(self):
+        assert variance([1, 3]) == 1
+
+    def test_stddev_is_sqrt_of_variance(self):
+        vals = [1.0, 2.0, 4.0, 8.0]
+        assert stddev(vals) == pytest.approx(math.sqrt(variance(vals)))
+
+    def test_empty_raise(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(10, 10) == 0
+
+    def test_basic(self):
+        assert relative_error(12, 10) == pytest.approx(0.2)
+
+    def test_zero_truth_nonzero_estimate(self):
+        assert relative_error(1, 0) == math.inf
+
+    def test_zero_truth_zero_estimate(self):
+        assert relative_error(0, 0) == 0
+
+    def test_symmetric_around_truth(self):
+        assert relative_error(8, 10) == relative_error(12, 10)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        s = summarize_errors([9, 10, 11], truth=10)
+        assert s.truth == 10
+        assert s.n_runs == 3
+        assert s.mean_estimate == 10
+        assert s.median_estimate == 10
+        assert s.median_within == 0
+
+    def test_median_relative_error(self):
+        s = summarize_errors([5, 10, 20], truth=10)
+        assert s.median_relative_error == pytest.approx(0.5)
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_law(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x**-0.66 for x in xs]
+        alpha, c = fit_power_law(xs, ys)
+        assert alpha == pytest.approx(-0.66, abs=1e-9)
+        assert c == pytest.approx(3, rel=1e-9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([2, 2], [1, 3])
+
+    @given(
+        alpha=st.floats(-3, 3),
+        c=st.floats(0.1, 100),
+    )
+    @settings(max_examples=40)
+    def test_fit_inverts_generation(self, alpha, c):
+        xs = [1.0, 2.0, 5.0, 10.0]
+        ys = [c * x**alpha for x in xs]
+        got_alpha, got_c = fit_power_law(xs, ys)
+        assert got_alpha == pytest.approx(alpha, abs=1e-6)
+        assert got_c == pytest.approx(c, rel=1e-6)
+
+
+class TestGeometricRange:
+    def test_endpoints(self):
+        vals = geometric_range(1, 100, 5)
+        assert vals[0] == pytest.approx(1)
+        assert vals[-1] == pytest.approx(100)
+
+    def test_count(self):
+        assert len(geometric_range(1, 10, 7)) == 7
+
+    def test_single(self):
+        assert geometric_range(5, 10, 1) == [5]
+
+    def test_constant_ratio(self):
+        vals = geometric_range(2, 32, 5)
+        ratios = [vals[i + 1] / vals[i] for i in range(4)]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            geometric_range(0, 10, 3)
+        with pytest.raises(ValueError):
+            geometric_range(1, 10, 0)
+
+
+class TestQuantile:
+    def test_median_equivalence(self):
+        vals = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert quantile(vals, 0.5) == median(vals)
+
+    def test_extremes(self):
+        vals = [3.0, 1.0, 2.0]
+        assert quantile(vals, 0.0) == 1.0
+        assert quantile(vals, 1.0) == 3.0
+
+    def test_interpolation(self):
+        assert quantile([0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+class TestSuccessRate:
+    def test_all_true(self):
+        assert success_rate([True, True]) == 1.0
+
+    def test_mixed(self):
+        assert success_rate([True, False, False, True]) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            success_rate([])
