@@ -1,0 +1,190 @@
+"""Benchmark: parallel trial execution and the batched runner fast path.
+
+Unlike the ``bench_table1_*`` / ``bench_figure1*`` pytest benchmarks, this
+is a plain script (CI runs it with ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py [--quick]
+
+It measures three things on a large G(n, m) workload and writes a JSON
+artifact (default ``BENCH_parallel.json``):
+
+1. **Harness parallelism** — wall time of a 20-trial ``accuracy_sweep``
+   serially vs. with ``--workers`` processes, asserting the two return
+   bit-identical points.
+2. **Runner fast path** — pairs/sec of the batched ``process_list``
+   dispatch vs. the per-pair ``process`` loop for the two-pass triangle
+   counter, asserting identical estimates and peaks.
+3. **Space-poll interval** — pairs/sec with ``space_words()`` polled every
+   list vs. every 64 lists.
+
+Speedups depend on the machine (a single-core box will not show a
+parallel win); the script reports what it measured and never fails on
+ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.experiments.harness import accuracy_sweep
+from repro.experiments.parallel import resolve_workers
+from repro.graph.generators import gnm_random_graph
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+def _factory(budget, seed):
+    """Module-level (hence picklable) trial factory for the sweep."""
+    return TwoPassTriangleCounter(sample_size=max(budget, 1), seed=seed)
+
+
+def bench_sweep(graph, truth, budgets, runs, workers):
+    """Serial vs. parallel accuracy_sweep wall time + bit-identity check."""
+    start = time.perf_counter()
+    serial = accuracy_sweep(_factory, graph, truth, budgets, runs=runs, seed=0)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = accuracy_sweep(
+        _factory, graph, truth, budgets, runs=runs, seed=0, workers=workers
+    )
+    parallel_s = time.perf_counter() - start
+    return {
+        "budgets": list(budgets),
+        "runs": runs,
+        "workers": resolve_workers(workers),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else None,
+        "bit_identical": serial == parallel,
+    }
+
+
+_FAST_PATH_ALGORITHMS = {
+    "triangle_two_pass": lambda budget: TwoPassTriangleCounter(
+        sample_size=budget, seed=5
+    ),
+    "fourcycle_two_pass": lambda budget: TwoPassFourCycleCounter(
+        sample_size=budget, seed=5
+    ),
+}
+
+
+def bench_fast_path(graph, budget, repeats):
+    """Batched vs. per-pair dispatch pairs/sec (best of ``repeats``)."""
+    stream = AdjacencyListStream(graph, seed=11)
+    out = {}
+    for name, make in _FAST_PATH_ALGORITHMS.items():
+        best = {True: 0.0, False: 0.0}
+        results = {}
+        for fast in (False, True):
+            for _ in range(repeats):
+                run = run_algorithm(make(budget), stream, use_fast_path=fast)
+                best[fast] = max(best[fast], run.pairs_per_second)
+                results[fast] = run
+        out[name] = {
+            "budget": budget,
+            "slow_pairs_per_second": best[False],
+            "fast_pairs_per_second": best[True],
+            "speedup": best[True] / best[False] if best[False] > 0 else None,
+            "bit_identical": (
+                results[True].estimate == results[False].estimate
+                and results[True].peak_space_words == results[False].peak_space_words
+            ),
+        }
+    return out
+
+
+def bench_poll_interval(graph, budget, interval, repeats):
+    """Pairs/sec polling space every list vs. every ``interval`` lists."""
+    stream = AdjacencyListStream(graph, seed=13)
+    best = {1: 0.0, interval: 0.0}
+    for poll in (1, interval):
+        for _ in range(repeats):
+            algo = TwoPassTriangleCounter(sample_size=budget, seed=5)
+            run = run_algorithm(algo, stream, space_poll_interval=poll)
+            best[poll] = max(best[poll], run.pairs_per_second)
+    return {
+        "interval": interval,
+        "every_list_pairs_per_second": best[1],
+        "sparse_pairs_per_second": best[interval],
+        "speedup": best[interval] / best[1] if best[1] > 0 else None,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small graph / few trials (CI smoke run)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes for the parallel sweep (0 = all cores)")
+    parser.add_argument("--runs", type=int, default=20, help="trials per budget")
+    parser.add_argument("--out", default="BENCH_parallel.json",
+                        help="JSON artifact path")
+    args = parser.parse_args(argv)
+
+    # Average degree ~20: dense enough that per-pair dispatch (what the
+    # fast path removes) dominates the per-list bookkeeping both paths share.
+    if args.quick:
+        n, m, budgets, runs, repeats = 600, 6000, (64, 128), min(args.runs, 6), 1
+    else:
+        n, m, budgets, runs, repeats = 6000, 60_000, (256, 512), args.runs, 3
+
+    print(f"building G(n={n}, m={m}) workload ...")
+    graph = gnm_random_graph(n, m, seed=1)
+    # The sweep checks estimator determinism, not accuracy, so any truth
+    # value works; 0 avoids an O(n^3)-ish exact count on the big graph.
+    truth = 0.0
+
+    print(f"accuracy_sweep: {runs} trials x {len(budgets)} budgets, "
+          f"serial vs {resolve_workers(args.workers)} workers ...")
+    sweep = bench_sweep(graph, truth, budgets, runs, args.workers)
+    print(f"  serial   {sweep['serial_seconds']:.2f}s")
+    print(f"  parallel {sweep['parallel_seconds']:.2f}s "
+          f"(x{sweep['speedup']:.2f}, identical={sweep['bit_identical']})")
+
+    print("runner fast path: batched vs per-pair dispatch ...")
+    fast = bench_fast_path(graph, budget=min(budgets), repeats=repeats)
+    for name, row in fast.items():
+        print(f"  {name}: per-pair {row['slow_pairs_per_second']:,.0f} pairs/s, "
+              f"batched {row['fast_pairs_per_second']:,.0f} pairs/s "
+              f"(x{row['speedup']:.2f}, identical={row['bit_identical']})")
+
+    print("space polling: every list vs every 64 lists ...")
+    poll = bench_poll_interval(graph, budget=min(budgets), interval=64, repeats=repeats)
+    print(f"  poll=1   {poll['every_list_pairs_per_second']:,.0f} pairs/s")
+    print(f"  poll=64  {poll['sparse_pairs_per_second']:,.0f} pairs/s "
+          f"(x{poll['speedup']:.2f})")
+
+    artifact = {
+        "workload": {"n": n, "m": m, "quick": args.quick},
+        "cpu_count": os.cpu_count(),
+        "sweep": sweep,
+        "fast_path": fast,
+        "poll_interval": poll,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+    print(f"wrote {args.out}")
+
+    identical = sweep["bit_identical"] and all(
+        row["bit_identical"] for row in fast.values()
+    )
+    if not identical:
+        print("ERROR: parallel or fast-path results diverged from baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -117,6 +117,16 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
             self._pair_count += 1
             self._sampler.offer(canonical_edge(source, neighbor))
 
+    def process_list(self, source: Vertex, neighbors: Sequence[Vertex]) -> None:
+        # Batched fast path: same offers in the same order as the per-pair
+        # loop, minus per-pair dispatch (pass 1 does all work in end_list).
+        if self._pass == 0:
+            self._pair_count += len(neighbors)
+            src = source
+            self._sampler.offer_many(
+                [(src, nbr) if src <= nbr else (nbr, src) for nbr in neighbors]
+            )
+
     def end_list(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
         if self._pass != 1:
             return

@@ -219,6 +219,24 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
             if edge in self._sampler and edge not in self._seen_p2:
                 self._seen_p2.add(edge)
 
+    def process_list(self, source: Vertex, neighbors: Sequence[Vertex]) -> None:
+        # Batched fast path: identical work to the per-pair loop (same edge
+        # order, same sampler offers) with per-pair dispatch, the pass
+        # check and canonical_edge calls hoisted out of the inner loop.
+        src = source
+        if self._pass == 0:
+            self._pair_count += len(neighbors)
+            self._sampler.offer_many(
+                [(src, nbr) if src <= nbr else (nbr, src) for nbr in neighbors]
+            )
+        else:
+            members = self._sampler.membership()
+            seen = self._seen_p2
+            for nbr in neighbors:
+                edge = (src, nbr) if src <= nbr else (nbr, src)
+                if edge in members and edge not in seen:
+                    seen.add(edge)
+
     def end_list(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
         nset = set(neighbors)
         if self._pass == 1:
@@ -234,12 +252,18 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
                         watcher.h += 1
 
     def _detect_candidates(self, vertex: Vertex, nset: Set[Vertex]) -> None:
-        """Find triangles on sampled edges closed by the current list."""
-        for edge in self._sampler.members():
+        """Find triangles on sampled edges closed by the current list.
+
+        Iterates the sampler's live membership mapping (same order as
+        ``members()``, minus a per-list list copy); ``_collect_pair`` never
+        mutates the sampler, so iteration is safe.
+        """
+        in_pass_two = self._pass == 1
+        for edge in self._sampler.membership():
             u, v = edge
             if u in nset and v in nset:
                 tri = triangle_key(u, v, vertex)
-                if self._pass == 0:
+                if not in_pass_two:
                     self._collect_pair(edge, tri, current_list=vertex)
                 else:
                     self._candidate_total += 1

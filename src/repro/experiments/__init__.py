@@ -6,6 +6,14 @@ from repro.experiments.harness import (
     measure_accuracy,
     min_budget_for_accuracy,
 )
+from repro.experiments.parallel import (
+    ExecutionConfig,
+    TrialExecutor,
+    TrialResult,
+    TrialSpec,
+    resolve_workers,
+    trial_specs,
+)
 from repro.experiments.report import format_table, print_table
 
 __all__ = [
@@ -13,6 +21,12 @@ __all__ = [
     "measure_accuracy",
     "accuracy_sweep",
     "min_budget_for_accuracy",
+    "ExecutionConfig",
+    "TrialExecutor",
+    "TrialResult",
+    "TrialSpec",
+    "resolve_workers",
+    "trial_specs",
     "format_table",
     "print_table",
 ]

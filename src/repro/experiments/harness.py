@@ -3,22 +3,33 @@
 Provides repeated-trial accuracy measurement at a given space budget, a
 search for the minimum space achieving a target accuracy, and simple row
 records that the report renderer and the benchmarks print.
+
+Trials within a measurement are fully independent, so every entry point
+accepts ``workers``: ``None``/``1`` runs the historical serial loop in
+process, ``N > 1`` fans trials out over a process pool, and ``0`` uses all
+cores.  Seeds are derived identically in both modes (see
+:mod:`repro.experiments.parallel`), so serial and parallel runs return
+bit-identical points — parallel mode only requires the factory to be
+picklable (module-level function or dataclass, not a lambda).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
+from repro.experiments.parallel import (
+    ExecutionConfig,
+    TrialExecutor,
+    TrialFactory,
+    trial_specs,
+)
 from repro.graph.graph import Graph
-from repro.streaming.algorithm import StreamingAlgorithm
-from repro.streaming.runner import run_algorithm
-from repro.streaming.stream import AdjacencyListStream
 from repro.util.rng import SeedLike, resolve_rng, spawn_rng
 from repro.util.stats import median, relative_error, success_rate
 
 #: factory(space_budget, seed) -> algorithm
-SizedFactory = Callable[[int, SeedLike], StreamingAlgorithm]
+SizedFactory = TrialFactory
 
 
 @dataclass(frozen=True)
@@ -43,17 +54,25 @@ def measure_accuracy(
     runs: int = 20,
     epsilon: float = 0.5,
     seed: SeedLike = None,
+    workers: Optional[int] = None,
+    executor: Optional[TrialExecutor] = None,
 ) -> AccuracyPoint:
-    """Run the estimator ``runs`` times at ``budget`` and summarise."""
+    """Run the estimator ``runs`` times at ``budget`` and summarise.
+
+    ``executor`` (when given) must have been built over the same
+    ``factory`` and ``graph``; the sweep functions pass one in so a single
+    process pool is reused across budgets.  Otherwise ``workers`` governs
+    execution for this call alone.
+    """
     rng = resolve_rng(seed)
-    estimates: List[float] = []
-    peaks: List[int] = []
-    for i in range(runs):
-        algorithm = factory(budget, spawn_rng(rng, stream=2 * i))
-        stream = AdjacencyListStream(graph, seed=spawn_rng(rng, stream=2 * i + 1))
-        result = run_algorithm(algorithm, stream)
-        estimates.append(result.estimate)
-        peaks.append(result.peak_space_words)
+    specs = trial_specs(rng, budget, runs)
+    if executor is not None:
+        results = executor.run(specs)
+    else:
+        with TrialExecutor(factory, graph, ExecutionConfig(workers=workers)) as ex:
+            results = ex.run(specs)
+    estimates: List[float] = [r.estimate for r in results]
+    peaks: List[int] = [r.peak_space_words for r in results]
     rel = [relative_error(e, truth) for e in estimates]
     return AccuracyPoint(
         budget=budget,
@@ -75,15 +94,18 @@ def accuracy_sweep(
     runs: int = 20,
     epsilon: float = 0.5,
     seed: SeedLike = None,
+    workers: Optional[int] = None,
 ) -> List[AccuracyPoint]:
     """Measure accuracy at each budget (shared seeding across budgets)."""
     rng = resolve_rng(seed)
-    return [
-        measure_accuracy(
-            factory, graph, truth, budget, runs=runs, epsilon=epsilon, seed=spawn_rng(rng)
-        )
-        for budget in budgets
-    ]
+    with TrialExecutor(factory, graph, ExecutionConfig(workers=workers)) as ex:
+        return [
+            measure_accuracy(
+                factory, graph, truth, budget, runs=runs, epsilon=epsilon,
+                seed=spawn_rng(rng), executor=ex,
+            )
+            for budget in budgets
+        ]
 
 
 def min_budget_for_accuracy(
@@ -98,6 +120,7 @@ def min_budget_for_accuracy(
     growth: float = 2.0,
     confirm: int = 2,
     seed: SeedLike = None,
+    workers: Optional[int] = None,
 ) -> Optional[int]:
     """Smallest budget (up to ``growth``-factor resolution) hitting the target.
 
@@ -118,21 +141,22 @@ def min_budget_for_accuracy(
     budget = float(start_budget)
     streak_start: Optional[int] = None
     streak = 0
-    while budget <= max_budget:
-        point = measure_accuracy(
-            factory, graph, truth, round(budget), runs=runs, epsilon=epsilon,
-            seed=spawn_rng(rng),
-        )
-        if point.success_rate >= target_success:
-            if streak == 0:
-                streak_start = round(budget)
-            streak += 1
-            if streak >= confirm:
-                return streak_start
-        else:
-            streak = 0
-            streak_start = None
-        budget *= growth
+    with TrialExecutor(factory, graph, ExecutionConfig(workers=workers)) as ex:
+        while budget <= max_budget:
+            point = measure_accuracy(
+                factory, graph, truth, round(budget), runs=runs, epsilon=epsilon,
+                seed=spawn_rng(rng), executor=ex,
+            )
+            if point.success_rate >= target_success:
+                if streak == 0:
+                    streak_start = round(budget)
+                streak += 1
+                if streak >= confirm:
+                    return streak_start
+            else:
+                streak = 0
+                streak_start = None
+            budget *= growth
     # A partially confirmed streak that ran off the end still counts: the
     # trivial budget m always succeeds for these estimators.
     return streak_start

@@ -53,12 +53,19 @@ def _two_pass_factory(budget: int, seed: SeedLike) -> TwoPassTriangleCounter:
     return TwoPassTriangleCounter(sample_size=max(budget, 1), seed=seed)
 
 
-def _one_pass_factory_for(m: int):
-    def factory(budget: int, seed: SeedLike) -> OnePassTriangleCounter:
-        rate = min(1.0, max(budget, 1) / m)
+@dataclass(frozen=True)
+class _OnePassFactory:
+    """Picklable factory: budget → sampling rate relative to a fixed m."""
+
+    m: int
+
+    def __call__(self, budget: int, seed: SeedLike) -> OnePassTriangleCounter:
+        rate = min(1.0, max(budget, 1) / self.m)
         return OnePassTriangleCounter(sample_rate=rate, seed=seed)
 
-    return factory
+
+def _one_pass_factory_for(m: int) -> _OnePassFactory:
+    return _OnePassFactory(m)
 
 
 def _fourcycle_factory(budget: int, seed: SeedLike) -> TwoPassFourCycleCounter:
@@ -72,6 +79,7 @@ def triangle_two_pass_rows(
     epsilon: float = 0.5,
     runs: int = 20,
     seed: SeedLike = 0,
+    workers: Optional[int] = None,
 ) -> List[Table1Row]:
     """Theorem 3.7 row: (1±ε) accuracy at ``m' = c·m/T^{2/3}``."""
     rng = resolve_rng(seed)
@@ -88,6 +96,7 @@ def triangle_two_pass_rows(
             runs=runs,
             epsilon=epsilon,
             seed=spawn_rng(rng),
+            workers=workers,
         )
         rows.append(
             Table1Row(
@@ -109,6 +118,7 @@ def triangle_one_pass_rows(
     epsilon: float = 0.5,
     runs: int = 20,
     seed: SeedLike = 0,
+    workers: Optional[int] = None,
 ) -> List[Table1Row]:
     """[27] baseline row: (1±ε) accuracy at ``m' = c·m/√T``."""
     rng = resolve_rng(seed)
@@ -125,6 +135,7 @@ def triangle_one_pass_rows(
             runs=runs,
             epsilon=epsilon,
             seed=spawn_rng(rng),
+            workers=workers,
         )
         rows.append(
             Table1Row(
@@ -194,6 +205,7 @@ def fourcycle_rows(
     epsilon: float = 0.75,
     runs: int = 20,
     seed: SeedLike = 0,
+    workers: Optional[int] = None,
 ) -> List[Table1Row]:
     """Theorem 4.6 row: O(1)-approx accuracy at ``m' = c·m/T^{3/8}``.
 
@@ -215,6 +227,7 @@ def fourcycle_rows(
             runs=runs,
             epsilon=epsilon,
             seed=spawn_rng(rng),
+            workers=workers,
         )
         rows.append(
             Table1Row(
@@ -255,6 +268,7 @@ def scaling_experiment(
     runs: int = 12,
     growth: float = 1.4,
     seed: SeedLike = 0,
+    workers: Optional[int] = None,
 ) -> Optional[ScalingResult]:
     """Minimum space for (1±ε) accuracy vs T, for both triangle algorithms.
 
@@ -273,11 +287,11 @@ def scaling_experiment(
         m = planted.graph.m
         two = min_budget_for_accuracy(
             _two_pass_factory, planted.graph, t, epsilon=epsilon, runs=runs,
-            growth=growth, seed=spawn_rng(rng),
+            growth=growth, seed=spawn_rng(rng), workers=workers,
         )
         one = min_budget_for_accuracy(
             _one_pass_factory_for(m), planted.graph, t, epsilon=epsilon, runs=runs,
-            growth=growth, seed=spawn_rng(rng),
+            growth=growth, seed=spawn_rng(rng), workers=workers,
         )
         if two is None or one is None:
             continue

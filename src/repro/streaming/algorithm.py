@@ -38,6 +38,20 @@ class StreamingAlgorithm(abc.ABC):
     def process(self, source: Vertex, neighbor: Vertex) -> None:
         """Called for each pair ``(source, neighbor)`` of the stream."""
 
+    def process_list(self, source: Vertex, neighbors: Sequence[Vertex]) -> None:
+        """Batched equivalent of calling :meth:`process` once per neighbour.
+
+        The runner prefers this list-level entry point when an algorithm
+        overrides it (or overrides neither ``process`` nor this method, in
+        which case the per-pair loop is skipped entirely).  An override
+        MUST be observably identical to the per-pair loop — same estimates,
+        same space trajectory, same RNG consumption order — it may only be
+        faster, e.g. by hoisting attribute lookups and the pass check out
+        of the inner loop.  The default simply delegates pair by pair.
+        """
+        for neighbor in neighbors:
+            self.process(source, neighbor)
+
     def end_list(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
         """Called when ``vertex``'s list ends, with the full list.
 

@@ -14,6 +14,7 @@ pair sequence against the model's promise.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graph.graph import Graph, Vertex
@@ -70,7 +71,11 @@ class AdjacencyListStream:
                 if set(nbrs) != set(graph.neighbors(v)) or len(nbrs) != graph.degree(v):
                     raise ValueError(f"neighbour order for {v!r} does not match the graph")
             else:
-                nbrs = list(graph.neighbors(v))
+                # neighbor_list is memoized on the graph, so per-trial stream
+                # construction reuses the materialized tuples instead of
+                # re-walking adjacency sets; the pre-shuffle order (and hence
+                # the shuffled result) is bit-identical to list(neighbors(v)).
+                nbrs = list(graph.neighbor_list(v))
                 rng.shuffle(nbrs)
             self._lists[v] = tuple(nbrs)
 
@@ -120,7 +125,13 @@ class AdjacencyListStream:
         return 2 * self.m
 
     def reordered(self, seed: SeedLike = None) -> "AdjacencyListStream":
-        """Return a new stream over the same graph with fresh random orders."""
+        """Return a new stream over the same graph with fresh random orders.
+
+        This is cheap: the default constructor path performs no validation
+        and draws its lists from the graph's memoized neighbour tuples
+        (:meth:`Graph.neighbor_list`), so only the shuffles are paid per
+        trial.
+        """
         return AdjacencyListStream(self.graph, seed=seed)
 
     @classmethod
@@ -142,31 +153,65 @@ class AdjacencyListStream:
         return cls(graph, list_order=order, neighbor_orders=lists)
 
 
-def validate_pair_sequence(pairs: Sequence[Pair]) -> None:
+@dataclass(frozen=True)
+class PairSequenceSummary:
+    """What a validated pair sequence contained."""
+
+    pairs: int  # total (source, neighbour) pairs, i.e. 2m
+    lists: int  # adjacency lists, including the final (implicitly closed) one
+    edges: int  # undirected edges, i.e. m
+
+
+def validate_pair_sequence(pairs: Sequence[Pair]) -> PairSequenceSummary:
     """Check a raw pair sequence against the adjacency-list model.
 
     Raises :class:`StreamFormatError` if any of the model's promises fail:
     lists must be contiguous, each edge must appear exactly once per
-    direction, self loops and within-list duplicates are forbidden.
+    direction, self loops and within-list duplicates are forbidden.  Error
+    messages carry positional context (pair index, lists closed so far) so
+    an offending file can be located without bisection.  Returns a
+    :class:`PairSequenceSummary`; the final adjacency list — which no
+    transition ever closes — is counted too.
     """
     seen_lists: set = set()
     current: Optional[Vertex] = None
     current_neighbors: set = set()
     directed_seen: set = set()
-    for src, dst in pairs:
+    index = 0
+    for index, (src, dst) in enumerate(pairs):
         if src == dst:
-            raise StreamFormatError(f"self loop {src!r} in stream")
+            raise StreamFormatError(
+                f"self loop {src!r} in stream (pair #{index}, "
+                f"{len(seen_lists)} lists closed)"
+            )
         if src != current:
             if src in seen_lists:
-                raise StreamFormatError(f"adjacency list of {src!r} is not contiguous")
+                raise StreamFormatError(
+                    f"adjacency list of {src!r} is not contiguous: reopened at "
+                    f"pair #{index} after {len(seen_lists)} closed lists"
+                )
             if current is not None:
                 seen_lists.add(current)
             current = src
             current_neighbors = set()
         if dst in current_neighbors:
-            raise StreamFormatError(f"duplicate pair ({src!r}, {dst!r})")
+            raise StreamFormatError(
+                f"duplicate pair ({src!r}, {dst!r}) at pair #{index}: "
+                f"{len(current_neighbors)} neighbours already seen in this list"
+            )
         current_neighbors.add(dst)
         directed_seen.add((src, dst))
+    # Close the last list: the loop above only closes lists on transition,
+    # so without this the final list would never reach ``seen_lists`` and
+    # the summary would undercount by one.
+    if current is not None:
+        seen_lists.add(current)
     for src, dst in directed_seen:
         if (dst, src) not in directed_seen:
-            raise StreamFormatError(f"edge ({src!r}, {dst!r}) lacks its reverse pair")
+            raise StreamFormatError(
+                f"edge ({src!r}, {dst!r}) lacks its reverse pair "
+                f"({len(seen_lists)} lists, {len(directed_seen)} directed pairs scanned)"
+            )
+    return PairSequenceSummary(
+        pairs=len(pairs), lists=len(seen_lists), edges=len(directed_seen) // 2
+    )

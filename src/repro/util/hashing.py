@@ -39,7 +39,12 @@ def _to_int_key(key: Hashable) -> int:
         acc = 0x243F6A8885A308D3
         for part in key:
             acc = (acc * 0x100000001B3) & _MASK64
-            acc ^= _to_int_key(part)
+            # Inlined int case (bit-identical to the recursive call): edge
+            # tuples of int vertices are the hot path for the samplers.
+            if type(part) is int:
+                acc ^= part & _MASK64
+            else:
+                acc ^= _to_int_key(part)
         return acc
     return hash(key) & _MASK64
 

@@ -47,6 +47,20 @@ def derive_seed(seed: int, stream: int) -> int:
     return z & ((1 << 63) - 1)
 
 
+def spawn_seed(rng: random.Random, stream: Optional[int] = None) -> int:
+    """Draw the integer seed that :func:`spawn_rng` would seed a child with.
+
+    Useful when the child generator must be reconstructed elsewhere (for
+    example in a worker process): ``random.Random(spawn_seed(rng, s))`` has
+    exactly the same state as ``spawn_rng(rng, s)``, but the integer is
+    cheap to pickle and ship across process boundaries.
+    """
+    base = rng.getrandbits(63)
+    if stream is not None:
+        base = derive_seed(base, stream)
+    return base
+
+
 def spawn_rng(rng: random.Random, stream: Optional[int] = None) -> random.Random:
     """Spawn a child generator from ``rng``.
 
@@ -54,7 +68,4 @@ def spawn_rng(rng: random.Random, stream: Optional[int] = None) -> random.Random
     parent's next output and the stream index; otherwise it is seeded from
     the parent's next output alone.
     """
-    base = rng.getrandbits(63)
-    if stream is not None:
-        base = derive_seed(base, stream)
-    return random.Random(base)
+    return random.Random(spawn_seed(rng, stream))

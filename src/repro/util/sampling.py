@@ -87,9 +87,45 @@ class BottomKSampler(Generic[K]):
             self._on_evict(worst_key)
         return True
 
+    def offer_many(self, keys) -> None:
+        """Offer each key in order: observably identical to calling
+        :meth:`offer` per key, with the per-call overhead hoisted out of the
+        loop (the batched streaming fast path's inner loop).
+        """
+        if self.capacity == 0:
+            return
+        members = self._members
+        heap = self._heap
+        hash_int = self._hash.hash_int
+        capacity = self.capacity
+        on_evict = self._on_evict
+        for key in keys:
+            if key in members:
+                continue
+            prio = hash_int(key)
+            if len(members) < capacity:
+                heapq.heappush(heap, (-prio, key))
+                members[key] = prio
+                continue
+            worst_neg, worst_key = heap[0]
+            if prio >= -worst_neg:
+                continue
+            heapq.heapreplace(heap, (-prio, key))
+            members[key] = prio
+            del members[worst_key]
+            if on_evict is not None:
+                on_evict(worst_key)
+
     def members(self) -> List[K]:
         """Return the currently sampled keys (unspecified order)."""
         return list(self._members)
+
+    def membership(self) -> Dict[K, int]:
+        """Return the live key→priority mapping for read-only membership
+        tests (avoids per-lookup ``__contains__`` dispatch in hot loops).
+        Callers must not mutate it.
+        """
+        return self._members
 
     def space_words(self) -> int:
         """Machine words of live state: one key plus one priority per slot."""

@@ -156,3 +156,40 @@ def test_handshake_lemma(edges):
     g = Graph.from_edges(edges)
     assert sum(g.degree(v) for v in g.vertices()) == 2 * g.m
     assert len(list(g.edges())) == g.m
+
+
+class TestNeighborListCache:
+    def test_matches_set_iteration_order(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3), (2, 3)])
+        for v in g.vertices():
+            assert g.neighbor_list(v) == tuple(g.neighbors(v))
+
+    def test_memoized(self):
+        g = Graph.from_edges([(0, 1), (0, 2)])
+        assert g.neighbor_list(0) is g.neighbor_list(0)
+
+    def test_invalidated_by_add_edge(self):
+        g = Graph.from_edges([(0, 1)])
+        before = g.neighbor_list(0)
+        g.add_edge(0, 2)
+        after = g.neighbor_list(0)
+        assert after is not before
+        assert set(after) == {1, 2}
+        assert after == tuple(g.neighbors(0))
+
+    def test_invalidated_by_remove_edge(self):
+        g = Graph.from_edges([(0, 1), (0, 2)])
+        g.neighbor_list(0)
+        g.remove_edge(0, 1)
+        assert g.neighbor_list(0) == tuple(g.neighbors(0))
+        assert set(g.neighbor_list(0)) == {2}
+
+    def test_other_vertices_keep_cache(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        cached = g.neighbor_list(2)
+        g.add_edge(0, 4)
+        assert g.neighbor_list(2) is cached
+
+    def test_empty_adjacency(self):
+        g = Graph(vertices=[7])
+        assert g.neighbor_list(7) == ()

@@ -2,9 +2,11 @@
 
 import pytest
 
+from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
 from repro.graph.generators import gnm_random_graph
 from repro.streaming.algorithm import FixedValueAlgorithm, StreamingAlgorithm
-from repro.streaming.runner import run_algorithm
+from repro.streaming.runner import run_algorithm, supports_list_dispatch
 from repro.streaming.space import SpaceMeter
 from repro.streaming.stream import AdjacencyListStream
 
@@ -96,6 +98,88 @@ class TestRunnerContract:
         result = run_algorithm(FixedValueAlgorithm(3.5), stream)
         assert result.estimate == 3.5
         assert result.peak_space_words == 1
+
+
+class ListLevelRecorder(StreamingAlgorithm):
+    """Overrides process_list only; eligible for batched dispatch."""
+
+    n_passes = 1
+
+    def __init__(self):
+        self.batches = []
+
+    def process_list(self, source, neighbors):
+        self.batches.append((source, tuple(neighbors)))
+
+    def result(self):
+        return float(len(self.batches))
+
+    def space_words(self):
+        return 1
+
+
+class TestFastPath:
+    def test_detection(self):
+        assert supports_list_dispatch(FixedValueAlgorithm(1.0))  # no overrides
+        assert supports_list_dispatch(ListLevelRecorder())  # batch override
+        assert supports_list_dispatch(TwoPassTriangleCounter(8, seed=0))
+        assert supports_list_dispatch(TwoPassFourCycleCounter(8, seed=0))
+        assert not supports_list_dispatch(CallRecorder())  # per-pair override
+
+    def test_auto_dispatch_recorded_in_result(self, stream):
+        assert run_algorithm(FixedValueAlgorithm(1.0), stream).used_fast_path
+        assert not run_algorithm(CallRecorder(passes=1), stream).used_fast_path
+
+    def test_batch_algorithm_sees_every_list(self, stream):
+        algo = ListLevelRecorder()
+        run_algorithm(algo, stream)
+        assert algo.batches == list(stream.iter_lists())
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: TwoPassTriangleCounter(sample_size=48, seed=21),
+            lambda: TwoPassFourCycleCounter(sample_size=48, seed=21),
+        ],
+        ids=["triangle-two-pass", "fourcycle-two-pass"],
+    )
+    def test_fast_path_bit_identical(self, make):
+        """Satellite regression: batched and per-pair paths agree exactly."""
+        graph = gnm_random_graph(40, 160, seed=6)
+        stream = AdjacencyListStream(graph, seed=7)
+        fast = run_algorithm(make(), stream, use_fast_path=True)
+        slow = run_algorithm(make(), stream, use_fast_path=False)
+        assert fast.used_fast_path and not slow.used_fast_path
+        assert fast.estimate == slow.estimate
+        assert fast.peak_space_words == slow.peak_space_words
+        assert fast.mean_space_words == slow.mean_space_words
+
+    def test_timing_fields_populated(self, stream):
+        result = run_algorithm(CallRecorder(passes=1), stream)
+        assert result.wall_time_seconds > 0
+        assert result.pairs_per_second > 0
+
+
+class TestSpacePollInterval:
+    def test_sparse_polling_observes_fewer_samples(self, stream):
+        dense, sparse = SpaceMeter(), SpaceMeter()
+        run_algorithm(CallRecorder(passes=1), stream, meter=dense)
+        run_algorithm(CallRecorder(passes=1), stream, meter=sparse,
+                      space_poll_interval=4)
+        assert len(sparse._samples) < len(dense._samples)
+        # Constant-space algorithm: the peak survives sparse polling.
+        assert sparse.peak_words == dense.peak_words == 7
+
+    def test_end_of_pass_always_polled(self, stream):
+        meter = SpaceMeter()
+        result = run_algorithm(CallRecorder(passes=2), stream, meter=meter,
+                               space_poll_interval=10**9)
+        assert len(meter._samples) == 2  # once per pass
+        assert result.peak_space_words == 7
+
+    def test_invalid_interval_rejected(self, stream):
+        with pytest.raises(ValueError):
+            run_algorithm(FixedValueAlgorithm(1.0), stream, space_poll_interval=0)
 
 
 class TestSpaceMeter:

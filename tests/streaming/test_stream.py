@@ -112,7 +112,41 @@ class TestValidation:
             validate_pair_sequence([(0, 1), (0, 1), (1, 0)])
 
     def test_empty_stream_is_valid(self):
-        validate_pair_sequence([])
+        summary = validate_pair_sequence([])
+        assert (summary.pairs, summary.lists, summary.edges) == (0, 0, 0)
+
+    def test_summary_counts_final_list(self):
+        """The last list is only closed implicitly (no transition follows);
+        the summary must still count it."""
+        pairs = [(0, 1), (1, 0)]
+        summary = validate_pair_sequence(pairs)
+        assert summary.lists == 2  # list of vertex 1 never sees a transition
+        assert summary.pairs == 2
+        assert summary.edges == 1
+
+    def test_summary_on_longer_stream(self, small_random_graph):
+        s = AdjacencyListStream(small_random_graph, seed=11)
+        summary = validate_pair_sequence(list(s.iter_pairs()))
+        assert summary.pairs == 2 * small_random_graph.m
+        assert summary.edges == small_random_graph.m
+        # Only vertices with at least one neighbour emit pairs.
+        nonempty = sum(1 for v in small_random_graph.vertices()
+                       if small_random_graph.degree(v) > 0)
+        assert summary.lists == nonempty
+
+    def test_error_messages_carry_position_context(self):
+        with pytest.raises(StreamFormatError, match=r"pair #2"):
+            validate_pair_sequence([(0, 1), (1, 0), (0, 2), (2, 0)])
+        with pytest.raises(StreamFormatError, match=r"pair #1"):
+            validate_pair_sequence([(0, 1), (0, 1), (1, 0)])
+        with pytest.raises(StreamFormatError, match=r"pair #0"):
+            validate_pair_sequence([(1, 1)])
+
+    def test_duplicate_in_final_unclosed_list(self):
+        """A violation inside the never-closed last list is still caught."""
+        pairs = [(0, 1), (1, 0), (1, 0)]
+        with pytest.raises(StreamFormatError, match="duplicate"):
+            validate_pair_sequence(pairs)
 
 
 class TestFromPairs:

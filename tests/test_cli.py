@@ -146,6 +146,19 @@ class TestAdaptiveAndExperiments:
         out = capsys.readouterr().out
         assert "Thm 3.7" in out
 
+    def test_experiment_table1_with_workers(self, capsys):
+        """--workers N fans trials out over processes; --workers 2 here
+        must print the same rows as the serial run (bit-identical)."""
+        assert main(["experiment", "table1", "--runs", "3"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["experiment", "table1", "--runs", "3", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_workers_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--help"])
+        assert "--workers" in capsys.readouterr().out
+
     def test_experiment_figure1(self, capsys):
         assert main(["experiment", "figure1"]) == 0
         assert "Figure 1e" in capsys.readouterr().out
