@@ -16,6 +16,8 @@ Examples::
     repro-cycles generate --family gnm --n 1000 --m 8000 --out g.adj
     repro-cycles count g.adj --length 3 --algorithm two-pass --sample-size 600
     repro-cycles count g.adj --length 4 --algorithm exact
+    repro-cycles count g.adj --length 4 --shards 4 --workers 0
+    repro-cycles count g.adj --checkpoint run.ckpt --resume
     repro-cycles experiment table1
 """
 
@@ -96,17 +98,96 @@ def _build_counter(args, graph: Graph):
     )
 
 
+def _checkpoint_setup(args, algo, stream):
+    """Resolve ``--checkpoint`` / ``--resume`` into runner arguments."""
+    from repro.sketch.checkpoint import (
+        CheckpointConfig,
+        fingerprint_stream,
+        load_checkpoint_if_exists,
+    )
+    from repro.streaming.algorithm import supports_snapshot
+
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint PATH")
+    if not args.checkpoint:
+        return None, None
+    if algo is not None and not supports_snapshot(algo):
+        raise SystemExit(
+            f"--checkpoint requires an algorithm with snapshot support; "
+            f"{type(algo).__name__} has none"
+        )
+    fingerprint = fingerprint_stream(stream)
+    config = CheckpointConfig(
+        args.checkpoint,
+        every_lists=args.checkpoint_every,
+        stream_fingerprint=fingerprint,
+    )
+    resume = None
+    if args.resume:
+        resume = load_checkpoint_if_exists(args.checkpoint)
+        if resume is not None and not resume.matches_stream(fingerprint):
+            raise SystemExit(
+                f"checkpoint {args.checkpoint} was taken against a different "
+                "stream; refusing to resume"
+            )
+        if resume is not None:
+            print(
+                f"resuming from {args.checkpoint} "
+                f"(pass {resume.pass_index}, {resume.lists_done} lists done)"
+            )
+    return config, resume
+
+
+def _count_sharded(args, graph: Graph, stream: AdjacencyListStream) -> int:
+    """The ``--shards N`` path: shard-and-merge execution of a two-pass counter."""
+    from repro.sketch.driver import run_sharded
+
+    if args.copies > 1:
+        raise SystemExit("--shards is incompatible with --copies > 1")
+    if args.algorithm != "two-pass" or args.length not in (3, 4):
+        raise SystemExit(
+            "--shards supports the two-pass algorithms only "
+            "(--algorithm two-pass with --length 3 or 4)"
+        )
+    size = args.sample_size or max(1, graph.m // 10)
+    if args.length == 3:
+        algo = TwoPassTriangleCounter(size, seed=args.seed, sharded=True)
+    else:
+        algo = TwoPassFourCycleCounter(max(size, 2), seed=args.seed)
+    config, resume = _checkpoint_setup(args, algo, stream)
+    result = run_sharded(
+        algo,
+        stream,
+        args.shards,
+        workers=args.workers,
+        merge_seed=args.seed,
+        checkpoint=config,
+        resume_from=resume,
+    )
+    print(f"graph: n={graph.n} m={graph.m}")
+    print(f"estimated {args.length}-cycles: {result.estimate:.1f}")
+    print(
+        f"passes={result.passes} shards={result.n_shards} workers={result.workers}"
+        f" peak_shard_space_words={result.peak_space_words}"
+        f" (store-everything ~{2 * graph.m + graph.n})"
+    )
+    return 0
+
+
 def cmd_count(args) -> int:
     """Estimate a graph file's cycle count and print estimate + space."""
     graph = _read_graph(args.input, args.format)
+    stream = AdjacencyListStream(graph, seed=args.seed)
+    if args.shards > 1:
+        return _count_sharded(args, graph, stream)
     factory = _build_counter(args, graph)
     algo = (
         MedianBoosted(factory, copies=args.copies, seed=args.seed)
         if args.copies > 1
         else factory(args.seed)
     )
-    stream = AdjacencyListStream(graph, seed=args.seed)
-    result = run_algorithm(algo, stream)
+    config, resume = _checkpoint_setup(args, algo, stream)
+    result = run_algorithm(algo, stream, checkpoint=config, resume_from=resume)
     print(f"graph: n={graph.n} m={graph.m}")
     print(f"estimated {args.length}-cycles: {result.estimate:.1f}")
     print(
@@ -143,12 +224,26 @@ def cmd_generate(args) -> int:
 
 
 def cmd_validate(args) -> int:
-    """Validate a graph file against the adjacency-list stream model."""
-    graph = _read_graph(args.input, args.format)
-    stream = AdjacencyListStream(graph, seed=args.seed)
-    summary = validate_pair_sequence(list(stream.iter_pairs()))
-    print(f"OK: {args.input} streams as a valid adjacency-list sequence "
-          f"({summary.pairs} pairs, {summary.lists} lists, {summary.edges} edges)")
+    """Validate a graph file against the adjacency-list stream model.
+
+    Prints the full :class:`PairSequenceSummary` on success and returns 0;
+    on a model violation or an unreadable/malformed file the offending
+    detail goes to stderr and the exit code is 1 (so shell pipelines and
+    CI steps can gate on validity).  ``StreamFormatError`` subclasses
+    ``ValueError``, so one catch covers parse and model failures alike.
+    """
+    try:
+        graph = _read_graph(args.input, args.format)
+        stream = AdjacencyListStream(graph, seed=args.seed)
+        summary = validate_pair_sequence(list(stream.iter_pairs()))
+    except (ValueError, OSError) as exc:
+        print(f"INVALID: {args.input}: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {args.input} streams as a valid adjacency-list sequence")
+    print(f"  pairs:           {summary.pairs}")
+    print(f"  lists:           {summary.lists}")
+    print(f"  edges:           {summary.edges}")
+    print(f"  max list length: {summary.max_list_length}")
     return 0
 
 
@@ -198,6 +293,40 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--sample-size", type=int, default=None, help="m' (default m/10)")
     count.add_argument("--copies", type=int, default=1, help="median-boost copies")
     count.add_argument("--seed", type=int, default=0)
+    count.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the stream into N vertex shards and merge sketch states "
+        "(two-pass algorithms only; default 1 = conventional run)",
+    )
+    count.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for --shards fan-out (0 = all CPU cores, default serial; "
+        "serial and parallel schedules give identical results)",
+    )
+    count.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write resumable snapshots to PATH during the run",
+    )
+    count.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1000,
+        metavar="LISTS",
+        help="adjacency lists between checkpoints (default 1000; sharded runs "
+        "checkpoint at pass boundaries regardless)",
+    )
+    count.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint PATH if it exists (fresh run otherwise); "
+        "refuses a checkpoint taken against a different stream",
+    )
     count.set_defaults(func=cmd_count)
 
     gen = sub.add_parser("generate", help="write a synthetic workload graph")
@@ -214,7 +343,14 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", required=True, help=".adj or edge-list output path")
     gen.set_defaults(func=cmd_generate)
 
-    val = sub.add_parser("validate", help="validate a file against the stream model")
+    val = sub.add_parser(
+        "validate",
+        help="validate a file against the stream model",
+        description="Validate a graph file against the adjacency-list "
+        "streaming model and print its stream summary (pairs, lists, edges, "
+        "max list length).  Exits 0 on success, 1 on a model violation "
+        "(details on stderr).",
+    )
     val.add_argument("input")
     val.add_argument("--format", choices=("adj", "edges"), default=None)
     val.add_argument("--seed", type=int, default=0)

@@ -34,10 +34,11 @@ two differ by at most the factor 4 absorbed into the O(1) guarantee):
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Set
+from typing import Any, Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.graph.graph import Edge, Vertex, canonical_edge
 from repro.graph.wedges import Wedge
+from repro.sketch.state import SketchState
 from repro.streaming.algorithm import StreamingAlgorithm
 from repro.util.rng import SeedLike, resolve_rng, spawn_rng
 from repro.util.sampling import BottomKSampler
@@ -57,6 +58,18 @@ def cycle_key(u: Vertex, c: Vertex, v: Vertex, z: Vertex) -> CycleKey:
     return frozenset((frozenset((u, v)), frozenset((c, z))))
 
 
+def _encode_cycle_key(key: CycleKey) -> Tuple:
+    """Canonical serialisable form of a cycle key (sorted diagonal pairs)."""
+    return tuple(
+        sorted((tuple(sorted(diag, key=repr)) for diag in key), key=repr)
+    )
+
+
+def _decode_cycle_key(blob: Any) -> CycleKey:
+    """Invert :func:`_encode_cycle_key`."""
+    return frozenset(frozenset(diag) for diag in blob)
+
+
 class TwoPassFourCycleCounter(StreamingAlgorithm):
     """Theorem 4.6: 2-pass O(1)-approx 4-cycle counting in Õ(m/T^{3/8}) space.
 
@@ -74,6 +87,9 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
 
     n_passes = 2
     requires_same_order = False
+
+    STATE_KIND = "fourcycle-two-pass"
+    STATE_VERSION = 1
 
     def __init__(
         self,
@@ -144,8 +160,12 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
         reservoir: ReservoirSampler[Wedge] = None
         if self.wedge_cap is not None:
             reservoir = ReservoirSampler(self.wedge_cap, seed=self._wedge_rng)
+        # Canonical member order: the membership dict's iteration order
+        # encodes insertion history, which snapshot/restore does not
+        # preserve; sorting makes the wedge list (and any capping
+        # reservoir's RNG consumption) a pure function of the sample.
         by_vertex: Dict[Vertex, List[Vertex]] = {}
-        for u, v in self._sampler.members():
+        for u, v in sorted(self._sampler.members()):
             by_vertex.setdefault(u, []).append(v)
             by_vertex.setdefault(v, []).append(u)
         for center, others in by_vertex.items():
@@ -160,6 +180,69 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
                         reservoir.offer(wedge)
         if reservoir is not None:
             self._wedges = reservoir.items()
+
+    # -- sketch state protocol -------------------------------------------------
+
+    def snapshot(self) -> SketchState:
+        """Full live state: sampler, wedge set, counters, RNG states."""
+        return SketchState(
+            self.STATE_KIND,
+            self.STATE_VERSION,
+            {
+                "sample_size": self.sample_size,
+                "mode": self.mode,
+                "wedge_cap": self.wedge_cap,
+                "pass": self._pass,
+                "pair_count": self._pair_count,
+                "wedge_population": self._wedge_population,
+                "multiplicity_total": self._multiplicity_total,
+                "wedge_rng_state": self._wedge_rng.getstate(),
+                "sampler": self._sampler.state_dict(),
+                "wedges": [[w.center, w.u, w.v] for w in self._wedges],
+                "distinct": sorted(
+                    (_encode_cycle_key(k) for k in self._distinct_cycles), key=repr
+                ),
+            },
+        )
+
+    def restore(self, state: SketchState) -> None:
+        """Rebuild live state from a snapshot."""
+        state.require(self.STATE_KIND, self.STATE_VERSION)
+        payload = state.payload
+        self.sample_size = int(payload["sample_size"])
+        self.mode = str(payload["mode"])
+        cap = payload["wedge_cap"]
+        self.wedge_cap = None if cap is None else int(cap)
+        self._pass = int(payload["pass"])
+        self._pair_count = int(payload["pair_count"])
+        self._wedge_population = int(payload["wedge_population"])
+        self._multiplicity_total = int(payload["multiplicity_total"])
+        rng_state = payload["wedge_rng_state"]
+        self._wedge_rng.setstate(
+            (int(rng_state[0]), tuple(int(x) for x in rng_state[1]), rng_state[2])
+        )
+        self._sampler.load_state_dict(payload["sampler"])
+        self._wedges = [
+            Wedge(center=c, u=u, v=v) for c, u, v in payload["wedges"]
+        ]
+        self._distinct_cycles = {
+            _decode_cycle_key(blob) for blob in payload["distinct"]
+        }
+
+    @classmethod
+    def from_state(cls, state: SketchState) -> "TwoPassFourCycleCounter":
+        """Construct a counter directly from a snapshot."""
+        state.require(cls.STATE_KIND, cls.STATE_VERSION)
+        payload = state.payload
+        cap = payload["wedge_cap"]
+        algorithm = cls(
+            int(payload["sample_size"]),
+            mode=str(payload["mode"]),
+            wedge_cap=None if cap is None else int(cap),
+            seed=0,
+        )
+        algorithm.restore(state)
+        return algorithm
 
     # -- results -----------------------------------------------------------------
 

@@ -53,10 +53,12 @@ Detection bookkeeping (faithful to Section 3.3.1):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.graph import Edge, Vertex, canonical_edge
+from repro.sketch.state import SketchState
 from repro.streaming.algorithm import StreamingAlgorithm
+from repro.util.hashing import MixHash64
 from repro.util.rng import SeedLike, resolve_rng, spawn_rng
 from repro.util.sampling import BottomKSampler, ReservoirSampler
 
@@ -107,6 +109,29 @@ class _Pair:
         return min(self.watchers, key=lambda w: (w.h, w.edge)).edge
 
 
+def _encode_pair(pair: "_Pair") -> Dict[str, Any]:
+    """Serialise a collected pair (with watchers) for sketch state."""
+    return {
+        "edge": pair.edge,
+        "triangle": pair.triangle,
+        "watchers": [[w.edge, w.x, w.x_arrived, w.h] for w in pair.watchers],
+    }
+
+
+def _as_edge(blob: Any) -> Edge:
+    return tuple(blob) if isinstance(blob, list) else blob
+
+
+def _decode_pair(blob: Dict[str, Any]) -> "_Pair":
+    """Invert :func:`_encode_pair`."""
+    pair = _Pair(edge=_as_edge(blob["edge"]), triangle=tuple(blob["triangle"]))
+    for edge, x, arrived, h in blob["watchers"]:
+        pair.watchers.append(
+            _Watcher(edge=_as_edge(edge), x=x, x_arrived=bool(arrived), h=int(h))
+        )
+    return pair
+
+
 class TwoPassTriangleCounter(StreamingAlgorithm):
     """Theorem 3.7: 2-pass (1 ± ε) triangle estimation in Õ(m/T^{2/3}) space.
 
@@ -118,22 +143,48 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
         ``m' = c · m / (ε² T^{2/3})`` (use :func:`recommended_sample_size`).
     seed:
         Randomness for the hash sampler and the reservoir.
+    sharded:
+        Enable the shard-and-merge collection discipline: pass 1 builds
+        only the edge sample (mergeable bit-exactly across shards) and
+        *every* candidate pair is collected in pass 2, where each is
+        detected exactly once — at its apex's list — regardless of how
+        lists are split over shards.  ``Q`` stays a uniform subsample of
+        all candidates; what changes is the choice of the counted edge
+        ``ρ(τ)``.  The order-statistic rule (min ``H``, the paper's
+        heavy-edge variance killer) needs each pair's three H-counters
+        measured over the whole second pass, which no mid-pass collection
+        point — let alone a shard-local one — can provide.  Sharded mode
+        therefore designates ``ρ(τ)`` as the triangle's minimum edge
+        under an *independent* seeded hash: still exactly one counted
+        edge per triangle, chosen independently of which edges were
+        sampled, so the estimator stays exactly unbiased (and is
+        invariant to the shard count); what is lost is only the H-rule's
+        preference for light edges, i.e. some variance on heavy-edge
+        graphs.  H-watchers are not maintained in this mode.
     """
 
     n_passes = 2
     requires_same_order = True
 
-    def __init__(self, sample_size: int, seed: SeedLike = None):
+    STATE_KIND = "triangle-two-pass"
+    STATE_VERSION = 1
+
+    def __init__(self, sample_size: int, seed: SeedLike = None, sharded: bool = False):
         if sample_size < 1:
             raise ValueError("sample_size must be at least 1")
         rng = resolve_rng(seed)
         self.sample_size = sample_size
+        self.sharded = bool(sharded)
         self._sampler: BottomKSampler[Edge] = BottomKSampler(
             sample_size, seed=spawn_rng(rng), on_evict=self._edge_evicted
         )
         self._reservoir: ReservoirSampler[_Pair] = ReservoirSampler(
             sample_size, seed=spawn_rng(rng)
         )
+        # Designates ρ(τ) in sharded mode; independent of the edge sampler's
+        # hash so that "counted" and "sampled" stay uncorrelated.  (Spawned
+        # last to leave the sampler/reservoir seed derivation unchanged.)
+        self._rho_hash = MixHash64(spawn_rng(rng))
         self._pass = 0
         self._pair_count = 0  # running count of stream pairs; m = count / 2
         self._candidate_total = 0  # T' = |{(e, τ) : e ∈ final S}| (pass-2 exact)
@@ -186,7 +237,8 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
     def _collect_pair(self, edge: Edge, tri: Triangle, current_list: Optional[Vertex]) -> None:
         """Offer a candidate pair to the reservoir, maintaining indexes."""
         pair = _Pair(edge=edge, triangle=tri)
-        in_pass_two = self._pass == 1
+        # Sharded mode never installs watchers: ρ is hash-designated there.
+        in_pass_two = self._pass == 1 and not self.sharded
         if in_pass_two:
             self._register_watchers(pair, current_list)
         admitted, displaced = self._reservoir.offer_detailed(pair)
@@ -199,7 +251,7 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
 
     def begin_pass(self, pass_index: int) -> None:
         self._pass = pass_index
-        if pass_index == 1:
+        if pass_index == 1 and not self.sharded:
             # Pass-1 pairs get their watchers now; their apexes all arrive
             # (again) during pass 2, so flags start False.
             for pair in self._reservoir.items():
@@ -215,7 +267,9 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
         if self._pass == 0:
             self._pair_count += 1
             self._sampler.offer(edge)
-        else:
+        elif not self.sharded:
+            # ``seen`` drives the pass-1/pass-2 considered-once split; the
+            # sharded discipline collects everything in pass 2 instead.
             if edge in self._sampler and edge not in self._seen_p2:
                 self._seen_p2.add(edge)
 
@@ -229,7 +283,7 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
             self._sampler.offer_many(
                 [(src, nbr) if src <= nbr else (nbr, src) for nbr in neighbors]
             )
-        else:
+        elif not self.sharded:
             members = self._sampler.membership()
             seen = self._seen_p2
             for nbr in neighbors:
@@ -256,21 +310,90 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
 
         Iterates the sampler's live membership mapping (same order as
         ``members()``, minus a per-list list copy); ``_collect_pair`` never
-        mutates the sampler, so iteration is safe.
+        mutates the sampler, so iteration is safe.  The matched edges are
+        offered in canonical (sorted) order, not membership order: the
+        membership dict's iteration order encodes insertion history, which
+        a snapshot/restore cycle does not preserve, and the reservoir's RNG
+        consumption must not depend on it for resumed runs to be
+        bit-identical to uninterrupted ones.
         """
         in_pass_two = self._pass == 1
-        for edge in self._sampler.membership():
+        if not in_pass_two and self.sharded:
+            # Sharded discipline: pass 1 builds only the (mergeable) edge
+            # sample; every candidate is collected in pass 2 instead, where
+            # each is detected exactly once at its apex's list.
+            return
+        matched = [
+            edge for edge in self._sampler.membership()
+            if edge[0] in nset and edge[1] in nset
+        ]
+        if not matched:
+            return
+        matched.sort()
+        for edge in matched:
             u, v = edge
-            if u in nset and v in nset:
-                tri = triangle_key(u, v, vertex)
-                if not in_pass_two:
+            tri = triangle_key(u, v, vertex)
+            if not in_pass_two:
+                self._collect_pair(edge, tri, current_list=vertex)
+            else:
+                self._candidate_total += 1
+                # Offer only pairs that pass 1 could not have seen:
+                # the edge's first occurrence lies after this list.
+                # (Sharded: pass 1 saw nothing, so offer everything.)
+                if self.sharded or edge not in self._seen_p2:
                     self._collect_pair(edge, tri, current_list=vertex)
-                else:
-                    self._candidate_total += 1
-                    # Offer only pairs that pass 1 could not have seen:
-                    # the edge's first occurrence lies after this list.
-                    if edge not in self._seen_p2:
-                        self._collect_pair(edge, tri, current_list=vertex)
+
+    # -- sketch state protocol -------------------------------------------------
+
+    def snapshot(self) -> SketchState:
+        """Full live state: sampler, reservoir (with watchers), counters."""
+        return SketchState(
+            self.STATE_KIND,
+            self.STATE_VERSION,
+            {
+                "sample_size": self.sample_size,
+                "sharded": self.sharded,
+                "rho_key": self._rho_hash.key,
+                "pass": self._pass,
+                "pair_count": self._pair_count,
+                "candidate_total": self._candidate_total,
+                "seen_p2": sorted(self._seen_p2, key=repr),
+                "sampler": self._sampler.state_dict(),
+                "reservoir": self._reservoir.state_dict(encode_item=_encode_pair),
+            },
+        )
+
+    def restore(self, state: SketchState) -> None:
+        """Rebuild live state (including watcher indexes) from a snapshot."""
+        state.require(self.STATE_KIND, self.STATE_VERSION)
+        payload = state.payload
+        self.sample_size = int(payload["sample_size"])
+        self.sharded = bool(payload["sharded"])
+        self._rho_hash = MixHash64(key=int(payload["rho_key"]))
+        self._pass = int(payload["pass"])
+        self._pair_count = int(payload["pair_count"])
+        self._candidate_total = int(payload["candidate_total"])
+        self._seen_p2 = {_as_edge(e) for e in payload["seen_p2"]}
+        self._sampler.load_state_dict(payload["sampler"])
+        self._reservoir.load_state_dict(payload["reservoir"], decode_item=_decode_pair)
+        self._watchers_by_edge = {}
+        self._watchers_by_apex = {}
+        for pair in self._reservoir.items():
+            for watcher in pair.watchers:
+                self._watchers_by_edge.setdefault(watcher.edge, set()).add(watcher)
+                self._watchers_by_apex.setdefault(watcher.x, set()).add(watcher)
+
+    @classmethod
+    def from_state(cls, state: SketchState) -> "TwoPassTriangleCounter":
+        """Construct a counter directly from a snapshot."""
+        state.require(cls.STATE_KIND, cls.STATE_VERSION)
+        algorithm = cls(
+            int(state.payload["sample_size"]),
+            seed=0,
+            sharded=bool(state.payload["sharded"]),
+        )
+        algorithm.restore(state)
+        return algorithm
 
     # -- results -----------------------------------------------------------------
 
@@ -289,8 +412,18 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
         """``T' = Σ_{e ∈ S} T(e)``, measured exactly during pass 2."""
         return self._candidate_total
 
+    def _rho_sharded(self, tri: Triangle) -> Edge:
+        """Sharded ρ(τ): the triangle's min edge under the designator hash."""
+        return min(triangle_edges(tri), key=lambda f: (self._rho_hash.hash_int(f), f))
+
     def counted_pairs(self) -> int:
         """``|{(e, τ) ∈ Q : ρ(τ) = e}|`` — pairs won by their own edge."""
+        if self.sharded:
+            return sum(
+                1
+                for pair in self._reservoir.items()
+                if self._rho_sharded(pair.triangle) == pair.edge
+            )
         return sum(1 for pair in self._reservoir.items() if pair.rho_edge() == pair.edge)
 
     def result(self) -> float:

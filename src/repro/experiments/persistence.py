@@ -17,6 +17,8 @@ from typing import Any, Dict, List, Sequence, Union
 from repro.experiments.figure1 import HeuristicFailureRow, PanelRow
 from repro.experiments.harness import AccuracyPoint
 from repro.experiments.table1 import DistinguisherRow, ScalingResult, Table1Row
+from repro.sketch.checkpoint import CheckpointRecord
+from repro.sketch.driver import ShardRunResult
 
 PathLike = Union[str, Path]
 
@@ -30,6 +32,8 @@ RECORD_TYPES = {
         ScalingResult,
         PanelRow,
         HeuristicFailureRow,
+        ShardRunResult,
+        CheckpointRecord,
     )
 }
 

@@ -1,0 +1,82 @@
+"""Sketch state subsystem: serialisable, mergeable sampler/algorithm state.
+
+Layers (each usable on its own):
+
+* :mod:`repro.sketch.state` — the versioned :class:`SketchState` container
+  with JSON and binary codecs;
+* :mod:`repro.sketch.samplers` — state capture/restore for the samplers in
+  :mod:`repro.util.sampling`;
+* :mod:`repro.sketch.merge` — combining per-shard states (bottom-k
+  union-and-truncate, delta-additive counters, weighted reservoir merge);
+* :mod:`repro.sketch.shard` — partitioning an adjacency-list stream into
+  shards that keep every vertex's list contiguous;
+* :mod:`repro.sketch.checkpoint` — durable snapshots for resumable runs;
+* :mod:`repro.sketch.driver` — the shard-and-merge executor tying the
+  layers together.
+"""
+
+from repro.sketch.state import (
+    SketchState,
+    SketchStateError,
+    decode_value,
+    encode_value,
+)
+from repro.sketch.samplers import (
+    bottom_k_from_state,
+    bottom_k_state,
+    reservoir_from_state,
+    reservoir_state,
+)
+from repro.sketch.merge import (
+    MergeError,
+    merge_bottom_k_payloads,
+    merge_reservoir_payloads,
+    merge_states,
+    register_merger,
+)
+from repro.sketch.shard import StreamShard, partition_stream, shard_pair_counts
+from repro.sketch.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointRecord,
+    fingerprint_stream,
+    load_checkpoint,
+    load_checkpoint_if_exists,
+    require_matching_stream,
+)
+from repro.sketch.driver import (
+    ShardRunResult,
+    register_algorithm_kind,
+    restore_algorithm,
+    run_sharded,
+)
+
+__all__ = [
+    "SketchState",
+    "SketchStateError",
+    "encode_value",
+    "decode_value",
+    "bottom_k_state",
+    "bottom_k_from_state",
+    "reservoir_state",
+    "reservoir_from_state",
+    "MergeError",
+    "merge_states",
+    "register_merger",
+    "merge_bottom_k_payloads",
+    "merge_reservoir_payloads",
+    "StreamShard",
+    "partition_stream",
+    "shard_pair_counts",
+    "Checkpoint",
+    "CheckpointConfig",
+    "CheckpointRecord",
+    "fingerprint_stream",
+    "load_checkpoint",
+    "load_checkpoint_if_exists",
+    "require_matching_stream",
+    "run_sharded",
+    "restore_algorithm",
+    "register_algorithm_kind",
+    "ShardRunResult",
+]

@@ -1,0 +1,221 @@
+"""Shard-and-merge execution of snapshot-capable streaming algorithms.
+
+One logical pass over the stream becomes ``n_shards`` independent passes
+over disjoint slices of its adjacency lists (see
+:mod:`repro.sketch.shard`), each run in its own process from the *same*
+starting snapshot, then folded back into one state through the merge
+layer (:mod:`repro.sketch.merge`):
+
+    state = algorithm.snapshot()
+    for each pass p:
+        per-shard: restore(state); run pass p over the shard; snapshot()
+        state = merge_states(shard states, base=state)
+    algorithm.restore(state)
+
+Because every shard starts each pass from the merged state of the
+previous one, counters merge as deltas over a common base and the
+bottom-k edge sample merges bit-exactly.  Fan-out reuses the experiment
+harness's executor machinery (:func:`repro.experiments.parallel.parallel_map`);
+``workers=None`` runs shards serially in-process, which is bit-identical
+to the parallel schedule (merging is order-deterministic).
+
+Checkpoints are written at pass boundaries only — each shard pass is the
+atomic unit of work — so resuming a sharded run replays at most one
+logical pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.parallel import parallel_map, resolve_workers
+from repro.sketch.checkpoint import Checkpoint, CheckpointConfig
+from repro.sketch.merge import merge_states
+from repro.sketch.shard import StreamShard, partition_stream
+from repro.sketch.state import SketchState, SketchStateError
+from repro.streaming.algorithm import StreamingAlgorithm, supports_snapshot
+from repro.streaming.runner import run_single_pass
+from repro.streaming.space import SpaceMeter
+from repro.util.rng import derive_seed
+
+#: factory(state) -> restored algorithm instance.
+AlgorithmFactory = Callable[[SketchState], StreamingAlgorithm]
+
+_ALGORITHM_KINDS: Dict[str, AlgorithmFactory] = {}
+
+
+def register_algorithm_kind(kind: str, factory: AlgorithmFactory) -> None:
+    """Register a restorer for snapshot ``kind`` (used by shard workers)."""
+    _ALGORITHM_KINDS[kind] = factory
+
+
+def _ensure_default_kinds() -> None:
+    # Imported lazily: the core counters import repro.sketch.state at module
+    # load, so a top-level import here would be circular through the package
+    # __init__.
+    if "triangle-two-pass" not in _ALGORITHM_KINDS:
+        from repro.core.triangle_two_pass import TwoPassTriangleCounter
+
+        register_algorithm_kind("triangle-two-pass", TwoPassTriangleCounter.from_state)
+    if "fourcycle-two-pass" not in _ALGORITHM_KINDS:
+        from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
+
+        register_algorithm_kind("fourcycle-two-pass", TwoPassFourCycleCounter.from_state)
+
+
+def restore_algorithm(state: SketchState) -> StreamingAlgorithm:
+    """Instantiate the algorithm a snapshot came from, fully restored."""
+    _ensure_default_kinds()
+    factory = _ALGORITHM_KINDS.get(state.kind)
+    if factory is None:
+        raise SketchStateError(
+            f"no algorithm registered for state kind {state.kind!r} "
+            f"(known: {sorted(_ALGORITHM_KINDS)})"
+        )
+    return factory(state)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's work for one pass, in picklable form."""
+
+    shard_index: int
+    pass_index: int
+    state: SketchState
+    lists: Tuple
+    space_poll_interval: int = 1
+
+
+@dataclass(frozen=True)
+class ShardPassResult:
+    """What one shard pass sends back to the driver."""
+
+    shard_index: int
+    state: SketchState
+    peak_space_words: int
+    pairs: int
+
+
+def _run_shard_pass(task: ShardTask) -> ShardPassResult:
+    """Worker entry point: restore, run one pass over the shard, snapshot.
+
+    Module-level so ``parallel_map`` can ship it to pool processes.
+    """
+    algorithm = restore_algorithm(task.state)
+    meter = run_single_pass(
+        algorithm,
+        task.lists,
+        task.pass_index,
+        space_poll_interval=task.space_poll_interval,
+    )
+    return ShardPassResult(
+        shard_index=task.shard_index,
+        state=algorithm.snapshot(),
+        peak_space_words=meter.peak_words,
+        pairs=sum(len(neighbors) for _, neighbors in task.lists),
+    )
+
+
+@dataclass(frozen=True)
+class ShardRunResult:
+    """Outcome of a sharded run (persistence-registered; flat JSON fields).
+
+    ``peak_space_words`` is the largest per-shard peak — the worst-case
+    footprint of any single worker, the number the paper's space bounds
+    constrain.  ``mean_space_words`` averages the per-shard-pass peaks.
+    """
+
+    estimate: float
+    passes: int
+    n_shards: int
+    workers: int
+    strategy: str
+    pairs_per_pass: int
+    shard_pairs: List[int]
+    peak_space_words: int
+    mean_space_words: float
+    wall_time_seconds: float
+
+
+def run_sharded(
+    algorithm: StreamingAlgorithm,
+    stream,
+    n_shards: int,
+    *,
+    workers: Optional[int] = None,
+    strategy: str = "balanced",
+    space_poll_interval: int = 1,
+    merge_seed: Optional[int] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
+    resume_from: Optional[Checkpoint] = None,
+) -> ShardRunResult:
+    """Run ``algorithm`` over ``stream`` shard-and-merge style.
+
+    ``algorithm`` must implement the sketch state protocol and have a
+    merger registered for its state kind.  The merged final state is
+    restored into ``algorithm`` before returning, so the instance is
+    inspectable exactly as after a conventional run.  ``merge_seed``
+    drives the randomised parts of merging (per pass, statelessly derived,
+    so a resumed run merges identically); the default is deterministic.
+    """
+    if not supports_snapshot(algorithm):
+        raise SketchStateError(
+            f"{type(algorithm).__name__} does not implement the sketch "
+            "state protocol (snapshot/restore); cannot run sharded"
+        )
+    shards = partition_stream(stream, n_shards, strategy)
+    meter = SpaceMeter()
+
+    state = algorithm.snapshot()
+    start_pass = 0
+    if resume_from is not None:
+        if resume_from.lists_done != 0:
+            raise SketchStateError(
+                "sharded runs checkpoint at pass boundaries only; got a "
+                f"mid-pass checkpoint (lists_done={resume_from.lists_done})"
+            )
+        state = resume_from.algorithm_state
+        start_pass = resume_from.pass_index
+        if resume_from.meter_state:
+            meter.load_state_dict(resume_from.meter_state)
+
+    base_seed = 0 if merge_seed is None else int(merge_seed)
+    start = time.perf_counter()
+    for pass_index in range(start_pass, algorithm.n_passes):
+        tasks = [
+            ShardTask(
+                shard_index=shard.index,
+                pass_index=pass_index,
+                state=state,
+                lists=shard.lists,
+                space_poll_interval=space_poll_interval,
+            )
+            for shard in shards
+        ]
+        results = parallel_map(_run_shard_pass, tasks, workers=workers)
+        for result in results:
+            meter.observe(result.peak_space_words)
+        state = merge_states(
+            [result.state for result in results],
+            base=state,
+            seed=derive_seed(base_seed, pass_index),
+        )
+        if checkpoint is not None:
+            checkpoint.write(state, pass_index + 1, 0, meter.state_dict())
+    elapsed = time.perf_counter() - start
+
+    algorithm.restore(state)
+    return ShardRunResult(
+        estimate=algorithm.result(),
+        passes=algorithm.n_passes,
+        n_shards=len(shards),
+        workers=resolve_workers(workers),
+        strategy=strategy,
+        pairs_per_pass=sum(len(shard) for shard in shards),
+        shard_pairs=[len(shard) for shard in shards],
+        peak_space_words=meter.peak_words,
+        mean_space_words=meter.mean_words,
+        wall_time_seconds=elapsed,
+    )

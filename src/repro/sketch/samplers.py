@@ -1,0 +1,45 @@
+"""SketchState wrappers for the sampling primitives.
+
+The samplers in :mod:`repro.util.sampling` expose raw ``state_dict`` /
+``load_state_dict`` methods; this module wraps those dicts in typed,
+versioned :class:`~repro.sketch.state.SketchState` envelopes so they can
+go through the generic codecs and the merge registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sketch.state import SketchState
+from repro.util.sampling import BottomKSampler, ReservoirSampler
+
+BOTTOM_K_KIND = "bottom-k-sampler"
+BOTTOM_K_VERSION = 1
+RESERVOIR_KIND = "reservoir-sampler"
+RESERVOIR_VERSION = 1
+
+
+def bottom_k_state(sampler: BottomKSampler) -> SketchState:
+    """Capture a :class:`BottomKSampler` as a mergeable sketch state."""
+    return SketchState(BOTTOM_K_KIND, BOTTOM_K_VERSION, sampler.state_dict())
+
+
+def bottom_k_from_state(
+    state: SketchState, on_evict: Optional[Callable] = None
+) -> BottomKSampler:
+    """Reconstruct a :class:`BottomKSampler` from its sketch state."""
+    state.require(BOTTOM_K_KIND, BOTTOM_K_VERSION)
+    return BottomKSampler.from_state_dict(state.payload, on_evict=on_evict)
+
+
+def reservoir_state(sampler: ReservoirSampler) -> SketchState:
+    """Capture a :class:`ReservoirSampler` (items must be JSON-safe data)."""
+    return SketchState(RESERVOIR_KIND, RESERVOIR_VERSION, sampler.state_dict())
+
+
+def reservoir_from_state(state: SketchState) -> ReservoirSampler:
+    """Reconstruct a :class:`ReservoirSampler` from its sketch state."""
+    state.require(RESERVOIR_KIND, RESERVOIR_VERSION)
+    sampler: ReservoirSampler = ReservoirSampler(int(state.payload["capacity"]))
+    sampler.load_state_dict(state.payload)
+    return sampler

@@ -9,14 +9,29 @@ precisely from seeing each vertex's full neighbourhood contiguously.
 Algorithms must also report their live state size in machine words via
 :meth:`space_words`; the runner and the communication-protocol simulator
 both consume this to validate the paper's space bounds.
+
+Algorithms may additionally implement the **sketch state protocol** —
+:meth:`StreamingAlgorithm.snapshot` / :meth:`StreamingAlgorithm.restore` —
+making their full live state serialisable (checkpoint/resume) and, where
+the underlying sketches compose, mergeable across stream shards (see
+:mod:`repro.sketch`).  The protocol is opt-in: the base implementations
+raise :class:`SnapshotUnsupported`, and :func:`supports_snapshot` reports
+whether a given algorithm overrides them.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.graph.graph import Vertex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sketch.state import SketchState
+
+
+class SnapshotUnsupported(NotImplementedError):
+    """Raised when an algorithm does not implement the sketch state protocol."""
 
 
 class StreamingAlgorithm(abc.ABC):
@@ -72,6 +87,35 @@ class StreamingAlgorithm(abc.ABC):
     @abc.abstractmethod
     def space_words(self) -> int:
         """Return the current live state size in machine words."""
+
+    # -- sketch state protocol (opt-in) -------------------------------------
+
+    def snapshot(self) -> "SketchState":
+        """Serialise the complete live state as a :class:`SketchState`.
+
+        Implementations must capture *everything* the algorithm needs to
+        continue — sample contents, counters, hash keys, RNG states — so
+        that ``restore`` followed by replaying the remaining stream yields
+        a run indistinguishable from one that was never interrupted.
+        """
+        raise SnapshotUnsupported(
+            f"{type(self).__name__} does not implement the sketch state protocol"
+        )
+
+    def restore(self, state: "SketchState") -> None:
+        """Replace the live state with a previously captured snapshot."""
+        raise SnapshotUnsupported(
+            f"{type(self).__name__} does not implement the sketch state protocol"
+        )
+
+
+def supports_snapshot(algorithm: StreamingAlgorithm) -> bool:
+    """Whether ``algorithm`` implements the sketch state protocol."""
+    cls = type(algorithm)
+    return (
+        cls.snapshot is not StreamingAlgorithm.snapshot
+        and cls.restore is not StreamingAlgorithm.restore
+    )
 
 
 class FixedValueAlgorithm(StreamingAlgorithm):

@@ -12,13 +12,22 @@ Both paths are observably identical for conforming algorithms; the fast
 path only removes per-pair Python dispatch.  ``space_poll_interval``
 controls how often ``space_words()`` is polled (every list by default;
 larger intervals trade peak-resolution for speed on huge graphs).
+
+Long runs can be made durable: pass a
+:class:`repro.sketch.checkpoint.CheckpointConfig` as ``checkpoint`` and
+the runner snapshots the algorithm (via the sketch state protocol) to
+disk every ``every_lists`` adjacency lists and at each pass boundary.  A
+run killed mid-pass resumes from the last snapshot by passing the loaded
+:class:`~repro.sketch.checkpoint.Checkpoint` as ``resume_from``; because
+streams replay deterministically, the resumed run finishes with results
+identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.streaming.algorithm import StreamingAlgorithm
 from repro.streaming.space import SpaceMeter
@@ -31,7 +40,8 @@ class RunResult:
 
     ``wall_time_seconds`` and ``pairs_per_second`` describe this particular
     execution, so two otherwise-identical runs compare unequal; compare the
-    estimate/space fields when checking reproducibility.
+    estimate/space fields when checking reproducibility.  For a resumed run
+    they cover only the resumed portion.
     """
 
     estimate: float
@@ -57,6 +67,60 @@ def supports_list_dispatch(algorithm: StreamingAlgorithm) -> bool:
     return cls.process is StreamingAlgorithm.process
 
 
+def _dispatch_flags(
+    algorithm: StreamingAlgorithm, use_fast_path: Optional[bool]
+) -> Tuple[bool, bool]:
+    """Resolve (fast, skip_pairs) dispatch decisions for ``algorithm``."""
+    fast = use_fast_path if use_fast_path is not None else supports_list_dispatch(algorithm)
+    cls = type(algorithm)
+    skip_pairs = fast and (
+        cls.process_list is StreamingAlgorithm.process_list
+        and cls.process is StreamingAlgorithm.process
+    )
+    return fast, skip_pairs
+
+
+def run_single_pass(
+    algorithm: StreamingAlgorithm,
+    lists: Iterable,
+    pass_index: int,
+    meter: Optional[SpaceMeter] = None,
+    *,
+    space_poll_interval: int = 1,
+    use_fast_path: Optional[bool] = None,
+) -> SpaceMeter:
+    """Run exactly one pass of ``algorithm`` over an adjacency-list slice.
+
+    ``lists`` yields ``(vertex, neighbours)`` entries — a full stream's
+    ``iter_lists()`` or one shard's slice of it.  Calls ``begin_pass`` and
+    ``end_pass`` around the slice; the shard-and-merge driver is the main
+    consumer.  Returns the meter used.
+    """
+    if space_poll_interval < 1:
+        raise ValueError("space_poll_interval must be at least 1")
+    meter = meter if meter is not None else SpaceMeter()
+    fast, skip_pairs = _dispatch_flags(algorithm, use_fast_path)
+    algorithm.begin_pass(pass_index)
+    lists_since_poll = 0
+    for vertex, neighbors in lists:
+        algorithm.begin_list(vertex)
+        if fast:
+            if not skip_pairs:
+                algorithm.process_list(vertex, neighbors)
+        else:
+            process = algorithm.process
+            for nbr in neighbors:
+                process(vertex, nbr)
+        algorithm.end_list(vertex, neighbors)
+        lists_since_poll += 1
+        if lists_since_poll >= space_poll_interval:
+            meter.observe(algorithm.space_words())
+            lists_since_poll = 0
+    algorithm.end_pass(pass_index)
+    meter.observe(algorithm.space_words())
+    return meter
+
+
 def run_algorithm(
     algorithm: StreamingAlgorithm,
     stream: AdjacencyListStream,
@@ -64,6 +128,8 @@ def run_algorithm(
     *,
     space_poll_interval: int = 1,
     use_fast_path: Optional[bool] = None,
+    checkpoint=None,
+    resume_from=None,
 ) -> RunResult:
     """Run ``algorithm`` for its declared number of passes over ``stream``.
 
@@ -73,23 +139,40 @@ def run_algorithm(
     adjacency lists (and always at the end of each pass); ``use_fast_path``
     forces batched (True) or per-pair (False) dispatch, defaulting to
     auto-detection via :func:`supports_list_dispatch`.
+
+    ``checkpoint`` (a :class:`~repro.sketch.checkpoint.CheckpointConfig`)
+    enables periodic snapshots; ``resume_from`` (a loaded
+    :class:`~repro.sketch.checkpoint.Checkpoint`) restores the algorithm
+    and fast-forwards the stream to the recorded position before running.
+    Both require the algorithm to implement the sketch state protocol.
     """
     if space_poll_interval < 1:
         raise ValueError("space_poll_interval must be at least 1")
     meter = meter if meter is not None else SpaceMeter()
-    fast = use_fast_path if use_fast_path is not None else supports_list_dispatch(algorithm)
-    cls = type(algorithm)
-    # On the fast path, skip dispatch entirely when there is no per-pair or
-    # batched work to do (neither hook overridden).
-    skip_pairs = fast and (
-        cls.process_list is StreamingAlgorithm.process_list
-        and cls.process is StreamingAlgorithm.process
-    )
+    fast, skip_pairs = _dispatch_flags(algorithm, use_fast_path)
+
+    start_pass, skip_lists = 0, 0
+    if resume_from is not None:
+        algorithm.restore(resume_from.algorithm_state)
+        start_pass = resume_from.pass_index
+        skip_lists = resume_from.lists_done
+        if resume_from.meter_state:
+            meter.load_state_dict(resume_from.meter_state)
+
     start = time.perf_counter()
-    for pass_index in range(algorithm.n_passes):
-        algorithm.begin_pass(pass_index)
+    pairs_run = 0
+    for pass_index in range(start_pass, algorithm.n_passes):
+        resuming_mid_pass = pass_index == start_pass and skip_lists > 0
+        if not resuming_mid_pass:
+            # A mid-pass checkpoint was taken after begin_pass ran, so its
+            # effects are already inside the restored state.
+            algorithm.begin_pass(pass_index)
+        lists_done = 0
         lists_since_poll = 0
         for vertex, neighbors in stream.iter_lists():
+            if resuming_mid_pass and lists_done < skip_lists:
+                lists_done += 1
+                continue
             algorithm.begin_list(vertex)
             if fast:
                 if not skip_pairs:
@@ -99,14 +182,24 @@ def run_algorithm(
                 for nbr in neighbors:
                     process(vertex, nbr)
             algorithm.end_list(vertex, neighbors)
+            pairs_run += len(neighbors)
+            lists_done += 1
             lists_since_poll += 1
             if lists_since_poll >= space_poll_interval:
                 meter.observe(algorithm.space_words())
                 lists_since_poll = 0
+            if checkpoint is not None and lists_done % checkpoint.every_lists == 0:
+                checkpoint.write(
+                    algorithm.snapshot(), pass_index, lists_done, meter.state_dict()
+                )
         algorithm.end_pass(pass_index)
         meter.observe(algorithm.space_words())
+        if checkpoint is not None:
+            # Pass-boundary checkpoint: resume starts the next pass cleanly.
+            checkpoint.write(
+                algorithm.snapshot(), pass_index + 1, 0, meter.state_dict()
+            )
     elapsed = time.perf_counter() - start
-    total_pairs = algorithm.n_passes * len(stream)
     return RunResult(
         estimate=algorithm.result(),
         peak_space_words=meter.peak_words,
@@ -114,6 +207,6 @@ def run_algorithm(
         passes=algorithm.n_passes,
         pairs_per_pass=len(stream),
         wall_time_seconds=elapsed,
-        pairs_per_second=total_pairs / elapsed if elapsed > 0 else 0.0,
+        pairs_per_second=pairs_run / elapsed if elapsed > 0 else 0.0,
         used_fast_path=fast,
     )

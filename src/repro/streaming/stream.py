@@ -160,6 +160,7 @@ class PairSequenceSummary:
     pairs: int  # total (source, neighbour) pairs, i.e. 2m
     lists: int  # adjacency lists, including the final (implicitly closed) one
     edges: int  # undirected edges, i.e. m
+    max_list_length: int = 0  # longest adjacency list, i.e. the max degree
 
 
 def validate_pair_sequence(pairs: Sequence[Pair]) -> PairSequenceSummary:
@@ -177,6 +178,7 @@ def validate_pair_sequence(pairs: Sequence[Pair]) -> PairSequenceSummary:
     current: Optional[Vertex] = None
     current_neighbors: set = set()
     directed_seen: set = set()
+    max_list_length = 0
     index = 0
     for index, (src, dst) in enumerate(pairs):
         if src == dst:
@@ -200,6 +202,8 @@ def validate_pair_sequence(pairs: Sequence[Pair]) -> PairSequenceSummary:
                 f"{len(current_neighbors)} neighbours already seen in this list"
             )
         current_neighbors.add(dst)
+        if len(current_neighbors) > max_list_length:
+            max_list_length = len(current_neighbors)
         directed_seen.add((src, dst))
     # Close the last list: the loop above only closes lists on transition,
     # so without this the final list would never reach ``seen_lists`` and
@@ -213,5 +217,8 @@ def validate_pair_sequence(pairs: Sequence[Pair]) -> PairSequenceSummary:
                 f"({len(seen_lists)} lists, {len(directed_seen)} directed pairs scanned)"
             )
     return PairSequenceSummary(
-        pairs=len(pairs), lists=len(seen_lists), edges=len(directed_seen) // 2
+        pairs=len(pairs),
+        lists=len(seen_lists),
+        edges=len(directed_seen) // 2,
+        max_list_length=max_list_length,
     )

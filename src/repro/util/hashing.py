@@ -18,7 +18,7 @@ in ``[0, 1)``.
 from __future__ import annotations
 
 import random
-from typing import Hashable
+from typing import Hashable, Optional
 
 from repro.util.rng import SeedLike, resolve_rng
 
@@ -31,7 +31,11 @@ def _to_int_key(key: Hashable) -> int:
     """Map an arbitrary hashable key to a non-negative integer.
 
     Tuples (the common case: canonical edge keys) are combined injectively
-    enough for hashing purposes; other objects fall back to ``hash``.
+    enough for hashing purposes.  Strings are folded with FNV-1a over their
+    UTF-8 bytes rather than built-in ``hash``: the samplers' priorities must
+    agree *across processes* (shard workers merge bottom-k states by
+    priority), and ``str.__hash__`` is salted per interpreter.  Other
+    objects fall back to ``hash``.
     """
     if isinstance(key, int):
         return key & _MASK64
@@ -46,6 +50,11 @@ def _to_int_key(key: Hashable) -> int:
             else:
                 acc ^= _to_int_key(part)
         return acc
+    if isinstance(key, str):
+        acc = 0xCBF29CE484222325
+        for byte in key.encode("utf-8"):
+            acc = ((acc ^ byte) * 0x100000001B3) & _MASK64
+        return acc
     return hash(key) & _MASK64
 
 
@@ -57,11 +66,24 @@ def _splitmix64(z: int) -> int:
 
 
 class MixHash64:
-    """Seeded 64-bit mixing hash over arbitrary hashable keys."""
+    """Seeded 64-bit mixing hash over arbitrary hashable keys.
 
-    def __init__(self, seed: SeedLike = None):
-        rng = resolve_rng(seed)
-        self._key = rng.getrandbits(64)
+    ``key`` pins the internal 64-bit key directly (bypassing ``seed``); it
+    is how serialized sampler state reconstructs the exact hash function,
+    so that a restored sampler assigns the same priorities as the original.
+    """
+
+    def __init__(self, seed: SeedLike = None, *, key: Optional[int] = None):
+        if key is not None:
+            self._key = key & _MASK64
+        else:
+            rng = resolve_rng(seed)
+            self._key = rng.getrandbits(64)
+
+    @property
+    def key(self) -> int:
+        """The internal 64-bit key (serialise this to clone the hash)."""
+        return self._key
 
     def hash_int(self, key: Hashable) -> int:
         """Return a pseudorandom integer in ``[0, 2**64)`` for ``key``."""

@@ -21,10 +21,21 @@ Three samplers back the paper's algorithms:
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+from typing import Any, Callable, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
 
 from repro.util.hashing import MixHash64
 from repro.util.rng import SeedLike, resolve_rng
+
+
+def _member_sort_key(entry: Tuple[Any, int]) -> Tuple[int, str]:
+    """Canonical ordering for serialised ``(key, priority)`` members.
+
+    Primary order is the priority (what bottom-k truncation compares);
+    ``repr`` of the key breaks the astronomically rare priority ties
+    deterministically so two state dicts of the same sample are equal.
+    """
+    key, priority = entry
+    return (priority, repr(key))
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -131,6 +142,52 @@ class BottomKSampler(Generic[K]):
         """Machine words of live state: one key plus one priority per slot."""
         return 2 * len(self._members)
 
+    # -- state protocol -----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialise the sampler to a plain dict (JSON-safe via the sketch
+        codec).  Members are listed in canonical (priority, key) order so
+        state dicts of equal samples compare equal regardless of insertion
+        history — the property the bottom-k merge tests rely on.
+        """
+        return {
+            "capacity": self.capacity,
+            "hash_key": self._hash.key,
+            "members": sorted(self._members.items(), key=_member_sort_key),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore the sampler from :meth:`state_dict` output.
+
+        The hash function, capacity, and membership are all replaced; the
+        ``on_evict`` callback wired at construction is retained.
+        """
+        capacity = int(state["capacity"])
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        members = [(tuple(k) if isinstance(k, list) else k, int(p))
+                   for k, p in state["members"]]
+        if len(members) > capacity:
+            raise ValueError(
+                f"state holds {len(members)} members but capacity is {capacity}"
+            )
+        self.capacity = capacity
+        self._hash = MixHash64(key=int(state["hash_key"]))
+        self._members = dict(members)
+        self._heap = [(-p, k) for k, p in members]
+        heapq.heapify(self._heap)
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state: Dict[str, Any],
+        on_evict: Optional[Callable[[K], None]] = None,
+    ) -> "BottomKSampler":
+        """Reconstruct a sampler from serialised state."""
+        sampler: BottomKSampler[K] = cls(int(state["capacity"]), on_evict=on_evict)
+        sampler.load_state_dict(state)
+        return sampler
+
 
 class ThresholdSampler(Generic[K]):
     """Bernoulli key sampler: ``key`` is sampled iff ``h(key) < rate``.
@@ -173,6 +230,24 @@ class ThresholdSampler(Generic[K]):
     def space_words(self) -> int:
         """Machine words of live state: one word per retained key."""
         return len(self._members)
+
+    # -- state protocol -----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialise the sampler to a plain dict."""
+        return {
+            "rate": self.rate,
+            "hash_key": self._hash.key,
+            "members": sorted(self._members, key=repr),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore the sampler from :meth:`state_dict` output."""
+        self.rate = float(state["rate"])
+        self._hash = MixHash64(key=int(state["hash_key"]))
+        self._members = {
+            tuple(k) if isinstance(k, list) else k for k in state["members"]
+        }
 
 
 class ReservoirSampler(Generic[V]):
@@ -240,3 +315,46 @@ class ReservoirSampler(Generic[V]):
     def space_words(self) -> int:
         """Machine words of live state: one word per retained item."""
         return len(self._items)
+
+    # -- state protocol -----------------------------------------------------
+
+    def state_dict(
+        self, encode_item: Optional[Callable[[V], Any]] = None
+    ) -> Dict[str, Any]:
+        """Serialise the reservoir, including its RNG state.
+
+        ``encode_item`` maps each retained item to a serialisable form
+        (identity by default); item order is preserved because Algorithm R
+        replaces by index, so order is part of the reproducible state.
+        """
+        encode = encode_item if encode_item is not None else (lambda item: item)
+        return {
+            "capacity": self.capacity,
+            "offered": self.offered,
+            "rng_state": self._rng.getstate(),
+            "items": [encode(item) for item in self._items],
+        }
+
+    def load_state_dict(
+        self,
+        state: Dict[str, Any],
+        decode_item: Optional[Callable[[Any], V]] = None,
+    ) -> None:
+        """Restore the reservoir from :meth:`state_dict` output."""
+        capacity = int(state["capacity"])
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        decode = decode_item if decode_item is not None else (lambda blob: blob)
+        items = [decode(blob) for blob in state["items"]]
+        if len(items) > capacity:
+            raise ValueError(
+                f"state holds {len(items)} items but capacity is {capacity}"
+            )
+        self.capacity = capacity
+        self.offered = int(state["offered"])
+        self._items = items
+        rng_state = state["rng_state"]
+        # random.Random.setstate needs the exact nested tuple shape.
+        self._rng.setstate(
+            (int(rng_state[0]), tuple(int(x) for x in rng_state[1]), rng_state[2])
+        )

@@ -12,6 +12,8 @@ from repro.experiments.persistence import (
     save_results,
 )
 from repro.experiments.table1 import Table1Row
+from repro.sketch.checkpoint import CheckpointRecord
+from repro.sketch.driver import ShardRunResult
 
 
 @pytest.fixture()
@@ -61,6 +63,48 @@ class TestRecordRoundtrip:
             record_from_dict({"nope": 1})
         with pytest.raises(ValueError):
             record_from_dict({"type": "Bogus", "data": {}})
+
+
+class TestSketchRecords:
+    """The sketch subsystem's records are persistence-registered too."""
+
+    def shard_result(self):
+        return ShardRunResult(
+            estimate=41.5,
+            passes=2,
+            n_shards=4,
+            workers=2,
+            strategy="balanced",
+            pairs_per_pass=800,
+            shard_pairs=[200, 200, 201, 199],
+            peak_space_words=512,
+            mean_space_words=448.25,
+            wall_time_seconds=0.75,
+        )
+
+    def test_shard_run_result_roundtrip(self, tmp_path):
+        result = self.shard_result()
+        blob = record_to_dict(result)
+        assert blob["type"] == "ShardRunResult"
+        assert record_from_dict(blob) == result
+        path = tmp_path / "shard.json"
+        save_results([result], path, metadata={"bench": "shard"})
+        assert load_results(path) == [result]
+
+    def test_checkpoint_record_roundtrip(self, tmp_path):
+        record = CheckpointRecord(
+            path="/tmp/run.ckpt",
+            algorithm_kind="triangle-two-pass",
+            pass_index=1,
+            lists_done=700,
+            space_words=96,
+        )
+        assert record_from_dict(record_to_dict(record)) == record
+        path = tmp_path / "ckpt.json"
+        save_results([record, self.shard_result()], path)
+        restored = load_results(path)
+        assert restored[0] == record
+        assert isinstance(restored[1], ShardRunResult)
 
 
 class TestFileRoundtrip:

@@ -1,0 +1,104 @@
+"""Tests for the shard-and-merge driver."""
+
+import pytest
+
+from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.graph.counting import count_triangles
+from repro.graph.generators import gnm_random_graph
+from repro.sketch.driver import restore_algorithm, run_sharded
+from repro.sketch.state import SketchState, SketchStateError
+from repro.streaming.algorithm import FixedValueAlgorithm
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = gnm_random_graph(50, 300, seed=11)
+    return graph, AdjacencyListStream(graph, seed=12)
+
+
+class TestExactness:
+    def test_fourcycle_sharded_equals_conventional(self, workload):
+        graph, stream = workload
+        conventional = run_algorithm(
+            TwoPassFourCycleCounter(sample_size=2 * graph.m, seed=7), stream
+        ).estimate
+        for n_shards in (1, 2, 4):
+            result = run_sharded(
+                TwoPassFourCycleCounter(sample_size=2 * graph.m, seed=7),
+                stream,
+                n_shards,
+            )
+            assert result.estimate == conventional
+            assert result.n_shards == n_shards
+
+    def test_triangle_full_sample_shard_invariant(self, workload):
+        graph, stream = workload
+        # Large enough that both the edge sample and the candidate
+        # reservoir are unsaturated: the estimate is then the exact
+        # triangle count, for every shard count.
+        truth = count_triangles(graph)
+        size = 2 * graph.m + 3 * truth
+        for n_shards in (1, 2, 4):
+            estimate = run_sharded(
+                TwoPassTriangleCounter(sample_size=size, seed=7, sharded=True),
+                stream,
+                n_shards,
+            ).estimate
+            assert estimate == truth
+
+    def test_serial_and_parallel_schedules_bit_identical(self, workload):
+        graph, stream = workload
+        serial = run_sharded(
+            TwoPassTriangleCounter(sample_size=64, seed=3, sharded=True),
+            stream,
+            4,
+            workers=None,
+            merge_seed=5,
+        )
+        pooled = run_sharded(
+            TwoPassTriangleCounter(sample_size=64, seed=3, sharded=True),
+            stream,
+            4,
+            workers=4,
+            merge_seed=5,
+        )
+        assert serial.estimate == pooled.estimate
+        assert pooled.workers == 4
+
+    def test_final_state_restored_into_caller_instance(self, workload):
+        graph, stream = workload
+        algo = TwoPassTriangleCounter(sample_size=2 * graph.m, seed=7, sharded=True)
+        result = run_sharded(algo, stream, 2)
+        assert algo.result() == result.estimate
+
+    def test_shard_pairs_cover_stream(self, workload):
+        _, stream = workload
+        result = run_sharded(
+            TwoPassFourCycleCounter(sample_size=16, seed=1), stream, 3
+        )
+        assert sum(result.shard_pairs) == len(stream)
+        assert result.pairs_per_pass == len(stream)
+
+
+class TestRestoreRegistry:
+    def test_round_trip_through_registry(self, workload):
+        graph, stream = workload
+        algo = TwoPassTriangleCounter(sample_size=32, seed=2, sharded=True)
+        run_algorithm(algo, stream)
+        clone = restore_algorithm(algo.snapshot())
+        assert isinstance(clone, TwoPassTriangleCounter)
+        assert clone.result() == algo.result()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SketchStateError):
+            restore_algorithm(SketchState("no-such-algorithm", 1, {}))
+
+
+class TestErrors:
+    def test_snapshotless_algorithm_rejected(self, workload):
+        _, stream = workload
+        with pytest.raises(SketchStateError):
+            run_sharded(FixedValueAlgorithm(1.0), stream, 2)

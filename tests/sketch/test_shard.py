@@ -1,0 +1,74 @@
+"""Tests for the vertex-shard stream partitioner."""
+
+import pytest
+
+from repro.graph.generators import gnm_random_graph
+from repro.sketch.shard import (
+    STRATEGIES,
+    StreamShard,
+    partition_stream,
+    shard_pair_counts,
+)
+from repro.streaming.stream import AdjacencyListStream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return AdjacencyListStream(gnm_random_graph(60, 240, seed=5), seed=6)
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 7])
+    def test_every_list_exactly_once(self, stream, strategy, n_shards):
+        shards = partition_stream(stream, n_shards, strategy)
+        assert len(shards) == n_shards
+        original = [(v, tuple(nbrs)) for v, nbrs in stream.iter_lists()]
+        scattered = [entry for shard in shards for entry in shard.lists]
+        assert sorted(scattered) == sorted(original)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_relative_order_preserved(self, stream, strategy):
+        order = {
+            vertex: i for i, (vertex, _) in enumerate(stream.iter_lists())
+        }
+        for shard in partition_stream(stream, 4, strategy):
+            positions = [order[vertex] for vertex, _ in shard.iter_lists()]
+            assert positions == sorted(positions)
+
+    def test_pair_totals_preserved(self, stream):
+        for strategy in STRATEGIES:
+            counts = shard_pair_counts(partition_stream(stream, 4, strategy))
+            assert sum(counts) == len(stream)
+
+    def test_more_shards_than_lists_gives_empty_shards(self):
+        lists = [(0, (1,)), (1, (0,))]
+        shards = partition_stream(lists, 5)
+        assert len(shards) == 5
+        assert sum(shard.n_lists for shard in shards) == 2
+        assert any(shard.n_lists == 0 for shard in shards)
+
+    def test_hash_strategy_order_independent(self, stream):
+        entries = [(v, tuple(nbrs)) for v, nbrs in stream.iter_lists()]
+        forward = partition_stream(entries, 3, "hash")
+        backward = partition_stream(list(reversed(entries)), 3, "hash")
+        for fwd, bwd in zip(forward, backward):
+            assert sorted(fwd.lists) == sorted(bwd.lists)
+
+
+class TestShardObject:
+    def test_iter_pairs_matches_lists(self):
+        shard = StreamShard(index=0, lists=((0, (1, 2)), (3, (4,))))
+        assert list(shard.iter_pairs()) == [(0, 1), (0, 2), (3, 4)]
+        assert len(shard) == 3
+        assert shard.n_lists == 2
+
+
+class TestErrors:
+    def test_zero_shards_rejected(self, stream):
+        with pytest.raises(ValueError):
+            partition_stream(stream, 0)
+
+    def test_unknown_strategy_rejected(self, stream):
+        with pytest.raises(ValueError):
+            partition_stream(stream, 2, "round-robin")

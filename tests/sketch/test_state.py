@@ -1,0 +1,94 @@
+"""Tests for the SketchState container and its codecs."""
+
+import json
+
+import pytest
+
+from repro.sketch.state import (
+    SketchState,
+    SketchStateError,
+    decode_value,
+    encode_value,
+)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            42,
+            -7,
+            3.25,
+            "text",
+            [1, 2, 3],
+            (1, 2, 3),
+            {"a": 1, "b": [2, (3, 4)]},
+            {(1, 2): "tuple-key", (3, 4): "other"},
+            {1, 2, 3},
+            frozenset({(1, 2), (3, 4)}),
+            [(1, (2, 3)), {"nested": {5, 6}}],
+        ],
+    )
+    def test_round_trip(self, value):
+        encoded = encode_value(value)
+        # The encoded form must be pure JSON (serialisable + reparseable).
+        rewired = json.loads(json.dumps(encoded))
+        assert decode_value(rewired) == value
+
+    def test_tuple_survives_as_tuple(self):
+        assert decode_value(json.loads(json.dumps(encode_value((1, 2))))) == (1, 2)
+        assert isinstance(decode_value(encode_value((1, 2))), tuple)
+
+    def test_set_type_preserved(self):
+        decoded = decode_value(json.loads(json.dumps(encode_value({3, 1, 2}))))
+        assert isinstance(decoded, set)
+        decoded = decode_value(encode_value(frozenset({1})))
+        assert isinstance(decoded, frozenset)
+
+    def test_non_string_dict_keys(self):
+        original = {(0, 1): 5, 7: "x"}
+        assert decode_value(json.loads(json.dumps(encode_value(original)))) == original
+
+
+class TestSketchState:
+    def make(self):
+        return SketchState(
+            "test-kind", 1, {"count": 3, "members": [((0, 1), 17)], "seen": {(2, 3)}}
+        )
+
+    def test_json_round_trip(self):
+        state = self.make()
+        again = SketchState.from_json(state.to_json())
+        assert again == state
+
+    def test_bytes_round_trip(self):
+        state = self.make()
+        blob = state.to_bytes()
+        assert SketchState.from_bytes(blob) == state
+
+    def test_bytes_magic_rejected(self):
+        with pytest.raises(SketchStateError):
+            SketchState.from_bytes(b"NOPE" + b"\x00" * 16)
+
+    def test_truncated_rejected(self):
+        blob = self.make().to_bytes()
+        with pytest.raises(SketchStateError):
+            SketchState.from_bytes(blob[: len(blob) - 3])
+
+    def test_require_matches(self):
+        state = self.make()
+        state.require("test-kind", 1)
+        with pytest.raises(SketchStateError):
+            state.require("other-kind", 1)
+        with pytest.raises(SketchStateError):
+            state.require("test-kind", 2)
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "state.skch"
+        state = self.make()
+        state.save(path)
+        assert SketchState.load(path) == state
+        # Atomic write: no stray temp files left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["state.skch"]

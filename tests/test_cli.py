@@ -114,10 +114,94 @@ class TestCount:
             main(["count", str(graph_file), "--algorithm", "bogus"])
 
 
+class TestSharded:
+    def test_shards_match_single_shard(self, graph_file, capsys):
+        base = ["count", str(graph_file), "--sample-size", "4000", "--seed", "3"]
+        assert main(base) == 0
+        single = capsys.readouterr().out
+        single_estimate = single.split("estimated 3-cycles: ")[1].split()[0]
+        assert main(base + ["--shards", "4"]) == 0
+        sharded = capsys.readouterr().out
+        # Full-sample regime: the hash-designated sharded estimator is
+        # exact, so it agrees with the conventional run's exact value.
+        assert f"estimated 3-cycles: {single_estimate}" in sharded
+        assert "shards=4" in sharded
+
+    def test_sharded_fourcycle(self, graph_file, capsys):
+        assert main(["count", str(graph_file), "--length", "4",
+                     "--shards", "2", "--sample-size", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated 4-cycles" in out
+        assert "shards=2" in out
+
+    def test_shards_reject_copies(self, graph_file):
+        with pytest.raises(SystemExit, match="copies"):
+            main(["count", str(graph_file), "--shards", "2", "--copies", "3"])
+
+    def test_shards_reject_unsupported_algorithm(self, graph_file):
+        with pytest.raises(SystemExit, match="two-pass"):
+            main(["count", str(graph_file), "--shards", "2",
+                  "--algorithm", "exact"])
+
+
+class TestCheckpoint:
+    def test_resume_requires_checkpoint(self, graph_file):
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            main(["count", str(graph_file), "--resume"])
+
+    def test_checkpoint_then_resume(self, graph_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        base = ["count", str(graph_file), "--sample-size", "500", "--seed", "3"]
+        assert main(base + ["--checkpoint", ckpt, "--checkpoint-every", "50"]) == 0
+        first = capsys.readouterr().out
+        estimate = first.split("estimated 3-cycles: ")[1].split()[0]
+        # Resuming from the completed run's final checkpoint replays
+        # nothing and reports the identical estimate.
+        assert main(base + ["--checkpoint", ckpt, "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "resuming from" in resumed
+        assert f"estimated 3-cycles: {estimate}" in resumed
+
+    def test_sharded_checkpoint(self, graph_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "sharded.ckpt")
+        assert main(["count", str(graph_file), "--shards", "2",
+                     "--sample-size", "500", "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        from repro.sketch.checkpoint import load_checkpoint
+
+        record = load_checkpoint(ckpt)
+        assert (record.pass_index, record.lists_done) == (2, 0)
+
+
 class TestValidate:
     def test_valid_file(self, graph_file, capsys):
         assert main(["validate", str(graph_file)]) == 0
-        assert "OK" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "pairs:" in out
+        assert "lists:" in out
+        assert "edges:" in out
+        assert "max list length:" in out
+
+    def test_summary_counts_consistent(self, graph_file, capsys):
+        from repro.graph.io import read_adjacency_list
+
+        graph = read_adjacency_list(graph_file)
+        assert main(["validate", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert f"edges:           {graph.m}" in out
+        assert f"pairs:           {2 * graph.m}" in out
+
+    def test_invalid_file_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.edges"
+        bad.write_text("1 1\n")  # self loop violates the model
+        assert main(["validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "INVALID" in err
+
+    def test_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope.edges")]) == 1
+        assert "INVALID" in capsys.readouterr().err
 
 
 class TestParser:
