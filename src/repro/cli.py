@@ -9,7 +9,9 @@ Installed as ``repro-cycles``.  Subcommands:
 * ``validate`` — check that a raw pair file respects the adjacency-list
   streaming model's promise;
 * ``experiment`` — regenerate the paper's Table-1 rows or Figure-1 panels
-  and print them.
+  and print them;
+* ``lint`` — alias for the ``repro-lint`` static analyser (determinism and
+  sketch-state contracts; see ``docs/LINTING.md``).
 
 Examples::
 
@@ -273,6 +275,13 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Alias for the ``repro-lint`` console script (same flags, same codes)."""
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the repro-cycles argument parser."""
     parser = argparse.ArgumentParser(
@@ -369,12 +378,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.set_defaults(func=cmd_experiment)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro-lint static analyser",
+        add_help=False,  # forward --help to repro-lint itself
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER)
+    lint.set_defaults(func=cmd_lint)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    arg_list = list(sys.argv[1:] if argv is None else argv)
+    if arg_list[:1] == ["lint"]:
+        # Forwarded before argparse sees it: REMAINDER swallows positional
+        # tails fine but lets leading options (e.g. --list-rules) leak to
+        # this parser, which would reject them.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(arg_list[1:])
+    args = build_parser().parse_args(arg_list)
     return args.func(args)
 
 

@@ -10,7 +10,7 @@ results bit-identical to the historical serial loop:
   inside the trial loop; :func:`trial_specs` performs exactly those parent
   draws up front and records the resulting integer seeds in pickle-friendly
   :class:`TrialSpec` records, so workers reconstruct the very same child
-  generators with ``random.Random(seed)``.
+  generators with ``resolve_rng(seed)``.
 * **Only specs cross the process boundary per task.**  The trial factory
   and the graph are shipped once per worker via the pool initializer; with
   ``workers > 1`` the factory must therefore be picklable (a module-level
@@ -34,7 +34,7 @@ from repro.graph.graph import Graph
 from repro.streaming.algorithm import StreamingAlgorithm
 from repro.streaming.runner import run_algorithm
 from repro.streaming.stream import AdjacencyListStream
-from repro.util.rng import SeedLike, spawn_seed
+from repro.util.rng import SeedLike, resolve_rng, spawn_seed
 
 #: factory(space_budget, seed) -> algorithm (mirrors harness.SizedFactory)
 TrialFactory = Callable[[int, SeedLike], StreamingAlgorithm]
@@ -79,7 +79,7 @@ class TrialSpec:
 
     index: int
     budget: int
-    algo_seed: int  # seeds the factory's generator: random.Random(algo_seed)
+    algo_seed: int  # seeds the factory's generator: resolve_rng(algo_seed)
     stream_seed: int  # seeds the stream ordering shuffles
 
 
@@ -136,8 +136,8 @@ def run_trial(
     space_poll_interval: int = 1,
 ) -> TrialResult:
     """Execute one trial: build the algorithm and stream, run, summarise."""
-    algorithm = factory(spec.budget, random.Random(spec.algo_seed))
-    stream = AdjacencyListStream(graph, seed=random.Random(spec.stream_seed))
+    algorithm = factory(spec.budget, resolve_rng(spec.algo_seed))
+    stream = AdjacencyListStream(graph, seed=resolve_rng(spec.stream_seed))
     result = run_algorithm(algorithm, stream, space_poll_interval=space_poll_interval)
     return TrialResult(
         index=spec.index,

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Sequence, Union
 
 from repro.experiments.figure1 import HeuristicFailureRow, PanelRow
 from repro.experiments.harness import AccuracyPoint
+from repro.experiments.parallel import TrialResult
 from repro.experiments.table1 import DistinguisherRow, ScalingResult, Table1Row
 from repro.sketch.checkpoint import CheckpointRecord
 from repro.sketch.driver import ShardRunResult
@@ -23,6 +24,9 @@ from repro.sketch.driver import ShardRunResult
 PathLike = Union[str, Path]
 
 #: Types that may appear in result files, keyed by their serialised name.
+#: SKT002 statically cross-checks this registry against the tree: every
+#: record-shaped dataclass in experiments//sketch/ must appear here (or
+#: carry a justified suppression), and every entry must round-trip.
 RECORD_TYPES = {
     cls.__name__: cls
     for cls in (
@@ -32,6 +36,7 @@ RECORD_TYPES = {
         ScalingResult,
         PanelRow,
         HeuristicFailureRow,
+        TrialResult,
         ShardRunResult,
         CheckpointRecord,
     )

@@ -1,0 +1,91 @@
+"""The committed violation baseline.
+
+New code must be clean; pre-existing (grandfathered) violations are
+tracked in a committed JSON baseline so the lint gate can be enabled
+without a flag day.  A baselined violation is still *reported* (marked
+``baselined``) but does not fail the run; fixing one and regenerating the
+baseline shrinks the file — it can only ratchet downward in review.
+
+Matching is by :meth:`Violation.fingerprint` (code, path, symbol,
+message) with multiplicity, so line-number drift from unrelated edits does
+not resurrect grandfathered findings, while a *new* identical violation in
+the same file still fails (the multiset count is exceeded).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from repro.lint.violations import Violation
+
+PathLike = Union[str, Path]
+
+_BASELINE_VERSION = 1
+
+
+def _key(fingerprint: Dict[str, Any]) -> Tuple[str, str, str, str]:
+    return (
+        str(fingerprint.get("code", "")),
+        str(fingerprint.get("path", "")),
+        str(fingerprint.get("symbol", "")),
+        str(fingerprint.get("message", "")),
+    )
+
+
+class Baseline:
+    """A multiset of grandfathered violation fingerprints."""
+
+    def __init__(self, entries: Sequence[Dict[str, Any]] = ()) -> None:
+        self._counts: Counter = Counter(_key(e) for e in entries)
+        self.entries = list(entries)
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def apply(self, violations: List[Violation]) -> List[Violation]:
+        """Mark baselined violations; returns a new list."""
+        budget = Counter(self._counts)
+        out: List[Violation] = []
+        for violation in sorted(violations, key=Violation.sort_key):
+            key = _key(violation.fingerprint())
+            if budget[key] > 0:
+                budget[key] -= 1
+                out.append(
+                    Violation(
+                        code=violation.code,
+                        path=violation.path,
+                        line=violation.line,
+                        col=violation.col,
+                        message=violation.message,
+                        symbol=violation.symbol,
+                        baselined=True,
+                    )
+                )
+            else:
+                out.append(violation)
+        return out
+
+    @classmethod
+    def from_violations(cls, violations: Sequence[Violation]) -> "Baseline":
+        return cls([v.fingerprint() for v in violations])
+
+    # -- files --------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: PathLike) -> "Baseline":
+        blob = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(blob, dict) or blob.get("version") != _BASELINE_VERSION:
+            raise ValueError(f"unsupported baseline file {path}")
+        return cls(blob.get("entries", []))
+
+    def save(self, path: PathLike) -> None:
+        document = {
+            "version": _BASELINE_VERSION,
+            "entries": sorted(self.entries, key=_key),
+        }
+        Path(path).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )

@@ -1,0 +1,147 @@
+"""The ``repro-lint`` command line.
+
+Usage::
+
+    repro-lint src/repro                       # text report, exit 1 on findings
+    repro-lint --format=json -o report.json src/repro
+    repro-lint --format=github src/repro       # PR annotations in CI
+    repro-lint --write-baseline src/repro      # grandfather current findings
+    repro-lint --list-rules
+
+Also reachable as ``python -m repro.lint`` and ``repro-cycles lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import run_lint
+from repro.lint.formats import FORMATTERS
+from repro.lint.rules import ALL_RULE_CLASSES, build_rules
+from repro.lint.violations import CODE_SUMMARIES
+
+#: Default committed baseline, relative to the working directory.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analysis for this repo's determinism and sketch-state "
+            "contracts (rule catalogue: docs/LINTING.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(FORMATTERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="also write the rendered report to PATH",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} if it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline; report and fail on every violation",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current violations to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [c.strip() for c in raw.split(",") if c.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULE_CLASSES:
+            print(f"{cls.code}  {cls.summary}")
+        for code in ("LNT001", "LNT002"):
+            print(f"{code}  {CODE_SUMMARIES[code]} (engine-emitted)")
+        return 0
+
+    try:
+        rules = build_rules(_split_codes(args.select), _split_codes(args.ignore))
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline = None
+    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report = run_lint(args.paths, rules=rules, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_violations(report.violations).save(baseline_path)
+        print(
+            f"wrote {len(report.violations)} fingerprint(s) to {baseline_path}"
+        )
+        return 0
+
+    rendered = FORMATTERS[args.format](report)
+    if rendered:
+        print(rendered)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""DET001 — all randomness must thread through ``repro.util.rng``.
+
+Any *call* into the stdlib ``random`` module (``random.random()``,
+``random.randrange(...)``, bare ``random.Random(...)`` construction) or
+into ``numpy.random`` outside ``util/rng.py`` bypasses the library's
+seed-threading convention and silently breaks serial==parallel trial
+identity, shard invariance, and checkpoint/resume replay.  Construct
+generators with ``resolve_rng`` and derive children with ``spawn_rng`` /
+``spawn_seed`` instead.
+
+References to ``random.Random`` that are not calls (type annotations,
+``isinstance`` checks) are fine and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import (
+    FileContext,
+    Rule,
+    build_import_map,
+    enclosing_symbols,
+    qualified_name,
+)
+from repro.lint.violations import Violation
+
+#: Files where direct stdlib-random use is the point.
+_ALLOWED_FILES = ("util/rng.py",)
+
+
+def _is_random_call(qual: str) -> bool:
+    if qual == "random" or qual.startswith("random."):
+        return True
+    if qual.startswith("numpy.random.") or qual == "numpy.random":
+        return True
+    return False
+
+
+class Det001RawRandomness(Rule):
+    code = "DET001"
+    summary = "call into random/numpy.random bypasses resolve_rng/spawn_rng"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if any(ctx.endswith(allowed) for allowed in _ALLOWED_FILES):
+            return
+        imports = build_import_map(ctx.tree)
+        if not any(
+            target == "random" or target.startswith(("random.", "numpy"))
+            for target in imports.values()
+        ):
+            return
+        symbols = enclosing_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = qualified_name(node.func, imports)
+            if qual is None or not _is_random_call(qual):
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f"call to {qual}() bypasses repro.util.rng; thread randomness "
+                "through resolve_rng/spawn_rng so runs stay replayable",
+                symbol=symbols.get(id(node), ""),
+            )

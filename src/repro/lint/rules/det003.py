@@ -1,0 +1,72 @@
+"""DET003 — no wall clock or OS entropy in estimator/sketch code.
+
+``time.time()``, ``time.perf_counter()``, ``os.urandom()``, ``uuid``
+generation and friends make state depend on *when* and *where* a run
+executes.  Estimates, sketch payloads and merge decisions must be pure
+functions of (stream, seed); wall-time telemetry belongs only in the
+runner's timing fields (``streaming/runner.py``, which is allowlisted).
+Anything else needs an explicit justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import (
+    FileContext,
+    Rule,
+    build_import_map,
+    enclosing_symbols,
+    qualified_name,
+)
+from repro.lint.violations import Violation
+
+#: The runner owns wall-time measurement for RunResult telemetry fields.
+_ALLOWED_FILES = ("streaming/runner.py",)
+
+_BANNED = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "os.urandom",
+    "os.getrandom",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbits",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+
+def _is_banned(qual: str) -> bool:
+    return qual in _BANNED or qual == "uuid" or qual.startswith("uuid.")
+
+
+class Det003WallClock(Rule):
+    code = "DET003"
+    summary = "wall clock / OS entropy call outside streaming/runner.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if any(ctx.endswith(allowed) for allowed in _ALLOWED_FILES):
+            return
+        imports = build_import_map(ctx.tree)
+        symbols = enclosing_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = qualified_name(node.func, imports)
+            if qual is None or not _is_banned(qual):
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f"call to {qual}() injects wall-clock/OS entropy; estimator "
+                "and sketch state must be a pure function of (stream, seed)",
+                symbol=symbols.get(id(node), ""),
+            )

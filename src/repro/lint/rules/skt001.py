@@ -1,0 +1,88 @@
+"""SKT001 — ``restore`` must cover every attribute ``__init__`` sets.
+
+A class opting into the sketch state protocol (defining both ``snapshot``
+and ``restore``) promises that ``restore`` rebuilds the *complete* live
+state: replaying the remaining stream after a restore must be
+indistinguishable from never having stopped.  The cheap static proxy for
+that contract: every ``self.X`` assigned in ``__init__`` (or in
+``snapshot`` itself) must be *covered* in ``restore`` — either reassigned
+(``self.X = ...``), mutated through a method call (``self.X.load_state_dict(...)``,
+``self.X.setstate(...)``), or written through subscript
+(``self.X[...] = ...``).  An attribute restore never touches is state the
+snapshot silently drops.
+
+The runtime oracle in ``tests/lint/test_snapshot_oracle.py`` checks the
+same contract dynamically; this rule catches the miss at review time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.rules.base import (
+    FileContext,
+    Rule,
+    assigned_self_attrs,
+    self_attr_target,
+)
+from repro.lint.violations import Violation
+
+
+def _covered_attrs(func: ast.FunctionDef) -> Set[str]:
+    """Attributes restore() assigns, mutates via method call, or indexes."""
+    covered: Set[str] = set(assigned_self_attrs(func))
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            name = self_attr_target(node.func.value)
+            if name is not None:
+                covered.add(name)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    name = self_attr_target(target.value)
+                    if name is not None:
+                        covered.add(name)
+    return covered
+
+
+def _find_method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+class Skt001RestoreCoverage(Rule):
+    code = "SKT001"
+    summary = "restore() misses attributes that __init__/snapshot assign"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            snapshot = _find_method(node, "snapshot")
+            restore = _find_method(node, "restore")
+            if snapshot is None or restore is None:
+                continue
+            init = _find_method(node, "__init__")
+            expected: Dict[str, int] = {}
+            if init is not None:
+                expected.update(assigned_self_attrs(init))
+            for name, line in assigned_self_attrs(snapshot).items():
+                expected.setdefault(name, line)
+            covered = _covered_attrs(restore)
+            for name in sorted(set(expected) - covered):
+                yield Violation(
+                    code=self.code,
+                    path=ctx.path,
+                    line=restore.lineno,
+                    col=restore.col_offset,
+                    message=(
+                        f"restore() never assigns or mutates self.{name} "
+                        f"(set in __init__/snapshot at line {expected[name]}); "
+                        "a resumed run will keep stale state"
+                    ),
+                    symbol=f"{node.name}.restore",
+                )

@@ -1,0 +1,232 @@
+"""SKT002 — the persistence registry must actually round-trip.
+
+``experiments/persistence.py`` serialises result records by type name and
+reconstructs them with ``cls(**data)`` after a JSON round trip.  Three
+ways that silently breaks, each flagged here:
+
+* a name registered in ``RECORD_TYPES`` that no dataclass in the tree
+  defines (stale registration — loading such a file raises);
+* a record-shaped dataclass (name ending ``Row``/``Result``/``Record``/
+  ``Point``) under ``experiments/`` or ``sketch/`` that is *not*
+  registered — saving it raises ``TypeError`` the first time someone
+  tries, long after the experiment ran;
+* a registered dataclass with a field whose annotation cannot survive
+  JSON (``tuple``/``set``/``frozenset`` decay to lists, an unregistered
+  nested dataclass loads back as a bare dict) — the loaded record would
+  compare unequal to the saved one.
+
+A record type that is intentionally in-memory-only (e.g. it carries a
+``SketchState``) opts out with a justified
+``# repro-lint: disable=SKT002`` on its class line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.rules.base import FileContext, Rule, build_import_map
+from repro.lint.violations import Violation
+
+_RECORD_SUFFIXES = ("Row", "Result", "Record", "Point")
+_RECORD_DIRS = ("experiments", "sketch")
+_JSON_UNSAFE = ("tuple", "Tuple", "set", "Set", "frozenset", "FrozenSet")
+
+
+def _is_dataclass_def(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+    return False
+
+
+def _registered_names(tree: ast.Module) -> Optional[Tuple[ast.AST, List[str], List[Tuple[str, str, ast.AST]]]]:
+    """Extract the names registered in a ``RECORD_TYPES = ...`` assignment.
+
+    Returns ``(assignment_node, names, mismatches)`` or ``None`` when the
+    module has no such assignment.  Handles the canonical comprehension
+    form ``{cls.__name__: cls for cls in (A, B, ...)}`` and literal dicts
+    ``{"A": A}`` (where a key/value name mismatch is itself reported).
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "RECORD_TYPES" for t in node.targets
+        ):
+            continue
+        names: List[str] = []
+        mismatches: List[Tuple[str, str, ast.AST]] = []
+        value = node.value
+        if isinstance(value, ast.DictComp):
+            for gen in value.generators:
+                if isinstance(gen.iter, (ast.Tuple, ast.List, ast.Set)):
+                    names.extend(
+                        elt.id for elt in gen.iter.elts if isinstance(elt, ast.Name)
+                    )
+        elif isinstance(value, ast.Dict):
+            for key, val in zip(value.keys, value.values):
+                if isinstance(key, ast.Constant) and isinstance(val, ast.Name):
+                    names.append(val.id)
+                    if key.value != val.id:
+                        mismatches.append((str(key.value), val.id, key))
+        return node, names, mismatches
+    return None
+
+
+def _module_name(ctx: FileContext) -> str:
+    """Best-effort dotted module name of a scanned file.
+
+    Anchored at the deepest ``src`` directory when present, else the whole
+    relative path: ``src/repro/sketch/driver.py`` → ``repro.sketch.driver``.
+    """
+    parts = list(ctx.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        parts = parts[anchor + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _annotation_names(annotation: ast.expr) -> Iterator[str]:
+    """Yield every bare identifier appearing in an annotation expression."""
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+
+class Skt002PersistenceRegistry(Rule):
+    code = "SKT002"
+    summary = "persistence RECORD_TYPES and record dataclasses disagree"
+    project_wide = True
+
+    def check_project(self, files: List[FileContext]) -> Iterator[Violation]:
+        persistence = next(
+            (f for f in files if f.endswith("experiments/persistence.py")), None
+        )
+        # All dataclasses in the scanned tree, name -> (ctx, node).
+        dataclasses: Dict[str, Tuple[FileContext, ast.ClassDef]] = {}
+        for ctx in files:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef) and _is_dataclass_def(node):
+                    dataclasses.setdefault(node.name, (ctx, node))
+        if persistence is None:
+            return
+        extracted = _registered_names(persistence.tree)
+        if extracted is None:
+            return
+        assign, registered, mismatches = extracted
+        for key, value_name, key_node in mismatches:
+            yield Violation(
+                code=self.code,
+                path=persistence.path,
+                line=getattr(key_node, "lineno", assign.lineno),
+                col=getattr(key_node, "col_offset", 0),
+                message=(
+                    f"RECORD_TYPES registers {value_name} under key {key!r}; "
+                    "round-tripping requires the key to equal the class name"
+                ),
+                symbol="RECORD_TYPES",
+            )
+
+        # Direction 1: every registered name must exist as a dataclass.
+        # Under a partial scan, a name imported from a module *outside* the
+        # scanned set cannot be verified and is given the benefit of the
+        # doubt; one imported from a scanned module (or not imported at
+        # all) must resolve.
+        scanned_modules = {_module_name(ctx) for ctx in files}
+        imports = build_import_map(persistence.tree)
+        for name in registered:
+            if name in dataclasses:
+                continue
+            qual = imports.get(name)
+            if qual is not None:
+                source_module = qual.rsplit(".", 1)[0]
+                if source_module not in scanned_modules:
+                    continue
+            yield Violation(
+                    code=self.code,
+                    path=persistence.path,
+                    line=assign.lineno,
+                    col=assign.col_offset,
+                    message=(
+                        f"RECORD_TYPES registers {name!r} but no dataclass of "
+                        "that name exists in the scanned tree"
+                    ),
+                    symbol="RECORD_TYPES",
+                )
+
+        # Direction 2: record-shaped dataclasses must be registered.
+        for name, (ctx, node) in sorted(dataclasses.items()):
+            if name in registered or name.startswith("_"):
+                continue
+            if not name.endswith(_RECORD_SUFFIXES):
+                continue
+            if not ctx.in_dirs(*_RECORD_DIRS):
+                continue
+            yield Violation(
+                code=self.code,
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"record dataclass {name} is not registered in "
+                    "experiments/persistence.py RECORD_TYPES; saving it will "
+                    "raise TypeError (register it, or suppress with a reason)"
+                ),
+                symbol=name,
+            )
+
+        # Field-level round-trip safety of registered dataclasses.
+        for name in registered:
+            entry = dataclasses.get(name)
+            if entry is None:
+                continue
+            ctx, node = entry
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                    stmt.target, ast.Name
+                ):
+                    continue
+                idents = list(_annotation_names(stmt.annotation))
+                bad = sorted(set(i for i in idents if i in _JSON_UNSAFE))
+                if bad:
+                    yield Violation(
+                        code=self.code,
+                        path=ctx.path,
+                        line=stmt.lineno,
+                        col=stmt.col_offset,
+                        message=(
+                            f"field {stmt.target.id!r} of registered record "
+                            f"{name} is annotated {bad[0]}; JSON decays it to "
+                            "a list so the loaded record compares unequal"
+                        ),
+                        symbol=f"{name}.{stmt.target.id}",
+                    )
+                    continue
+                nested = [
+                    i
+                    for i in idents
+                    if i in dataclasses and i not in registered and i != name
+                ]
+                if nested:
+                    yield Violation(
+                        code=self.code,
+                        path=ctx.path,
+                        line=stmt.lineno,
+                        col=stmt.col_offset,
+                        message=(
+                            f"field {stmt.target.id!r} of registered record "
+                            f"{name} nests dataclass {nested[0]} which is not "
+                            "itself registered; it loads back as a plain dict"
+                        ),
+                        symbol=f"{name}.{stmt.target.id}",
+                    )

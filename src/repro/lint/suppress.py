@@ -1,0 +1,136 @@
+"""Inline suppression comments.
+
+A violation is suppressed by a comment on the offending line (or on a
+standalone comment line directly above it)::
+
+    x = random.random()  # repro-lint: disable=DET001 -- calibration noise only
+
+The justification after ``--`` is mandatory: a disable pragma without one
+is itself reported (LNT001), as is a pragma naming an unknown rule code
+(LNT002).  ``disable=all`` suppresses every rule for the line.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.violations import CODE_SUMMARIES, Violation
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed pragma: the codes it disables and where it applies."""
+
+    line: int  # line the pragma comment sits on
+    codes: Set[str]
+    justification: str
+    #: Lines the pragma covers (its own line, plus the next code line for
+    #: standalone comment pragmas).
+    applies_to: Set[int] = field(default_factory=set)
+
+
+def _iter_comments(source: str) -> List[Tuple[int, int, str, bool]]:
+    """Yield ``(line, col, text, standalone)`` for each comment token."""
+    comments = []
+    last_code_line = -1
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - defensive
+        return []
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            standalone = tok.start[0] != last_code_line
+            comments.append((tok.start[0], tok.start[1], tok.string, standalone))
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            last_code_line = tok.end[0]
+    return comments
+
+
+class SuppressionIndex:
+    """All pragmas of one file, queryable by (line, code)."""
+
+    def __init__(self, suppressions: List[Suppression], problems: List[Violation]) -> None:
+        self.suppressions = suppressions
+        self.problems = problems  # LNT001/LNT002 findings from parsing
+        self._by_line: Dict[int, List[Suppression]] = {}
+        for sup in suppressions:
+            for line in sup.applies_to:
+                self._by_line.setdefault(line, []).append(sup)
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        for sup in self._by_line.get(violation.line, []):
+            if not sup.justification:
+                continue  # an unjustified pragma suppresses nothing
+            if "all" in sup.codes or violation.code in sup.codes:
+                return True
+        return False
+
+
+def parse_suppressions(path: str, source: str) -> SuppressionIndex:
+    """Extract every ``repro-lint: disable=`` pragma from ``source``."""
+    n_lines = source.count("\n") + 1
+    suppressions: List[Suppression] = []
+    problems: List[Violation] = []
+    for line, col, text, standalone in _iter_comments(source):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        codes = {c.strip() for c in match.group("codes").split(",") if c.strip()}
+        why = (match.group("why") or "").strip()
+        unknown = sorted(c for c in codes if c != "all" and c not in CODE_SUMMARIES)
+        if unknown:
+            problems.append(
+                Violation(
+                    code="LNT002",
+                    path=path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"suppression names unknown rule code(s) "
+                        f"{', '.join(unknown)}"
+                    ),
+                )
+            )
+        if not why:
+            problems.append(
+                Violation(
+                    code="LNT001",
+                    path=path,
+                    line=line,
+                    col=col,
+                    message=(
+                        "suppression has no justification; write "
+                        "'# repro-lint: disable=CODE -- why this is safe'"
+                    ),
+                )
+            )
+        applies_to = {line}
+        if standalone and line < n_lines:
+            # A standalone comment pragma also covers the line directly
+            # below it (the statement it annotates).
+            applies_to.add(line + 1)
+        suppressions.append(
+            Suppression(
+                line=line,
+                codes=codes,
+                justification=why,
+                applies_to=applies_to,
+            )
+        )
+    return SuppressionIndex(suppressions, problems)

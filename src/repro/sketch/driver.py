@@ -89,6 +89,7 @@ class ShardTask:
 
 
 @dataclass(frozen=True)
+# repro-lint: disable=SKT002 -- in-memory IPC record; carries a SketchState, which JSON persistence cannot round-trip
 class ShardPassResult:
     """What one shard pass sends back to the driver."""
 
@@ -182,6 +183,7 @@ def run_sharded(
             meter.load_state_dict(resume_from.meter_state)
 
     base_seed = 0 if merge_seed is None else int(merge_seed)
+    # repro-lint: disable=DET003 -- wall-time telemetry for ShardRunResult only; never touches sketch state
     start = time.perf_counter()
     for pass_index in range(start_pass, algorithm.n_passes):
         tasks = [
@@ -204,7 +206,7 @@ def run_sharded(
         )
         if checkpoint is not None:
             checkpoint.write(state, pass_index + 1, 0, meter.state_dict())
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # repro-lint: disable=DET003 -- telemetry field, mirrors streaming/runner.py
 
     algorithm.restore(state)
     return ShardRunResult(

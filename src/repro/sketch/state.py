@@ -31,7 +31,7 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 PathLike = Union[str, Path]
 
@@ -127,7 +127,7 @@ class SketchState:
             raise SketchStateError("sketch state payload must decode to a dict")
         return cls(kind=str(blob["kind"]), version=int(blob["version"]), payload=payload)
 
-    def to_json(self, indent: int = None) -> str:
+    def to_json(self, indent: Optional[int] = None) -> str:
         """Serialise to a JSON string."""
         return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
 

@@ -1,0 +1,211 @@
+"""Central registry of streaming-algorithm implementations.
+
+One place that knows how to build every estimator in the library from a
+``(space_budget, seed)`` pair.  Consumers:
+
+* the **dynamic sketch-contract oracle** (``tests/lint/``) iterates every
+  registered algorithm, snapshots it mid-stream, restores into a fresh
+  instance and asserts bit-identical behaviour — the runtime complement
+  of the SKT001 static rule;
+* sweeps and tooling that want "run every algorithm" loops without
+  hard-coding the class list.
+
+``budget`` is the algorithm's natural space knob: the sample size for
+sample-based estimators, and for rate-based one-pass algorithms it is
+mapped through :func:`rate_from_budget` (an expected-``budget``-edges
+Bernoulli rate against a nominal 1000-edge stream, clamped to ``(0, 1]``).
+New algorithms should be registered here as they are added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.streaming.algorithm import StreamingAlgorithm, supports_snapshot
+from repro.util.rng import SeedLike
+
+#: build(space_budget, seed) -> a fresh algorithm instance.
+AlgorithmBuilder = Callable[[int, SeedLike], StreamingAlgorithm]
+
+#: Nominal stream size used to turn a word budget into a Bernoulli rate.
+_NOMINAL_EDGES = 1000
+
+
+def rate_from_budget(budget: int) -> float:
+    """Map a space budget to a sampling rate in ``(0, 1]``."""
+    return min(1.0, max(budget, 1) / _NOMINAL_EDGES)
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A registered algorithm: identity, shape, and how to build one."""
+
+    name: str
+    cycle_length: int
+    n_passes: int
+    build: AlgorithmBuilder = field(repr=False)
+    summary: str = ""
+
+    def make(self, budget: int, seed: SeedLike = None) -> StreamingAlgorithm:
+        """Build a fresh instance at ``budget`` words with ``seed``."""
+        return self.build(budget, seed)
+
+
+_REGISTRY: Dict[str, AlgorithmSpec] = {}
+
+
+def register(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Add ``spec`` to the registry (name must be unused)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"algorithm {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> AlgorithmSpec:
+    """Look up a spec by name; raises ``KeyError`` listing what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no algorithm {name!r}; registered: {', '.join(algorithm_names())}"
+        ) from None
+
+
+def algorithm_names() -> List[str]:
+    """All registered names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def iter_specs() -> Iterator[AlgorithmSpec]:
+    """Every registered spec, in name order."""
+    for name in algorithm_names():
+        yield _REGISTRY[name]
+
+
+def snapshot_support() -> List[Tuple[AlgorithmSpec, bool]]:
+    """Each spec paired with whether a fresh instance supports snapshot."""
+    return [
+        (spec, supports_snapshot(spec.make(8, seed=0))) for spec in iter_specs()
+    ]
+
+
+def _register_builtin() -> None:
+    """Populate the registry with every estimator in the library."""
+    from repro.baselines.distinguisher import TwoPassTriangleDistinguisher
+    from repro.baselines.exact_stream import ExactCycleCounter
+    from repro.baselines.fourcycle_one_pass import OnePassFourCycleHeuristic
+    from repro.baselines.naive_sampling import NaiveSamplingTriangleCounter
+    from repro.baselines.one_pass_triangle import OnePassTriangleCounter
+    from repro.baselines.wedge_sampling import WedgeSamplingTriangleCounter
+    from repro.core.adaptive import AdaptiveTriangleCounter
+    from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
+    from repro.core.transitivity import TransitivityEstimator
+    from repro.core.triangle_three_pass import ThreePassTriangleCounter
+    from repro.core.triangle_two_pass import TwoPassTriangleCounter
+
+    register(AlgorithmSpec(
+        name="triangle-two-pass",
+        cycle_length=3,
+        n_passes=2,
+        build=lambda budget, seed: TwoPassTriangleCounter(max(budget, 1), seed=seed),
+        summary="Theorem 3.7 two-pass O(m/T^{2/3}) triangle counter",
+    ))
+    register(AlgorithmSpec(
+        name="triangle-two-pass-sharded",
+        cycle_length=3,
+        n_passes=2,
+        build=lambda budget, seed: TwoPassTriangleCounter(
+            max(budget, 1), seed=seed, sharded=True
+        ),
+        summary="two-pass counter in shard-mergeable mode (hash-designated rho)",
+    ))
+    register(AlgorithmSpec(
+        name="triangle-three-pass",
+        cycle_length=3,
+        n_passes=3,
+        build=lambda budget, seed: ThreePassTriangleCounter(max(budget, 1), seed=seed),
+        summary="three-pass variant with an exact counting pass",
+    ))
+    register(AlgorithmSpec(
+        name="triangle-one-pass",
+        cycle_length=3,
+        n_passes=1,
+        build=lambda budget, seed: OnePassTriangleCounter(
+            rate_from_budget(budget), seed=seed
+        ),
+        summary="prior one-pass O(m/sqrt(T)) baseline (Table 1, [27])",
+    ))
+    register(AlgorithmSpec(
+        name="triangle-wedge",
+        cycle_length=3,
+        n_passes=1,
+        build=lambda budget, seed: WedgeSamplingTriangleCounter(
+            max(budget, 1), seed=seed
+        ),
+        summary="wedge-sampling baseline",
+    ))
+    register(AlgorithmSpec(
+        name="triangle-naive",
+        cycle_length=3,
+        n_passes=2,
+        build=lambda budget, seed: NaiveSamplingTriangleCounter(
+            max(budget, 1), seed=seed
+        ),
+        summary="naive edge-sampling strawman (Section 2.1)",
+    ))
+    register(AlgorithmSpec(
+        name="triangle-adaptive",
+        cycle_length=3,
+        n_passes=2,
+        build=lambda budget, seed: AdaptiveTriangleCounter(max(budget, 1), seed=seed),
+        summary="adaptive counter needing no prior T",
+    ))
+    register(AlgorithmSpec(
+        name="triangle-exact",
+        cycle_length=3,
+        n_passes=1,
+        build=lambda budget, seed: ExactCycleCounter(3),
+        summary="store-everything exact triangle count",
+    ))
+    register(AlgorithmSpec(
+        name="triangle-distinguisher",
+        cycle_length=3,
+        n_passes=2,
+        build=lambda budget, seed: TwoPassTriangleDistinguisher(max(budget, 1), seed=seed),
+        summary="0-vs-T distinguisher (one-sided error)",
+    ))
+    register(AlgorithmSpec(
+        name="transitivity",
+        cycle_length=3,
+        n_passes=2,
+        build=lambda budget, seed: TransitivityEstimator(max(budget, 1), seed=seed),
+        summary="transitivity coefficient via the two-pass counter",
+    ))
+    register(AlgorithmSpec(
+        name="fourcycle-two-pass",
+        cycle_length=4,
+        n_passes=2,
+        build=lambda budget, seed: TwoPassFourCycleCounter(max(budget, 2), seed=seed),
+        summary="Theorem 4.6 two-pass 4-cycle counter",
+    ))
+    register(AlgorithmSpec(
+        name="fourcycle-one-pass-heuristic",
+        cycle_length=4,
+        n_passes=1,
+        build=lambda budget, seed: OnePassFourCycleHeuristic(
+            rate_from_budget(budget), seed=seed
+        ),
+        summary="order-sensitive one-pass heuristic (doomed by Theorem 5.3)",
+    ))
+    register(AlgorithmSpec(
+        name="fourcycle-exact",
+        cycle_length=4,
+        n_passes=1,
+        build=lambda budget, seed: ExactCycleCounter(4),
+        summary="store-everything exact 4-cycle count",
+    ))
+
+
+_register_builtin()

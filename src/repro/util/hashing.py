@@ -73,7 +73,7 @@ class MixHash64:
     so that a restored sampler assigns the same priorities as the original.
     """
 
-    def __init__(self, seed: SeedLike = None, *, key: Optional[int] = None):
+    def __init__(self, seed: SeedLike = None, *, key: Optional[int] = None) -> None:
         if key is not None:
             self._key = key & _MASK64
         else:
@@ -102,7 +102,7 @@ class PairwiseHash:
     independence over 64-bit integer keys.
     """
 
-    def __init__(self, seed: SeedLike = None):
+    def __init__(self, seed: SeedLike = None) -> None:
         rng = resolve_rng(seed)
         self._a = rng.randrange(1, _MERSENNE_P)
         self._b = rng.randrange(_MERSENNE_P)

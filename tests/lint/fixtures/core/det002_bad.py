@@ -1,0 +1,29 @@
+"""Planted DET002 violations: unordered iteration under a ``core/`` path.
+
+Parsed by ``tests/lint/test_rules.py``, never imported.  Planted marker
+comments pin the lines the rule must flag; the ``ordered`` method shows
+the sanctioned (laundered) forms that must stay clean.
+"""
+
+
+class WeightBag:
+    def __init__(self):
+        self._tags = set()
+
+    def unordered(self, weights):
+        total = 0
+        for tag in {"a", "b", "c"}:  # PLANT:DET002
+            total += len(tag)
+        for key in weights.keys():  # PLANT:DET002
+            total += weights[key]
+        seen = set(weights)
+        leaked = [item for item in seen]  # PLANT:DET002
+        for tag in self._tags:  # PLANT:DET002
+            total += 1
+        return total, leaked
+
+    def ordered(self, weights):
+        # sorted(...) launders the ordering: none of these are flagged.
+        total = sum(weights[key] for key in sorted(weights.keys()))
+        laundered = sorted(item for item in set(weights))
+        return total, laundered

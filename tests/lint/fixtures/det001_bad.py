@@ -1,0 +1,24 @@
+"""Planted DET001 violations: raw randomness outside ``util/rng.py``.
+
+This file is parsed by ``tests/lint/test_rules.py`` but never imported.
+Lines carrying a planted marker comment are the exact positions the rule
+must flag; everything else must stay clean.
+"""
+
+import random
+
+import numpy
+
+
+def draw_three():
+    rng = random.Random(7)  # PLANT:DET001
+    x = random.random()  # PLANT:DET001
+    y = numpy.random.rand(3)  # PLANT:DET001
+    return rng, x, y
+
+
+def allowed_usage(seed):
+    # A non-call reference (isinstance check) must not be flagged.
+    if isinstance(seed, random.Random):
+        return seed
+    return None

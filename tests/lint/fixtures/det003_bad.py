@@ -1,0 +1,13 @@
+"""Planted DET003 violations: wall clock / OS entropy outside the runner.
+
+Parsed by ``tests/lint/test_rules.py``, never imported.
+"""
+
+import time
+import uuid
+
+
+def stamp_run():
+    started = time.perf_counter()  # PLANT:DET003
+    run_id = uuid.uuid4()  # PLANT:DET003
+    return started, run_id

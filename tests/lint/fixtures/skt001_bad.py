@@ -1,0 +1,41 @@
+"""Planted SKT001 violation: a restore() that forgets attributes.
+
+Parsed by ``tests/lint/test_rules.py``, never imported.  ``LeakyCounter``
+assigns three attributes in ``__init__`` but restores only one, so the
+rule must emit one violation per missing attribute (``_budget`` and
+``_sample``), both anchored at the ``def restore`` line.
+"""
+
+
+class LeakyCounter:
+    def __init__(self, budget):
+        self._budget = budget
+        self._count = 0
+        self._sample = []
+
+    def snapshot(self):
+        return {"count": self._count}
+
+    def restore(self, state):  # PLANT:SKT001
+        self._count = state["count"]
+
+
+class FaithfulCounter:
+    """Fully covered restore — must not be flagged.
+
+    Coverage counts assignment, subscript stores, and mutation through a
+    method call, mirroring how the real counters restore samplers.
+    """
+
+    def __init__(self, budget):
+        self._budget = budget
+        self._items = []
+        self._meter = None
+
+    def snapshot(self):
+        return {"budget": self._budget, "items": list(self._items)}
+
+    def restore(self, state):
+        self._budget = state["budget"]
+        self._items[:] = state["items"]
+        self._meter.load_state_dict(state)

@@ -1,0 +1,39 @@
+"""Planted SKT002 violations: a persistence registry that cannot round-trip.
+
+Parsed by ``tests/lint/test_rules.py``, never imported (``GhostRecord`` is
+deliberately undefined).  One planted violation per sub-check:
+
+* ``GoodRow.bits`` nests an unregistered dataclass (loads back as a dict);
+* ``TupleRow.items`` is JSON-unsafe (tuple decays to list);
+* ``OrphanResult`` is record-shaped but unregistered (save raises);
+* ``RECORD_TYPES`` registers ``GhostRecord``, which does not exist.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class _InnerBits:
+    flag: bool
+
+
+@dataclass(frozen=True)
+class GoodRow:
+    value: float
+    bits: _InnerBits  # PLANT:SKT002
+
+
+@dataclass(frozen=True)
+class TupleRow:
+    items: tuple  # PLANT:SKT002
+
+
+@dataclass(frozen=True)
+class OrphanResult:  # PLANT:SKT002
+    estimate: float
+
+
+RECORD_TYPES = {  # PLANT:SKT002
+    cls.__name__: cls
+    for cls in (GoodRow, TupleRow, GhostRecord)  # noqa: F821
+}

@@ -1,0 +1,129 @@
+"""Fixture-driven rule tests: every planted violation is caught exactly.
+
+Each fixture under ``tests/lint/fixtures/`` marks its intentionally bad
+lines with ``PLANT:<CODE>`` comments; the tests assert that each rule
+reports those exact (code, line) pairs and nothing else.  The final test
+pins the tentpole invariant: the real source tree lints clean.
+"""
+
+from pathlib import Path
+
+from repro.lint.engine import run_lint
+from repro.lint.rules import build_rules
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+REPO_ROOT = HERE.parents[1]
+
+
+def planted_lines(path: Path, code: str):
+    return sorted(
+        lineno
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1)
+        if f"PLANT:{code}" in line
+    )
+
+
+def lint_with(code, *paths):
+    report = run_lint([str(p) for p in paths], rules=build_rules([code]))
+    assert report.parse_errors == []
+    return report
+
+
+def test_det001_planted():
+    fixture = FIXTURES / "det001_bad.py"
+    report = lint_with("DET001", fixture)
+    assert [v.code for v in report.violations] == ["DET001"] * 3
+    assert [v.line for v in report.violations] == planted_lines(fixture, "DET001")
+    assert all("resolve_rng" in v.message for v in report.violations)
+
+
+def test_det001_allows_util_rng():
+    report = lint_with("DET001", REPO_ROOT / "src" / "repro" / "util" / "rng.py")
+    assert report.violations == []
+
+
+def test_det002_planted():
+    fixture = FIXTURES / "core" / "det002_bad.py"
+    report = lint_with("DET002", fixture)
+    assert [v.code for v in report.violations] == ["DET002"] * 4
+    assert sorted(v.line for v in report.violations) == planted_lines(
+        fixture, "DET002"
+    )
+    assert all(v.symbol == "WeightBag.unordered" for v in report.violations)
+
+
+def test_det002_only_fires_in_hot_dirs(tmp_path):
+    # The same source outside core//sketch//baselines/ is not flagged.
+    clone = tmp_path / "plain.py"
+    clone.write_text((FIXTURES / "core" / "det002_bad.py").read_text())
+    report = lint_with("DET002", clone)
+    assert report.violations == []
+
+
+def test_det003_planted():
+    fixture = FIXTURES / "det003_bad.py"
+    report = lint_with("DET003", fixture)
+    assert [v.code for v in report.violations] == ["DET003"] * 2
+    assert [v.line for v in report.violations] == planted_lines(fixture, "DET003")
+
+
+def test_det003_allows_runner():
+    runner = REPO_ROOT / "src" / "repro" / "streaming" / "runner.py"
+    report = lint_with("DET003", runner)
+    assert report.violations == []
+
+
+def test_skt001_planted():
+    fixture = FIXTURES / "skt001_bad.py"
+    report = lint_with("SKT001", fixture)
+    lines = planted_lines(fixture, "SKT001")
+    # One violation per missing attribute, both anchored at def restore.
+    assert [v.code for v in report.violations] == ["SKT001"] * 2
+    assert [v.line for v in report.violations] == lines * 2
+    assert all(v.symbol == "LeakyCounter.restore" for v in report.violations)
+    messages = " ".join(v.message for v in report.violations)
+    assert "self._budget" in messages and "self._sample" in messages
+    assert "FaithfulCounter" not in messages
+
+
+def test_skt002_planted():
+    tree = FIXTURES / "skt002_tree"
+    report = lint_with("SKT002", tree)
+    fixture = tree / "experiments" / "persistence.py"
+    assert [v.code for v in report.violations] == ["SKT002"] * 4
+    assert sorted(v.line for v in report.violations) == planted_lines(
+        fixture, "SKT002"
+    )
+    messages = " ".join(v.message for v in report.violations)
+    assert "GhostRecord" in messages  # stale registration
+    assert "OrphanResult" in messages  # unregistered record
+    assert "tuple" in messages  # JSON-unsafe field
+    assert "_InnerBits" in messages  # unregistered nested dataclass
+
+
+def test_skt002_key_mismatch(tmp_path):
+    pkg = tmp_path / "experiments"
+    pkg.mkdir()
+    (pkg / "persistence.py").write_text(
+        "from dataclasses import dataclass\n"
+        "\n"
+        "\n"
+        "@dataclass\n"
+        "class GoodRow:\n"
+        "    value: float\n"
+        "\n"
+        "\n"
+        'RECORD_TYPES = {"Renamed": GoodRow}\n'
+    )
+    report = lint_with("SKT002", tmp_path)
+    assert len(report.violations) == 1
+    assert "key to equal the class name" in report.violations[0].message
+
+
+def test_src_tree_is_clean():
+    """The tentpole gate: the shipped source tree has zero findings."""
+    report = run_lint([str(REPO_ROOT / "src")])
+    assert report.parse_errors == []
+    assert report.active == []
+    assert report.exit_code == 0

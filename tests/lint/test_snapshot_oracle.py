@@ -1,0 +1,98 @@
+"""Dynamic sketch-contract oracle — the runtime complement of SKT001.
+
+For every algorithm in :mod:`repro.streaming.registry` that implements the
+sketch state protocol: run a random stream, snapshot at a seeded-random
+list boundary, restore the (byte-round-tripped) state into a fresh
+instance built with a *different* seed, finish both runs, and assert the
+resumed run is bit-identical to the uninterrupted one — same estimate,
+same final serialised state.  Algorithms without snapshot support must say
+so honestly by raising :class:`SnapshotUnsupported`.
+"""
+
+import pytest
+
+from repro.graph.generators import gnp_random_graph
+from repro.sketch.state import SketchState
+from repro.streaming import registry
+from repro.streaming.algorithm import SnapshotUnsupported, supports_snapshot
+from repro.streaming.stream import AdjacencyListStream
+from repro.util.rng import resolve_rng
+
+BUDGET = 24
+ALGO_SEED = 101
+GRAPH = gnp_random_graph(18, 0.3, seed=11)
+
+
+def _drive(algorithm, lists, *, stop_at=None, start_at=None):
+    """Run ``algorithm`` over ``lists`` for all of its passes.
+
+    ``stop_at=(p, k)`` aborts after ``k`` lists of pass ``p`` and returns a
+    snapshot (``begin_pass(p)`` has run, matching the runner's mid-pass
+    checkpoint semantics).  ``start_at=(p, k)`` resumes a restored instance
+    from that same boundary: pass ``p`` is re-entered without ``begin_pass``
+    and its first ``k`` lists are skipped.
+    """
+    first_pass, skip = (0, 0) if start_at is None else start_at
+    for pass_index in range(first_pass, algorithm.n_passes):
+        resuming = start_at is not None and pass_index == first_pass and skip > 0
+        if not resuming:
+            algorithm.begin_pass(pass_index)
+        for list_index, (vertex, neighbors) in enumerate(lists):
+            if resuming and list_index < skip:
+                continue
+            algorithm.begin_list(vertex)
+            algorithm.process_list(vertex, neighbors)
+            algorithm.end_list(vertex, neighbors)
+            if stop_at == (pass_index, list_index + 1):
+                return algorithm.snapshot()
+        algorithm.end_pass(pass_index)
+    return None
+
+
+@pytest.mark.parametrize(
+    "spec", list(registry.iter_specs()), ids=lambda spec: spec.name
+)
+def test_snapshot_restore_is_bit_identical(spec):
+    probe = spec.make(BUDGET, seed=0)
+    if not supports_snapshot(probe):
+        with pytest.raises(SnapshotUnsupported):
+            probe.snapshot()
+        pytest.skip(f"{spec.name} does not implement the sketch state protocol")
+
+    stream = AdjacencyListStream(GRAPH, seed=resolve_rng(202))
+    lists = list(stream.iter_lists())
+
+    # Uninterrupted reference run.
+    reference = spec.make(BUDGET, seed=ALGO_SEED)
+    assert _drive(reference, lists) is None
+    expected_estimate = reference.result()
+    expected_state = reference.snapshot().to_json()
+
+    # Same trajectory, interrupted at a seeded-random list boundary.
+    point_rng = resolve_rng(sum(spec.name.encode("utf-8")))
+    boundary = (
+        point_rng.randrange(probe.n_passes),
+        point_rng.randrange(1, len(lists)),
+    )
+    interrupted = spec.make(BUDGET, seed=ALGO_SEED)
+    state = _drive(interrupted, lists, stop_at=boundary)
+    assert state is not None
+
+    # Restore into a fresh, *differently seeded* instance: restore must
+    # overwrite every piece of live state, so the foreign seed cannot leak.
+    resumed = spec.make(BUDGET, seed=987654321)
+    resumed.restore(SketchState.from_bytes(state.to_bytes()))
+    assert _drive(resumed, lists, start_at=boundary) is None
+
+    assert resumed.result() == expected_estimate
+    assert resumed.snapshot().to_json() == expected_state
+
+
+def test_registry_covers_snapshot_algorithms():
+    # The oracle exercises at least the two core counters (plus the
+    # sharded variant); a regression that drops snapshot support from the
+    # registry would silently skip the oracle, so pin the count.
+    supported = [spec.name for spec, ok in registry.snapshot_support() if ok]
+    assert "triangle-two-pass" in supported
+    assert "fourcycle-two-pass" in supported
+    assert len(supported) >= 3

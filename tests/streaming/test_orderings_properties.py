@@ -1,0 +1,57 @@
+"""Property tests for the ordering strategies.
+
+Two invariants every named ordering must satisfy, for every graph:
+
+* **permutation** — the emitted pair sequence is a permutation of the
+  canonical (sorted) stream's pairs, and the list order is a permutation
+  of the vertex set;
+* **determinism** — the same ``(graph, seed)`` always yields the same
+  stream, pair for pair.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import gnm_random_graph
+from repro.streaming.orderings import ORDERING_FACTORIES, sorted_stream
+
+
+def _graph(n, density, seed):
+    max_edges = n * (n - 1) // 2
+    return gnm_random_graph(n, int(density * max_edges), seed=seed)
+
+
+graphs = st.builds(
+    _graph,
+    n=st.integers(min_value=3, max_value=12),
+    density=st.floats(min_value=0.1, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graphs, seed=st.integers(min_value=0, max_value=2**31))
+def test_every_ordering_is_a_permutation_of_the_canonical_stream(graph, seed):
+    canonical = Counter(sorted_stream(graph).iter_pairs())
+    for name, factory in sorted(ORDERING_FACTORIES.items()):
+        stream = factory(graph, seed=seed)
+        assert Counter(stream.iter_pairs()) == canonical, name
+        assert sorted(stream.list_order) == sorted(graph.vertices()), name
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graphs, seed=st.integers(min_value=0, max_value=2**31))
+def test_orderings_are_deterministic_given_seed(graph, seed):
+    for name, factory in sorted(ORDERING_FACTORIES.items()):
+        first = list(factory(graph, seed=seed).iter_pairs())
+        second = list(factory(graph, seed=seed).iter_pairs())
+        assert first == second, name
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graphs, seed=st.integers(min_value=0, max_value=2**31))
+def test_each_list_is_the_exact_neighborhood(graph, seed):
+    for name, factory in sorted(ORDERING_FACTORIES.items()):
+        for vertex, neighbors in factory(graph, seed=seed).iter_lists():
+            assert sorted(neighbors) == sorted(graph.neighbors(vertex)), name

@@ -1,0 +1,46 @@
+"""Tests for the central algorithm registry."""
+
+import pytest
+
+from repro.streaming import registry
+from repro.streaming.algorithm import StreamingAlgorithm
+
+
+def test_names_are_sorted_and_unique():
+    names = registry.algorithm_names()
+    assert names == sorted(names)
+    assert len(names) == len(set(names))
+    assert "triangle-two-pass" in names and "fourcycle-two-pass" in names
+
+
+def test_every_spec_builds_a_matching_algorithm():
+    for spec in registry.iter_specs():
+        algorithm = spec.make(8, seed=0)
+        assert isinstance(algorithm, StreamingAlgorithm)
+        assert algorithm.n_passes == spec.n_passes
+        assert spec.cycle_length in (3, 4)
+        assert spec.summary
+
+
+def test_builds_are_deterministic_given_seed():
+    for spec in registry.iter_specs():
+        a = spec.make(8, seed=42)
+        b = spec.make(8, seed=42)
+        assert type(a) is type(b)
+
+
+def test_get_unknown_name_lists_known():
+    with pytest.raises(KeyError, match="triangle-two-pass"):
+        registry.get("no-such-algorithm")
+
+
+def test_duplicate_registration_rejected():
+    spec = registry.get("triangle-two-pass")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register(spec)
+
+
+def test_rate_from_budget_clamps():
+    assert registry.rate_from_budget(0) == pytest.approx(0.001)
+    assert registry.rate_from_budget(500) == pytest.approx(0.5)
+    assert registry.rate_from_budget(10_000) == 1.0
