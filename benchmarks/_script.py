@@ -1,0 +1,39 @@
+"""Shared script-mode plumbing for the benchmark files.
+
+Every ``benchmarks/bench_*.py`` is runnable two ways: under pytest (the
+``test_*`` functions, timed via pytest-benchmark) and as a plain script::
+
+    PYTHONPATH=src python benchmarks/bench_figure1a.py [--quick]
+
+The pytest-style files call :func:`bench_main` from their ``__main__``
+block with their ``_run(quick=False)`` workload function and their
+``_render(result)`` table printer; ``--quick`` selects the reduced
+parameters each ``_run`` defines for CI smoke runs.  The two standalone
+artifact writers (``bench_parallel_scaling.py``, ``bench_shard_merge.py``)
+keep their richer argparse surfaces but honour the same ``--quick`` flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Callable, Optional, Sequence
+
+
+def bench_main(
+    run: Callable[..., Any],
+    render: Callable[[Any], None],
+    description: Optional[str] = None,
+    argv: Optional[Sequence[str]] = None,
+) -> int:
+    """Parse ``--quick``, execute ``run(quick=...)``, print via ``render``."""
+    parser = argparse.ArgumentParser(
+        description=(description or "").strip().splitlines()[0] if description else None
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced parameters for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    render(run(quick=args.quick))
+    return 0

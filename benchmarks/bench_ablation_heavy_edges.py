@@ -8,6 +8,14 @@ lightest-edge rule should match the naive estimator on light workloads
 and beat it decisively on heavy ones.
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.analysis.variance import compare_estimators
 from repro.baselines.naive_sampling import NaiveSamplingTriangleCounter
 from repro.core.triangle_two_pass import TwoPassTriangleCounter
@@ -26,7 +34,8 @@ WORKLOADS = {
 }
 
 
-def _run():
+def _run(quick=False):
+    runs = 10 if quick else 30
     results = {}
     for name, planted in WORKLOADS.items():
         graph = planted.graph
@@ -42,15 +51,14 @@ def _run():
                 },
                 graph,
                 truth,
-                runs=30,
+                runs=runs,
                 seed=5,
             ),
         )
     return results
 
 
-def test_heavy_edge_ablation(once):
-    results = once(_run)
+def _render(results):
     rows = []
     for name, (truth, budget, profiles) in results.items():
         rows.append(
@@ -69,9 +77,20 @@ def test_heavy_edge_ablation(once):
         rows,
         title="Ablation: lightest-edge rule vs naive sampling at equal space",
     )
+
+
+def test_heavy_edge_ablation(once):
+    results = once(_run)
+    _render(results)
     heavy = results["book (heavy edge)"][2]
     assert (
         heavy["lightest_edge"].relative_stddev < 0.5 * heavy["naive"].relative_stddev
     ), "the lightest-edge rule must dominate on the heavy-edge workload"
     light = results["disjoint (light)"][2]
     assert light["lightest_edge"].errors.median_relative_error < 0.5
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

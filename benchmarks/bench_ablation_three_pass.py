@@ -9,6 +9,14 @@ heavy workloads, the two estimators' error distributions should be
 comparable — the extra pass buys (essentially) nothing.
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.analysis.variance import compare_estimators
 from repro.core.triangle_three_pass import ThreePassTriangleCounter
 from repro.core.triangle_two_pass import TwoPassTriangleCounter
@@ -22,7 +30,8 @@ WORKLOADS = {
 }
 
 
-def _run():
+def _run(quick=False):
+    runs = 10 if quick else 30
     results = {}
     for name, planted in WORKLOADS.items():
         graph = planted.graph
@@ -40,15 +49,14 @@ def _run():
                 },
                 graph,
                 truth,
-                runs=30,
+                runs=runs,
                 seed=5,
             ),
         )
     return results
 
 
-def test_three_pass_ablation(once):
-    results = once(_run)
+def _render(results):
     rows = []
     for name, (truth, budget, profiles) in results.items():
         for algo_name, profile in profiles.items():
@@ -67,6 +75,11 @@ def test_three_pass_ablation(once):
         rows,
         title="Ablation: H_{e,t} (2 passes) vs exact T(e) (3 passes)",
     )
+
+
+def test_three_pass_ablation(once):
+    results = once(_run)
+    _render(results)
     for name, (truth, budget, profiles) in results.items():
         two = profiles["2-pass (H)"].relative_stddev
         three = profiles["3-pass (exact T_e)"].relative_stddev
@@ -74,3 +87,9 @@ def test_three_pass_ablation(once):
         # in spread (the paper's claim behind dropping the third pass).
         assert two < 2.5 * three + 0.05, (name, two, three)
         assert profiles["2-pass (H)"].errors.median_relative_error < 0.5
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

@@ -6,23 +6,42 @@ protocol (exact counter) and the conditionally-matching sublinear upper
 bound (1-pass counter at rate c/√T).
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.experiments.figure1 import panel_a_rows, rows_as_dicts
 from repro.experiments import report
 
 
-def _run():
-    return panel_a_rows(r_values=(8, 16, 32), k=4, seed=0)
+def _run(quick=False):
+    r_values = (8, 16) if quick else (8, 16, 32)
+    return panel_a_rows(r_values=r_values, k=4, seed=0)
 
 
-def test_figure1a(once):
-    rows = once(_run)
+def _render(rows):
     dicts = rows_as_dicts(rows)
     report.print_table(
         list(dicts[0].keys()),
         [list(d.values()) for d in dicts],
         title="Figure 1a: 3-PJ -> one-pass triangle counting (Thm 5.1)",
     )
+
+
+def test_figure1a(once):
+    rows = once(_run)
+    _render(rows)
     for row in rows:
         assert row.structure_ok
         assert row.protocol_correct
         assert row.sublinear_output == row.answer
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

@@ -5,23 +5,42 @@ correctness, and Theorem 3.7's 2-pass algorithm solving 3-DISJ at its
 Õ(m/T^{2/3}) budget — the (conditionally) matching pair of bounds.
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.experiments.figure1 import panel_b_rows, rows_as_dicts
 from repro.experiments import report
 
 
-def _run():
-    return panel_b_rows(r_values=(6, 10, 16), k=3, seed=0)
+def _run(quick=False):
+    r_values = (6, 10) if quick else (6, 10, 16)
+    return panel_b_rows(r_values=r_values, k=3, seed=0)
 
 
-def test_figure1b(once):
-    rows = once(_run)
+def _render(rows):
     dicts = rows_as_dicts(rows)
     report.print_table(
         list(dicts[0].keys()),
         [list(d.values()) for d in dicts],
         title="Figure 1b: 3-DISJ -> multipass triangle counting (Thm 5.2)",
     )
+
+
+def test_figure1b(once):
+    rows = once(_run)
+    _render(rows)
     for row in rows:
         assert row.structure_ok
         assert row.protocol_correct
         assert row.sublinear_output == row.answer
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

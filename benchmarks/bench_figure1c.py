@@ -10,6 +10,14 @@ Two demonstrations:
    lower bound's content.
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.experiments.figure1 import (
     panel_c_heuristic_failure,
     panel_c_rows,
@@ -18,16 +26,18 @@ from repro.experiments.figure1 import (
 from repro.experiments import report
 
 
-def _run():
+def _run(quick=False):
+    sides = (7,) if quick else (7, 13)
+    rates = (0.1, 0.5, 1.0) if quick else (0.1, 0.25, 0.5, 0.75, 1.0)
+    trials = 10 if quick else 20
     return (
-        panel_c_rows(sides=(7, 13), k=6, seed=0),
-        panel_c_heuristic_failure(side=7, k=4, rates=(0.1, 0.25, 0.5, 0.75, 1.0),
-                                  trials=20, seed=1),
+        panel_c_rows(sides=sides, k=6, seed=0),
+        panel_c_heuristic_failure(side=7, k=4, rates=rates, trials=trials, seed=1),
     )
 
 
-def test_figure1c(once):
-    rows, failure = once(_run)
+def _render(result):
+    rows, failure = result
     dicts = rows_as_dicts(rows)
     report.print_table(
         list(dicts[0].keys()),
@@ -39,9 +49,20 @@ def test_figure1c(once):
         [[r.sample_rate, r.expected_space_words, r.detect_rate] for r in failure],
         title="One-pass heuristic: detection needs Θ(m) space",
     )
+
+
+def test_figure1c(once):
+    rows, failure = once(_run)
+    _render((rows, failure))
     for row in rows:
         assert row.structure_ok
         assert row.protocol_correct
         assert row.sublinear_output == row.answer  # 2-pass algorithm: fine
     assert failure[-1].detect_rate >= 0.9
     assert failure[0].detect_rate <= 0.5
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

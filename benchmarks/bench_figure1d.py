@@ -6,23 +6,42 @@ protocol correctness, and Theorem 4.6's 2-pass algorithm deciding DISJ at
 its Õ(m/T^{3/8}) budget — sandwiched between Ω(m/T^{2/3}) and O(m).
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.experiments.figure1 import panel_d_rows, rows_as_dicts
 from repro.experiments import report
 
 
-def _run():
-    return panel_d_rows(side_pairs=((7, 7), (13, 7)), seed=0)
+def _run(quick=False):
+    side_pairs = ((7, 7),) if quick else ((7, 7), (13, 7))
+    return panel_d_rows(side_pairs=side_pairs, seed=0)
 
 
-def test_figure1d(once):
-    rows = once(_run)
+def _render(rows):
     dicts = rows_as_dicts(rows)
     report.print_table(
         list(dicts[0].keys()),
         [list(d.values()) for d in dicts],
         title="Figure 1d: DISJ -> multipass 4-cycle counting (Thm 5.4)",
     )
+
+
+def test_figure1d(once):
+    rows = once(_run)
+    _render(rows)
     for row in rows:
         assert row.structure_ok
         assert row.protocol_correct
         assert row.sublinear_output == row.answer
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

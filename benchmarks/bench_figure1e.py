@@ -6,25 +6,37 @@ possible — Theorem 5.5 rules out sublinear space at any constant pass
 count), and message sizes scaling linearly with the instance size r.
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.experiments.figure1 import panel_e_rows, rows_as_dicts
 from repro.experiments import report
 
 
-def _run():
+def _run(quick=False):
     rows = []
-    for r in (16, 32, 64):
+    for r in (16, 32) if quick else (16, 32, 64):
         rows.extend(panel_e_rows(lengths=(5, 6, 7), r=r, cycles=8, seed=r))
     return rows
 
 
-def test_figure1e(once):
-    rows = once(_run)
+def _render(rows):
     dicts = rows_as_dicts(rows)
     report.print_table(
         list(dicts[0].keys()),
         [list(d.values()) for d in dicts],
         title="Figure 1e: DISJ -> l-cycle counting, l >= 5 (Thm 5.5)",
     )
+
+
+def test_figure1e(once):
+    rows = once(_run)
+    _render(rows)
     for row in rows:
         assert row.structure_ok
         assert row.protocol_correct
@@ -40,3 +52,9 @@ def test_figure1e(once):
         series.sort()
         words = [w for _, w in series]
         assert words == sorted(words), f"message size not monotone in r for {length}"
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

@@ -5,6 +5,14 @@ bench reports the measured slack on adversarial heavy-edge / overused-wedge
 families, showing how far the constants are from tight in practice.
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.analysis.lemmas import run_all_checks
 from repro.experiments import report
 from repro.graph.generators import book_graph, complete_graph, theta_graph, windmill_graph
@@ -19,18 +27,20 @@ WORKLOADS = {
     "theta+noise": lambda: planted_four_cycles_theta(150, 12, seed=2).graph,
 }
 
+QUICK_WORKLOADS = ("book(40)", "theta(14)", "K10")
 
-def _run():
+
+def _run(quick=False):
+    names = QUICK_WORKLOADS if quick else tuple(WORKLOADS)
     results = []
-    for name, make in WORKLOADS.items():
-        graph = make()
+    for name in names:
+        graph = WORKLOADS[name]()
         for check in run_all_checks(graph, stream_seed=7):
             results.append((name, check))
     return results
 
 
-def test_lemma_checks(once):
-    results = once(_run)
+def _render(results):
     report.print_table(
         ["workload", "lemma", "lhs", "cmp", "rhs", "holds", "slack"],
         [
@@ -39,5 +49,16 @@ def test_lemma_checks(once):
         ],
         title="Combinatorial lemma checks on adversarial workloads",
     )
+
+
+def test_lemma_checks(once):
+    results = once(_run)
+    _render(results)
     for name, check in results:
         assert check.holds, f"{check.name} failed on {name}: {check.lhs} vs {check.rhs}"
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

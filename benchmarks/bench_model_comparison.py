@@ -15,9 +15,14 @@ complexity landscape.  This bench quantifies it on identical graphs:
    that two adjacency-list passes beat everything at Õ(m/T^{2/3}).
 """
 
+import os
 import statistics
+import sys
 
-import pytest
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
 
 from repro.arbitrary.algorithm import run_edge_algorithm
 from repro.arbitrary.stream import EdgeStream
@@ -41,7 +46,8 @@ def _spread(estimates, truth):
     return statistics.pstdev(estimates) / truth
 
 
-def _run():
+def _run(quick=False):
+    runs = 10 if quick else RUNS
     planted = planted_triangles(2000, 400, seed=1)
     g = planted.graph
     truth = planted.true_count
@@ -55,7 +61,7 @@ def _run():
         run_edge_algorithm(
             EdgeStreamWedgeCountEstimator(rate, seed=i), EdgeStream(g, seed=100 + i)
         ).estimate
-        for i in range(RUNS)
+        for i in range(runs)
     ]
 
     # -- triangles at equal space --
@@ -64,7 +70,7 @@ def _run():
             run_algorithm(
                 OnePassTriangleCounter(rate, seed=i), AdjacencyListStream(g, seed=200 + i)
             ).estimate
-            for i in range(RUNS)
+            for i in range(runs)
         ]
 
     def adj_two_pass():
@@ -72,7 +78,7 @@ def _run():
             run_algorithm(
                 TwoPassTriangleCounter(budget, seed=i), AdjacencyListStream(g, seed=300 + i)
             ).estimate
-            for i in range(RUNS)
+            for i in range(runs)
         ]
 
     def edge_one_pass():
@@ -80,7 +86,7 @@ def _run():
             run_edge_algorithm(
                 EdgeStreamWedgeCounter(rate, seed=i), EdgeStream(g, seed=400 + i)
             ).estimate
-            for i in range(RUNS)
+            for i in range(runs)
         ]
 
     return {
@@ -96,8 +102,7 @@ def _run():
     }
 
 
-def test_model_comparison(once):
-    data = once(_run)
+def _render(data):
     m, truth, p2 = data["graph"]
 
     report.print_table(
@@ -129,6 +134,14 @@ def test_model_comparison(once):
         title="Triangle counting at equal space across models (Section 1.1)",
     )
 
+
+def test_model_comparison(once):
+    import pytest
+
+    data = once(_run)
+    m, truth, p2 = data["graph"]
+    _render(data)
+
     # Assertions: exact P2 in O(1) words; 2-pass adjacency-list wins.
     assert data["p2_exact"].estimate == p2
     assert data["p2_exact"].peak_space_words == 1
@@ -138,3 +151,9 @@ def test_model_comparison(once):
     assert spreads["adjacency 2-pass (Thm 3.7)"] <= min(spreads.values()) + 1e-9
     for estimates in data["triangles"].values():
         assert statistics.median(estimates) == pytest.approx(truth, rel=0.5)
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

@@ -7,6 +7,15 @@ benchmarks pin the absolute cost at two workload sizes so regressions in
 the hot loops are visible in the pytest-benchmark table.
 """
 
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 import pytest
 
 from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
@@ -21,8 +30,7 @@ TRIANGLE_WORKLOADS = {
 }
 
 
-@pytest.mark.parametrize("label", list(TRIANGLE_WORKLOADS))
-def test_two_pass_triangle_runtime(benchmark, label):
+def _triangle_run(label):
     m_target, t = TRIANGLE_WORKLOADS[label]
     planted = planted_triangles(m_target - 3 * t, t, seed=1)
     graph = planted.graph
@@ -33,12 +41,10 @@ def test_two_pass_triangle_runtime(benchmark, label):
         algo = TwoPassTriangleCounter(sample_size=budget, seed=3)
         return run_algorithm(algo, stream).estimate
 
-    estimate = benchmark.pedantic(run, rounds=3, iterations=1)
-    assert abs(estimate - t) <= 0.75 * t
+    return t, run
 
 
-@pytest.mark.parametrize("label", list(TRIANGLE_WORKLOADS))
-def test_two_pass_fourcycle_runtime(benchmark, label):
+def _fourcycle_run(label):
     m_target, t = TRIANGLE_WORKLOADS[label]
     planted = planted_cycles(m_target - 4 * t, t, length=4, seed=4)
     graph = planted.graph
@@ -49,5 +55,47 @@ def test_two_pass_fourcycle_runtime(benchmark, label):
         algo = TwoPassFourCycleCounter(sample_size=budget, wedge_cap=4 * budget, seed=6)
         return run_algorithm(algo, stream).estimate
 
+    return t, run
+
+
+@pytest.mark.parametrize("label", list(TRIANGLE_WORKLOADS))
+def test_two_pass_triangle_runtime(benchmark, label):
+    t, run = _triangle_run(label)
+    estimate = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert abs(estimate - t) <= 0.75 * t
+
+
+@pytest.mark.parametrize("label", list(TRIANGLE_WORKLOADS))
+def test_two_pass_fourcycle_runtime(benchmark, label):
+    t, run = _fourcycle_run(label)
     estimate = benchmark.pedantic(run, rounds=3, iterations=1)
     assert t / 4 <= estimate <= 4 * t
+
+
+def _run(quick=False):
+    labels = list(TRIANGLE_WORKLOADS)[:1] if quick else list(TRIANGLE_WORKLOADS)
+    rows = []
+    for kind, make in (("triangle 2-pass", _triangle_run), ("4-cycle 2-pass", _fourcycle_run)):
+        for label in labels:
+            t, run = make(label)
+            start = time.perf_counter()
+            estimate = run()
+            seconds = time.perf_counter() - start
+            rows.append((kind, label, t, estimate, seconds))
+    return rows
+
+
+def _render(rows):
+    from repro.experiments import report
+
+    report.print_table(
+        ["algorithm", "workload", "T", "estimate", "seconds"],
+        [list(row) for row in rows],
+        title="Runtime scaling (single timed run per workload)",
+    )
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

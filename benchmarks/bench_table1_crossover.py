@@ -7,19 +7,27 @@ fits power laws.  Theory: exponent −2/3 for the 2-pass algorithm
 algorithm needs asymptotically less space and should win at every T here.
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.experiments import report
 from repro.experiments.table1 import scaling_experiment
 
 
-def _run():
+def _run(quick=False):
+    t_values = (64, 343) if quick else (64, 125, 343, 729)
+    runs = 8 if quick else 14
     return scaling_experiment(
-        t_values=(64, 125, 343, 729), m_target=6000, epsilon=0.5, runs=14, seed=0
+        t_values=t_values, m_target=6000, epsilon=0.5, runs=runs, seed=0
     )
 
 
-def test_crossover_shape(once):
-    result = once(_run)
-    assert result is not None, "scaling search failed to converge"
+def _render(result):
     rows = [
         [t, two, one]
         for t, two, one in zip(
@@ -39,6 +47,12 @@ def test_crossover_shape(once):
         ],
         title="Fitted space exponents vs T",
     )
+
+
+def test_crossover_shape(once):
+    result = once(_run)
+    assert result is not None, "scaling search failed to converge"
+    _render(result)
     # Qualitative shape (the search's geometric resolution and the
     # estimators' discrete granularity preclude tight exponent recovery):
     # both space needs decay with T, the 2-pass decay is at least as steep,
@@ -50,3 +64,9 @@ def test_crossover_shape(once):
         two <= one
         for two, one in zip(result.two_pass_budgets, result.one_pass_budgets)
     )
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

@@ -5,18 +5,25 @@ graphs with T triangles with high probability and never reports a hit on
 triangle-free graphs (one-sided error, as the reduction requires).
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.experiments import report
 from repro.experiments.table1 import distinguisher_rows
 
 
-def _run():
-    return distinguisher_rows(
-        t_values=(64, 216, 512, 1000), m_target=3000, runs=16, seed=0
-    )
+def _run(quick=False):
+    t_values = (64, 216) if quick else (64, 216, 512, 1000)
+    runs = 8 if quick else 16
+    return distinguisher_rows(t_values=t_values, m_target=3000, runs=runs, seed=0)
 
 
-def test_distinguisher_row(once):
-    rows = once(_run)
+def _render(rows):
     report.print_table(
         ["m", "promised T", "m'", "detect rate (T-instance)", "false-positive rate"],
         [
@@ -25,6 +32,17 @@ def test_distinguisher_row(once):
         ],
         title="Table 1 / 0-vs-T distinguisher ([27]): m' = c*m/T^(2/3)",
     )
+
+
+def test_distinguisher_row(once):
+    rows = once(_run)
+    _render(rows)
     for row in rows:
         assert row.false_positive_rate == 0.0, "distinguisher has one-sided error"
         assert row.detect_rate_on_t >= 0.7, row
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

@@ -4,25 +4,45 @@ Regenerates the row: at the theorem budget the wedge-sampling estimator
 returns an O(1)-factor approximation across a range of cycle counts.
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.experiments import report
 from repro.experiments.table1 import fourcycle_rows, rows_as_dicts
 
 
-def _run():
+def _run(quick=False):
+    t_values = (64, 256) if quick else (64, 256, 1024)
+    runs = 8 if quick else 16
     return fourcycle_rows(
-        t_values=(64, 256, 1024), m_target=6000, epsilon=0.75, runs=16, seed=0
+        t_values=t_values, m_target=6000, epsilon=0.75, runs=runs, seed=0
     )
 
 
-def test_fourcycle_two_pass_row(once):
-    rows = once(_run)
+def _render(rows):
     dicts = rows_as_dicts(rows)
     report.print_table(
         list(dicts[0].keys()),
         [list(d.values()) for d in dicts],
         title="Table 1 / 4-cycle 2-pass upper bound (Thm 4.6): m' = c*m/T^(3/8)",
     )
+
+
+def test_fourcycle_two_pass_row(once):
+    rows = once(_run)
+    _render(rows)
     for row in rows:
         assert row.point.success_rate >= 0.6, row
     budgets = [row.budget for row in rows]
     assert budgets == sorted(budgets, reverse=True)
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

@@ -5,6 +5,14 @@ Regenerates the row: at sampling rate c/√T the one-pass estimator is
 T (the "who wins" comparison of Table 1).
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.experiments import report
 from repro.experiments.table1 import (
     rows_as_dicts,
@@ -13,31 +21,45 @@ from repro.experiments.table1 import (
 )
 
 
-def _run():
-    kwargs = dict(t_values=(64, 216, 512, 1000), m_target=3000, epsilon=0.5, runs=16)
+def _run(quick=False):
+    kwargs = dict(
+        t_values=(64, 216) if quick else (64, 216, 512, 1000),
+        m_target=3000,
+        epsilon=0.5,
+        runs=8 if quick else 16,
+    )
     return (
         triangle_one_pass_rows(seed=0, **kwargs),
         triangle_two_pass_rows(seed=0, **kwargs),
     )
 
 
-def test_triangle_one_pass_row(once):
-    one_rows, two_rows = once(_run)
+def _comparison(one_rows, two_rows):
+    return [
+        [one.true_count, one.budget, two.budget, one.budget / two.budget]
+        for one, two in zip(one_rows, two_rows)
+    ]
+
+
+def _render(result):
+    one_rows, two_rows = result
     dicts = rows_as_dicts(one_rows)
     report.print_table(
         list(dicts[0].keys()),
         [list(d.values()) for d in dicts],
         title="Table 1 / triangle 1-pass upper bound ([27]): m' = c*m/sqrt(T)",
     )
-    comparison = [
-        [one.true_count, one.budget, two.budget, one.budget / two.budget]
-        for one, two in zip(one_rows, two_rows)
-    ]
     report.print_table(
         ["T", "1-pass m'", "2-pass m'", "ratio"],
-        comparison,
+        _comparison(one_rows, two_rows),
         title="Who wins: 1-pass needs T^(2/3)/sqrt(T) = T^(1/6) more space",
     )
+
+
+def test_triangle_one_pass_row(once):
+    one_rows, two_rows = once(_run)
+    _render((one_rows, two_rows))
+    comparison = _comparison(one_rows, two_rows)
     for row in one_rows:
         assert row.point.success_rate >= 0.6, row
     # The paper's hierarchy: the two-pass budget is smaller at every T,
@@ -45,3 +67,9 @@ def test_triangle_one_pass_row(once):
     ratios = [row[3] for row in comparison]
     assert all(r > 1 for r in ratios)
     assert ratios == sorted(ratios)
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

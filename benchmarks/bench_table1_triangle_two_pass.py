@@ -5,27 +5,47 @@ estimator achieves (1 ± ε) accuracy across a range of triangle counts,
 with space tracking m/T^{2/3} rather than m.
 """
 
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
 from repro.experiments import report
 from repro.experiments.table1 import rows_as_dicts, triangle_two_pass_rows
 
 
-def _run():
+def _run(quick=False):
+    t_values = (64, 216) if quick else (64, 216, 512, 1000)
+    runs = 8 if quick else 16
     return triangle_two_pass_rows(
-        t_values=(64, 216, 512, 1000), m_target=3000, epsilon=0.5, runs=16, seed=0
+        t_values=t_values, m_target=3000, epsilon=0.5, runs=runs, seed=0
     )
 
 
-def test_triangle_two_pass_row(once):
-    rows = once(_run)
+def _render(rows):
     dicts = rows_as_dicts(rows)
     report.print_table(
         list(dicts[0].keys()),
         [list(d.values()) for d in dicts],
         title="Table 1 / triangle 2-pass upper bound (Thm 3.7): m' = c*m/T^(2/3)",
     )
+
+
+def test_triangle_two_pass_row(once):
+    rows = once(_run)
+    _render(rows)
     for row in rows:
         assert row.point.success_rate >= 0.6, row
         assert row.budget < row.m, "theorem budget must be sublinear here"
     # Budget shrinks as T grows (the whole point of the parameterisation).
     budgets = [row.budget for row in rows]
     assert budgets == sorted(budgets, reverse=True)
+
+
+if __name__ == "__main__":
+    from _script import bench_main
+
+    sys.exit(bench_main(_run, _render, __doc__))

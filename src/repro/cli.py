@@ -10,6 +10,9 @@ Installed as ``repro-cycles``.  Subcommands:
   streaming model's promise;
 * ``experiment`` — regenerate the paper's Table-1 rows or Figure-1 panels
   and print them;
+* ``bench-report`` — compare benchmark artifacts (``BENCH_*.json`` or
+  ``.jsonl`` telemetry logs) against baselines and exit non-zero on
+  regression (the CI perf gate; see ``repro.obs.bench_report``);
 * ``lint`` — alias for the ``repro-lint`` static analyser (determinism and
   sketch-state contracts; see ``docs/LINTING.md``).
 
@@ -20,7 +23,9 @@ Examples::
     repro-cycles count g.adj --length 4 --algorithm exact
     repro-cycles count g.adj --length 4 --shards 4 --workers 0
     repro-cycles count g.adj --checkpoint run.ckpt --resume
+    repro-cycles count g.adj --telemetry run.jsonl
     repro-cycles experiment table1
+    repro-cycles bench-report fresh/BENCH_parallel.json --against BENCH_parallel.json
 """
 
 from __future__ import annotations
@@ -140,7 +145,7 @@ def _checkpoint_setup(args, algo, stream):
     return config, resume
 
 
-def _count_sharded(args, graph: Graph, stream: AdjacencyListStream) -> int:
+def _count_sharded(args, graph: Graph, stream: AdjacencyListStream, telemetry) -> int:
     """The ``--shards N`` path: shard-and-merge execution of a two-pass counter."""
     from repro.sketch.driver import run_sharded
 
@@ -165,6 +170,7 @@ def _count_sharded(args, graph: Graph, stream: AdjacencyListStream) -> int:
         merge_seed=args.seed,
         checkpoint=config,
         resume_from=resume,
+        telemetry=telemetry,
     )
     print(f"graph: n={graph.n} m={graph.m}")
     print(f"estimated {args.length}-cycles: {result.estimate:.1f}")
@@ -178,18 +184,26 @@ def _count_sharded(args, graph: Graph, stream: AdjacencyListStream) -> int:
 
 def cmd_count(args) -> int:
     """Estimate a graph file's cycle count and print estimate + space."""
+    from repro.obs.telemetry import NULL_TELEMETRY, open_telemetry
+
     graph = _read_graph(args.input, args.format)
     stream = AdjacencyListStream(graph, seed=args.seed)
-    if args.shards > 1:
-        return _count_sharded(args, graph, stream)
-    factory = _build_counter(args, graph)
-    algo = (
-        MedianBoosted(factory, copies=args.copies, seed=args.seed)
-        if args.copies > 1
-        else factory(args.seed)
-    )
-    config, resume = _checkpoint_setup(args, algo, stream)
-    result = run_algorithm(algo, stream, checkpoint=config, resume_from=resume)
+    telemetry = open_telemetry(args.telemetry) if args.telemetry else NULL_TELEMETRY
+    try:
+        if args.shards > 1:
+            return _count_sharded(args, graph, stream, telemetry)
+        factory = _build_counter(args, graph)
+        algo = (
+            MedianBoosted(factory, copies=args.copies, seed=args.seed)
+            if args.copies > 1
+            else factory(args.seed)
+        )
+        config, resume = _checkpoint_setup(args, algo, stream)
+        result = run_algorithm(
+            algo, stream, checkpoint=config, resume_from=resume, telemetry=telemetry
+        )
+    finally:
+        telemetry.close()
     print(f"graph: n={graph.n} m={graph.m}")
     print(f"estimated {args.length}-cycles: {result.estimate:.1f}")
     print(
@@ -275,6 +289,13 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_bench_report(args) -> int:
+    """Compare benchmark artifacts against baselines; exit 1 on regression."""
+    from repro.obs.bench_report import run_report
+
+    return run_report(args)
+
+
 def cmd_lint(args) -> int:
     """Alias for the ``repro-lint`` console script (same flags, same codes)."""
     from repro.lint.cli import main as lint_main
@@ -331,6 +352,13 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpoint at pass boundaries regardless)",
     )
     count.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="write streaming telemetry to PATH (.jsonl event log; .prom/.txt "
+        "Prometheus-style textfile); omit for the zero-overhead null sink",
+    )
+    count.add_argument(
         "--resume",
         action="store_true",
         help="resume from --checkpoint PATH if it exists (fresh run otherwise); "
@@ -377,6 +405,20 @@ def build_parser() -> argparse.ArgumentParser:
         "default serial); results are bit-identical to serial runs",
     )
     exp.set_defaults(func=cmd_experiment)
+
+    from repro.obs.bench_report import build_parser as build_bench_parser
+
+    bench = sub.add_parser(
+        "bench-report",
+        help="compare benchmark artifacts; exit 1 on regression (CI gate)",
+        description="Compare BENCH_*.json artifacts (or .jsonl telemetry "
+        "logs) against baselines.  Machine-independent metrics (space "
+        "words, bit-identity invariants, estimates, imbalance) gate with "
+        "the relative --threshold; wall-time metrics are informational "
+        "unless --gate-timing.  Exits 1 when any gated metric regresses.",
+    )
+    build_bench_parser(bench)
+    bench.set_defaults(func=cmd_bench_report)
 
     lint = sub.add_parser(
         "lint",

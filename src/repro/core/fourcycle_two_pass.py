@@ -113,13 +113,21 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
         #: hard space bound.
         self.wedge_cap = wedge_cap
         self._wedge_rng = spawn_rng(rng)
-        self._sampler: BottomKSampler[Edge] = BottomKSampler(sample_size, seed=spawn_rng(rng))
+        self._sampler: BottomKSampler[Edge] = BottomKSampler(
+            sample_size, seed=spawn_rng(rng), on_evict=self._edge_evicted
+        )
         self._pass = 0
         self._pair_count = 0
         self._wedges: List[Wedge] = []
         self._wedge_population = 0
         self._multiplicity_total = 0
         self._distinct_cycles: Set[CycleKey] = set()
+        # Telemetry-only churn tally (observables); deliberately NOT part
+        # of the snapshot payload — resumed runs restart it at zero.
+        self._evictions = 0
+
+    def _edge_evicted(self, edge: Edge) -> None:
+        self._evictions += 1
 
     # -- streaming interface ---------------------------------------------------
 
@@ -228,6 +236,7 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
         self._distinct_cycles = {
             _decode_cycle_key(blob) for blob in payload["distinct"]
         }
+        self._evictions = 0
 
     @classmethod
     def from_state(cls, state: SketchState) -> "TwoPassFourCycleCounter":
@@ -295,6 +304,17 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
         if self.mode == "distinct":
             return scale * len(self._distinct_cycles)
         return scale * self._multiplicity_total / 4.0
+
+    def observables(self) -> Dict[str, float]:
+        """Occupancy and churn gauges for the instrumented runner."""
+        return {
+            "edge_sample_occupancy": len(self._sampler),
+            "edge_sample_capacity": self.sample_size,
+            "edge_sample_evictions": self._evictions,
+            "wedge_set_occupancy": len(self._wedges),
+            "wedge_population": self._wedge_population,
+            "distinct_cycles_tracked": len(self._distinct_cycles),
+        }
 
     def space_words(self) -> int:
         """Live state: sampler slots, wedge triples, dedup keys, counters."""

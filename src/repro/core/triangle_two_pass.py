@@ -191,11 +191,16 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
         self._seen_p2: Set[Edge] = set()  # sampled edges already appeared in pass 2
         self._watchers_by_edge: Dict[Edge, Set[_Watcher]] = {}
         self._watchers_by_apex: Dict[Vertex, Set[_Watcher]] = {}
+        # Telemetry-only churn tallies (observables); deliberately NOT part
+        # of the snapshot payload — resumed runs restart them at zero.
+        self._evictions = 0  # edges that fell out of the bottom-k sample
+        self._displaced = 0  # reservoir pairs displaced by later offers
 
     # -- sampler bookkeeping --------------------------------------------------
 
     def _edge_evicted(self, edge: Edge) -> None:
         """Drop reservoir pairs whose first-pass edge left the sample."""
+        self._evictions += 1
         removed = [p for p in self._reservoir.items() if p.edge == edge]
         self._reservoir.discard(lambda p: p.edge == edge)
         for pair in removed:
@@ -243,6 +248,7 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
             self._register_watchers(pair, current_list)
         admitted, displaced = self._reservoir.offer_detailed(pair)
         if displaced is not None:
+            self._displaced += 1
             self._unregister_watchers(displaced)
         if not admitted and in_pass_two:
             self._unregister_watchers(pair)
@@ -382,6 +388,8 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
             for watcher in pair.watchers:
                 self._watchers_by_edge.setdefault(watcher.edge, set()).add(watcher)
                 self._watchers_by_apex.setdefault(watcher.x, set()).add(watcher)
+        self._evictions = 0
+        self._displaced = 0
 
     @classmethod
     def from_state(cls, state: SketchState) -> "TwoPassTriangleCounter":
@@ -433,6 +441,20 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
             return 0.0
         subsample_scale = max(self._candidate_total / q_size, 1.0)
         return self.scale_factor * subsample_scale * self.counted_pairs()
+
+    def observables(self) -> Dict[str, float]:
+        """Occupancy and churn gauges for the instrumented runner."""
+        watcher_count = sum(len(p.watchers) for p in self._reservoir.items())
+        return {
+            "edge_sample_occupancy": len(self._sampler),
+            "edge_sample_capacity": self.sample_size,
+            "edge_sample_evictions": self._evictions,
+            "pair_reservoir_occupancy": len(self._reservoir),
+            "pair_reservoir_offered": self._reservoir.offered,
+            "pair_reservoir_displaced": self._displaced,
+            "watchers_live": watcher_count,
+            "seen_p2_edges": len(self._seen_p2),
+        }
 
     def space_words(self) -> int:
         """Live state: sampler slots, reservoir pairs, watchers, flags."""

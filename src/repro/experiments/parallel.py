@@ -28,9 +28,10 @@ import os
 import random
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.graph.graph import Graph
+from repro.obs.telemetry import Telemetry
 from repro.streaming.algorithm import StreamingAlgorithm
 from repro.streaming.runner import run_algorithm
 from repro.streaming.stream import AdjacencyListStream
@@ -85,12 +86,20 @@ class TrialSpec:
 
 @dataclass(frozen=True)
 class TrialResult:
-    """The per-trial facts the harness aggregates."""
+    """The per-trial facts the harness aggregates.
+
+    ``metrics`` is populated only when the execution asked for telemetry
+    (``ExecutionConfig.collect_metrics``): a flat, JSON-safe metric
+    snapshot (see :data:`repro.obs.metrics.Snapshot`) that crosses the
+    process boundary with the result, so the parent can roll trial
+    metrics up across workers (:func:`repro.obs.rollup.rollup_metrics`).
+    """
 
     index: int
     estimate: float
     peak_space_words: int
     wall_time_seconds: float
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None
 
 
 @dataclass(frozen=True)
@@ -106,6 +115,10 @@ class ExecutionConfig:
     workers: Optional[int] = None
     chunk_size: Optional[int] = None
     space_poll_interval: int = 1
+    #: Collect a per-trial metric snapshot (``TrialResult.metrics``) via a
+    #: metrics-only Telemetry inside each trial.  Off by default: the
+    #: zero-overhead null path stays the norm for benchmarks.
+    collect_metrics: bool = False
 
     def resolved_workers(self) -> int:
         return resolve_workers(self.workers)
@@ -134,16 +147,35 @@ def run_trial(
     graph: Graph,
     spec: TrialSpec,
     space_poll_interval: int = 1,
+    collect_metrics: bool = False,
 ) -> TrialResult:
-    """Execute one trial: build the algorithm and stream, run, summarise."""
+    """Execute one trial: build the algorithm and stream, run, summarise.
+
+    ``collect_metrics`` attaches a metrics-only :class:`Telemetry` (no
+    sink — events are dropped, the registry accumulates) and ships its
+    snapshot home in ``TrialResult.metrics``.  Metrics never influence the
+    trial itself, so estimates are identical either way.
+    """
     algorithm = factory(spec.budget, resolve_rng(spec.algo_seed))
     stream = AdjacencyListStream(graph, seed=resolve_rng(spec.stream_seed))
-    result = run_algorithm(algorithm, stream, space_poll_interval=space_poll_interval)
+    if collect_metrics:
+        telemetry = Telemetry(sink=None)
+        result = run_algorithm(
+            algorithm, stream,
+            space_poll_interval=space_poll_interval, telemetry=telemetry,
+        )
+        metrics: Optional[Dict[str, Dict[str, Any]]] = telemetry.metrics_snapshot()
+    else:
+        result = run_algorithm(
+            algorithm, stream, space_poll_interval=space_poll_interval
+        )
+        metrics = None
     return TrialResult(
         index=spec.index,
         estimate=result.estimate,
         peak_space_words=result.peak_space_words,
         wall_time_seconds=result.wall_time_seconds,
+        metrics=metrics,
     )
 
 
@@ -152,18 +184,28 @@ def run_trial(
 _worker_factory: Optional[TrialFactory] = None
 _worker_graph: Optional[Graph] = None
 _worker_poll_interval: int = 1
+_worker_collect_metrics: bool = False
 
 
-def _init_worker(factory: TrialFactory, graph: Graph, poll_interval: int) -> None:
-    global _worker_factory, _worker_graph, _worker_poll_interval
+def _init_worker(
+    factory: TrialFactory,
+    graph: Graph,
+    poll_interval: int,
+    collect_metrics: bool = False,
+) -> None:
+    global _worker_factory, _worker_graph, _worker_poll_interval, _worker_collect_metrics
     _worker_factory = factory
     _worker_graph = graph
     _worker_poll_interval = poll_interval
+    _worker_collect_metrics = collect_metrics
 
 
 def _run_in_worker(spec: TrialSpec) -> TrialResult:
     assert _worker_factory is not None and _worker_graph is not None
-    return run_trial(_worker_factory, _worker_graph, spec, _worker_poll_interval)
+    return run_trial(
+        _worker_factory, _worker_graph, spec,
+        _worker_poll_interval, _worker_collect_metrics,
+    )
 
 
 class TrialExecutor:
@@ -193,8 +235,11 @@ class TrialExecutor:
     def run(self, specs: Sequence[TrialSpec]) -> List[TrialResult]:
         """Execute ``specs`` (in order) and return their results (in order)."""
         poll = self.config.space_poll_interval
+        collect = self.config.collect_metrics
         if self.workers <= 1 or len(specs) <= 1:
-            return [run_trial(self.factory, self.graph, s, poll) for s in specs]
+            return [
+                run_trial(self.factory, self.graph, s, poll, collect) for s in specs
+            ]
         pool = self._ensure_pool()
         chunk = self.config.chunk_size
         if chunk is None:
@@ -206,7 +251,12 @@ class TrialExecutor:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(self.factory, self.graph, self.config.space_poll_interval),
+                initargs=(
+                    self.factory,
+                    self.graph,
+                    self.config.space_poll_interval,
+                    self.config.collect_metrics,
+                ),
             )
         return self._pool
 

@@ -1,0 +1,98 @@
+"""``repro.obs`` — streaming telemetry: metrics, events, sinks, reports.
+
+Public surface:
+
+* :class:`~repro.obs.telemetry.Telemetry` / :data:`NULL_TELEMETRY` /
+  :func:`open_telemetry` — the facade instrumented code talks to;
+* the event vocabulary in :mod:`repro.obs.events`;
+* sinks (:class:`InMemorySink`, :class:`JsonlSink`, :class:`TextfileSink`,
+  :data:`NULL_SINK`) in :mod:`repro.obs.sinks`;
+* metric machinery (:class:`MetricRegistry`, :func:`merge_snapshots`,
+  :func:`strip_timers`) in :mod:`repro.obs.metrics`;
+* roll-ups (:func:`rollup_metrics`, :func:`deterministic_rollup`) in
+  :mod:`repro.obs.rollup`;
+* the benchmark comparison engine in :mod:`repro.obs.bench_report`.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    MergeCompleted,
+    MetricsReport,
+    OccupancySample,
+    PassFinished,
+    PassStarted,
+    RunFinished,
+    RunStarted,
+    ShardPassFinished,
+    SpaceHighWater,
+    TelemetryEvent,
+    TrialFinished,
+    decode_event,
+    encode_event,
+)
+from repro.obs.metrics import (
+    COUNTER,
+    GAUGE,
+    TIMER,
+    MetricFamily,
+    MetricRegistry,
+    Snapshot,
+    format_series,
+    merge_snapshots,
+    parse_series,
+    strip_timers,
+)
+from repro.obs.rollup import deterministic_rollup, rollup_metrics
+from repro.obs.sinks import (
+    NULL_SINK,
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    TelemetrySink,
+    TextfileSink,
+    parse_textfile,
+    read_jsonl_events,
+    render_textfile,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, open_telemetry
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "open_telemetry",
+    "TelemetryEvent",
+    "RunStarted",
+    "PassStarted",
+    "PassFinished",
+    "SpaceHighWater",
+    "OccupancySample",
+    "ShardPassFinished",
+    "MergeCompleted",
+    "TrialFinished",
+    "RunFinished",
+    "MetricsReport",
+    "EVENT_TYPES",
+    "encode_event",
+    "decode_event",
+    "TelemetrySink",
+    "NullSink",
+    "NULL_SINK",
+    "InMemorySink",
+    "JsonlSink",
+    "TextfileSink",
+    "read_jsonl_events",
+    "render_textfile",
+    "parse_textfile",
+    "MetricRegistry",
+    "MetricFamily",
+    "Snapshot",
+    "COUNTER",
+    "GAUGE",
+    "TIMER",
+    "format_series",
+    "parse_series",
+    "merge_snapshots",
+    "strip_timers",
+    "rollup_metrics",
+    "deterministic_rollup",
+]

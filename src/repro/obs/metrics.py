@@ -1,0 +1,286 @@
+"""Labelled metric families: counters, gauges, and timers.
+
+The model follows the Prometheus client shape without the dependency: a
+:class:`MetricRegistry` holds :class:`MetricFamily` objects (one per
+metric *name*), a family holds one instrument per distinct label
+combination, and ``family.labels(pass_index="0")`` returns the live
+instrument for that series.  Three instrument kinds exist:
+
+* :class:`Counter` — monotonically increasing total (``inc``);
+* :class:`Gauge` — instantaneous value plus its high-water mark (``set``);
+* :class:`Timer` — accumulated wall-time observations (sum / count / max),
+  with a context-manager ``time()`` helper.
+
+Everything serialises through :meth:`MetricRegistry.snapshot`: a flat,
+JSON-safe ``{series_key: {kind, ...values}}`` dict whose series keys look
+like ``stream_pairs_total{pass=0}``.  Snapshots from independent workers
+merge with :func:`merge_snapshots` (counters add, gauges keep the
+high-water, timers pool their observations), which is what the
+experiment harness's per-trial roll-up uses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+Snapshot = Dict[str, Dict[str, Any]]
+
+COUNTER = "counter"
+GAUGE = "gauge"
+TIMER = "timer"
+KINDS = (COUNTER, GAUGE, TIMER)
+
+
+def format_series(name: str, labels: Mapping[str, str]) -> str:
+    """Canonical series key: ``name{k1=v1,k2=v2}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_series(series: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`format_series` (labels may not contain ``,{}=``)."""
+    if "{" not in series:
+        return series, {}
+    name, _, rest = series.partition("{")
+    body = rest.rstrip("}")
+    labels: Dict[str, str] = {}
+    if body:
+        for part in body.split(","):
+            key, _, value = part.partition("=")
+            labels[key] = value
+    return name, labels
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = COUNTER
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+    def dump(self) -> Dict[str, Any]:
+        return {"kind": COUNTER, "value": self.value}
+
+    def load(self, blob: Mapping[str, Any]) -> None:
+        self.value = blob["value"]
+
+
+class Gauge:
+    """An instantaneous value plus its high-water mark."""
+
+    kind = GAUGE
+
+    __slots__ = ("value", "high_water")
+
+    def __init__(self) -> None:
+        self.value: float = 0
+        self.high_water: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def dump(self) -> Dict[str, Any]:
+        return {"kind": GAUGE, "value": self.value, "high_water": self.high_water}
+
+    def load(self, blob: Mapping[str, Any]) -> None:
+        self.value = blob["value"]
+        self.high_water = blob["high_water"]
+
+
+class Timer:
+    """Accumulated duration observations (sum, count, max), in seconds."""
+
+    kind = TIMER
+
+    __slots__ = ("total_seconds", "count", "max_seconds")
+
+    def __init__(self) -> None:
+        self.total_seconds: float = 0.0
+        self.count: int = 0
+        self.max_seconds: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("durations cannot be negative")
+        self.total_seconds += seconds
+        self.count += 1
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def time(self) -> "_TimerContext":
+        """Context manager recording the wall time of its ``with`` block."""
+        return _TimerContext(self)
+
+    def dump(self) -> Dict[str, Any]:
+        return {
+            "kind": TIMER,
+            "total_seconds": self.total_seconds,
+            "count": self.count,
+            "max_seconds": self.max_seconds,
+        }
+
+    def load(self, blob: Mapping[str, Any]) -> None:
+        self.total_seconds = blob["total_seconds"]
+        self.count = int(blob["count"])
+        self.max_seconds = blob["max_seconds"]
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        # repro-lint: disable=DET003 -- wall clock is the quantity a Timer measures; values never feed estimator or sketch state
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        # repro-lint: disable=DET003 -- closing bracket of the timed interval; telemetry only
+        self._timer.observe(time.perf_counter() - self._start)
+
+
+_INSTRUMENTS = {COUNTER: Counter, GAUGE: Gauge, TIMER: Timer}
+
+
+class MetricFamily:
+    """All series of one metric name: a kind, help text, and label names."""
+
+    def __init__(self, name: str, kind: str, help: str = "", labelnames: Tuple[str, ...] = ()):
+        if kind not in _INSTRUMENTS:
+            raise ValueError(f"unknown metric kind {kind!r} (choose from {KINDS})")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._series: Dict[Tuple[str, ...], Any] = {}
+
+    def labels(self, **labelvalues: str) -> Any:
+        """The instrument for one label combination (created on first use)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[k]) for k in self.labelnames)
+        instrument = self._series.get(key)
+        if instrument is None:
+            instrument = _INSTRUMENTS[self.kind]()
+            self._series[key] = instrument
+        return instrument
+
+    def series(self) -> Iterator[Tuple[Dict[str, str], Any]]:
+        """Yield ``(labels, instrument)`` for every live series, sorted."""
+        for key in sorted(self._series):
+            yield dict(zip(self.labelnames, key)), self._series[key]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+
+class MetricRegistry:
+    """A set of metric families, addressable by name."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _family(self, name: str, kind: str, help: str, labelnames: Tuple[str, ...]) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help=help, labelnames=labelnames)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {family.kind}, not a {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, COUNTER, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, GAUGE, help, labelnames)
+
+    def timer(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, TIMER, help, labelnames)
+
+    def families(self) -> List[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def __len__(self) -> int:
+        return sum(len(f) for f in self._families.values())
+
+    def snapshot(self) -> Snapshot:
+        """Flat JSON-safe dump: ``{series_key: {kind, ...values}}``."""
+        out: Snapshot = {}
+        for family in self.families():
+            for labels, instrument in family.series():
+                out[format_series(family.name, labels)] = instrument.dump()
+        return out
+
+    def load_snapshot(self, snapshot: Snapshot, help_texts: Optional[Mapping[str, str]] = None) -> None:
+        """Rebuild families/series from :meth:`snapshot` output (additive)."""
+        for series_key in sorted(snapshot):
+            blob = snapshot[series_key]
+            name, labels = parse_series(series_key)
+            help_text = (help_texts or {}).get(name, "")
+            family = self._family(name, blob["kind"], help_text, tuple(sorted(labels)))
+            family.labels(**labels).load(blob)
+
+
+def merge_snapshots(snapshots: Iterable[Snapshot]) -> Snapshot:
+    """Roll independent worker snapshots into one.
+
+    Counters add; gauges keep the maximum value and high-water mark (the
+    roll-up of per-worker peaks is the fleet peak); timers pool their
+    observations (sums and counts add, max of max).  Mixing kinds under
+    one series key is an error.
+    """
+    merged: Snapshot = {}
+    for snapshot in snapshots:
+        for series_key, blob in snapshot.items():
+            slot = merged.get(series_key)
+            if slot is None:
+                merged[series_key] = dict(blob)
+                continue
+            if slot["kind"] != blob["kind"]:
+                raise ValueError(
+                    f"series {series_key!r} has conflicting kinds "
+                    f"{slot['kind']!r} vs {blob['kind']!r}"
+                )
+            kind = blob["kind"]
+            if kind == COUNTER:
+                slot["value"] += blob["value"]
+            elif kind == GAUGE:
+                slot["value"] = max(slot["value"], blob["value"])
+                slot["high_water"] = max(slot["high_water"], blob["high_water"])
+            else:  # timer
+                slot["total_seconds"] += blob["total_seconds"]
+                slot["count"] += blob["count"]
+                slot["max_seconds"] = max(slot["max_seconds"], blob["max_seconds"])
+    return {key: merged[key] for key in sorted(merged)}
+
+
+def strip_timers(snapshot: Snapshot) -> Snapshot:
+    """Drop timer series — the wall-clock part of a snapshot.
+
+    Counters and gauges emitted by the instrumented runner are pure
+    functions of (stream, seed); timers are not.  Determinism assertions
+    (serial roll-up == parallel roll-up) compare stripped snapshots.
+    """
+    return {k: v for k, v in snapshot.items() if v["kind"] != TIMER}

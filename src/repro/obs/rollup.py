@@ -1,0 +1,30 @@
+"""Cross-worker metric roll-up for the experiment harness.
+
+Trials executed in worker processes each carry their own metric snapshot
+home inside :class:`~repro.experiments.parallel.TrialResult.metrics`;
+this module folds those per-trial snapshots into one fleet view.  The
+invariant the tests pin: because every counter and gauge the runner
+emits is a pure function of (stream, seed), the roll-up of a parallel
+execution equals the roll-up of the serial one *after stripping timers*
+(:func:`deterministic_rollup`) — wall clock is the only thing allowed to
+differ between schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.obs.metrics import Snapshot, merge_snapshots, strip_timers
+
+__all__ = ["rollup_metrics", "deterministic_rollup"]
+
+
+def rollup_metrics(snapshots: Iterable[Optional[Snapshot]]) -> Snapshot:
+    """Merge per-trial snapshots (``None`` entries — trials run without
+    metric collection — are skipped)."""
+    return merge_snapshots(s for s in snapshots if s is not None)
+
+
+def deterministic_rollup(snapshots: Iterable[Optional[Snapshot]]) -> Snapshot:
+    """Roll up, then drop timer series — the schedule-invariant part."""
+    return strip_timers(rollup_metrics(snapshots))

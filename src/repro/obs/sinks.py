@@ -1,0 +1,294 @@
+"""Pluggable telemetry sinks.
+
+A sink is an event consumer with an ``enabled`` class attribute — the
+hot-path contract is that when telemetry is off the runner pays exactly
+one attribute lookup (``telemetry.enabled``) and no call.  Four sinks:
+
+* :class:`NullSink` — the default; ``enabled = False``, every method a
+  no-op.  :data:`NULL_SINK` is the shared instance.
+* :class:`InMemorySink` — appends events to a list (tests, roll-ups).
+* :class:`JsonlSink` — one JSON object per event per line, append-only;
+  :func:`read_jsonl_events` parses a log back into typed events.
+* :class:`TextfileSink` — Prometheus-style textfile exporter.  It keeps
+  the last :class:`~repro.obs.events.MetricsReport` it sees and renders
+  it on ``close()``; :func:`parse_textfile` inverts the format back into
+  a metric snapshot (and help texts), so the in-memory model round-trips.
+
+Textfile conventions (node-exporter textfile-collector compatible):
+``# HELP``/``# TYPE`` headers per family, ``kind timer`` families expand
+to ``<name>_total`` / ``<name>_count`` / ``<name>_max`` samples, and
+gauges also export their ``<name>_high_water`` mark.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.events import MetricsReport, TelemetryEvent, decode_event, encode_event
+from repro.obs.metrics import (
+    COUNTER,
+    GAUGE,
+    TIMER,
+    Snapshot,
+    format_series,
+    parse_series,
+)
+
+
+class TelemetrySink:
+    """Base sink: receives typed events; subclasses decide what to keep."""
+
+    enabled = True
+
+    def emit(self, event: TelemetryEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class NullSink(TelemetrySink):
+    """Discard everything; ``enabled`` is False so hot paths skip work."""
+
+    enabled = False
+
+    def emit(self, event: TelemetryEvent) -> None:
+        pass
+
+
+#: Shared default sink — telemetry off.
+NULL_SINK = NullSink()
+
+
+class InMemorySink(TelemetrySink):
+    """Keep every event in order; the reference model for round-trip tests."""
+
+    def __init__(self) -> None:
+        self.events: List[TelemetryEvent] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: type) -> List[TelemetryEvent]:
+        """Events of one type, in emission order."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def metrics(self) -> Optional[Snapshot]:
+        """The last :class:`MetricsReport` snapshot, if one was emitted."""
+        reports = self.of_type(MetricsReport)
+        return reports[-1].metrics if reports else None
+
+
+class JsonlSink(TelemetrySink):
+    """Append one JSON object per event to ``path`` (created eagerly)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "w")
+
+    def emit(self, event: TelemetryEvent) -> None:
+        if self._fh is None:
+            raise ValueError(f"JsonlSink({self.path!r}) is closed")
+        json.dump(encode_event(event), self._fh, sort_keys=True)
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_jsonl_events(path: str) -> List[TelemetryEvent]:
+    """Parse a :class:`JsonlSink` log back into typed events."""
+    events: List[TelemetryEvent] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(decode_event(json.loads(line)))
+            except (json.JSONDecodeError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad telemetry line: {exc}") from exc
+    return events
+
+
+# -- Prometheus-style textfile ------------------------------------------------
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _unescape_label(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _sample_line(name: str, labels: Mapping[str, str], value: float) -> str:
+    if labels:
+        inner = ",".join(
+            f'{k}="{_escape_label(str(labels[k]))}"' for k in sorted(labels)
+        )
+        return f"{name}{{{inner}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def render_textfile(snapshot: Snapshot, help_texts: Optional[Mapping[str, str]] = None) -> str:
+    """Render a metric snapshot in Prometheus textfile exposition format."""
+    by_family: Dict[str, List[Tuple[Dict[str, str], Dict[str, Any]]]] = {}
+    kinds: Dict[str, str] = {}
+    for series_key in sorted(snapshot):
+        blob = snapshot[series_key]
+        name, labels = parse_series(series_key)
+        if kinds.setdefault(name, blob["kind"]) != blob["kind"]:
+            raise ValueError(f"family {name!r} mixes kinds in snapshot")
+        by_family.setdefault(name, []).append((labels, blob))
+    lines: List[str] = []
+    for name in sorted(by_family):
+        help_text = (help_texts or {}).get(name, "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        kind = kinds[name]
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, blob in by_family[name]:
+            if kind == COUNTER:
+                lines.append(_sample_line(name, labels, blob["value"]))
+            elif kind == GAUGE:
+                lines.append(_sample_line(name, labels, blob["value"]))
+                lines.append(
+                    _sample_line(f"{name}_high_water", labels, blob["high_water"])
+                )
+            else:  # timer
+                lines.append(_sample_line(f"{name}_total", labels, blob["total_seconds"]))
+                lines.append(_sample_line(f"{name}_count", labels, blob["count"]))
+                lines.append(_sample_line(f"{name}_max", labels, blob["max_seconds"]))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_sample(line: str) -> Tuple[str, Dict[str, str], float]:
+    """Split one exposition line into (series name, labels, value)."""
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        body, _, tail = rest.rpartition("}")
+        labels: Dict[str, str] = {}
+        if body:
+            for part in body.split(","):
+                key, _, raw = part.partition("=")
+                labels[key.strip()] = _unescape_label(raw.strip().strip('"'))
+        value_text = tail.strip()
+    else:
+        name, _, value_text = line.partition(" ")
+        labels = {}
+    value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+    if value.is_integer():
+        # Counters/gauges written from ints must compare equal on reload.
+        return name.strip(), labels, int(value)
+    return name.strip(), labels, value
+
+
+def parse_textfile(text: str) -> Tuple[Snapshot, Dict[str, str]]:
+    """Invert :func:`render_textfile`: ``(snapshot, help_texts)``.
+
+    Timer families reassemble from their ``_total``/``_count``/``_max``
+    samples and gauges from their value + ``_high_water`` pair, guided by
+    the ``# TYPE`` declarations.
+    """
+    kinds: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            kinds[name] = kind.strip()
+        elif line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+        elif line.startswith("#"):
+            continue
+        else:
+            samples.append(_parse_sample(line))
+    # Map each possible sample name to (family, slot in the blob).
+    slots: Dict[str, Tuple[str, str]] = {}
+    for name, kind in kinds.items():
+        if kind == COUNTER:
+            slots[name] = (name, "value")
+        elif kind == GAUGE:
+            slots[name] = (name, "value")
+            slots[f"{name}_high_water"] = (name, "high_water")
+        elif kind == TIMER:
+            slots[f"{name}_total"] = (name, "total_seconds")
+            slots[f"{name}_count"] = (name, "count")
+            slots[f"{name}_max"] = (name, "max_seconds")
+        else:
+            raise ValueError(f"unknown TYPE {kind!r} for family {name!r}")
+    defaults = {
+        COUNTER: lambda: {"kind": COUNTER, "value": 0},
+        GAUGE: lambda: {"kind": GAUGE, "value": 0, "high_water": 0},
+        TIMER: lambda: {"kind": TIMER, "total_seconds": 0.0, "count": 0, "max_seconds": 0.0},
+    }
+    snapshot: Snapshot = {}
+    for sample_name, labels, value in samples:
+        if sample_name not in slots:
+            raise ValueError(f"sample {sample_name!r} has no # TYPE declaration")
+        family, slot = slots[sample_name]
+        series_key = format_series(family, labels)
+        blob = snapshot.setdefault(series_key, defaults[kinds[family]]())
+        blob[slot] = value
+    return snapshot, helps
+
+
+class TextfileSink(TelemetrySink):
+    """Write the final metric snapshot to ``path`` in textfile format.
+
+    Ordinary events are dropped — this sink exports metrics, and the
+    metric registry arrives as the terminal :class:`MetricsReport` that
+    ``Telemetry.close()`` emits.  The file is (re)written atomically-ish
+    on ``close()``: last report wins, matching node-exporter textfile
+    collector semantics where each scrape sees one consistent snapshot.
+    """
+
+    def __init__(self, path: str, help_texts: Optional[Mapping[str, str]] = None):
+        self.path = path
+        self.help_texts = dict(help_texts or {})
+        self._last: Optional[Snapshot] = None
+        self._closed = False
+
+    def emit(self, event: TelemetryEvent) -> None:
+        if self._closed:
+            raise ValueError(f"TextfileSink({self.path!r}) is closed")
+        if isinstance(event, MetricsReport):
+            self._last = event.metrics
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with open(self.path, "w") as fh:
+            fh.write(render_textfile(self._last or {}, self.help_texts))

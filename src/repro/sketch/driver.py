@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.parallel import parallel_map, resolve_workers
+from repro.obs.events import MergeCompleted, RunFinished, RunStarted, ShardPassFinished
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sketch.checkpoint import Checkpoint, CheckpointConfig
 from repro.sketch.merge import merge_states
 from repro.sketch.shard import StreamShard, partition_stream
@@ -151,6 +153,7 @@ def run_sharded(
     merge_seed: Optional[int] = None,
     checkpoint: Optional[CheckpointConfig] = None,
     resume_from: Optional[Checkpoint] = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> ShardRunResult:
     """Run ``algorithm`` over ``stream`` shard-and-merge style.
 
@@ -160,6 +163,11 @@ def run_sharded(
     inspectable exactly as after a conventional run.  ``merge_seed``
     drives the randomised parts of merging (per pass, statelessly derived,
     so a resumed run merges identically); the default is deterministic.
+
+    ``telemetry`` records per-shard pass completions, merge boundaries and
+    the fleet-wide space picture; shard *workers* run with the default
+    null telemetry (their peaks come home in :class:`ShardPassResult`),
+    so only the driver process emits events.
     """
     if not supports_snapshot(algorithm):
         raise SketchStateError(
@@ -182,6 +190,15 @@ def run_sharded(
         if resume_from.meter_state:
             meter.load_state_dict(resume_from.meter_state)
 
+    if telemetry.enabled:
+        telemetry.emit(
+            RunStarted(
+                algorithm=type(algorithm).__name__,
+                passes=algorithm.n_passes,
+                pairs_per_pass=sum(len(shard) for shard in shards),
+            )
+        )
+
     base_seed = 0 if merge_seed is None else int(merge_seed)
     # repro-lint: disable=DET003 -- wall-time telemetry for ShardRunResult only; never touches sketch state
     start = time.perf_counter()
@@ -198,18 +215,40 @@ def run_sharded(
         ]
         results = parallel_map(_run_shard_pass, tasks, workers=workers)
         for result in results:
+            if telemetry.enabled:
+                telemetry.emit(
+                    ShardPassFinished(
+                        shard_index=result.shard_index,
+                        pass_index=pass_index,
+                        pairs=result.pairs,
+                        peak_space_words=result.peak_space_words,
+                    )
+                )
+                telemetry.count(
+                    "shard_pairs_total", result.pairs,
+                    help="adjacency pairs consumed by shard workers",
+                    shard=str(result.shard_index),
+                )
+                telemetry.set_gauge(
+                    "shard_peak_space_words", result.peak_space_words,
+                    help="per-shard peak live state in machine words",
+                    shard=str(result.shard_index),
+                )
             meter.observe(result.peak_space_words)
         state = merge_states(
             [result.state for result in results],
             base=state,
             seed=derive_seed(base_seed, pass_index),
         )
+        if telemetry.enabled:
+            telemetry.emit(MergeCompleted(pass_index=pass_index, n_shards=len(results)))
+            telemetry.count("shard_merges_total", help="pass-boundary shard merges")
         if checkpoint is not None:
             checkpoint.write(state, pass_index + 1, 0, meter.state_dict())
     elapsed = time.perf_counter() - start  # repro-lint: disable=DET003 -- telemetry field, mirrors streaming/runner.py
 
     algorithm.restore(state)
-    return ShardRunResult(
+    shard_result = ShardRunResult(
         estimate=algorithm.result(),
         passes=algorithm.n_passes,
         n_shards=len(shards),
@@ -221,3 +260,23 @@ def run_sharded(
         mean_space_words=meter.mean_words,
         wall_time_seconds=elapsed,
     )
+    if telemetry.enabled:
+        telemetry.set_gauge(
+            "run_peak_space_words", shard_result.peak_space_words,
+            help="largest per-shard peak, matching ShardRunResult",
+        )
+        telemetry.emit(
+            RunFinished(
+                estimate=shard_result.estimate,
+                peak_space_words=shard_result.peak_space_words,
+                mean_space_words=shard_result.mean_space_words,
+                passes=shard_result.passes,
+                pairs=shard_result.pairs_per_pass * shard_result.passes,
+                seconds=elapsed,
+                pairs_per_second=(
+                    shard_result.pairs_per_pass * shard_result.passes / elapsed
+                    if elapsed > 0 else 0.0
+                ),
+            )
+        )
+    return shard_result

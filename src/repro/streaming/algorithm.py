@@ -88,6 +88,17 @@ class StreamingAlgorithm(abc.ABC):
     def space_words(self) -> int:
         """Return the current live state size in machine words."""
 
+    def observables(self) -> "dict[str, float]":
+        """Named internal gauges for telemetry (occupancy, churn, ...).
+
+        Algorithms with interesting internal structure (samplers,
+        reservoirs, watcher tables) override this to expose readings like
+        ``edge_sample_occupancy`` or ``pair_reservoir_evictions``.  The
+        instrumented runner polls it only when telemetry is enabled, so
+        implementations may do a little work but must not mutate state.
+        """
+        return {}
+
     # -- sketch state protocol (opt-in) -------------------------------------
 
     def snapshot(self) -> "SketchState":

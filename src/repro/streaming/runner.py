@@ -29,6 +29,15 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
+from repro.obs.events import (
+    OccupancySample,
+    PassFinished,
+    PassStarted,
+    RunFinished,
+    RunStarted,
+    SpaceHighWater,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.streaming.algorithm import StreamingAlgorithm
 from repro.streaming.space import SpaceMeter
 from repro.streaming.stream import AdjacencyListStream
@@ -88,6 +97,7 @@ def run_single_pass(
     *,
     space_poll_interval: int = 1,
     use_fast_path: Optional[bool] = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> SpaceMeter:
     """Run exactly one pass of ``algorithm`` over an adjacency-list slice.
 
@@ -95,12 +105,21 @@ def run_single_pass(
     ``iter_lists()`` or one shard's slice of it.  Calls ``begin_pass`` and
     ``end_pass`` around the slice; the shard-and-merge driver is the main
     consumer.  Returns the meter used.
+
+    ``telemetry`` receives pass-boundary, throughput, space high-water and
+    occupancy events; the default :data:`NULL_TELEMETRY` keeps the loop's
+    extra cost to one attribute lookup per poll.
     """
     if space_poll_interval < 1:
         raise ValueError("space_poll_interval must be at least 1")
     meter = meter if meter is not None else SpaceMeter()
     fast, skip_pairs = _dispatch_flags(algorithm, use_fast_path)
+    if telemetry.enabled:
+        telemetry.emit(PassStarted(pass_index=pass_index))
+    pass_start = time.perf_counter()
     algorithm.begin_pass(pass_index)
+    lists_done = 0
+    pairs_run = 0
     lists_since_poll = 0
     for vertex, neighbors in lists:
         algorithm.begin_list(vertex)
@@ -112,13 +131,93 @@ def run_single_pass(
             for nbr in neighbors:
                 process(vertex, nbr)
         algorithm.end_list(vertex, neighbors)
+        pairs_run += len(neighbors)
+        lists_done += 1
         lists_since_poll += 1
         if lists_since_poll >= space_poll_interval:
-            meter.observe(algorithm.space_words())
+            words = algorithm.space_words()
+            if telemetry.enabled:
+                _record_poll(telemetry, algorithm, meter, pass_index, lists_done, words)
+            meter.observe(words)
             lists_since_poll = 0
     algorithm.end_pass(pass_index)
-    meter.observe(algorithm.space_words())
+    words = algorithm.space_words()
+    if telemetry.enabled:
+        _record_poll(telemetry, algorithm, meter, pass_index, lists_done, words)
+        _record_pass_end(
+            telemetry, pass_index, lists_done, pairs_run,
+            time.perf_counter() - pass_start, words,
+        )
+    meter.observe(words)
     return meter
+
+
+def _record_poll(
+    telemetry: Telemetry,
+    algorithm: StreamingAlgorithm,
+    meter: SpaceMeter,
+    pass_index: int,
+    lists_done: int,
+    words: int,
+) -> None:
+    """Telemetry work at one space-poll site (enabled path only).
+
+    Must run *before* ``meter.observe(words)`` so the high-water test
+    compares against the peak excluding the current reading.
+    """
+    if words > meter.peak_words:
+        telemetry.emit(
+            SpaceHighWater(pass_index=pass_index, lists_done=lists_done, words=words)
+        )
+    telemetry.set_gauge(
+        "stream_space_words",
+        words,
+        help="algorithm live state in machine words, polled per list batch",
+    )
+    gauges = algorithm.observables()
+    if gauges:
+        telemetry.emit(
+            OccupancySample(
+                pass_index=pass_index, lists_done=lists_done, gauges=dict(gauges)
+            )
+        )
+
+
+def _record_pass_end(
+    telemetry: Telemetry,
+    pass_index: int,
+    lists_done: int,
+    pairs_run: int,
+    seconds: float,
+    words: int,
+) -> None:
+    """Pass-boundary telemetry: throughput event plus per-pass metrics."""
+    label = str(pass_index)
+    telemetry.emit(
+        PassFinished(
+            pass_index=pass_index,
+            lists=lists_done,
+            pairs=pairs_run,
+            seconds=seconds,
+            pairs_per_second=pairs_run / seconds if seconds > 0 else 0.0,
+        )
+    )
+    telemetry.count(
+        "stream_pairs_total", pairs_run,
+        help="adjacency pairs consumed", pass_index=label,
+    )
+    telemetry.count(
+        "stream_lists_total", lists_done,
+        help="adjacency lists consumed", pass_index=label,
+    )
+    telemetry.set_gauge(
+        "stream_pass_space_words", words,
+        help="live state in machine words at the pass boundary", pass_index=label,
+    )
+    telemetry.observe_seconds(
+        "stream_pass_seconds", seconds,
+        help="wall time of one stream pass", pass_index=label,
+    )
 
 
 def run_algorithm(
@@ -130,6 +229,7 @@ def run_algorithm(
     use_fast_path: Optional[bool] = None,
     checkpoint=None,
     resume_from=None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> RunResult:
     """Run ``algorithm`` for its declared number of passes over ``stream``.
 
@@ -145,6 +245,12 @@ def run_algorithm(
     :class:`~repro.sketch.checkpoint.Checkpoint`) restores the algorithm
     and fast-forwards the stream to the recorded position before running.
     Both require the algorithm to implement the sketch state protocol.
+
+    ``telemetry`` streams run/pass boundaries, per-pass throughput, space
+    high-water marks and sampler occupancy as typed events, and folds the
+    same facts into its metric registry.  The default
+    :data:`NULL_TELEMETRY` adds one attribute lookup per poll site and
+    pass boundary — nothing on the per-pair path.
     """
     if space_poll_interval < 1:
         raise ValueError("space_poll_interval must be at least 1")
@@ -159,10 +265,23 @@ def run_algorithm(
         if resume_from.meter_state:
             meter.load_state_dict(resume_from.meter_state)
 
+    if telemetry.enabled:
+        telemetry.emit(
+            RunStarted(
+                algorithm=type(algorithm).__name__,
+                passes=algorithm.n_passes,
+                pairs_per_pass=len(stream),
+            )
+        )
+
     start = time.perf_counter()
     pairs_run = 0
     for pass_index in range(start_pass, algorithm.n_passes):
         resuming_mid_pass = pass_index == start_pass and skip_lists > 0
+        if telemetry.enabled:
+            telemetry.emit(PassStarted(pass_index=pass_index))
+        pass_start = time.perf_counter()
+        pairs_before = pairs_run
         if not resuming_mid_pass:
             # A mid-pass checkpoint was taken after begin_pass ran, so its
             # effects are already inside the restored state.
@@ -186,21 +305,33 @@ def run_algorithm(
             lists_done += 1
             lists_since_poll += 1
             if lists_since_poll >= space_poll_interval:
-                meter.observe(algorithm.space_words())
+                words = algorithm.space_words()
+                if telemetry.enabled:
+                    _record_poll(
+                        telemetry, algorithm, meter, pass_index, lists_done, words
+                    )
+                meter.observe(words)
                 lists_since_poll = 0
             if checkpoint is not None and lists_done % checkpoint.every_lists == 0:
                 checkpoint.write(
                     algorithm.snapshot(), pass_index, lists_done, meter.state_dict()
                 )
         algorithm.end_pass(pass_index)
-        meter.observe(algorithm.space_words())
+        words = algorithm.space_words()
+        if telemetry.enabled:
+            _record_poll(telemetry, algorithm, meter, pass_index, lists_done, words)
+            _record_pass_end(
+                telemetry, pass_index, lists_done, pairs_run - pairs_before,
+                time.perf_counter() - pass_start, words,
+            )
+        meter.observe(words)
         if checkpoint is not None:
             # Pass-boundary checkpoint: resume starts the next pass cleanly.
             checkpoint.write(
                 algorithm.snapshot(), pass_index + 1, 0, meter.state_dict()
             )
     elapsed = time.perf_counter() - start
-    return RunResult(
+    result = RunResult(
         estimate=algorithm.result(),
         peak_space_words=meter.peak_words,
         mean_space_words=meter.mean_words,
@@ -210,3 +341,20 @@ def run_algorithm(
         pairs_per_second=pairs_run / elapsed if elapsed > 0 else 0.0,
         used_fast_path=fast,
     )
+    if telemetry.enabled:
+        telemetry.set_gauge(
+            "run_peak_space_words", result.peak_space_words,
+            help="peak live state over the whole run, matching RunResult",
+        )
+        telemetry.emit(
+            RunFinished(
+                estimate=result.estimate,
+                peak_space_words=result.peak_space_words,
+                mean_space_words=result.mean_space_words,
+                passes=result.passes,
+                pairs=pairs_run,
+                seconds=elapsed,
+                pairs_per_second=result.pairs_per_second,
+            )
+        )
+    return result

@@ -1,0 +1,128 @@
+"""Metric families: instruments, snapshots, merge and strip semantics."""
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNTER,
+    GAUGE,
+    TIMER,
+    MetricRegistry,
+    format_series,
+    merge_snapshots,
+    parse_series,
+    strip_timers,
+)
+
+
+def test_series_key_round_trip():
+    key = format_series("stream_pairs_total", {"pass": "0", "shard": "3"})
+    assert key == "stream_pairs_total{pass=0,shard=3}"
+    assert parse_series(key) == ("stream_pairs_total", {"pass": "0", "shard": "3"})
+    assert parse_series("bare_name") == ("bare_name", {})
+
+
+def test_counter_monotonic():
+    registry = MetricRegistry()
+    counter = registry.counter("events_total").labels()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_tracks_high_water():
+    gauge = MetricRegistry().gauge("space_words").labels()
+    gauge.set(10)
+    gauge.set(3)
+    assert gauge.value == 3
+    assert gauge.high_water == 10
+
+
+def test_timer_accumulates():
+    timer = MetricRegistry().timer("pass_seconds").labels()
+    timer.observe(0.5)
+    timer.observe(0.25)
+    assert timer.total_seconds == 0.75
+    assert timer.count == 2
+    assert timer.max_seconds == 0.5
+    with pytest.raises(ValueError):
+        timer.observe(-0.1)
+
+
+def test_timer_context_manager():
+    timer = MetricRegistry().timer("block_seconds").labels()
+    with timer.time():
+        pass
+    assert timer.count == 1
+    assert timer.total_seconds >= 0
+
+
+def test_labelled_series_are_independent():
+    registry = MetricRegistry()
+    family = registry.counter("pairs_total", labelnames=("pass",))
+    family.labels(**{"pass": "0"}).inc(7)
+    family.labels(**{"pass": "1"}).inc(2)
+    snap = registry.snapshot()
+    assert snap["pairs_total{pass=0}"]["value"] == 7
+    assert snap["pairs_total{pass=1}"]["value"] == 2
+    with pytest.raises(ValueError):
+        family.labels(wrong="x")
+
+
+def test_kind_conflict_rejected():
+    registry = MetricRegistry()
+    registry.counter("thing")
+    with pytest.raises(ValueError):
+        registry.gauge("thing")
+
+
+def test_snapshot_load_round_trip():
+    registry = MetricRegistry()
+    registry.counter("a_total").labels().inc(3)
+    g = registry.gauge("b_words").labels()
+    g.set(9)
+    g.set(2)
+    registry.timer("c_seconds").labels().observe(1.5)
+    snap = registry.snapshot()
+
+    reloaded = MetricRegistry()
+    reloaded.load_snapshot(snap)
+    assert reloaded.snapshot() == snap
+
+
+def test_merge_snapshots_semantics():
+    a = {
+        "pairs_total": {"kind": COUNTER, "value": 10},
+        "space": {"kind": GAUGE, "value": 5, "high_water": 8},
+        "t": {"kind": TIMER, "total_seconds": 1.0, "count": 2, "max_seconds": 0.8},
+    }
+    b = {
+        "pairs_total": {"kind": COUNTER, "value": 4},
+        "space": {"kind": GAUGE, "value": 7, "high_water": 7},
+        "t": {"kind": TIMER, "total_seconds": 0.5, "count": 1, "max_seconds": 0.5},
+    }
+    merged = merge_snapshots([a, b])
+    assert merged["pairs_total"]["value"] == 14
+    assert merged["space"] == {"kind": GAUGE, "value": 7, "high_water": 8}
+    assert merged["t"] == {
+        "kind": TIMER, "total_seconds": 1.5, "count": 3, "max_seconds": 0.8,
+    }
+    # inputs untouched
+    assert a["pairs_total"]["value"] == 10
+
+
+def test_merge_rejects_kind_conflicts():
+    with pytest.raises(ValueError):
+        merge_snapshots([
+            {"x": {"kind": COUNTER, "value": 1}},
+            {"x": {"kind": GAUGE, "value": 1, "high_water": 1}},
+        ])
+
+
+def test_strip_timers():
+    snap = {
+        "a_total": {"kind": COUNTER, "value": 1},
+        "t": {"kind": TIMER, "total_seconds": 1.0, "count": 1, "max_seconds": 1.0},
+    }
+    assert set(strip_timers(snap)) == {"a_total"}

@@ -1,0 +1,143 @@
+"""Sink round-trips: JSONL event logs, Prometheus textfiles, null no-ops."""
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    MetricsReport,
+    PassFinished,
+    RunStarted,
+    SpaceHighWater,
+    decode_event,
+    encode_event,
+)
+from repro.obs.metrics import MetricRegistry
+from repro.obs.sinks import (
+    NULL_SINK,
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    TextfileSink,
+    parse_textfile,
+    read_jsonl_events,
+    render_textfile,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, open_telemetry
+
+EVENTS = [
+    RunStarted(algorithm="TwoPassTriangleCounter", passes=2, pairs_per_pass=550),
+    SpaceHighWater(pass_index=0, lists_done=3, words=17),
+    PassFinished(pass_index=0, lists=100, pairs=550, seconds=0.01, pairs_per_second=55000.0),
+    MetricsReport(metrics={"pairs_total": {"kind": "counter", "value": 550}}),
+]
+
+
+def test_event_codec_round_trip():
+    for event in EVENTS:
+        blob = encode_event(event)
+        assert blob["event"] == type(event).__name__
+        assert decode_event(blob) == event
+
+
+def test_decode_rejects_unknown_type_and_fields():
+    with pytest.raises(ValueError):
+        decode_event({"event": "NoSuchEvent"})
+    with pytest.raises(ValueError):
+        decode_event({"event": "PassStarted", "pass_index": 0, "bogus": 1})
+    assert len(EVENT_TYPES) == 10
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    sink = JsonlSink(path)
+    for event in EVENTS:
+        sink.emit(event)
+    sink.close()
+    assert read_jsonl_events(path) == EVENTS
+    with pytest.raises(ValueError):
+        sink.emit(EVENTS[0])
+
+
+def test_jsonl_reader_flags_bad_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"event": "PassStarted", "pass_index": 0}\nnot json\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        read_jsonl_events(str(path))
+
+
+def test_in_memory_sink_filters():
+    sink = InMemorySink()
+    for event in EVENTS:
+        sink.emit(event)
+    assert sink.of_type(SpaceHighWater) == [EVENTS[1]]
+    assert sink.metrics() == {"pairs_total": {"kind": "counter", "value": 550}}
+
+
+def test_null_sink_is_disabled_no_op():
+    assert NullSink.enabled is False
+    assert NULL_SINK.emit(EVENTS[0]) is None
+    NULL_SINK.close()
+
+
+def test_null_telemetry_records_nothing():
+    assert NULL_TELEMETRY.enabled is False
+    NULL_TELEMETRY.count("x_total")
+    NULL_TELEMETRY.set_gauge("y", 3)
+    NULL_TELEMETRY.observe_seconds("z_seconds", 0.1)
+    NULL_TELEMETRY.emit(EVENTS[0])
+    NULL_TELEMETRY.close()
+    assert NULL_TELEMETRY.metrics_snapshot() == {}
+
+
+def test_textfile_round_trip():
+    registry = MetricRegistry()
+    family = registry.counter("pairs_total", help="pairs consumed", labelnames=("pass",))
+    family.labels(**{"pass": "0"}).inc(550)
+    family.labels(**{"pass": "1"}).inc(550)
+    gauge = registry.gauge("space_words", help="live space").labels()
+    gauge.set(12)
+    gauge.set(7)
+    registry.timer("pass_seconds").labels().observe(0.25)
+    snapshot = registry.snapshot()
+    text = render_textfile(snapshot, {"pairs_total": "pairs consumed"})
+
+    assert "# HELP pairs_total pairs consumed" in text
+    assert "# TYPE pairs_total counter" in text
+    assert 'pairs_total{pass="0"} 550' in text
+    assert "space_words_high_water 12" in text
+    assert "pass_seconds_count 1" in text
+
+    parsed, helps = parse_textfile(text)
+    assert parsed == snapshot
+    assert helps == {"pairs_total": "pairs consumed"}
+
+
+def test_textfile_sink_writes_last_report(tmp_path):
+    path = str(tmp_path / "metrics.prom")
+    sink = TextfileSink(path)
+    sink.emit(MetricsReport(metrics={"a_total": {"kind": "counter", "value": 1}}))
+    sink.emit(MetricsReport(metrics={"a_total": {"kind": "counter", "value": 2}}))
+    sink.close()
+    with open(path) as fh:
+        snapshot, _ = parse_textfile(fh.read())
+    assert snapshot == {"a_total": {"kind": "counter", "value": 2}}
+
+
+def test_telemetry_close_emits_final_metrics_report():
+    sink = InMemorySink()
+    telemetry = Telemetry(sink=sink)
+    telemetry.count("events_total", 3)
+    telemetry.close()
+    telemetry.close()  # idempotent
+    reports = sink.of_type(MetricsReport)
+    assert len(reports) == 1
+    assert reports[0].metrics["events_total"]["value"] == 3
+
+
+def test_open_telemetry_picks_sink_by_extension(tmp_path):
+    jsonl = open_telemetry(str(tmp_path / "log.jsonl"))
+    assert isinstance(jsonl.sink, JsonlSink)
+    jsonl.close()
+    prom = open_telemetry(str(tmp_path / "metrics.prom"))
+    assert isinstance(prom.sink, TextfileSink)
+    prom.close()
