@@ -67,5 +67,9 @@ class NaiveSamplingTriangleCounter(StreamingAlgorithm):
             return 0.0
         return (m / sampled) * self._hits / 3.0
 
+    def current_estimate(self) -> float:
+        """Anytime estimate: the unbiased formula on the hits so far."""
+        return self.result()
+
     def space_words(self) -> int:
         return self._sampler.space_words() + 2

@@ -13,6 +13,9 @@ Installed as ``repro-cycles``.  Subcommands:
 * ``bench-report`` — compare benchmark artifacts (``BENCH_*.json`` or
   ``.jsonl`` telemetry logs) against baselines and exit non-zero on
   regression (the CI perf gate; see ``repro.obs.bench_report``);
+* ``obs-report`` — render a run report (phase timeline, throughput,
+  convergence curves) from a telemetry log and/or trace file (see
+  ``docs/OBSERVABILITY.md``);
 * ``lint`` — alias for the ``repro-lint`` static analyser (determinism and
   sketch-state contracts; see ``docs/LINTING.md``).
 
@@ -23,7 +26,8 @@ Examples::
     repro-cycles count g.adj --length 4 --algorithm exact
     repro-cycles count g.adj --length 4 --shards 4 --workers 0
     repro-cycles count g.adj --checkpoint run.ckpt --resume
-    repro-cycles count g.adj --telemetry run.jsonl
+    repro-cycles count g.adj --telemetry run.jsonl --trace run.trace
+    repro-cycles obs-report --log run.jsonl --trace run.trace --format html --out report.html
     repro-cycles experiment table1
     repro-cycles bench-report fresh/BENCH_parallel.json --against BENCH_parallel.json
 """
@@ -145,7 +149,7 @@ def _checkpoint_setup(args, algo, stream):
     return config, resume
 
 
-def _count_sharded(args, graph: Graph, stream: AdjacencyListStream, telemetry) -> int:
+def _count_sharded(args, graph: Graph, stream: AdjacencyListStream, telemetry, tracer) -> int:
     """The ``--shards N`` path: shard-and-merge execution of a two-pass counter."""
     from repro.sketch.driver import run_sharded
 
@@ -171,6 +175,7 @@ def _count_sharded(args, graph: Graph, stream: AdjacencyListStream, telemetry) -
         checkpoint=config,
         resume_from=resume,
         telemetry=telemetry,
+        tracer=tracer,
     )
     print(f"graph: n={graph.n} m={graph.m}")
     print(f"estimated {args.length}-cycles: {result.estimate:.1f}")
@@ -185,25 +190,44 @@ def _count_sharded(args, graph: Graph, stream: AdjacencyListStream, telemetry) -
 def cmd_count(args) -> int:
     """Estimate a graph file's cycle count and print estimate + space."""
     from repro.obs.telemetry import NULL_TELEMETRY, open_telemetry
+    from repro.obs.trace import NULL_TRACER, Tracer, write_chrome_trace
 
     graph = _read_graph(args.input, args.format)
     stream = AdjacencyListStream(graph, seed=args.seed)
-    telemetry = open_telemetry(args.telemetry) if args.telemetry else NULL_TELEMETRY
-    try:
-        if args.shards > 1:
-            return _count_sharded(args, graph, stream, telemetry)
-        factory = _build_counter(args, graph)
-        algo = (
-            MedianBoosted(factory, copies=args.copies, seed=args.seed)
-            if args.copies > 1
-            else factory(args.seed)
-        )
-        config, resume = _checkpoint_setup(args, algo, stream)
-        result = run_algorithm(
-            algo, stream, checkpoint=config, resume_from=resume, telemetry=telemetry
-        )
-    finally:
-        telemetry.close()
+    if args.telemetry:
+        try:
+            telemetry = open_telemetry(args.telemetry)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    else:
+        telemetry = NULL_TELEMETRY
+    tracer = (
+        Tracer(seed=args.seed, telemetry=telemetry if telemetry.enabled else None)
+        if args.trace
+        else NULL_TRACER
+    )
+    # The telemetry context flushes and closes the sink even when the run
+    # dies mid-stream, so a failed run still leaves a parseable JSONL log;
+    # the trace file is likewise written on the way out of a failing run.
+    with telemetry:
+        try:
+            with tracer:
+                if args.shards > 1:
+                    return _count_sharded(args, graph, stream, telemetry, tracer)
+                factory = _build_counter(args, graph)
+                algo = (
+                    MedianBoosted(factory, copies=args.copies, seed=args.seed)
+                    if args.copies > 1
+                    else factory(args.seed)
+                )
+                config, resume = _checkpoint_setup(args, algo, stream)
+                result = run_algorithm(
+                    algo, stream, checkpoint=config, resume_from=resume,
+                    telemetry=telemetry, tracer=tracer,
+                )
+        finally:
+            if args.trace and tracer.spans:
+                write_chrome_trace(args.trace, tracer.spans)
     print(f"graph: n={graph.n} m={graph.m}")
     print(f"estimated {args.length}-cycles: {result.estimate:.1f}")
     print(
@@ -296,6 +320,13 @@ def cmd_bench_report(args) -> int:
     return run_report(args)
 
 
+def cmd_obs_report(args) -> int:
+    """Render a run report from telemetry / trace files; exit 2 on bad input."""
+    from repro.obs.obs_report import run_obs_report
+
+    return run_obs_report(args)
+
+
 def cmd_lint(args) -> int:
     """Alias for the ``repro-lint`` console script (same flags, same codes)."""
     from repro.lint.cli import main as lint_main
@@ -359,6 +390,15 @@ def build_parser() -> argparse.ArgumentParser:
         "Prometheus-style textfile); omit for the zero-overhead null sink",
     )
     count.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a hierarchical span trace to PATH as Chrome trace-event "
+        "JSON (load in Perfetto / chrome://tracing); span identity derives "
+        "from --seed and structure, so serial and parallel runs trace "
+        "identically modulo timings",
+    )
+    count.add_argument(
         "--resume",
         action="store_true",
         help="resume from --checkpoint PATH if it exists (fresh run otherwise); "
@@ -419,6 +459,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build_bench_parser(bench)
     bench.set_defaults(func=cmd_bench_report)
+
+    from repro.obs.obs_report import build_parser as build_obs_parser
+
+    obs = sub.add_parser(
+        "obs-report",
+        help="render a run report from telemetry and/or trace files",
+        description="Render a self-contained run report (phase timeline, "
+        "throughput, sampler occupancy, convergence curves) from a "
+        "--telemetry JSONL log and/or a --trace Chrome trace file.  "
+        "Formats: text, markdown, html (single file, CI-artifact ready).",
+    )
+    build_obs_parser(obs)
+    obs.set_defaults(func=cmd_obs_report)
 
     lint = sub.add_parser(
         "lint",

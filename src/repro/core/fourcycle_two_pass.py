@@ -305,6 +305,14 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
             return scale * len(self._distinct_cycles)
         return scale * self._multiplicity_total / 4.0
 
+    def current_estimate(self) -> float:
+        """Anytime estimate: ``result()`` is well defined on partial state.
+
+        Zero until wedges are collected; converges to the final value as
+        pass 2 resolves cycle completions.
+        """
+        return self.result()
+
     def observables(self) -> Dict[str, float]:
         """Occupancy and churn gauges for the instrumented runner."""
         return {

@@ -442,6 +442,14 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
         subsample_scale = max(self._candidate_total / q_size, 1.0)
         return self.scale_factor * subsample_scale * self.counted_pairs()
 
+    def current_estimate(self) -> float:
+        """Anytime estimate: ``result()`` is well defined on partial state.
+
+        Mid-pass-1 the reservoir is empty (estimate 0); during pass 2 the
+        estimate converges to the final value as counted pairs resolve.
+        """
+        return self.result()
+
     def observables(self) -> Dict[str, float]:
         """Occupancy and churn gauges for the instrumented runner."""
         watcher_count = sum(len(p.watchers) for p in self._reservoir.items())

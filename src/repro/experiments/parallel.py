@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.graph.graph import Graph
 from repro.obs.telemetry import Telemetry
+from repro.obs.trace import NULL_TRACER, TraceContext, Tracer
 from repro.streaming.algorithm import StreamingAlgorithm
 from repro.streaming.runner import run_algorithm
 from repro.streaming.stream import AdjacencyListStream
@@ -93,6 +94,10 @@ class TrialResult:
     snapshot (see :data:`repro.obs.metrics.Snapshot`) that crosses the
     process boundary with the result, so the parent can roll trial
     metrics up across workers (:func:`repro.obs.rollup.rollup_metrics`).
+    ``spans`` likewise is populated only under tracing
+    (``ExecutionConfig.trace_seed``): the trial's trace spans in wire
+    form (:func:`repro.obs.trace.encode_span`), adopted by the parent in
+    spec order so serial and pool schedules yield identical span trees.
     """
 
     index: int
@@ -100,6 +105,7 @@ class TrialResult:
     peak_space_words: int
     wall_time_seconds: float
     metrics: Optional[Dict[str, Dict[str, Any]]] = None
+    spans: Optional[List[Dict[str, Any]]] = None
 
 
 @dataclass(frozen=True)
@@ -119,9 +125,20 @@ class ExecutionConfig:
     #: metrics-only Telemetry inside each trial.  Off by default: the
     #: zero-overhead null path stays the norm for benchmarks.
     collect_metrics: bool = False
+    #: Record hierarchical trace spans per trial (``TrialResult.spans``)
+    #: under a ``run`` root with this trace seed; ``None`` (default) means
+    #: tracing off.  Span identity is structural, so serial and pool
+    #: execution of the same specs trace identically.
+    trace_seed: Optional[int] = None
 
     def resolved_workers(self) -> int:
         return resolve_workers(self.workers)
+
+    def trace_context(self) -> Optional[TraceContext]:
+        """The root context trials attach their ``trial:<i>`` spans to."""
+        if self.trace_seed is None:
+            return None
+        return TraceContext(seed=self.trace_seed, path="run")
 
 
 def trial_specs(rng: random.Random, budget: int, runs: int) -> List[TrialSpec]:
@@ -148,35 +165,55 @@ def run_trial(
     spec: TrialSpec,
     space_poll_interval: int = 1,
     collect_metrics: bool = False,
+    trace: Optional[TraceContext] = None,
 ) -> TrialResult:
     """Execute one trial: build the algorithm and stream, run, summarise.
 
     ``collect_metrics`` attaches a metrics-only :class:`Telemetry` (no
     sink — events are dropped, the registry accumulates) and ships its
-    snapshot home in ``TrialResult.metrics``.  Metrics never influence the
-    trial itself, so estimates are identical either way.
+    snapshot home in ``TrialResult.metrics``.  ``trace`` wraps the run in
+    a ``trial:<i>`` span continuing the parent tracer's position and
+    ships the recorded spans home in ``TrialResult.spans``.  Neither
+    influences the trial itself, so estimates are identical either way.
     """
     algorithm = factory(spec.budget, resolve_rng(spec.algo_seed))
     stream = AdjacencyListStream(graph, seed=resolve_rng(spec.stream_seed))
-    if collect_metrics:
-        telemetry = Telemetry(sink=None)
-        result = run_algorithm(
-            algorithm, stream,
-            space_poll_interval=space_poll_interval, telemetry=telemetry,
-        )
-        metrics: Optional[Dict[str, Dict[str, Any]]] = telemetry.metrics_snapshot()
-    else:
-        result = run_algorithm(
-            algorithm, stream, space_poll_interval=space_poll_interval
-        )
-        metrics = None
+    tracer = Tracer.from_context(trace) if trace is not None else NULL_TRACER
+    telemetry = Telemetry(sink=None) if collect_metrics else None
+    with tracer.span(f"trial:{spec.index}", category="trial", budget=spec.budget):
+        if telemetry is not None:
+            result = run_algorithm(
+                algorithm, stream,
+                space_poll_interval=space_poll_interval, telemetry=telemetry,
+                tracer=tracer,
+            )
+        else:
+            result = run_algorithm(
+                algorithm, stream,
+                space_poll_interval=space_poll_interval, tracer=tracer,
+            )
+    metrics = telemetry.metrics_snapshot() if telemetry is not None else None
     return TrialResult(
         index=spec.index,
         estimate=result.estimate,
         peak_space_words=result.peak_space_words,
         wall_time_seconds=result.wall_time_seconds,
         metrics=metrics,
+        spans=tracer.encoded_spans() if trace is not None else None,
     )
+
+
+def trial_spans(results: Sequence[TrialResult]) -> List[Dict[str, Any]]:
+    """Flatten per-trial span wire records in result (= spec) order.
+
+    Feed the return value to ``Tracer.adopt`` on a parent tracer built
+    with the batch's ``trace_seed`` to reassemble the full span tree.
+    """
+    spans: List[Dict[str, Any]] = []
+    for result in results:
+        if result.spans:
+            spans.extend(result.spans)
+    return spans
 
 
 # Per-worker state installed once by the pool initializer, so each task
@@ -185,6 +222,7 @@ _worker_factory: Optional[TrialFactory] = None
 _worker_graph: Optional[Graph] = None
 _worker_poll_interval: int = 1
 _worker_collect_metrics: bool = False
+_worker_trace: Optional[TraceContext] = None
 
 
 def _init_worker(
@@ -192,19 +230,22 @@ def _init_worker(
     graph: Graph,
     poll_interval: int,
     collect_metrics: bool = False,
+    trace: Optional[TraceContext] = None,
 ) -> None:
-    global _worker_factory, _worker_graph, _worker_poll_interval, _worker_collect_metrics
+    global _worker_factory, _worker_graph, _worker_poll_interval
+    global _worker_collect_metrics, _worker_trace
     _worker_factory = factory
     _worker_graph = graph
     _worker_poll_interval = poll_interval
     _worker_collect_metrics = collect_metrics
+    _worker_trace = trace
 
 
 def _run_in_worker(spec: TrialSpec) -> TrialResult:
     assert _worker_factory is not None and _worker_graph is not None
     return run_trial(
         _worker_factory, _worker_graph, spec,
-        _worker_poll_interval, _worker_collect_metrics,
+        _worker_poll_interval, _worker_collect_metrics, _worker_trace,
     )
 
 
@@ -236,9 +277,11 @@ class TrialExecutor:
         """Execute ``specs`` (in order) and return their results (in order)."""
         poll = self.config.space_poll_interval
         collect = self.config.collect_metrics
+        trace = self.config.trace_context()
         if self.workers <= 1 or len(specs) <= 1:
             return [
-                run_trial(self.factory, self.graph, s, poll, collect) for s in specs
+                run_trial(self.factory, self.graph, s, poll, collect, trace)
+                for s in specs
             ]
         pool = self._ensure_pool()
         chunk = self.config.chunk_size
@@ -256,6 +299,7 @@ class TrialExecutor:
                     self.graph,
                     self.config.space_poll_interval,
                     self.config.collect_metrics,
+                    self.config.trace_context(),
                 ),
             )
         return self._pool

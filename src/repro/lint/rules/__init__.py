@@ -8,6 +8,7 @@ from repro.lint.rules.base import FileContext, Rule
 from repro.lint.rules.det001 import Det001RawRandomness
 from repro.lint.rules.det002 import Det002UnorderedIteration
 from repro.lint.rules.det003 import Det003WallClock
+from repro.lint.rules.obs001 import Obs001MetricRegistry
 from repro.lint.rules.skt001 import Skt001RestoreCoverage
 from repro.lint.rules.skt002 import Skt002PersistenceRegistry
 
@@ -22,6 +23,7 @@ ALL_RULE_CLASSES: List[Type[Rule]] = [
     Det001RawRandomness,
     Det002UnorderedIteration,
     Det003WallClock,
+    Obs001MetricRegistry,
     Skt001RestoreCoverage,
     Skt002PersistenceRegistry,
 ]

@@ -11,11 +11,25 @@ Public surface:
   :func:`strip_timers`) in :mod:`repro.obs.metrics`;
 * roll-ups (:func:`rollup_metrics`, :func:`deterministic_rollup`) in
   :mod:`repro.obs.rollup`;
-* the benchmark comparison engine in :mod:`repro.obs.bench_report`.
+* hierarchical trace spans (:class:`Tracer`, :data:`NULL_TRACER`,
+  :class:`TraceSink`, Chrome trace export) in :mod:`repro.obs.trace`;
+* convergence diagnostics (:func:`estimate_trace`, :func:`diagnose`,
+  :class:`ConvergenceVerdict`) in :mod:`repro.obs.diagnostics`;
+* the metric/event name registry in :mod:`repro.obs.names`;
+* the benchmark comparison engine in :mod:`repro.obs.bench_report`
+  and the run dashboard in :mod:`repro.obs.obs_report`.
 """
 
+from repro.obs.diagnostics import (
+    ConvergenceVerdict,
+    EstimatePoint,
+    diagnose,
+    estimate_trace,
+    required_sample_size,
+)
 from repro.obs.events import (
     EVENT_TYPES,
+    EstimateSample,
     MergeCompleted,
     MetricsReport,
     OccupancySample,
@@ -25,6 +39,7 @@ from repro.obs.events import (
     RunStarted,
     ShardPassFinished,
     SpaceHighWater,
+    SpanFinished,
     TelemetryEvent,
     TrialFinished,
     decode_event,
@@ -42,12 +57,14 @@ from repro.obs.metrics import (
     parse_series,
     strip_timers,
 )
+from repro.obs.names import METRIC_NAMES, is_valid_metric_name
 from repro.obs.rollup import deterministic_rollup, rollup_metrics
 from repro.obs.sinks import (
     NULL_SINK,
     InMemorySink,
     JsonlSink,
     NullSink,
+    TeeSink,
     TelemetrySink,
     TextfileSink,
     parse_textfile,
@@ -55,6 +72,19 @@ from repro.obs.sinks import (
     render_textfile,
 )
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, open_telemetry
+from repro.obs.trace import (
+    NULL_TRACER,
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    TraceSink,
+    chrome_trace_events,
+    read_chrome_trace,
+    span_id_for,
+    span_tree,
+    spans_from_events,
+    write_chrome_trace,
+)
 
 __all__ = [
     "Telemetry",
@@ -71,6 +101,8 @@ __all__ = [
     "TrialFinished",
     "RunFinished",
     "MetricsReport",
+    "EstimateSample",
+    "SpanFinished",
     "EVENT_TYPES",
     "encode_event",
     "decode_event",
@@ -79,6 +111,7 @@ __all__ = [
     "NULL_SINK",
     "InMemorySink",
     "JsonlSink",
+    "TeeSink",
     "TextfileSink",
     "read_jsonl_events",
     "render_textfile",
@@ -95,4 +128,22 @@ __all__ = [
     "strip_timers",
     "rollup_metrics",
     "deterministic_rollup",
+    "Tracer",
+    "NULL_TRACER",
+    "TraceContext",
+    "TraceSink",
+    "SpanRecord",
+    "span_id_for",
+    "span_tree",
+    "spans_from_events",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "read_chrome_trace",
+    "EstimatePoint",
+    "estimate_trace",
+    "ConvergenceVerdict",
+    "diagnose",
+    "required_sample_size",
+    "METRIC_NAMES",
+    "is_valid_metric_name",
 ]

@@ -31,6 +31,8 @@ __all__ = [
     "TrialFinished",
     "RunFinished",
     "MetricsReport",
+    "EstimateSample",
+    "SpanFinished",
     "EVENT_TYPES",
     "encode_event",
     "decode_event",
@@ -140,6 +142,41 @@ class MetricsReport(TelemetryEvent):
     metrics: Dict[str, Dict[str, Any]]
 
 
+@dataclass(frozen=True)
+class EstimateSample(TelemetryEvent):
+    """Anytime estimate, polled at the runner's space-poll cadence.
+
+    Emitted only for algorithms exposing ``current_estimate()``; the
+    sequence of samples over a run is the estimator's convergence
+    trajectory (see :mod:`repro.obs.diagnostics`).
+    """
+
+    pass_index: int
+    lists_done: int
+    estimate: float
+
+
+@dataclass(frozen=True)
+class SpanFinished(TelemetryEvent):
+    """One hierarchical trace span closed (see :mod:`repro.obs.trace`).
+
+    ``span_id``/``parent_id`` are deterministic functions of the trace
+    seed and the structural ``path`` (``run/pass:0/shard:2`` …), so the
+    span *tree* is schedule-invariant; only ``start_s``/``end_s`` carry
+    wall time.  ``attrs`` is restricted to schedule-invariant numbers
+    (pair counts, budgets — never durations).
+    """
+
+    name: str
+    category: str
+    path: str
+    span_id: str
+    parent_id: str
+    start_s: float
+    end_s: float
+    attrs: Dict[str, float]
+
+
 EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
     cls.__name__: cls
     for cls in (
@@ -153,6 +190,8 @@ EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
         TrialFinished,
         RunFinished,
         MetricsReport,
+        EstimateSample,
+        SpanFinished,
     )
 }
 

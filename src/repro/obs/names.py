@@ -1,0 +1,55 @@
+"""The declared registry of telemetry metric names.
+
+Every metric the instrumented runners emit (``telemetry.count(...)``,
+``telemetry.set_gauge(...)``, ``telemetry.observe_seconds(...)``) must use
+a name declared here.  The registry exists so that a typo'd metric name —
+which would otherwise silently create a parallel, never-aggregated series
+— is caught *statically*: lint rule OBS001 resolves every literal metric
+name at telemetry call sites in ``src/repro`` against this table (see
+``docs/LINTING.md``).
+
+Names are lowercase dotted identifiers: ``[a-z][a-z0-9_]*`` segments
+joined by dots (a single segment, underscore-separated, is the common
+Prometheus-compatible form).  :func:`validate_registry` enforces the
+pattern on the registry itself and is pinned by a test.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+__all__ = ["METRIC_NAMES", "METRIC_NAME_PATTERN", "is_valid_metric_name", "validate_registry"]
+
+#: ``segment(.segment)*`` where a segment is a lowercase identifier.
+METRIC_NAME_PATTERN = r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$"
+
+_NAME_RE = re.compile(METRIC_NAME_PATTERN)
+
+#: name -> canonical help text.  Instrumented call sites may repeat the
+#: help inline (first registration wins at runtime); this table is the
+#: authoritative vocabulary the linter checks against.
+METRIC_NAMES: Dict[str, str] = {
+    # streaming/runner.py
+    "stream_space_words": "algorithm live state in machine words, polled per list batch",
+    "stream_pairs_total": "adjacency pairs consumed",
+    "stream_lists_total": "adjacency lists consumed",
+    "stream_pass_space_words": "live state in machine words at the pass boundary",
+    "stream_pass_seconds": "wall time of one stream pass",
+    "stream_current_estimate": "anytime estimate polled at the space-poll cadence",
+    "run_peak_space_words": "peak live state over the whole run",
+    # sketch/driver.py
+    "shard_pairs_total": "adjacency pairs consumed by shard workers",
+    "shard_peak_space_words": "per-shard peak live state in machine words",
+    "shard_merges_total": "pass-boundary shard merges",
+}
+
+
+def is_valid_metric_name(name: str) -> bool:
+    """Whether ``name`` is a lowercase dotted identifier."""
+    return _NAME_RE.match(name) is not None
+
+
+def validate_registry() -> List[str]:
+    """Return the registry entries that violate the naming pattern."""
+    return sorted(name for name in METRIC_NAMES if not is_valid_metric_name(name))

@@ -62,6 +62,33 @@ class NullSink(TelemetrySink):
 NULL_SINK = NullSink()
 
 
+class TeeSink(TelemetrySink):
+    """Fan every event out to several child sinks (e.g. JSONL + trace).
+
+    ``close()`` closes every child, continuing past failures and
+    re-raising the first one, so a broken child can't leave siblings
+    unflushed.
+    """
+
+    def __init__(self, *sinks: TelemetrySink):
+        self.sinks: List[TelemetrySink] = list(sinks)
+
+    def emit(self, event: TelemetryEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        first_error: Optional[BaseException] = None
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except BaseException as exc:  # noqa: BLE001 - must close all
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+
 class InMemorySink(TelemetrySink):
     """Keep every event in order; the reference model for round-trip tests."""
 

@@ -17,8 +17,10 @@ and pays nothing else when telemetry is off.  Instrumented code must
 never call ``emit``/``count``/``set_gauge`` outside such a guard.
 
 :func:`open_telemetry` maps a CLI ``--telemetry PATH`` to a sink by
-extension: ``.jsonl`` (or anything unrecognised) gets the JSONL event
-log, ``.prom`` / ``.txt`` the Prometheus-style textfile.
+extension: ``.jsonl`` gets the JSONL event log, ``.prom`` / ``.txt`` the
+Prometheus-style textfile, ``.trace`` / ``.trace.json`` the Chrome
+trace-event file.  Unrecognised extensions raise ``ValueError`` — a
+typo'd path must not silently change the artifact format.
 """
 
 from __future__ import annotations
@@ -124,10 +126,27 @@ class _NullTelemetry(Telemetry):
 NULL_TELEMETRY = _NullTelemetry()
 
 _TEXTFILE_SUFFIXES: Tuple[str, ...] = (".prom", ".txt")
+_TRACE_SUFFIXES: Tuple[str, ...] = (".trace", ".trace.json")
+_JSONL_SUFFIXES: Tuple[str, ...] = (".jsonl",)
 
 
 def open_telemetry(path: str) -> Telemetry:
-    """Build a :class:`Telemetry` writing to ``path`` (sink by extension)."""
+    """Build a :class:`Telemetry` writing to ``path`` (sink by extension).
+
+    Raises ``ValueError`` for unrecognised extensions so a typo'd path
+    fails loudly instead of silently picking a format.
+    """
+    # Local import: trace.py imports sinks from this package.
+    from repro.obs.trace import TraceSink
+
+    if any(path.endswith(suffix) for suffix in _TRACE_SUFFIXES):
+        return Telemetry(sink=TraceSink(path))
     if any(path.endswith(suffix) for suffix in _TEXTFILE_SUFFIXES):
         return Telemetry(sink=TextfileSink(path))
-    return Telemetry(sink=JsonlSink(path))
+    if any(path.endswith(suffix) for suffix in _JSONL_SUFFIXES):
+        return Telemetry(sink=JsonlSink(path))
+    known = _JSONL_SUFFIXES + _TEXTFILE_SUFFIXES + _TRACE_SUFFIXES
+    raise ValueError(
+        f"telemetry path {path!r} has an unrecognised extension; "
+        f"expected one of {', '.join(known)}"
+    )

@@ -1,0 +1,479 @@
+"""Hierarchical trace spans with deterministic, schedule-invariant identity.
+
+A run decomposes into a span tree mirroring the execution hierarchy::
+
+    run -> pass:<i> -> shard:<j>            (sharded driver)
+    run -> trial:<k> -> pass:<i>            (experiment trial batches)
+    run -> pass:<i> / merge:<i> / checkpoint:<...>
+
+Span *identity* (``span_id``) is a pure function of the trace seed and
+the span's structural ``path`` (e.g. ``run/pass:0/shard:2``) via the
+repo's keyed :class:`~repro.util.hashing.MixHash64` — no wall clock, no
+OS entropy (DET003-clean by construction).  Only ``start_s``/``end_s``
+carry wall time, so two runs of the same spec — serial or parallel —
+produce *identical* span trees once timers are stripped
+(:func:`span_tree`); this is pinned by tests.
+
+Cross-process propagation: a parent :class:`Tracer` hands workers a
+picklable :class:`TraceContext` (seed + structural path).  The worker
+builds a child tracer with :meth:`Tracer.from_context`, records spans,
+and ships them home as JSON-safe dicts (:func:`encode_span`); the parent
+:meth:`Tracer.adopt`\\ s them in deterministic (task) order.
+
+Export: :func:`write_chrome_trace` renders spans as Chrome trace-event
+JSON (``ph="X"`` complete events, microsecond ``ts``/``dur``) loadable
+in Perfetto / ``chrome://tracing``.  Each worker unit (the innermost
+``shard:``/``trial:`` ancestor) gets its own ``tid`` so timestamps stay
+monotone per track even though worker clocks are unrelated.
+:class:`TraceSink` adapts the export into a telemetry sink that collects
+:class:`~repro.obs.events.SpanFinished` events and writes the trace file
+on ``close()``; compose it with a JSONL sink via
+:class:`~repro.obs.sinks.TeeSink` to get both artifacts from one run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.events import SpanFinished, TelemetryEvent
+from repro.obs.sinks import TelemetrySink
+from repro.util.hashing import MixHash64
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "SpanRecord",
+    "TraceContext",
+    "Tracer",
+    "NULL_TRACER",
+    "span_id_for",
+    "encode_span",
+    "decode_span",
+    "spans_from_events",
+    "span_tree",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "read_chrome_trace",
+    "TraceSink",
+]
+
+#: Substream index reserved for span-identity hashing (decorrelates the
+#: span-id hash from every other consumer of the run seed).
+_SPAN_ID_STREAM = 0x5AB5
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span.  Everything except ``start_s``/``end_s`` is a
+    deterministic function of the trace seed and the execution structure;
+    ``attrs`` must hold schedule-invariant numbers only (pair counts,
+    budgets — never durations)."""
+
+    name: str
+    category: str
+    path: str
+    span_id: str
+    parent_id: str
+    start_s: float
+    end_s: float
+    attrs: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Picklable handle a parent tracer ships to a worker process."""
+
+    seed: int
+    path: str
+
+
+def span_id_for(seed: int, path: str) -> str:
+    """16-hex-digit deterministic span id for ``path`` under ``seed``."""
+    mix = MixHash64(key=derive_seed(int(seed), _SPAN_ID_STREAM))
+    return f"{mix.hash_int(path):016x}"
+
+
+def encode_span(record: SpanRecord) -> Dict[str, Any]:
+    """JSON-safe wire form (what workers ship home and logs store)."""
+    return {
+        "name": record.name,
+        "category": record.category,
+        "path": record.path,
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "start_s": record.start_s,
+        "end_s": record.end_s,
+        "attrs": dict(record.attrs),
+    }
+
+
+def decode_span(blob: Mapping[str, Any]) -> SpanRecord:
+    """Invert :func:`encode_span`."""
+    return SpanRecord(
+        name=blob["name"],
+        category=blob["category"],
+        path=blob["path"],
+        span_id=blob["span_id"],
+        parent_id=blob["parent_id"],
+        start_s=float(blob["start_s"]),
+        end_s=float(blob["end_s"]),
+        attrs={str(k): v for k, v in dict(blob.get("attrs", {})).items()},
+    )
+
+
+def spans_from_events(events: Sequence[TelemetryEvent]) -> List[SpanRecord]:
+    """Extract :class:`SpanRecord`\\ s from a telemetry event stream."""
+    spans: List[SpanRecord] = []
+    for event in events:
+        if isinstance(event, SpanFinished):
+            spans.append(
+                SpanRecord(
+                    name=event.name,
+                    category=event.category,
+                    path=event.path,
+                    span_id=event.span_id,
+                    parent_id=event.parent_id,
+                    start_s=event.start_s,
+                    end_s=event.end_s,
+                    attrs=dict(event.attrs),
+                )
+            )
+    return spans
+
+
+class _SpanHandle:
+    """Mutable attribute bag for a span that is still open."""
+
+    __slots__ = ("attrs",)
+
+    def __init__(self, attrs: Dict[str, float]):
+        self.attrs = attrs
+
+    def set(self, **attrs: float) -> None:
+        """Attach schedule-invariant attributes to the span."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Records a tree of spans with deterministic ids.
+
+    Used as a context manager it emits a root span (default name
+    ``run``) covering its whole lifetime::
+
+        tracer = Tracer(seed=7, telemetry=telemetry)
+        with tracer:
+            with tracer.span("pass:0", category="pass") as sp:
+                ...
+                sp.set(pairs=n)
+
+    Worker processes reconstruct a child via :meth:`from_context`; child
+    tracers never emit the root span (the parent owns it).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        seed: int = 0,
+        telemetry: Optional[Any] = None,
+        root: str = "run",
+        *,
+        _root_path: Optional[str] = None,
+        _emit_root: bool = True,
+    ):
+        self.seed = int(seed)
+        self._telemetry = telemetry
+        self._root_name = root
+        self._root_path = _root_path if _root_path is not None else root
+        self._emit_root = _emit_root
+        self._path_stack: List[str] = [self._root_path]
+        self._mix = MixHash64(key=derive_seed(self.seed, _SPAN_ID_STREAM))
+        self._root_start: Optional[float] = None
+        self.spans: List[SpanRecord] = []
+
+    @classmethod
+    def from_context(cls, ctx: TraceContext, telemetry: Optional[Any] = None) -> "Tracer":
+        """Child tracer continuing ``ctx``'s path inside a worker."""
+        root_name = ctx.path.rsplit("/", 1)[-1]
+        return cls(
+            seed=ctx.seed,
+            telemetry=telemetry,
+            root=root_name,
+            _root_path=ctx.path,
+            _emit_root=False,
+        )
+
+    # -- structural identity ------------------------------------------------
+
+    def _span_id(self, path: str) -> str:
+        return f"{self._mix.hash_int(path):016x}"
+
+    def context(self) -> Optional[TraceContext]:
+        """The picklable context for the *current* position in the tree."""
+        return TraceContext(seed=self.seed, path=self._path_stack[-1])
+
+    # -- recording ----------------------------------------------------------
+
+    def _record(
+        self,
+        name: str,
+        category: str,
+        path: str,
+        start_s: float,
+        end_s: float,
+        attrs: Dict[str, float],
+    ) -> None:
+        parent_path, _, _ = path.rpartition("/")
+        record = SpanRecord(
+            name=name,
+            category=category,
+            path=path,
+            span_id=self._span_id(path),
+            parent_id=self._span_id(parent_path) if parent_path else "",
+            start_s=start_s,
+            end_s=end_s,
+            attrs=attrs,
+        )
+        self.spans.append(record)
+        self._emit(record)
+
+    def _emit(self, record: SpanRecord) -> None:
+        if self._telemetry is not None and self._telemetry.enabled:
+            self._telemetry.emit(
+                SpanFinished(
+                    name=record.name,
+                    category=record.category,
+                    path=record.path,
+                    span_id=record.span_id,
+                    parent_id=record.parent_id,
+                    start_s=record.start_s,
+                    end_s=record.end_s,
+                    attrs=dict(record.attrs),
+                )
+            )
+
+    @contextmanager
+    def span(self, name: str, category: str = "phase", **attrs: float) -> Iterator[_SpanHandle]:
+        """Open a child span; closes (and records) when the block exits.
+
+        ``name`` must be unique among siblings (callers embed indices:
+        ``pass:0``, ``shard:2``, ``trial:5``) — the structural path is
+        the span's identity.
+        """
+        path = f"{self._path_stack[-1]}/{name}"
+        self._path_stack.append(path)
+        handle = _SpanHandle(dict(attrs))
+        start = time.perf_counter()  # repro-lint: disable=DET003 -- span timestamps are wall time by design; identity never depends on them
+        try:
+            yield handle
+        finally:
+            end = time.perf_counter()  # repro-lint: disable=DET003 -- span timestamps are wall time by design; identity never depends on them
+            self._path_stack.pop()
+            self._record(name, category, path, start, end, handle.attrs)
+
+    def adopt(self, encoded_spans: Sequence[Mapping[str, Any]]) -> List[SpanRecord]:
+        """Fold spans a worker shipped home into this tracer (in order)."""
+        records = [decode_span(blob) for blob in encoded_spans]
+        for record in records:
+            self.spans.append(record)
+            self._emit(record)
+        return records
+
+    def encoded_spans(self) -> List[Dict[str, Any]]:
+        """All recorded spans in wire form (what workers return)."""
+        return [encode_span(record) for record in self.spans]
+
+    # -- root span lifecycle -------------------------------------------------
+
+    def __enter__(self) -> "Tracer":
+        self._root_start = time.perf_counter()  # repro-lint: disable=DET003 -- span timestamps are wall time by design; identity never depends on them
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if not self._emit_root:
+            return
+        end = time.perf_counter()  # repro-lint: disable=DET003 -- span timestamps are wall time by design; identity never depends on them
+        start = self._root_start if self._root_start is not None else end
+        self._record(self._root_name, "run", self._root_path, start, end, {})
+
+
+class _NullSpanHandle:
+    __slots__ = ()
+
+    def set(self, **attrs: float) -> None:
+        pass
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpanHandle:
+        return _NULL_SPAN_HANDLE
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NULL_SPAN_HANDLE = _NullSpanHandle()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class _NullTracer(Tracer):
+    """Tracing off: every span is a shared no-op context manager."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(seed=0, telemetry=None, _emit_root=False)
+
+    def span(self, name: str, category: str = "phase", **attrs: float) -> Any:
+        return _NULL_SPAN_CONTEXT
+
+    def context(self) -> Optional[TraceContext]:
+        return None
+
+    def adopt(self, encoded_spans: Sequence[Mapping[str, Any]]) -> List[SpanRecord]:
+        return []
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+#: The shared default — tracing off, hot paths pay one attribute lookup.
+NULL_TRACER = _NullTracer()
+
+
+# -- canonical (timer-stripped) form ------------------------------------------
+
+def span_tree(spans: Sequence[SpanRecord]) -> Tuple[Tuple[Any, ...], ...]:
+    """Canonical timer-stripped form of a span set.
+
+    Drops ``start_s``/``end_s`` and sorts, so two runs of the same spec
+    compare equal iff their *structure* (paths, ids, categories, attrs)
+    matches — the serial-vs-parallel identity the tests pin.
+    """
+    return tuple(
+        sorted(
+            (
+                record.path,
+                record.name,
+                record.category,
+                record.span_id,
+                record.parent_id,
+                tuple(sorted(record.attrs.items())),
+            )
+            for record in spans
+        )
+    )
+
+
+# -- Chrome trace-event export ------------------------------------------------
+
+def _track_key(path: str) -> str:
+    """The span's track: the innermost ``shard:``/``trial:`` ancestor.
+
+    Each worker unit gets its own track (→ its own ``tid``) because
+    worker-process clocks share no timebase; within a track timestamps
+    come from one process and stay monotone.
+    """
+    segments = path.split("/")
+    for i in range(len(segments) - 1, -1, -1):
+        if segments[i].startswith(("shard:", "trial:")):
+            return "/".join(segments[: i + 1])
+    return segments[0]
+
+
+def chrome_trace_events(spans: Sequence[SpanRecord]) -> List[Dict[str, Any]]:
+    """Render spans as Chrome trace-event ``ph="X"`` complete events.
+
+    Sorted by ``(tid, ts)`` so timestamps are monotone within each
+    thread track; ``args`` carries the structural identity so
+    :func:`read_chrome_trace` can reconstruct the span set.
+    """
+    tracks = sorted({_track_key(record.path) for record in spans})
+    tid_of = {track: index + 1 for index, track in enumerate(tracks)}
+    events: List[Dict[str, Any]] = []
+    for record in spans:
+        ts = int(round(record.start_s * 1e6))
+        dur = max(0, int(round((record.end_s - record.start_s) * 1e6)))
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.category,
+                "ph": "X",
+                "ts": ts,
+                "dur": dur,
+                "pid": 1,
+                "tid": tid_of[_track_key(record.path)],
+                "args": {
+                    "path": record.path,
+                    "span_id": record.span_id,
+                    "parent_id": record.parent_id,
+                    **record.attrs,
+                },
+            }
+        )
+    events.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"], e["args"]["path"]))
+    return events
+
+
+def write_chrome_trace(path: str, spans: Sequence[SpanRecord]) -> None:
+    """Write a Perfetto-loadable Chrome trace JSON file."""
+    payload = {"traceEvents": chrome_trace_events(spans), "displayTimeUnit": "ms"}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, sort_keys=True)
+        fh.write("\n")
+
+
+def read_chrome_trace(path: str) -> List[SpanRecord]:
+    """Reconstruct spans from a file written by :func:`write_chrome_trace`."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    spans: List[SpanRecord] = []
+    for event in payload.get("traceEvents", []):
+        args = dict(event.get("args", {}))
+        spans.append(
+            SpanRecord(
+                name=event["name"],
+                category=event.get("cat", ""),
+                path=args.pop("path", event["name"]),
+                span_id=args.pop("span_id", ""),
+                parent_id=args.pop("parent_id", ""),
+                start_s=event["ts"] / 1e6,
+                end_s=(event["ts"] + event.get("dur", 0)) / 1e6,
+                attrs=args,
+            )
+        )
+    return spans
+
+
+class TraceSink(TelemetrySink):
+    """Collect :class:`SpanFinished` events; write the trace on ``close()``.
+
+    Ordinary telemetry events are dropped — compose with a
+    :class:`~repro.obs.sinks.JsonlSink` via
+    :class:`~repro.obs.sinks.TeeSink` to keep both.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.spans: List[SpanRecord] = []
+        self._closed = False
+
+    def emit(self, event: TelemetryEvent) -> None:
+        if self._closed:
+            raise ValueError(f"TraceSink({self.path!r}) is closed")
+        if isinstance(event, SpanFinished):
+            self.spans.extend(spans_from_events([event]))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        write_chrome_trace(self.path, self.spans)

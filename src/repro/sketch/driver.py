@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.experiments.parallel import parallel_map, resolve_workers
 from repro.obs.events import MergeCompleted, RunFinished, RunStarted, ShardPassFinished
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import NULL_TRACER, TraceContext, Tracer
 from repro.sketch.checkpoint import Checkpoint, CheckpointConfig
 from repro.sketch.merge import merge_states
 from repro.sketch.shard import StreamShard, partition_stream
@@ -81,24 +82,36 @@ def restore_algorithm(state: SketchState) -> StreamingAlgorithm:
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One shard's work for one pass, in picklable form."""
+    """One shard's work for one pass, in picklable form.
+
+    ``trace`` carries the driver tracer's position (the enclosing
+    ``pass:<i>`` span) into the worker so shard spans attach to the
+    right parent; ``None`` means tracing is off.
+    """
 
     shard_index: int
     pass_index: int
     state: SketchState
     lists: Tuple
     space_poll_interval: int = 1
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
 # repro-lint: disable=SKT002 -- in-memory IPC record; carries a SketchState, which JSON persistence cannot round-trip
 class ShardPassResult:
-    """What one shard pass sends back to the driver."""
+    """What one shard pass sends back to the driver.
+
+    ``spans`` holds the worker's trace spans in wire form (see
+    :func:`repro.obs.trace.encode_span`); the driver adopts them in
+    shard order, keeping the span tree schedule-invariant.
+    """
 
     shard_index: int
     state: SketchState
     peak_space_words: int
     pairs: int
+    spans: Tuple = ()
 
 
 def _run_shard_pass(task: ShardTask) -> ShardPassResult:
@@ -107,17 +120,22 @@ def _run_shard_pass(task: ShardTask) -> ShardPassResult:
     Module-level so ``parallel_map`` can ship it to pool processes.
     """
     algorithm = restore_algorithm(task.state)
-    meter = run_single_pass(
-        algorithm,
-        task.lists,
-        task.pass_index,
-        space_poll_interval=task.space_poll_interval,
-    )
+    tracer = Tracer.from_context(task.trace) if task.trace is not None else NULL_TRACER
+    with tracer.span(f"shard:{task.shard_index}", category="shard") as span:
+        meter = run_single_pass(
+            algorithm,
+            task.lists,
+            task.pass_index,
+            space_poll_interval=task.space_poll_interval,
+        )
+        pairs = sum(len(neighbors) for _, neighbors in task.lists)
+        span.set(pairs=pairs, peak_space_words=meter.peak_words)
     return ShardPassResult(
         shard_index=task.shard_index,
         state=algorithm.snapshot(),
         peak_space_words=meter.peak_words,
-        pairs=sum(len(neighbors) for _, neighbors in task.lists),
+        pairs=pairs,
+        spans=tuple(tracer.encoded_spans()),
     )
 
 
@@ -154,6 +172,7 @@ def run_sharded(
     checkpoint: Optional[CheckpointConfig] = None,
     resume_from: Optional[Checkpoint] = None,
     telemetry: Telemetry = NULL_TELEMETRY,
+    tracer: Tracer = NULL_TRACER,
 ) -> ShardRunResult:
     """Run ``algorithm`` over ``stream`` shard-and-merge style.
 
@@ -167,7 +186,10 @@ def run_sharded(
     ``telemetry`` records per-shard pass completions, merge boundaries and
     the fleet-wide space picture; shard *workers* run with the default
     null telemetry (their peaks come home in :class:`ShardPassResult`),
-    so only the driver process emits events.
+    so only the driver process emits events.  ``tracer`` records
+    ``pass:<i>`` / ``merge:<i>`` / ``checkpoint`` spans and adopts the
+    workers' ``shard:<j>`` spans in shard order, so the span tree is
+    identical under serial and pool execution.
     """
     if not supports_snapshot(algorithm):
         raise SketchStateError(
@@ -185,10 +207,11 @@ def run_sharded(
                 "sharded runs checkpoint at pass boundaries only; got a "
                 f"mid-pass checkpoint (lists_done={resume_from.lists_done})"
             )
-        state = resume_from.algorithm_state
-        start_pass = resume_from.pass_index
-        if resume_from.meter_state:
-            meter.load_state_dict(resume_from.meter_state)
+        with tracer.span("resume", category="checkpoint"):
+            state = resume_from.algorithm_state
+            start_pass = resume_from.pass_index
+            if resume_from.meter_state:
+                meter.load_state_dict(resume_from.meter_state)
 
     if telemetry.enabled:
         telemetry.emit(
@@ -203,48 +226,59 @@ def run_sharded(
     # repro-lint: disable=DET003 -- wall-time telemetry for ShardRunResult only; never touches sketch state
     start = time.perf_counter()
     for pass_index in range(start_pass, algorithm.n_passes):
-        tasks = [
-            ShardTask(
-                shard_index=shard.index,
-                pass_index=pass_index,
-                state=state,
-                lists=shard.lists,
-                space_poll_interval=space_poll_interval,
-            )
-            for shard in shards
-        ]
-        results = parallel_map(_run_shard_pass, tasks, workers=workers)
-        for result in results:
+        with tracer.span(f"pass:{pass_index}", category="pass") as pass_span:
+            trace_ctx = tracer.context()
+            tasks = [
+                ShardTask(
+                    shard_index=shard.index,
+                    pass_index=pass_index,
+                    state=state,
+                    lists=shard.lists,
+                    space_poll_interval=space_poll_interval,
+                    trace=trace_ctx,
+                )
+                for shard in shards
+            ]
+            results = parallel_map(_run_shard_pass, tasks, workers=workers)
+            pass_pairs = 0
+            for result in results:
+                tracer.adopt(result.spans)
+                pass_pairs += result.pairs
+                if telemetry.enabled:
+                    telemetry.emit(
+                        ShardPassFinished(
+                            shard_index=result.shard_index,
+                            pass_index=pass_index,
+                            pairs=result.pairs,
+                            peak_space_words=result.peak_space_words,
+                        )
+                    )
+                    telemetry.count(
+                        "shard_pairs_total", result.pairs,
+                        help="adjacency pairs consumed by shard workers",
+                        shard=str(result.shard_index),
+                    )
+                    telemetry.set_gauge(
+                        "shard_peak_space_words", result.peak_space_words,
+                        help="per-shard peak live state in machine words",
+                        shard=str(result.shard_index),
+                    )
+                meter.observe(result.peak_space_words)
+            with tracer.span(f"merge:{pass_index}", category="merge", n_shards=len(results)):
+                state = merge_states(
+                    [result.state for result in results],
+                    base=state,
+                    seed=derive_seed(base_seed, pass_index),
+                )
+            pass_span.set(pairs=pass_pairs, n_shards=len(results))
             if telemetry.enabled:
                 telemetry.emit(
-                    ShardPassFinished(
-                        shard_index=result.shard_index,
-                        pass_index=pass_index,
-                        pairs=result.pairs,
-                        peak_space_words=result.peak_space_words,
-                    )
+                    MergeCompleted(pass_index=pass_index, n_shards=len(results))
                 )
-                telemetry.count(
-                    "shard_pairs_total", result.pairs,
-                    help="adjacency pairs consumed by shard workers",
-                    shard=str(result.shard_index),
-                )
-                telemetry.set_gauge(
-                    "shard_peak_space_words", result.peak_space_words,
-                    help="per-shard peak live state in machine words",
-                    shard=str(result.shard_index),
-                )
-            meter.observe(result.peak_space_words)
-        state = merge_states(
-            [result.state for result in results],
-            base=state,
-            seed=derive_seed(base_seed, pass_index),
-        )
-        if telemetry.enabled:
-            telemetry.emit(MergeCompleted(pass_index=pass_index, n_shards=len(results)))
-            telemetry.count("shard_merges_total", help="pass-boundary shard merges")
+                telemetry.count("shard_merges_total", help="pass-boundary shard merges")
         if checkpoint is not None:
-            checkpoint.write(state, pass_index + 1, 0, meter.state_dict())
+            with tracer.span(f"checkpoint:pass:{pass_index + 1}", category="checkpoint"):
+                checkpoint.write(state, pass_index + 1, 0, meter.state_dict())
     elapsed = time.perf_counter() - start  # repro-lint: disable=DET003 -- telemetry field, mirrors streaming/runner.py
 
     algorithm.restore(state)

@@ -88,6 +88,19 @@ class StreamingAlgorithm(abc.ABC):
     def space_words(self) -> int:
         """Return the current live state size in machine words."""
 
+    def current_estimate(self) -> "float | None":
+        """Anytime estimate of the target count, valid mid-stream.
+
+        Optional: estimators whose ``result()`` formula is well defined
+        on partial state (the two-pass counters, the naive sampler)
+        override this so the instrumented runner can emit periodic
+        :class:`~repro.obs.events.EstimateSample` events at the
+        space-poll cadence — the raw material for the convergence
+        diagnostics in :mod:`repro.obs.diagnostics`.  Implementations
+        must not mutate state; the base returns ``None`` (unsupported).
+        """
+        return None
+
     def observables(self) -> "dict[str, float]":
         """Named internal gauges for telemetry (occupancy, churn, ...).
 
@@ -127,6 +140,11 @@ def supports_snapshot(algorithm: StreamingAlgorithm) -> bool:
         cls.snapshot is not StreamingAlgorithm.snapshot
         and cls.restore is not StreamingAlgorithm.restore
     )
+
+
+def supports_current_estimate(algorithm: StreamingAlgorithm) -> bool:
+    """Whether ``algorithm`` exposes an anytime :meth:`current_estimate`."""
+    return type(algorithm).current_estimate is not StreamingAlgorithm.current_estimate
 
 
 class FixedValueAlgorithm(StreamingAlgorithm):

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
 from repro.obs.events import (
+    EstimateSample,
     OccupancySample,
     PassFinished,
     PassStarted,
@@ -38,7 +39,8 @@ from repro.obs.events import (
     SpaceHighWater,
 )
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
-from repro.streaming.algorithm import StreamingAlgorithm
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.streaming.algorithm import StreamingAlgorithm, supports_current_estimate
 from repro.streaming.space import SpaceMeter
 from repro.streaming.stream import AdjacencyListStream
 
@@ -98,6 +100,7 @@ def run_single_pass(
     space_poll_interval: int = 1,
     use_fast_path: Optional[bool] = None,
     telemetry: Telemetry = NULL_TELEMETRY,
+    tracer: Tracer = NULL_TRACER,
 ) -> SpaceMeter:
     """Run exactly one pass of ``algorithm`` over an adjacency-list slice.
 
@@ -108,47 +111,57 @@ def run_single_pass(
 
     ``telemetry`` receives pass-boundary, throughput, space high-water and
     occupancy events; the default :data:`NULL_TELEMETRY` keeps the loop's
-    extra cost to one attribute lookup per poll.
+    extra cost to one attribute lookup per poll.  ``tracer`` wraps the
+    pass in a ``pass:<i>`` span (default :data:`NULL_TRACER`: a shared
+    no-op context manager).
     """
     if space_poll_interval < 1:
         raise ValueError("space_poll_interval must be at least 1")
     meter = meter if meter is not None else SpaceMeter()
     fast, skip_pairs = _dispatch_flags(algorithm, use_fast_path)
+    emit_estimate = telemetry.enabled and supports_current_estimate(algorithm)
     if telemetry.enabled:
         telemetry.emit(PassStarted(pass_index=pass_index))
     pass_start = time.perf_counter()
-    algorithm.begin_pass(pass_index)
-    lists_done = 0
-    pairs_run = 0
-    lists_since_poll = 0
-    for vertex, neighbors in lists:
-        algorithm.begin_list(vertex)
-        if fast:
-            if not skip_pairs:
-                algorithm.process_list(vertex, neighbors)
-        else:
-            process = algorithm.process
-            for nbr in neighbors:
-                process(vertex, nbr)
-        algorithm.end_list(vertex, neighbors)
-        pairs_run += len(neighbors)
-        lists_done += 1
-        lists_since_poll += 1
-        if lists_since_poll >= space_poll_interval:
-            words = algorithm.space_words()
-            if telemetry.enabled:
-                _record_poll(telemetry, algorithm, meter, pass_index, lists_done, words)
-            meter.observe(words)
-            lists_since_poll = 0
-    algorithm.end_pass(pass_index)
-    words = algorithm.space_words()
-    if telemetry.enabled:
-        _record_poll(telemetry, algorithm, meter, pass_index, lists_done, words)
-        _record_pass_end(
-            telemetry, pass_index, lists_done, pairs_run,
-            time.perf_counter() - pass_start, words,
-        )
-    meter.observe(words)
+    with tracer.span(f"pass:{pass_index}", category="pass") as span:
+        algorithm.begin_pass(pass_index)
+        lists_done = 0
+        pairs_run = 0
+        lists_since_poll = 0
+        for vertex, neighbors in lists:
+            algorithm.begin_list(vertex)
+            if fast:
+                if not skip_pairs:
+                    algorithm.process_list(vertex, neighbors)
+            else:
+                process = algorithm.process
+                for nbr in neighbors:
+                    process(vertex, nbr)
+            algorithm.end_list(vertex, neighbors)
+            pairs_run += len(neighbors)
+            lists_done += 1
+            lists_since_poll += 1
+            if lists_since_poll >= space_poll_interval:
+                words = algorithm.space_words()
+                if telemetry.enabled:
+                    _record_poll(
+                        telemetry, algorithm, meter, pass_index, lists_done,
+                        words, emit_estimate,
+                    )
+                meter.observe(words)
+                lists_since_poll = 0
+        algorithm.end_pass(pass_index)
+        words = algorithm.space_words()
+        span.set(lists=lists_done, pairs=pairs_run)
+        if telemetry.enabled:
+            _record_poll(
+                telemetry, algorithm, meter, pass_index, lists_done, words, emit_estimate
+            )
+            _record_pass_end(
+                telemetry, pass_index, lists_done, pairs_run,
+                time.perf_counter() - pass_start, words,
+            )
+        meter.observe(words)
     return meter
 
 
@@ -159,6 +172,7 @@ def _record_poll(
     pass_index: int,
     lists_done: int,
     words: int,
+    emit_estimate: bool = False,
 ) -> None:
     """Telemetry work at one space-poll site (enabled path only).
 
@@ -181,6 +195,19 @@ def _record_poll(
                 pass_index=pass_index, lists_done=lists_done, gauges=dict(gauges)
             )
         )
+    if emit_estimate:
+        estimate = algorithm.current_estimate()
+        if estimate is not None:
+            telemetry.emit(
+                EstimateSample(
+                    pass_index=pass_index, lists_done=lists_done, estimate=estimate
+                )
+            )
+            telemetry.set_gauge(
+                "stream_current_estimate",
+                estimate,
+                help="anytime estimate polled at the space-poll cadence",
+            )
 
 
 def _record_pass_end(
@@ -230,6 +257,7 @@ def run_algorithm(
     checkpoint=None,
     resume_from=None,
     telemetry: Telemetry = NULL_TELEMETRY,
+    tracer: Tracer = NULL_TRACER,
 ) -> RunResult:
     """Run ``algorithm`` for its declared number of passes over ``stream``.
 
@@ -247,23 +275,28 @@ def run_algorithm(
     Both require the algorithm to implement the sketch state protocol.
 
     ``telemetry`` streams run/pass boundaries, per-pass throughput, space
-    high-water marks and sampler occupancy as typed events, and folds the
-    same facts into its metric registry.  The default
+    high-water marks, sampler occupancy and (for algorithms exposing
+    ``current_estimate()``) anytime estimate samples as typed events, and
+    folds the same facts into its metric registry.  The default
     :data:`NULL_TELEMETRY` adds one attribute lookup per poll site and
-    pass boundary — nothing on the per-pair path.
+    pass boundary — nothing on the per-pair path.  ``tracer`` records
+    ``pass:<i>`` / ``checkpoint:<...>`` / ``resume`` spans under the
+    caller's current position (default :data:`NULL_TRACER`).
     """
     if space_poll_interval < 1:
         raise ValueError("space_poll_interval must be at least 1")
     meter = meter if meter is not None else SpaceMeter()
     fast, skip_pairs = _dispatch_flags(algorithm, use_fast_path)
+    emit_estimate = telemetry.enabled and supports_current_estimate(algorithm)
 
     start_pass, skip_lists = 0, 0
     if resume_from is not None:
-        algorithm.restore(resume_from.algorithm_state)
-        start_pass = resume_from.pass_index
-        skip_lists = resume_from.lists_done
-        if resume_from.meter_state:
-            meter.load_state_dict(resume_from.meter_state)
+        with tracer.span("resume", category="checkpoint"):
+            algorithm.restore(resume_from.algorithm_state)
+            start_pass = resume_from.pass_index
+            skip_lists = resume_from.lists_done
+            if resume_from.meter_state:
+                meter.load_state_dict(resume_from.meter_state)
 
     if telemetry.enabled:
         telemetry.emit(
@@ -282,54 +315,63 @@ def run_algorithm(
             telemetry.emit(PassStarted(pass_index=pass_index))
         pass_start = time.perf_counter()
         pairs_before = pairs_run
-        if not resuming_mid_pass:
-            # A mid-pass checkpoint was taken after begin_pass ran, so its
-            # effects are already inside the restored state.
-            algorithm.begin_pass(pass_index)
-        lists_done = 0
-        lists_since_poll = 0
-        for vertex, neighbors in stream.iter_lists():
-            if resuming_mid_pass and lists_done < skip_lists:
+        with tracer.span(f"pass:{pass_index}", category="pass") as span:
+            if not resuming_mid_pass:
+                # A mid-pass checkpoint was taken after begin_pass ran, so its
+                # effects are already inside the restored state.
+                algorithm.begin_pass(pass_index)
+            lists_done = 0
+            lists_since_poll = 0
+            for vertex, neighbors in stream.iter_lists():
+                if resuming_mid_pass and lists_done < skip_lists:
+                    lists_done += 1
+                    continue
+                algorithm.begin_list(vertex)
+                if fast:
+                    if not skip_pairs:
+                        algorithm.process_list(vertex, neighbors)
+                else:
+                    process = algorithm.process
+                    for nbr in neighbors:
+                        process(vertex, nbr)
+                algorithm.end_list(vertex, neighbors)
+                pairs_run += len(neighbors)
                 lists_done += 1
-                continue
-            algorithm.begin_list(vertex)
-            if fast:
-                if not skip_pairs:
-                    algorithm.process_list(vertex, neighbors)
-            else:
-                process = algorithm.process
-                for nbr in neighbors:
-                    process(vertex, nbr)
-            algorithm.end_list(vertex, neighbors)
-            pairs_run += len(neighbors)
-            lists_done += 1
-            lists_since_poll += 1
-            if lists_since_poll >= space_poll_interval:
-                words = algorithm.space_words()
-                if telemetry.enabled:
-                    _record_poll(
-                        telemetry, algorithm, meter, pass_index, lists_done, words
-                    )
-                meter.observe(words)
-                lists_since_poll = 0
-            if checkpoint is not None and lists_done % checkpoint.every_lists == 0:
-                checkpoint.write(
-                    algorithm.snapshot(), pass_index, lists_done, meter.state_dict()
+                lists_since_poll += 1
+                if lists_since_poll >= space_poll_interval:
+                    words = algorithm.space_words()
+                    if telemetry.enabled:
+                        _record_poll(
+                            telemetry, algorithm, meter, pass_index, lists_done,
+                            words, emit_estimate,
+                        )
+                    meter.observe(words)
+                    lists_since_poll = 0
+                if checkpoint is not None and lists_done % checkpoint.every_lists == 0:
+                    with tracer.span(f"checkpoint:{lists_done}", category="checkpoint"):
+                        checkpoint.write(
+                            algorithm.snapshot(), pass_index, lists_done,
+                            meter.state_dict(),
+                        )
+            algorithm.end_pass(pass_index)
+            words = algorithm.space_words()
+            span.set(lists=lists_done, pairs=pairs_run - pairs_before)
+            if telemetry.enabled:
+                _record_poll(
+                    telemetry, algorithm, meter, pass_index, lists_done,
+                    words, emit_estimate,
                 )
-        algorithm.end_pass(pass_index)
-        words = algorithm.space_words()
-        if telemetry.enabled:
-            _record_poll(telemetry, algorithm, meter, pass_index, lists_done, words)
-            _record_pass_end(
-                telemetry, pass_index, lists_done, pairs_run - pairs_before,
-                time.perf_counter() - pass_start, words,
-            )
-        meter.observe(words)
+                _record_pass_end(
+                    telemetry, pass_index, lists_done, pairs_run - pairs_before,
+                    time.perf_counter() - pass_start, words,
+                )
+            meter.observe(words)
         if checkpoint is not None:
             # Pass-boundary checkpoint: resume starts the next pass cleanly.
-            checkpoint.write(
-                algorithm.snapshot(), pass_index + 1, 0, meter.state_dict()
-            )
+            with tracer.span(f"checkpoint:pass:{pass_index + 1}", category="checkpoint"):
+                checkpoint.write(
+                    algorithm.snapshot(), pass_index + 1, 0, meter.state_dict()
+                )
     elapsed = time.perf_counter() - start
     result = RunResult(
         estimate=algorithm.result(),

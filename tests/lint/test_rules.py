@@ -74,6 +74,24 @@ def test_det003_allows_runner():
     assert report.violations == []
 
 
+def test_obs001_planted():
+    fixture = FIXTURES / "obs001_bad.py"
+    report = lint_with("OBS001", fixture)
+    assert [v.code for v in report.violations] == ["OBS001"] * 3
+    assert [v.line for v in report.violations] == planted_lines(fixture, "OBS001")
+    messages = " ".join(v.message for v in report.violations)
+    assert "stream_pair_total" in messages  # typo'd registered name
+    assert "lowercase dotted identifier" in messages  # malformed name
+    assert "made.up.metric" in messages  # off-registry via self._telemetry
+
+
+def test_obs001_registry_is_self_consistent():
+    from repro.obs.names import METRIC_NAMES, validate_registry
+
+    assert validate_registry() == []
+    assert all(help_text for help_text in METRIC_NAMES.values())
+
+
 def test_skt001_planted():
     fixture = FIXTURES / "skt001_bad.py"
     report = lint_with("SKT001", fixture)

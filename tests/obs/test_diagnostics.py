@@ -1,0 +1,180 @@
+"""Convergence diagnostics against the Theorem 3.7 / 4.6 budgets.
+
+The acceptance pair pinned here: on a planted-triangle instance the
+empirical relative error stays within the Theorem 3.7 budget at the
+paper's space setting, AND a deliberately under-budgeted run is flagged
+as a violation.
+"""
+
+import random
+
+import pytest
+
+from repro.core.triangle_two_pass import TwoPassTriangleCounter, recommended_sample_size
+from repro.experiments.parallel import run_trial, trial_specs
+from repro.graph.planted import planted_triangles
+from repro.obs.diagnostics import (
+    THEOREM_FOURCYCLE,
+    THEOREM_TRIANGLE,
+    ConvergenceVerdict,
+    diagnose,
+    estimate_trace,
+    required_sample_size,
+)
+from repro.obs.events import EstimateSample, PassStarted
+from repro.obs.sinks import InMemorySink
+from repro.obs.telemetry import Telemetry
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+WORKLOAD = planted_triangles(300, 30, seed=7)
+PAPER_BUDGET = recommended_sample_size(WORKLOAD.m, WORKLOAD.true_count, epsilon=0.5)
+
+
+def _factory(budget, seed):
+    return TwoPassTriangleCounter(sample_size=budget, seed=seed)
+
+
+def _estimates(budget, runs=12, seed=123):
+    specs = trial_specs(random.Random(seed), budget, runs)
+    return [run_trial(_factory, WORKLOAD.graph, s).estimate for s in specs]
+
+
+class TestRequiredSampleSize:
+    def test_delegates_to_the_algorithms(self):
+        assert required_sample_size(
+            THEOREM_TRIANGLE, WORKLOAD.m, WORKLOAD.true_count, epsilon=0.5
+        ) == recommended_sample_size(WORKLOAD.m, WORKLOAD.true_count, epsilon=0.5)
+        from repro.core.fourcycle_two_pass import (
+            recommended_sample_size as fourcycle_size,
+        )
+
+        assert required_sample_size(THEOREM_FOURCYCLE, 1000, 50) == fourcycle_size(
+            1000, 50
+        )
+
+    def test_unknown_theorem_rejected(self):
+        with pytest.raises(ValueError, match="unknown theorem"):
+            required_sample_size("9.9", 100, 10)
+
+
+class TestVerdict:
+    def test_paper_budget_passes_theorem_37(self):
+        verdict = diagnose(
+            _estimates(PAPER_BUDGET),
+            WORKLOAD.true_count,
+            WORKLOAD.m,
+            PAPER_BUDGET,
+            theorem=THEOREM_TRIANGLE,
+            epsilon=0.5,
+        )
+        assert verdict.ok
+        assert verdict.violations == ()
+        assert verdict.median_relative_error <= 0.5
+        assert verdict.success_rate >= 2 / 3
+        assert verdict.variance <= verdict.variance_budget
+
+    def test_under_budgeted_run_is_flagged(self):
+        starved = max(1, PAPER_BUDGET // 8)
+        verdict = diagnose(
+            _estimates(starved),
+            WORKLOAD.true_count,
+            WORKLOAD.m,
+            starved,
+            theorem=THEOREM_TRIANGLE,
+            epsilon=0.5,
+        )
+        assert not verdict.ok
+        assert not verdict.space_budget_ok
+        assert any("space budget" in violation for violation in verdict.violations)
+
+    def test_bad_estimates_trip_the_empirical_checks(self):
+        # Space budget fine, estimates off by 3x: error, success-rate and
+        # variance checks all fire.
+        verdict = diagnose(
+            [90.0, 92.0, 88.0, 91.0],
+            truth=30.0,
+            m=WORKLOAD.m,
+            sample_size=PAPER_BUDGET,
+            epsilon=0.5,
+        )
+        assert verdict.space_budget_ok
+        assert not verdict.relative_error_ok
+        assert not verdict.success_rate_ok
+        assert len(verdict.violations) >= 2
+
+    def test_fourcycle_theorem_target(self):
+        verdict = diagnose(
+            [50.0] * 5,
+            truth=50.0,
+            m=1000,
+            sample_size=10_000,
+            theorem=THEOREM_FOURCYCLE,
+            epsilon=1.0,
+        )
+        assert verdict.success_target == pytest.approx(4 / 5)
+        assert verdict.ok
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            diagnose([], 30.0, 100, 10)
+        with pytest.raises(ValueError, match="truth"):
+            diagnose([1.0], 0.0, 100, 10)
+        with pytest.raises(ValueError, match="epsilon"):
+            diagnose([1.0], 30.0, 100, 10, epsilon=0.0)
+
+    def test_flat_dict_booleans_gate_under_bench_report(self):
+        from repro.obs.bench_report import INVARIANT, classify, compare_pair
+
+        verdict = diagnose(_estimates(PAPER_BUDGET, runs=4), WORKLOAD.true_count,
+                           WORKLOAD.m, PAPER_BUDGET)
+        flat = {f"convergence.{k}": v for k, v in verdict.to_flat_dict().items()}
+        for key in ("convergence.ok", "convergence.space_budget_ok"):
+            assert classify(key, flat[key]) == INVARIANT
+        broken = dict(flat)
+        broken["convergence.ok"] = False
+        deltas = compare_pair(broken, flat, threshold=0.35)
+        regressions = [d for d in deltas if d.status == "regression"]
+        assert any(d.key == "convergence.ok" for d in regressions)
+        assert any("invariant flipped" in d.note for d in regressions)
+
+
+class TestEstimateTrace:
+    def _events(self):
+        sink = InMemorySink()
+        telemetry = Telemetry(sink=sink)
+        algo = TwoPassTriangleCounter(PAPER_BUDGET, seed=5)
+        stream = AdjacencyListStream(WORKLOAD.graph, seed=11)
+        run = run_algorithm(algo, stream, telemetry=telemetry)
+        telemetry.close()
+        return sink.events, run
+
+    def test_trace_follows_emission_order_and_truth_annotates(self):
+        events, run = self._events()
+        samples = [e for e in events if isinstance(e, EstimateSample)]
+        assert samples, "two-pass counter should emit anytime estimates"
+        points = estimate_trace(events, truth=float(WORKLOAD.true_count))
+        assert len(points) == len(samples)
+        assert points[-1].estimate == run.estimate
+        assert points[-1].relative_error == pytest.approx(
+            abs(run.estimate - WORKLOAD.true_count) / WORKLOAD.true_count
+        )
+        # lists_done is non-decreasing within each pass.
+        for first, second in zip(points, points[1:]):
+            if first.pass_index == second.pass_index:
+                assert first.lists_done <= second.lists_done
+
+    def test_without_truth_no_errors(self):
+        events, _ = self._events()
+        points = estimate_trace(events)
+        assert all(p.relative_error is None for p in points)
+
+    def test_non_estimate_events_ignored(self):
+        assert estimate_trace([PassStarted(pass_index=0)]) == []
+
+
+def test_verdict_is_deterministic():
+    one = diagnose(_estimates(PAPER_BUDGET), WORKLOAD.true_count, WORKLOAD.m, PAPER_BUDGET)
+    two = diagnose(_estimates(PAPER_BUDGET), WORKLOAD.true_count, WORKLOAD.m, PAPER_BUDGET)
+    assert one == two
+    assert isinstance(one, ConvergenceVerdict)

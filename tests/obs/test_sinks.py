@@ -44,7 +44,7 @@ def test_decode_rejects_unknown_type_and_fields():
         decode_event({"event": "NoSuchEvent"})
     with pytest.raises(ValueError):
         decode_event({"event": "PassStarted", "pass_index": 0, "bogus": 1})
-    assert len(EVENT_TYPES) == 10
+    assert len(EVENT_TYPES) == 12
 
 
 def test_jsonl_round_trip(tmp_path):
@@ -141,3 +141,47 @@ def test_open_telemetry_picks_sink_by_extension(tmp_path):
     prom = open_telemetry(str(tmp_path / "metrics.prom"))
     assert isinstance(prom.sink, TextfileSink)
     prom.close()
+
+
+def test_open_telemetry_trace_extension(tmp_path):
+    from repro.obs.trace import TraceSink
+
+    trace = open_telemetry(str(tmp_path / "run.trace"))
+    assert isinstance(trace.sink, TraceSink)
+    trace.close()
+    trace_json = open_telemetry(str(tmp_path / "run.trace.json"))
+    assert isinstance(trace_json.sink, TraceSink)
+    trace_json.close()
+
+
+def test_open_telemetry_rejects_unknown_extension(tmp_path):
+    with pytest.raises(ValueError, match="unrecognised extension"):
+        open_telemetry(str(tmp_path / "metrics.csv"))
+    assert not (tmp_path / "metrics.csv").exists()
+
+
+def test_tee_sink_fans_out_and_closes_all():
+    from repro.obs.sinks import TeeSink
+
+    first, second = InMemorySink(), InMemorySink()
+    tee = TeeSink(first, second)
+    for event in EVENTS:
+        tee.emit(event)
+    tee.close()
+    assert first.events == EVENTS
+    assert second.events == EVENTS
+
+
+def test_telemetry_context_manager_closes_on_exception(tmp_path):
+    path = str(tmp_path / "fail.jsonl")
+    with pytest.raises(RuntimeError):
+        with open_telemetry(path) as telemetry:
+            telemetry.emit(EVENTS[0])
+            telemetry.count("events_total")
+            raise RuntimeError("mid-run failure")
+    # The sink was flushed and closed on the exception path: the log is
+    # complete, parseable JSONL ending in the final MetricsReport.
+    events = read_jsonl_events(path)
+    assert events[0] == EVENTS[0]
+    assert isinstance(events[-1], MetricsReport)
+    assert events[-1].metrics["events_total"]["value"] == 1

@@ -1,0 +1,265 @@
+"""Trace spans: deterministic identity, schedule invariance, Chrome export.
+
+The two pinned tentpole invariants:
+
+* the exported trace validates against the Chrome trace-event schema
+  (required keys, monotone timestamps within a thread track);
+* serial and parallel executions of the same spec — both the sharded
+  driver and a TrialSpec batch — produce *identical* span trees once
+  timers are stripped (:func:`repro.obs.trace.span_tree`).
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.experiments.parallel import (
+    ExecutionConfig,
+    TrialExecutor,
+    trial_spans,
+    trial_specs,
+)
+from repro.graph.generators import gnm_random_graph
+from repro.obs.events import RunStarted, SpanFinished
+from repro.obs.sinks import InMemorySink, JsonlSink, TeeSink, read_jsonl_events
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import (
+    NULL_TRACER,
+    TraceContext,
+    Tracer,
+    TraceSink,
+    chrome_trace_events,
+    decode_span,
+    encode_span,
+    read_chrome_trace,
+    span_id_for,
+    span_tree,
+    spans_from_events,
+    write_chrome_trace,
+)
+from repro.sketch.driver import run_sharded
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+def _record_tree(tracer_seed=7):
+    """A small three-level span tree, for unit-level assertions."""
+    tracer = Tracer(seed=tracer_seed)
+    with tracer:
+        with tracer.span("pass:0", category="pass") as sp:
+            with tracer.span("shard:0", category="shard", pairs=10):
+                pass
+            with tracer.span("shard:1", category="shard", pairs=12):
+                pass
+            sp.set(pairs=22)
+        with tracer.span("merge:0", category="merge", n_shards=2):
+            pass
+    return tracer
+
+
+class TestSpanIdentity:
+    def test_span_ids_are_deterministic_and_path_derived(self):
+        first, second = _record_tree(), _record_tree()
+        assert span_tree(first.spans) == span_tree(second.spans)
+        by_path = {record.path: record for record in first.spans}
+        for path, record in by_path.items():
+            assert record.span_id == span_id_for(7, path)
+            assert len(record.span_id) == 16
+            int(record.span_id, 16)  # hex
+
+    def test_parent_ids_link_the_tree(self):
+        tracer = _record_tree()
+        by_path = {record.path: record for record in tracer.spans}
+        assert by_path["run"].parent_id == ""
+        assert by_path["run/pass:0"].parent_id == by_path["run"].span_id
+        assert by_path["run/pass:0/shard:1"].parent_id == by_path["run/pass:0"].span_id
+
+    def test_different_seed_different_ids_same_shape(self):
+        a, b = _record_tree(7), _record_tree(8)
+        assert {r.path for r in a.spans} == {r.path for r in b.spans}
+        assert {r.span_id for r in a.spans}.isdisjoint({r.span_id for r in b.spans})
+
+    def test_timers_are_the_only_difference_between_runs(self):
+        a, b = _record_tree(), _record_tree()
+        stripped = lambda t: span_tree(t.spans)  # noqa: E731
+        assert stripped(a) == stripped(b)
+        assert [r.attrs for r in a.spans] == [r.attrs for r in b.spans]
+
+
+class TestWireFormat:
+    def test_encode_decode_round_trip(self):
+        tracer = _record_tree()
+        for record in tracer.spans:
+            assert decode_span(encode_span(record)) == record
+        # Wire form is JSON-safe.
+        json.dumps(tracer.encoded_spans())
+
+    def test_worker_context_and_adopt(self):
+        parent = Tracer(seed=7)
+        with parent:
+            with parent.span("pass:0", category="pass"):
+                ctx = parent.context()
+                assert ctx == TraceContext(seed=7, path="run/pass:0")
+                # Simulate the worker: child tracer, one shard span.
+                child = Tracer.from_context(ctx)
+                with child:
+                    with child.span("shard:0", category="shard", pairs=5):
+                        pass
+                shipped = child.encoded_spans()
+                parent.adopt(shipped)
+        by_path = {r.path: r for r in parent.spans}
+        shard = by_path["run/pass:0/shard:0"]
+        assert shard.parent_id == by_path["run/pass:0"].span_id
+        assert shard.span_id == span_id_for(7, "run/pass:0/shard:0")
+        # The child never emitted its own root span.
+        assert sum(1 for r in parent.spans if r.path == "run/pass:0") == 1
+
+    def test_spans_flow_to_telemetry_as_events(self):
+        sink = InMemorySink()
+        telemetry = Telemetry(sink=sink)
+        tracer = Tracer(seed=7, telemetry=telemetry)
+        with tracer:
+            with tracer.span("pass:0", category="pass"):
+                pass
+        events = sink.of_type(SpanFinished)
+        assert [e.path for e in events] == ["run/pass:0", "run"]
+        assert span_tree(spans_from_events(events)) == span_tree(tracer.spans)
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER:
+            with NULL_TRACER.span("pass:0") as handle:
+                handle.set(pairs=3)
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.context() is None
+        assert NULL_TRACER.adopt([{"bogus": True}]) == []
+
+    def test_null_tracer_run_matches_untraced_run(self):
+        graph = gnm_random_graph(200, 900, seed=3)
+        stream = AdjacencyListStream(graph, seed=4)
+        plain = run_algorithm(TwoPassTriangleCounter(64, seed=5), stream)
+        nulled = run_algorithm(
+            TwoPassTriangleCounter(64, seed=5), stream, tracer=NULL_TRACER
+        )
+        assert plain.estimate == nulled.estimate
+        assert plain.peak_space_words == nulled.peak_space_words
+
+
+class TestChromeExport:
+    def test_required_keys_and_monotone_ts_per_tid(self):
+        tracer = _record_tree()
+        events = chrome_trace_events(tracer.spans)
+        assert len(events) == len(tracer.spans)
+        last_ts = {}
+        for event in events:
+            for key in ("ph", "ts", "pid", "tid", "name"):
+                assert key in event, f"missing required key {key}"
+            assert event["ph"] == "X"
+            assert event["pid"] == 1
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert event["dur"] >= 0
+            tid = event["tid"]
+            assert event["ts"] >= last_ts.get(tid, 0), "ts not monotone within tid"
+            last_ts[tid] = event["ts"]
+
+    def test_worker_units_get_their_own_tid(self):
+        tracer = _record_tree()
+        events = chrome_trace_events(tracer.spans)
+        tid_of = {e["args"]["path"]: e["tid"] for e in events}
+        assert tid_of["run/pass:0/shard:0"] != tid_of["run/pass:0/shard:1"]
+        assert tid_of["run"] == tid_of["run/pass:0"] == tid_of["run/merge:0"]
+
+    def test_write_read_round_trip(self, tmp_path):
+        tracer = _record_tree()
+        path = str(tmp_path / "run.trace")
+        write_chrome_trace(path, tracer.spans)
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["displayTimeUnit"] == "ms"
+        loaded = read_chrome_trace(path)
+        # Timestamps are quantised to microseconds, but the structural
+        # identity survives the round trip exactly.
+        assert span_tree(loaded) == span_tree(tracer.spans)
+
+    def test_trace_sink_collects_spans_and_writes_on_close(self, tmp_path):
+        path = str(tmp_path / "run.trace")
+        sink = TraceSink(path)
+        telemetry = Telemetry(sink=sink)
+        tracer = Tracer(seed=7, telemetry=telemetry)
+        with tracer:
+            with tracer.span("pass:0", category="pass"):
+                pass
+        telemetry.emit(RunStarted(algorithm="X", passes=1, pairs_per_pass=0))  # dropped
+        telemetry.close()
+        assert span_tree(read_chrome_trace(path)) == span_tree(tracer.spans)
+        with pytest.raises(ValueError):
+            sink.emit(RunStarted(algorithm="X", passes=1, pairs_per_pass=0))
+
+    def test_tee_sink_yields_both_artifacts(self, tmp_path):
+        log = str(tmp_path / "run.jsonl")
+        trace = str(tmp_path / "run.trace")
+        telemetry = Telemetry(sink=TeeSink(JsonlSink(log), TraceSink(trace)))
+        tracer = Tracer(seed=7, telemetry=telemetry)
+        with telemetry:
+            with tracer:
+                with tracer.span("pass:0", category="pass"):
+                    pass
+        logged = spans_from_events(read_jsonl_events(log))
+        assert span_tree(logged) == span_tree(tracer.spans)
+        assert span_tree(read_chrome_trace(trace)) == span_tree(tracer.spans)
+
+
+def _factory(budget, seed):
+    """Module-level (picklable) trial factory."""
+    return TwoPassTriangleCounter(sample_size=max(budget, 1), seed=seed)
+
+
+def _trial_batch_tree(workers):
+    graph = gnm_random_graph(120, 500, seed=3)
+    specs = trial_specs(random.Random(42), 64, 4)
+    config = ExecutionConfig(workers=workers, trace_seed=11)
+    with TrialExecutor(_factory, graph, config) as executor:
+        results = executor.run(specs)
+    parent = Tracer(seed=11)
+    with parent:
+        parent.adopt(trial_spans(results))
+    return results, span_tree(parent.spans)
+
+
+class TestScheduleInvariance:
+    def test_trial_batch_serial_equals_parallel(self):
+        serial_results, serial_tree = _trial_batch_tree(workers=None)
+        parallel_results, parallel_tree = _trial_batch_tree(workers=2)
+        assert serial_tree == parallel_tree
+        assert [r.estimate for r in serial_results] == [
+            r.estimate for r in parallel_results
+        ]
+        paths = {entry[0] for entry in serial_tree}
+        assert "run" in paths
+        assert "run/trial:0/pass:0" in paths and "run/trial:3/pass:1" in paths
+
+    def test_sharded_serial_equals_parallel(self):
+        def run(workers):
+            graph = gnm_random_graph(120, 500, seed=3)
+            stream = AdjacencyListStream(graph, seed=4)
+            algo = TwoPassTriangleCounter(64, seed=5, sharded=True)
+            tracer = Tracer(seed=11)
+            with tracer:
+                result = run_sharded(
+                    algo, stream, 3, workers=workers, merge_seed=1, tracer=tracer
+                )
+            return result, span_tree(tracer.spans)
+
+        serial_result, serial_tree = run(None)
+        parallel_result, parallel_tree = run(2)
+        assert serial_tree == parallel_tree
+        assert serial_result.estimate == parallel_result.estimate
+        paths = {entry[0] for entry in serial_tree}
+        assert "run/pass:0/shard:2" in paths and "run/pass:1/merge:1" in paths
+        # Shard attrs (pairs, peaks) are schedule-invariant numbers.
+        shard_attrs = [entry[5] for entry in serial_tree if "shard:" in entry[0]]
+        assert all(dict(attrs)["pairs"] > 0 for attrs in shard_attrs)

@@ -246,3 +246,84 @@ class TestAdaptiveAndExperiments:
     def test_experiment_figure1(self, capsys):
         assert main(["experiment", "figure1"]) == 0
         assert "Figure 1e" in capsys.readouterr().out
+
+
+class TestObservability:
+    """count --telemetry/--trace artifacts and the report subcommands."""
+
+    def test_count_trace_writes_loadable_chrome_trace(self, graph_file, tmp_path, capsys):
+        from repro.obs.trace import read_chrome_trace
+
+        trace = tmp_path / "run.trace"
+        assert main(
+            ["count", str(graph_file), "--sample-size", "64", "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        spans = read_chrome_trace(str(trace))
+        paths = {span.path for span in spans}
+        assert {"run", "run/pass:0", "run/pass:1"} <= paths
+
+    def test_failing_run_leaves_parseable_jsonl(self, graph_file, tmp_path):
+        from repro.obs.events import RunStarted
+        from repro.obs.sinks import read_jsonl_events
+
+        log = tmp_path / "fail.jsonl"
+        # naive sampling has no snapshot support, so --checkpoint aborts the
+        # run after the telemetry sink is already open.
+        with pytest.raises(SystemExit, match="snapshot"):
+            main(
+                [
+                    "count", str(graph_file), "--algorithm", "naive",
+                    "--telemetry", str(log),
+                    "--checkpoint", str(tmp_path / "x.ckpt"),
+                ]
+            )
+        events = read_jsonl_events(str(log))  # parseable despite the abort
+        assert not any(isinstance(e, RunStarted) for e in events)
+
+    def test_bench_report_consumes_count_telemetry_log(self, graph_file, tmp_path, capsys):
+        logs = []
+        for name in ("a.jsonl", "b.jsonl"):
+            log = tmp_path / name
+            assert main(
+                [
+                    "count", str(graph_file), "--sample-size", "64",
+                    "--telemetry", str(log),
+                ]
+            ) == 0
+            logs.append(str(log))
+        capsys.readouterr()
+        assert main(
+            ["bench-report", logs[1], "--against", logs[0], "--threshold", "0.35"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "a.jsonl" in out and "b.jsonl" in out
+
+    def test_obs_report_subcommand(self, graph_file, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        trace = tmp_path / "run.trace"
+        assert main(
+            [
+                "count", str(graph_file), "--sample-size", "64",
+                "--telemetry", str(log), "--trace", str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "obs-report", "--log", str(log), "--trace", str(trace),
+                "--truth", "40", "--format", "markdown",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pass:0" in out and "onvergence" in out
+
+    def test_telemetry_unknown_extension_is_an_error(self, graph_file, tmp_path):
+        with pytest.raises(SystemExit, match="extension"):
+            main(
+                [
+                    "count", str(graph_file),
+                    "--telemetry", str(tmp_path / "log.csv"),
+                ]
+            )
+        assert not (tmp_path / "log.csv").exists()
