@@ -34,12 +34,15 @@ two differ by at most the factor 4 absorbed into the O(1) guarantee):
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.graph.graph import Edge, Vertex, canonical_edge
 from repro.graph.wedges import Wedge
 from repro.sketch.state import SketchState
 from repro.streaming.algorithm import StreamingAlgorithm
+from repro.util import vectorized
 from repro.util.rng import SeedLike, resolve_rng, spawn_rng
 from repro.util.sampling import BottomKSampler
 
@@ -122,9 +125,32 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
         self._wedge_population = 0
         self._multiplicity_total = 0
         self._distinct_cycles: Set[CycleKey] = set()
-        # Telemetry-only churn tally (observables); deliberately NOT part
-        # of the snapshot payload — resumed runs restart it at zero.
+        # Telemetry-only churn tallies (observables); deliberately NOT part
+        # of the snapshot payload — resumed runs restart them at zero.
         self._evictions = 0
+        self._offers_total = 0  # pass-0 edge offers (repeats included)
+        self._offers_accepted = 0  # offers the bottom-k sample accepted
+        # Columnar wedge-endpoint view for the vectorized pass-2 scan;
+        # derived from _wedges (fixed after _build_wedges), built lazily.
+        # None = unbuilt, (None,) = non-int labels (scalar path),
+        # (cols,) = ready.
+        self._wedge_cols: Optional[Tuple[Optional[tuple]]] = None
+        # Reusable membership table for the completion test.
+        self._vtable = vectorized.VertexTable()
+        # Stream-provided column memo (bind_columns); acceleration only.
+        self._col_provider = None
+
+    def bind_columns(self, provider) -> None:
+        self._col_provider = provider
+
+    def _neighbor_column(
+        self, vertex: Vertex, neighbors: Sequence[Vertex]
+    ) -> Optional[np.ndarray]:
+        """The list's uint64 column, via the bound provider when available."""
+        provider = self._col_provider
+        if provider is not None:
+            return provider(vertex, neighbors)
+        return vectorized.as_vertex_array(neighbors)
 
     def _edge_evicted(self, edge: Edge) -> None:
         self._evictions += 1
@@ -139,21 +165,82 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
     def process(self, source: Vertex, neighbor: Vertex) -> None:
         if self._pass == 0:
             self._pair_count += 1
-            self._sampler.offer(canonical_edge(source, neighbor))
+            self._offers_total += 1
+            if self._sampler.offer(canonical_edge(source, neighbor)):
+                self._offers_accepted += 1
 
     def process_list(self, source: Vertex, neighbors: Sequence[Vertex]) -> None:
-        # Batched fast path: same offers in the same order as the per-pair
-        # loop, minus per-pair dispatch (pass 1 does all work in end_list).
+        # Batched fast path: same offers in the same order (and the same
+        # accepted tally) as the per-pair loop, minus per-pair dispatch
+        # (pass 1 does all work in end_list).  Int-labelled lists take the
+        # columnar route: one vectorized hash of every edge key plus one
+        # threshold comparison, only batch survivors touch the heap.
         if self._pass == 0:
             self._pair_count += len(neighbors)
+            self._offers_total += len(neighbors)
             src = source
-            self._sampler.offer_many(
+            cols = None
+            if vectorized.columnar_enabled() and len(neighbors):
+                src64 = vectorized.as_vertex_scalar(src)
+                nbrs = (
+                    self._neighbor_column(src, neighbors)
+                    if src64 is not None
+                    else None
+                )
+                if nbrs is not None:
+                    cols = vectorized.canonical_pair_columns(src64, nbrs)
+            if cols is not None:
+                u, v = cols
+                prios = self._sampler.priority_array(
+                    vectorized.encode_pair_keys(u, v)
+                )
+                self._offers_accepted += self._sampler.offer_array(
+                    prios, vectorized.PairColumns(u, v)
+                )
+                return
+            self._offers_accepted += self._sampler.offer_many(
                 [(src, nbr) if src <= nbr else (nbr, src) for nbr in neighbors]
             )
 
     def end_list(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
         if self._pass != 1:
             return
+        nbrs = (
+            self._neighbor_column(vertex, neighbors)
+            if vectorized.columnar_enabled()
+            else None
+        )
+        if nbrs is not None and len(nbrs):
+            src = vectorized.as_vertex_scalar(vertex)
+            cols = self._wedge_columns() if src is not None else None
+            if cols is not None:
+                # Columnar completion test: both wedge endpoints adjacent
+                # to the closing vertex, via two membership-table (or
+                # binary-search) masks over the endpoint columns; matched
+                # wedges are walked in index order, i.e. the scalar
+                # loop's order.
+                wu, wv, wc, query_max = cols
+                if not len(wu):
+                    return
+                table = self._vtable
+                if table.mark(nbrs, query_max):
+                    mask = table.lookup(wu) & table.lookup(wv) & (wc != src)
+                    table.unmark(nbrs)
+                else:
+                    count = len(wu)
+                    both = vectorized.in_sorted(
+                        np.sort(nbrs), np.concatenate((wu, wv))
+                    )
+                    mask = both[:count] & both[count:] & (wc != src)
+                self._multiplicity_total += int(np.count_nonzero(mask))
+                if self.mode == "distinct":
+                    wedges = self._wedges
+                    for i in np.nonzero(mask)[0]:
+                        wedge = wedges[i]
+                        self._distinct_cycles.add(
+                            cycle_key(wedge.u, wedge.center, wedge.v, vertex)
+                        )
+                return
         nset = set(neighbors)
         for wedge in self._wedges:
             if wedge.u in nset and wedge.v in nset and vertex != wedge.center:
@@ -161,9 +248,32 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
                 if self.mode == "distinct":
                     self._distinct_cycles.add(cycle_key(wedge.u, wedge.center, wedge.v, vertex))
 
+    def _wedge_columns(self) -> Optional[tuple]:
+        """Endpoint/center columns over Q (fixed once wedges are built)."""
+        cached = self._wedge_cols
+        if cached is not None:
+            return cached[0]
+        wedges = self._wedges
+        count = len(wedges)
+        try:
+            wu = np.fromiter((w.u for w in wedges), dtype=np.uint64, count=count)
+            wv = np.fromiter((w.v for w in wedges), dtype=np.uint64, count=count)
+            wc = np.fromiter(
+                (w.center for w in wedges), dtype=np.uint64, count=count
+            )
+        except (OverflowError, ValueError, TypeError):
+            self._wedge_cols = (None,)  # non-int vertex labels: scalar path
+            return None
+        query_max = int(max(wu.max(), wv.max())) if count else -1
+        cols = (wu, wv, wc, query_max)
+        self._wedge_cols = (cols,)
+        return cols
+
     def _build_wedges(self) -> None:
         """Form Q: wedges with both edges sampled (reservoir-capped)."""
         from repro.util.sampling import ReservoirSampler
+
+        self._wedge_cols = None
 
         reservoir: ReservoirSampler[Wedge] = None
         if self.wedge_cap is not None:
@@ -237,6 +347,11 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
             _decode_cycle_key(blob) for blob in payload["distinct"]
         }
         self._evictions = 0
+        self._offers_total = 0
+        self._offers_accepted = 0
+        self._wedge_cols = None
+        self._vtable = vectorized.VertexTable()
+        self._col_provider = None
 
     @classmethod
     def from_state(cls, state: SketchState) -> "TwoPassFourCycleCounter":
@@ -319,6 +434,8 @@ class TwoPassFourCycleCounter(StreamingAlgorithm):
             "edge_sample_occupancy": len(self._sampler),
             "edge_sample_capacity": self.sample_size,
             "edge_sample_evictions": self._evictions,
+            "edge_offers_total": self._offers_total,
+            "edge_offers_accepted": self._offers_accepted,
             "wedge_set_occupancy": len(self._wedges),
             "wedge_population": self._wedge_population,
             "distinct_cycles_tracked": len(self._distinct_cycles),

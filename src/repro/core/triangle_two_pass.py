@@ -55,9 +55,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.graph.graph import Edge, Vertex, canonical_edge
 from repro.sketch.state import SketchState
 from repro.streaming.algorithm import StreamingAlgorithm
+from repro.util import vectorized
 from repro.util.hashing import MixHash64
 from repro.util.rng import SeedLike, resolve_rng, spawn_rng
 from repro.util.sampling import BottomKSampler, ReservoirSampler
@@ -86,7 +89,7 @@ def apex(tri: Triangle, edge: Edge) -> Vertex:
     raise ValueError(f"{edge} has no opposite vertex in {tri}")
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class _Watcher:
     """H-counter for one (collected pair, triangle edge) combination."""
 
@@ -96,7 +99,7 @@ class _Watcher:
     h: int = 0
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class _Pair:
     """A collected candidate pair (e, τ) with its three watchers."""
 
@@ -195,14 +198,111 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
         # of the snapshot payload — resumed runs restart them at zero.
         self._evictions = 0  # edges that fell out of the bottom-k sample
         self._displaced = 0  # reservoir pairs displaced by later offers
+        self._offers_total = 0  # pass-0 edge offers (repeats included)
+        self._offers_accepted = 0  # offers the bottom-k sample accepted
+        # O(1) bookkeeping mirrors for the hot path (derived state; restore
+        # recomputes them from the restored reservoir):
+        self._live_watchers = 0  # == sum(len(p.watchers) for p in reservoir)
+        self._pairs_per_edge: Dict[Edge, int] = {}  # reservoir pairs per edge
+        # Columnar caches for the vectorized per-list scans; derived state
+        # only, invalidated (not serialised) across snapshot/restore.
+        # Member columns are a *superset* over the sampler's admission
+        # log, held in growable endpoint buffers: a full (re)build
+        # snapshots the live membership into slack capacity and later
+        # admissions are appended, so the per-list scans stay fully
+        # vectorized with no scalar pending tail.  Hits resolve through
+        # the live membership (stale, since-evicted entries miss); a
+        # rebuild triggers only when the stale fraction passes 1/2.
+        self._mcol_arrays: Optional[tuple] = None  # (mu, mv, keys, max_id)
+        self._mcol_ok = True  # False once non-int edge keys are seen
+        self._mcol_epoch = -1  # admission-log epoch of the last build
+        self._mcol_pos = 0  # admission-log cursor: columns cover log[:pos]
+        self._mcol_dead = 0  # evictions since the last full build
+        self._mcol_keys: Optional[List[Edge]] = None  # keys, build order
+        self._mcol_bu: Optional[np.ndarray] = None  # endpoint buffers,
+        self._mcol_bv: Optional[np.ndarray] = None  # len(keys) live
+        self._mcol_qmax = -1  # max endpoint id across the buffers
+        # Watcher columns use the same superset discipline but hold bucket
+        # *objects*: a dropped bucket empties in place (a harmless no-op
+        # when scanned) and newly created buckets are appended on the
+        # next per-list build, so rebuilds are amortised away even
+        # though watchers churn on every collect.
+        self._wcol_arrays: Optional[tuple] = None  # (f0, f1, buckets, max_id)
+        self._wcol_ok = True  # False once non-int edge labels are seen
+        self._wcol_pending: List[Tuple[Edge, Set[_Watcher]]] = []
+        self._wcol_dead = 0  # buckets dropped since the last full build
+        self._wcol_buckets: Optional[List[Set[_Watcher]]] = None
+        self._wcol_b0: Optional[np.ndarray] = None  # endpoint buffers,
+        self._wcol_b1: Optional[np.ndarray] = None  # len(buckets) live
+        self._wcol_qmax = -1  # max endpoint id across the buffers
+        # Reusable membership table plus the uint64 neighbour array shared
+        # between process_list and end_list of the same adjacency list.
+        self._vtable = vectorized.VertexTable()
+        self._nbrs_cache: Optional[Tuple[Vertex, np.ndarray]] = None
+        # Stream-provided column memo (bind_columns); acceleration only.
+        self._col_provider = None
+        # Eviction batching for list-level offers: while a buffer list is
+        # installed, _edge_evicted defers its reservoir scans into it and
+        # process_list flushes them in one combined scan per list.
+        self._evict_buffer: Optional[List[Edge]] = None
+        self._evict_pairs = 0  # pairs owed by the buffered edges
+        # Pass-2 fused scan: process_list defers the seen-edge update to
+        # end_list so both share one membership-table mark and one pair of
+        # endpoint lookups; holds (vertex, src64) for the pending list.
+        self._p2_deferred: Optional[Tuple[Vertex, int]] = None
+
+    def bind_columns(self, provider) -> None:
+        self._col_provider = provider
+
+    def _neighbor_column(
+        self, vertex: Vertex, neighbors: Sequence[Vertex]
+    ) -> Optional[np.ndarray]:
+        """The list's uint64 column, via the bound provider when available."""
+        provider = self._col_provider
+        if provider is not None:
+            return provider(vertex, neighbors)
+        return vectorized.as_vertex_array(neighbors)
 
     # -- sampler bookkeeping --------------------------------------------------
 
     def _edge_evicted(self, edge: Edge) -> None:
         """Drop reservoir pairs whose first-pass edge left the sample."""
         self._evictions += 1
-        removed = [p for p in self._reservoir.items() if p.edge == edge]
-        self._reservoir.discard(lambda p: p.edge == edge)
+        self._mcol_dead += 1
+        # The per-edge pair index makes the common case — the evicted edge
+        # has no collected pairs — O(1) instead of a reservoir scan.
+        # Skipping the scan is state-identical: discarding with no matching
+        # pairs touches neither the reservoir contents nor its RNG.
+        count = self._pairs_per_edge.pop(edge, 0)
+        if count == 0:
+            return
+        buffer = self._evict_buffer
+        if buffer is not None:
+            # Batched offers flush all of a list's evictions in one scan
+            # (see process_list); discards never touch the reservoir RNG
+            # and sequential per-edge removals keep survivor order, so one
+            # combined scan leaves bit-identical reservoir state.
+            buffer.append(edge)
+            self._evict_pairs += count
+            return
+        removed = self._reservoir.discard_collect(
+            lambda p: p.edge == edge, limit=count
+        )
+        for pair in removed:
+            self._unregister_watchers(pair)
+
+    def _flush_evictions(self) -> None:
+        """Drop pairs for every edge buffered by ``_edge_evicted``."""
+        buffer = self._evict_buffer
+        if not buffer:
+            return
+        dead = set(buffer)
+        del buffer[:]
+        count = self._evict_pairs
+        self._evict_pairs = 0
+        removed = self._reservoir.discard_collect(
+            lambda p: p.edge in dead, limit=count
+        )
         for pair in removed:
             self._unregister_watchers(pair)
 
@@ -218,20 +318,38 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
         arrived yet (otherwise the pair would have been collected in
         pass 1).
         """
-        for f in triangle_edges(pair.triangle):
-            x = apex(pair.triangle, f)
+        by_edge = self._watchers_by_edge
+        # triangle_key sorts, so (a, b), (a, c), (b, c) are already the
+        # canonical edges and the leftover vertex is each edge's apex —
+        # same (f, x) sequence as triangle_edges + apex, without the calls.
+        a, b, c = pair.triangle
+        for f, x in (((a, b), c), ((a, c), b), ((b, c), a)):
             watcher = _Watcher(edge=f, x=x, x_arrived=(x == current_list))
             pair.watchers.append(watcher)
-            self._watchers_by_edge.setdefault(f, set()).add(watcher)
+            bucket = by_edge.get(f)
+            if bucket is None:
+                bucket = set()
+                by_edge[f] = bucket
+                # Every new bucket object joins the pending list exactly
+                # once (unless the columnar view is disabled for this
+                # run).  The built columns may still hold an older (since
+                # emptied) bucket for the same edge, which scans as a
+                # no-op, so no edge is ever double-counted.
+                if self._wcol_ok:
+                    self._wcol_pending.append((f, bucket))
+            bucket.add(watcher)
             self._watchers_by_apex.setdefault(x, set()).add(watcher)
+        self._live_watchers += len(pair.watchers)
 
     def _unregister_watchers(self, pair: _Pair) -> None:
+        self._live_watchers -= len(pair.watchers)
         for watcher in pair.watchers:
             bucket = self._watchers_by_edge.get(watcher.edge)
             if bucket is not None:
                 bucket.discard(watcher)
                 if not bucket:
                     del self._watchers_by_edge[watcher.edge]
+                    self._wcol_dead += 1
             bucket = self._watchers_by_apex.get(watcher.x)
             if bucket is not None:
                 bucket.discard(watcher)
@@ -250,13 +368,30 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
         if displaced is not None:
             self._displaced += 1
             self._unregister_watchers(displaced)
-        if not admitted and in_pass_two:
+            counts = self._pairs_per_edge
+            remaining = counts.get(displaced.edge, 0) - 1
+            if remaining > 0:
+                counts[displaced.edge] = remaining
+            else:
+                counts.pop(displaced.edge, None)
+        if admitted:
+            counts = self._pairs_per_edge
+            counts[edge] = counts.get(edge, 0) + 1
+        elif in_pass_two:
             self._unregister_watchers(pair)
 
     # -- streaming interface ---------------------------------------------------
 
     def begin_pass(self, pass_index: int) -> None:
         self._pass = pass_index
+        self._nbrs_cache = None
+        self._p2_deferred = None
+        if pass_index == 1:
+            # Membership is frozen for all of pass 2: rebuild the member
+            # columns once, exactly, so the pass-2 scans carry no stale
+            # entries (the fused seen-edge scan relies on this).
+            self._mcol_keys = None
+            self._mcol_arrays = None
         if pass_index == 1 and not self.sharded:
             # Pass-1 pairs get their watchers now; their apexes all arrive
             # (again) during pass 2, so flags start False.
@@ -272,7 +407,9 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
         edge = canonical_edge(source, neighbor)
         if self._pass == 0:
             self._pair_count += 1
-            self._sampler.offer(edge)
+            self._offers_total += 1
+            if self._sampler.offer(edge):
+                self._offers_accepted += 1
         elif not self.sharded:
             # ``seen`` drives the pass-1/pass-2 considered-once split; the
             # sharded discipline collects everything in pass 2 instead.
@@ -281,15 +418,69 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
 
     def process_list(self, source: Vertex, neighbors: Sequence[Vertex]) -> None:
         # Batched fast path: identical work to the per-pair loop (same edge
-        # order, same sampler offers) with per-pair dispatch, the pass
-        # check and canonical_edge calls hoisted out of the inner loop.
+        # order, same sampler offers, same accepted tally) with per-pair
+        # dispatch, the pass check and canonical_edge calls hoisted out of
+        # the inner loop.  When the labels are plain ints the whole list is
+        # processed columnar: one vectorized hash of every edge key and one
+        # threshold comparison, with only batch survivors touching Python
+        # data structures.
         src = source
         if self._pass == 0:
             self._pair_count += len(neighbors)
-            self._sampler.offer_many(
-                [(src, nbr) if src <= nbr else (nbr, src) for nbr in neighbors]
-            )
+            self._offers_total += len(neighbors)
+            # Batch this list's eviction scans: each evicted edge with
+            # collected pairs costs a reservoir scan, and a list-level
+            # offer batch can evict several — one combined scan at the end
+            # of the batch removes the same pairs in the same order.
+            buffer: List[Edge] = []
+            self._evict_buffer = buffer
+            try:
+                if vectorized.columnar_enabled():
+                    src64 = vectorized.as_vertex_scalar(src)
+                    nbrs = (
+                        self._neighbor_column(src, neighbors)
+                        if src64 is not None
+                        else None
+                    )
+                    if nbrs is not None:
+                        self._nbrs_cache = (src, nbrs)
+                        u, v = vectorized.canonical_pair_columns(src64, nbrs)
+                        prios = self._sampler.priority_array(
+                            vectorized.encode_pair_keys(u, v)
+                        )
+                        self._offers_accepted += self._sampler.offer_array(
+                            prios, vectorized.PairColumns(u, v)
+                        )
+                        return
+                self._offers_accepted += self._sampler.offer_many(
+                    [(src, nbr) if src <= nbr else (nbr, src) for nbr in neighbors]
+                )
+            finally:
+                self._flush_evictions()
+                self._evict_buffer = None
         elif not self.sharded:
+            if vectorized.columnar_enabled() and len(neighbors):
+                src64 = vectorized.as_vertex_scalar(src)
+                nbrs = (
+                    self._neighbor_column(src, neighbors)
+                    if src64 is not None
+                    else None
+                )
+                cols = (
+                    self._ensure_member_columns() if nbrs is not None else None
+                )
+                if cols is not None:
+                    # Defer the inverted membership scan — which sampled
+                    # edges appear in this list — to end_list, where it
+                    # shares one membership-table mark and one pair of
+                    # endpoint lookups with candidate detection.
+                    # Membership is frozen in pass 2 and the columns were
+                    # rebuilt at the pass boundary, so they are exact
+                    # (no stale entries, empty pending tail).
+                    self._nbrs_cache = (src, nbrs)
+                    if len(cols[2]):
+                        self._p2_deferred = (src, src64)
+                    return
             members = self._sampler.membership()
             seen = self._seen_p2
             for nbr in neighbors:
@@ -298,12 +489,258 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
                     seen.add(edge)
 
     def end_list(self, vertex: Vertex, neighbors: Sequence[Vertex]) -> None:
-        nset = set(neighbors)
-        if self._pass == 1:
-            self._count_h(vertex, nset)
-        self._detect_candidates(vertex, nset)
+        if self._pass == 0 and self.sharded:
+            return  # sharded discipline: nothing to detect until pass 2
+        deferred = self._p2_deferred
+        if deferred is not None:
+            self._p2_deferred = None
+            if deferred[0] != vertex:
+                deferred = None  # stale deferral from a skipped list
+        nbrs: Optional[np.ndarray] = None
+        if vectorized.columnar_enabled() and len(neighbors):
+            cache = self._nbrs_cache
+            if cache is not None and cache[0] == vertex:
+                nbrs = cache[1]
+            else:
+                nbrs = self._neighbor_column(vertex, neighbors)
+        if nbrs is None:
+            if deferred is not None:
+                self._seen_scan_scalar(vertex, neighbors)
+            nset = set(neighbors)
+            if self._pass == 1:
+                self._count_h_scalar(vertex, nset)
+            self._detect_scalar(vertex, nset)
+            return
+        # Ensure the columnar views are current *before* marking the
+        # membership table: the table must cover every id the lookups can
+        # query, and a rebuild can raise that maximum.
+        mcols = self._ensure_member_columns()
+        wcols = self._ensure_watcher_columns() if self._pass == 1 else None
+        if deferred is not None and mcols is None:
+            self._seen_scan_scalar(vertex, neighbors)
+            deferred = None
+        query_max = -1
+        if mcols is not None and mcols[3] > query_max:
+            query_max = mcols[3]
+        if wcols is not None and wcols[3] > query_max:
+            query_max = wcols[3]
+        table: Optional[vectorized.VertexTable] = self._vtable
+        if table is not None and not table.mark(nbrs, query_max):
+            table = None
+        nbrs_sorted = np.sort(nbrs) if table is None else None
+        try:
+            hit: Optional[np.ndarray] = None
+            if deferred is not None and len(mcols[2]):
+                hit = self._seen_scan_col(deferred[1], mcols, table, nbrs_sorted)
+            if self._pass == 1:
+                self._count_h_col(vertex, neighbors, wcols, table, nbrs_sorted)
+            self._detect_col(vertex, neighbors, mcols, table, nbrs_sorted, hit)
+        finally:
+            if table is not None:
+                table.unmark(nbrs)
 
-    def _count_h(self, vertex: Vertex, nset: Set[Vertex]) -> None:
+    # -- columnar per-list views ----------------------------------------------
+
+    def _ensure_member_columns(self) -> Optional[tuple]:
+        """Superset endpoint columns over the sampled edges.
+
+        A full (re)build snapshots the live membership into endpoint
+        buffers with slack capacity; admissions logged since then are
+        appended on the next call, so steady-state admissions cost a few
+        buffer writes instead of a rebuild — and the per-list scans see
+        one contiguous pair of columns, no scalar pending tail.  Stale
+        entries (since-evicted members) are filtered against the live
+        membership at hit time; a full rebuild triggers only when the
+        stale fraction passes 1/2 (or the log was compacted/restored,
+        voiding the cursor).
+        """
+        if not self._mcol_ok:
+            return None
+        sampler = self._sampler
+        log = sampler.admission_log
+        epoch = sampler.admission_epoch
+        keys = self._mcol_keys
+        if keys is None or epoch != self._mcol_epoch or 2 * self._mcol_dead > len(keys):
+            keys = list(sampler.membership())
+            count = len(keys)
+            try:
+                mu = np.fromiter(
+                    (e[0] for e in keys), dtype=np.uint64, count=count
+                )
+                mv = np.fromiter(
+                    (e[1] for e in keys), dtype=np.uint64, count=count
+                )
+            except (OverflowError, ValueError, TypeError, IndexError):
+                self._mcol_ok = False  # non-int edge keys: scalar path
+                self._mcol_keys = None
+                self._mcol_arrays = None
+                return None
+            cap = 2 * count + 64
+            bu = np.empty(cap, dtype=np.uint64)
+            bv = np.empty(cap, dtype=np.uint64)
+            bu[:count] = mu
+            bv[:count] = mv
+            self._mcol_keys = keys
+            self._mcol_bu = bu
+            self._mcol_bv = bv
+            self._mcol_qmax = int(max(mu.max(), mv.max())) if count else -1
+            self._mcol_epoch = epoch
+            self._mcol_pos = len(log)
+            self._mcol_dead = 0
+            self._mcol_arrays = (mu, mv, keys, self._mcol_qmax)
+        elif len(log) > self._mcol_pos:
+            bu = self._mcol_bu
+            bv = self._mcol_bv
+            n = len(keys)
+            need = n + len(log) - self._mcol_pos
+            if need > len(bu):
+                cap = 2 * need + 64
+                grown_u = np.empty(cap, dtype=np.uint64)
+                grown_v = np.empty(cap, dtype=np.uint64)
+                grown_u[:n] = bu[:n]
+                grown_v[:n] = bv[:n]
+                self._mcol_bu = bu = grown_u
+                self._mcol_bv = bv = grown_v
+            qmax = self._mcol_qmax
+            try:
+                for key in log[self._mcol_pos:]:
+                    u, v = key
+                    bu[n] = u  # numpy rejects non-int / negative labels
+                    bv[n] = v
+                    keys.append(key)
+                    n += 1
+                    if u > qmax:
+                        qmax = u
+                    if v > qmax:
+                        qmax = v
+            except (OverflowError, ValueError, TypeError, IndexError):
+                self._mcol_ok = False
+                self._mcol_keys = None
+                self._mcol_arrays = None
+                return None
+            self._mcol_qmax = int(qmax)
+            self._mcol_pos = len(log)
+            self._mcol_arrays = (bu[:n], bv[:n], keys, self._mcol_qmax)
+        return self._mcol_arrays
+
+    def _ensure_watcher_columns(self) -> Optional[tuple]:
+        """Superset endpoint columns over the watched edges' buckets.
+
+        Same growable-buffer discipline as the member columns, but the
+        entries are the bucket *objects* themselves: a bucket dropped
+        since its append has been emptied in place, so scanning it is a
+        no-op — no per-hit index lookup is needed to filter stale
+        entries.  Buckets created since the last call sit in the pending
+        list and are appended here.
+        """
+        if not self._wcol_ok:
+            return None
+        buckets = self._wcol_buckets
+        if buckets is None or 2 * self._wcol_dead > len(buckets):
+            items = list(self._watchers_by_edge.items())
+            count = len(items)
+            try:
+                f0 = np.fromiter(
+                    (f[0] for f, _ in items), dtype=np.uint64, count=count
+                )
+                f1 = np.fromiter(
+                    (f[1] for f, _ in items), dtype=np.uint64, count=count
+                )
+            except (OverflowError, ValueError, TypeError, IndexError):
+                self._wcol_ok = False  # non-int edge labels: scalar path
+                self._wcol_buckets = None
+                self._wcol_arrays = None
+                return None
+            cap = 2 * count + 64
+            b0 = np.empty(cap, dtype=np.uint64)
+            b1 = np.empty(cap, dtype=np.uint64)
+            b0[:count] = f0
+            b1[:count] = f1
+            buckets = [b for _, b in items]
+            self._wcol_buckets = buckets
+            self._wcol_b0 = b0
+            self._wcol_b1 = b1
+            self._wcol_qmax = int(max(f0.max(), f1.max())) if count else -1
+            self._wcol_pending = []
+            self._wcol_dead = 0
+            self._wcol_arrays = (f0, f1, buckets, self._wcol_qmax)
+        elif self._wcol_pending:
+            pending = self._wcol_pending
+            b0 = self._wcol_b0
+            b1 = self._wcol_b1
+            n = len(buckets)
+            need = n + len(pending)
+            if need > len(b0):
+                cap = 2 * need + 64
+                grown_0 = np.empty(cap, dtype=np.uint64)
+                grown_1 = np.empty(cap, dtype=np.uint64)
+                grown_0[:n] = b0[:n]
+                grown_1[:n] = b1[:n]
+                self._wcol_b0 = b0 = grown_0
+                self._wcol_b1 = b1 = grown_1
+            qmax = self._wcol_qmax
+            try:
+                for f, bucket in pending:
+                    e0, e1 = f
+                    b0[n] = e0  # numpy rejects non-int / negative labels
+                    b1[n] = e1
+                    buckets.append(bucket)
+                    n += 1
+                    if e0 > qmax:
+                        qmax = e0
+                    if e1 > qmax:
+                        qmax = e1
+            except (OverflowError, ValueError, TypeError, IndexError):
+                self._wcol_ok = False
+                self._wcol_buckets = None
+                self._wcol_arrays = None
+                return None
+            del pending[:]
+            self._wcol_qmax = int(qmax)
+            self._wcol_arrays = (b0[:n], b1[:n], buckets, self._wcol_qmax)
+        return self._wcol_arrays
+
+    def _seen_scan_scalar(self, src: Vertex, neighbors: Sequence[Vertex]) -> None:
+        """Mark sampled edges appearing in this list (deferred fallback)."""
+        members = self._sampler.membership()
+        seen = self._seen_p2
+        for nbr in neighbors:
+            edge = (src, nbr) if src <= nbr else (nbr, src)
+            if edge in members and edge not in seen:
+                seen.add(edge)
+
+    def _seen_scan_col(
+        self,
+        src64: int,
+        mcols: tuple,
+        table: Optional[vectorized.VertexTable],
+        nbrs_sorted: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Fused pass-2 scan: update seen edges, return the detect mask.
+
+        A sampled edge has appeared in this list iff one endpoint is the
+        source and the other is a neighbour; the same per-endpoint lookup
+        masks give candidate detection's both-endpoints mask for free, so
+        the caller passes the returned mask straight to ``_detect_col``.
+        """
+        mu, mv, keys, _ = mcols
+        if table is not None:
+            lu = table.lookup(mu)
+            lv = table.lookup(mv)
+        else:
+            count = len(keys)
+            both = vectorized.in_sorted(nbrs_sorted, np.concatenate((mu, mv)))
+            lu = both[:count]
+            lv = both[count:]
+        seen = self._seen_p2
+        incident = ((mu == src64) & lv) | ((mv == src64) & lu)
+        for i in incident.nonzero()[0].tolist():
+            key = keys[i]
+            if key not in seen:
+                seen.add(key)
+        return lu & lv
+
+    def _count_h_scalar(self, vertex: Vertex, nset: Set[Vertex]) -> None:
         """Increment watchers whose edge is closed by the current list."""
         for f, watchers in self._watchers_by_edge.items():
             if f[0] in nset and f[1] in nset:
@@ -311,34 +748,60 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
                     if vertex != watcher.x and watcher.x_arrived:
                         watcher.h += 1
 
-    def _detect_candidates(self, vertex: Vertex, nset: Set[Vertex]) -> None:
-        """Find triangles on sampled edges closed by the current list.
+    def _count_h_col(
+        self,
+        vertex: Vertex,
+        neighbors: Sequence[Vertex],
+        wcols: Optional[tuple],
+        table: Optional[vectorized.VertexTable],
+        nbrs_sorted: Optional[np.ndarray],
+    ) -> None:
+        """Columnar watcher scan, identical increments to the scalar scan.
 
-        Iterates the sampler's live membership mapping (same order as
-        ``members()``, minus a per-list list copy); ``_collect_pair`` never
-        mutates the sampler, so iteration is safe.  The matched edges are
-        offered in canonical (sorted) order, not membership order: the
-        membership dict's iteration order encodes insertion history, which
-        a snapshot/restore cycle does not preserve, and the reservoir's RNG
-        consumption must not depend on it for resumed runs to be
-        bit-identical to uninterrupted ones.
+        The built buckets are a superset of the live watched edges
+        (dropped buckets are empty and scan as no-ops; newly created
+        buckets were appended by ``_ensure_watcher_columns``), so the
+        set of incremented watchers — and hence every ``h`` — matches
+        the scalar scan exactly.
+        """
+        if wcols is None:
+            self._count_h_scalar(vertex, set(neighbors))
+            return
+        f0, f1, buckets, _ = wcols
+        count = len(buckets)
+        if not count:
+            return
+        if table is not None:
+            hit = table.lookup(f0) & table.lookup(f1)
+        else:
+            both = vectorized.in_sorted(
+                nbrs_sorted, np.concatenate((f0, f1))
+            )
+            hit = both[:count] & both[count:]
+        for i in hit.nonzero()[0].tolist():
+            for watcher in buckets[i]:
+                if vertex != watcher.x and watcher.x_arrived:
+                    watcher.h += 1
+
+    def _offer_matched(self, matched: List[Edge], vertex: Vertex) -> None:
+        """Offer detected candidate pairs, in canonical (sorted) order.
+
+        The order matters: the membership dict's iteration order encodes
+        insertion history, which a snapshot/restore cycle does not
+        preserve, and the reservoir's RNG consumption must not depend on
+        it for resumed runs to be bit-identical to uninterrupted ones.
         """
         in_pass_two = self._pass == 1
-        if not in_pass_two and self.sharded:
-            # Sharded discipline: pass 1 builds only the (mergeable) edge
-            # sample; every candidate is collected in pass 2 instead, where
-            # each is detected exactly once at its apex's list.
-            return
-        matched = [
-            edge for edge in self._sampler.membership()
-            if edge[0] in nset and edge[1] in nset
-        ]
-        if not matched:
-            return
-        matched.sort()
         for edge in matched:
             u, v = edge
-            tri = triangle_key(u, v, vertex)
+            # Inline triangle_key: the edge is canonical (u < v), so only
+            # the closing vertex needs placing.
+            if vertex < u:
+                tri = (vertex, u, v)
+            elif vertex < v:
+                tri = (u, vertex, v)
+            else:
+                tri = (u, v, vertex)
             if not in_pass_two:
                 self._collect_pair(edge, tri, current_list=vertex)
             else:
@@ -348,6 +811,65 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
                 # (Sharded: pass 1 saw nothing, so offer everything.)
                 if self.sharded or edge not in self._seen_p2:
                     self._collect_pair(edge, tri, current_list=vertex)
+
+    def _detect_scalar(self, vertex: Vertex, nset: Set[Vertex]) -> None:
+        """Find triangles on sampled edges closed by the current list.
+
+        Iterates the sampler's live membership mapping (same order as
+        ``members()``, minus a per-list list copy); ``_collect_pair``
+        never mutates the sampler, so iteration is safe.
+        """
+        matched = [
+            edge for edge in self._sampler.membership()
+            if edge[0] in nset and edge[1] in nset
+        ]
+        if matched:
+            matched.sort()
+            self._offer_matched(matched, vertex)
+
+    def _detect_col(
+        self,
+        vertex: Vertex,
+        neighbors: Sequence[Vertex],
+        mcols: Optional[tuple],
+        table: Optional[vectorized.VertexTable],
+        nbrs_sorted: Optional[np.ndarray],
+        hit: Optional[np.ndarray] = None,
+    ) -> None:
+        """Columnar candidate detection; same matches as the scalar scan.
+
+        Hits are filtered against the live membership (stale,
+        since-evicted entries miss).  A re-admitted key appears twice in
+        the superset columns, so matches accumulate in a set before the
+        canonical sort.  ``hit``, when the fused pass-2 scan already
+        computed the both-endpoints mask, skips recomputing the lookups.
+        """
+        if mcols is None:
+            self._detect_scalar(vertex, set(neighbors))
+            return
+        mu, mv, keys, _ = mcols
+        count = len(keys)
+        if not count:
+            return
+        if hit is None:
+            if table is not None:
+                hit = table.lookup(mu) & table.lookup(mv)
+            else:
+                both = vectorized.in_sorted(
+                    nbrs_sorted, np.concatenate((mu, mv))
+                )
+                hit = both[:count] & both[count:]
+        indices = hit.nonzero()[0]
+        if not len(indices):
+            return
+        membership = self._sampler.membership()
+        matched_set: Set[Edge] = set()
+        for i in indices.tolist():
+            key = keys[i]
+            if key in membership:  # skip since-evicted superset entries
+                matched_set.add(key)
+        if matched_set:
+            self._offer_matched(sorted(matched_set), vertex)
 
     # -- sketch state protocol -------------------------------------------------
 
@@ -390,6 +912,39 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
                 self._watchers_by_apex.setdefault(watcher.x, set()).add(watcher)
         self._evictions = 0
         self._displaced = 0
+        self._offers_total = 0
+        self._offers_accepted = 0
+        self._live_watchers = sum(
+            len(pair.watchers) for pair in self._reservoir.items()
+        )
+        self._pairs_per_edge = {}
+        for pair in self._reservoir.items():
+            self._pairs_per_edge[pair.edge] = (
+                self._pairs_per_edge.get(pair.edge, 0) + 1
+            )
+        self._mcol_arrays = None
+        self._mcol_ok = True
+        self._mcol_epoch = -1
+        self._mcol_pos = 0
+        self._mcol_dead = 0
+        self._mcol_keys = None
+        self._mcol_bu = None
+        self._mcol_bv = None
+        self._mcol_qmax = -1
+        self._wcol_arrays = None
+        self._wcol_ok = True
+        self._wcol_pending = []
+        self._wcol_dead = 0
+        self._wcol_buckets = None
+        self._wcol_b0 = None
+        self._wcol_b1 = None
+        self._wcol_qmax = -1
+        self._vtable = vectorized.VertexTable()
+        self._nbrs_cache = None
+        self._col_provider = None
+        self._evict_buffer = None
+        self._evict_pairs = 0
+        self._p2_deferred = None
 
     @classmethod
     def from_state(cls, state: SketchState) -> "TwoPassTriangleCounter":
@@ -452,11 +1007,13 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
 
     def observables(self) -> Dict[str, float]:
         """Occupancy and churn gauges for the instrumented runner."""
-        watcher_count = sum(len(p.watchers) for p in self._reservoir.items())
+        watcher_count = self._live_watchers
         return {
             "edge_sample_occupancy": len(self._sampler),
             "edge_sample_capacity": self.sample_size,
             "edge_sample_evictions": self._evictions,
+            "edge_offers_total": self._offers_total,
+            "edge_offers_accepted": self._offers_accepted,
             "pair_reservoir_occupancy": len(self._reservoir),
             "pair_reservoir_offered": self._reservoir.offered,
             "pair_reservoir_displaced": self._displaced,
@@ -466,11 +1023,10 @@ class TwoPassTriangleCounter(StreamingAlgorithm):
 
     def space_words(self) -> int:
         """Live state: sampler slots, reservoir pairs, watchers, flags."""
-        pair_words = 0
-        for pair in self._reservoir.items():
-            # edge (2) + triangle (3) + watchers (edge 2 + apex 1 + flag 1
-            # + counter 1 each).
-            pair_words += 5 + 5 * len(pair.watchers)
+        # edge (2) + triangle (3) per pair + watchers (edge 2 + apex 1 +
+        # flag 1 + counter 1 each); the live-watcher mirror makes this O(1)
+        # so per-list space polling stays off the hot path.
+        pair_words = 5 * len(self._reservoir) + 5 * self._live_watchers
         return (
             self._sampler.space_words()
             + pair_words

@@ -25,6 +25,17 @@ machines:
 * **context** — workload shape (``n``, ``m``, ``runs``, ``budgets``,
   ``cpu_count``, ...).  Compared for equality and surfaced as a warning
   on mismatch, because deltas between different workloads mean nothing.
+
+Artifacts may additionally carry **self-declared gates**: a top-level
+``"gates"`` list of ``{"metric": <flat key>, "min": <floor>}`` records
+(``"max"`` for ceilings).  Unlike the baseline-relative thresholds
+above, gates are *absolute* assertions evaluated against the current
+artifact alone — e.g. "the columnar fast path is at least 5x the scalar
+baseline at this workload".  A failed gate is a regression (exit 1)
+even when the baseline shows the same value.  Gates marked
+``"needs_parallelism": true`` are skipped — visibly, with a note, never
+silently — when the artifact was produced on a single-core machine
+(``cpu_count == 1``), where no parallel speedup is physically possible.
 """
 
 from __future__ import annotations
@@ -38,7 +49,15 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import COUNTER, GAUGE, Snapshot
 
-__all__ = ["main", "build_parser", "compare_files", "load_flat_metrics", "FileComparison"]
+__all__ = [
+    "main",
+    "build_parser",
+    "compare_files",
+    "evaluate_gates",
+    "load_artifact",
+    "load_flat_metrics",
+    "FileComparison",
+]
 
 # -- classification -----------------------------------------------------------
 
@@ -49,6 +68,7 @@ TIMING_LOW = "timing-lower-better"
 TIMING_HIGH = "timing-higher-better"
 CONTEXT = "context"
 INFO = "info"
+GATE = "gate"
 
 _CONTEXT_LEAVES = {
     "n", "m", "quick", "cpu_count", "runs", "workers", "budget", "budgets",
@@ -61,6 +81,7 @@ _STATUS_IMPROVED = "improved"
 _STATUS_INFO = "info"
 _STATUS_MISMATCH = "context-mismatch"
 _STATUS_MISSING = "missing"
+_STATUS_SKIPPED = "skipped"
 
 
 def classify(key: str, value: Any) -> str:
@@ -118,8 +139,13 @@ def _flatten_telemetry(snapshot: Snapshot) -> Dict[str, Any]:
     return out
 
 
-def load_flat_metrics(path: str) -> Dict[str, Any]:
-    """Load one artifact (BENCH json or ``.jsonl`` telemetry log), flat."""
+def load_artifact(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Load one artifact: ``(flat metrics, self-declared gates)``.
+
+    The top-level ``"gates"`` list (absent from telemetry logs and most
+    artifacts) is split out rather than flattened, so gate declarations
+    never show up as metric deltas against baselines that predate them.
+    """
     if path.endswith(".jsonl"):
         from repro.obs.sinks import InMemorySink, read_jsonl_events
 
@@ -132,14 +158,110 @@ def load_flat_metrics(path: str) -> Dict[str, Any]:
                 f"{path}: no MetricsReport event found (was the telemetry "
                 "closed cleanly?)"
             )
-        return _flatten_telemetry(metrics)
+        return _flatten_telemetry(metrics), []
     with open(path) as fh:
         document = json.load(fh)
     if not isinstance(document, dict):
         raise ValueError(f"{path}: expected a JSON object at top level")
+    gates = document.pop("gates", [])
+    if not isinstance(gates, list):
+        raise ValueError(f"{path}: 'gates' must be a list of gate records")
     flat: Dict[str, Any] = {}
     _flatten("", document, flat)
-    return flat
+    return flat, gates
+
+
+def load_flat_metrics(path: str) -> Dict[str, Any]:
+    """Load one artifact (BENCH json or ``.jsonl`` telemetry log), flat."""
+    return load_artifact(path)[0]
+
+
+# -- self-declared gates ------------------------------------------------------
+
+def evaluate_gates(
+    flat: Dict[str, Any], gates: Sequence[Dict[str, Any]]
+) -> List["MetricDelta"]:
+    """Evaluate an artifact's self-declared gates against its own metrics.
+
+    Each gate asserts an absolute floor (``"min"``) and/or ceiling
+    (``"max"``) on one flat metric key of the *current* artifact — no
+    baseline involved.  Results come back as :class:`MetricDelta` rows
+    (kind :data:`GATE`) with ``baseline`` holding the bound so the
+    renderers show ``floor -> measured``:
+
+    * bound violated → ``regression`` (gates the exit code),
+    * ``needs_parallelism`` on a single-core artifact → ``skipped`` with
+      a visible note (a 1-core box cannot show a parallel speedup, and
+      pretending it failed would just teach people to ignore the gate),
+    * metric absent or malformed gate → ``missing`` warning.
+    """
+    deltas: List[MetricDelta] = []
+    cpu_count = flat.get("cpu_count")
+    if not isinstance(cpu_count, int) or isinstance(cpu_count, bool):
+        cpu_count = os.cpu_count() or 1
+    for gate in gates:
+        metric = gate.get("metric") if isinstance(gate, dict) else None
+        floor = gate.get("min") if isinstance(gate, dict) else None
+        ceiling = gate.get("max") if isinstance(gate, dict) else None
+        bound = floor if floor is not None else ceiling
+        key = f"gate:{metric}"
+        if metric is None or bound is None:
+            deltas.append(
+                MetricDelta(
+                    key=key, kind=GATE, baseline=None, current=None,
+                    relative_delta=None, threshold=None,
+                    status=_STATUS_MISSING,
+                    note=f"malformed gate record {gate!r} (need metric and min/max)",
+                )
+            )
+            continue
+        value = flat.get(metric)
+        if gate.get("needs_parallelism") and cpu_count <= 1:
+            deltas.append(
+                MetricDelta(
+                    key=key, kind=GATE, baseline=bound, current=value,
+                    relative_delta=None, threshold=float(bound),
+                    status=_STATUS_SKIPPED,
+                    note=(
+                        f"speedup gate skipped: cpu_count={cpu_count} — no "
+                        "parallelism available on this machine"
+                    ),
+                )
+            )
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            deltas.append(
+                MetricDelta(
+                    key=key, kind=GATE, baseline=bound, current=value,
+                    relative_delta=None, threshold=float(bound),
+                    status=_STATUS_MISSING,
+                    note="gated metric absent from artifact",
+                )
+            )
+            continue
+        failures = []
+        if floor is not None and value < floor:
+            failures.append(f"{_fmt(value)} below floor {_fmt(float(floor))}")
+        if ceiling is not None and value > ceiling:
+            failures.append(f"{_fmt(value)} above ceiling {_fmt(float(ceiling))}")
+        if failures:
+            status, note = _STATUS_REGRESSION, "; ".join(failures)
+        else:
+            status = _STATUS_OK
+            bounds = []
+            if floor is not None:
+                bounds.append(f">= {_fmt(float(floor))}")
+            if ceiling is not None:
+                bounds.append(f"<= {_fmt(float(ceiling))}")
+            note = f"gate met ({', '.join(bounds)})"
+        deltas.append(
+            MetricDelta(
+                key=key, kind=GATE, baseline=bound, current=value,
+                relative_delta=None, threshold=float(bound),
+                status=status, note=note,
+            )
+        )
+    return deltas
 
 
 # -- comparison ---------------------------------------------------------------
@@ -172,7 +294,10 @@ class FileComparison:
 
     @property
     def warnings(self) -> List[MetricDelta]:
-        return [d for d in self.deltas if d.status in (_STATUS_MISMATCH, _STATUS_MISSING)]
+        return [
+            d for d in self.deltas
+            if d.status in (_STATUS_MISMATCH, _STATUS_MISSING, _STATUS_SKIPPED)
+        ]
 
 
 def _relative_delta(baseline: float, current: float) -> Optional[float]:
@@ -288,13 +413,16 @@ def compare_files(
 ) -> List[FileComparison]:
     comparisons = []
     for current_path, baseline_path in _pair_files(current, against):
+        current_flat, current_gates = load_artifact(current_path)
         deltas = compare_pair(
-            load_flat_metrics(current_path),
+            current_flat,
             load_flat_metrics(baseline_path),
             threshold=threshold,
             overrides=overrides,
             gate_timing=gate_timing,
         )
+        # Self-declared gates: absolute assertions on the current artifact.
+        deltas.extend(evaluate_gates(current_flat, current_gates))
         comparisons.append(FileComparison(current_path, baseline_path, deltas))
     return comparisons
 
@@ -316,6 +444,8 @@ def _fmt_rel(delta: MetricDelta) -> str:
 
 
 def _interesting(delta: MetricDelta) -> bool:
+    if delta.kind == GATE:  # gates are assertions; always show the verdict
+        return True
     return delta.status in (_STATUS_REGRESSION, _STATUS_IMPROVED, _STATUS_MISMATCH, _STATUS_MISSING)
 
 
@@ -333,6 +463,7 @@ def render_text(comparisons: Sequence[FileComparison], verbose: bool = False) ->
                 _STATUS_IMPROVED: "improved",
                 _STATUS_MISMATCH: "warning",
                 _STATUS_MISSING: "warning",
+                _STATUS_SKIPPED: "skipped",
                 _STATUS_OK: "ok",
                 _STATUS_INFO: "info",
             }[delta.status]

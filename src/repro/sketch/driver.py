@@ -14,10 +14,15 @@ layer (:mod:`repro.sketch.merge`):
 
 Because every shard starts each pass from the merged state of the
 previous one, counters merge as deltas over a common base and the
-bottom-k edge sample merges bit-exactly.  Fan-out reuses the experiment
-harness's executor machinery (:func:`repro.experiments.parallel.parallel_map`);
-``workers=None`` runs shards serially in-process, which is bit-identical
-to the parallel schedule (merging is order-deterministic).
+bottom-k edge sample merges bit-exactly.  Parallel fan-out uses a
+*persistent* :class:`ShardPool`: the pool's initializer ships every
+shard's adjacency lists to each worker once, so per-pass tasks carry
+only the (small) merged state — not the stream — and workers keep a
+:class:`~repro.util.vectorized.ColumnMemo` of vertex-id columns warm
+across passes for the counters' vectorized fast path.  ``workers=None``
+runs shards serially in-process (with the same column memoisation),
+which is bit-identical to the parallel schedule (merging is
+order-deterministic).
 
 Checkpoints are written at pass boundaries only — each shard pass is the
 atomic unit of work — so resuming a sharded run replays at most one
@@ -26,11 +31,13 @@ logical pass.
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.parallel import parallel_map, resolve_workers
+from repro.experiments.parallel import resolve_workers
 from repro.obs.events import MergeCompleted, RunFinished, RunStarted, ShardPassFinished
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.trace import NULL_TRACER, TraceContext, Tracer
@@ -42,6 +49,7 @@ from repro.streaming.algorithm import StreamingAlgorithm, supports_snapshot
 from repro.streaming.runner import run_single_pass
 from repro.streaming.space import SpaceMeter
 from repro.util.rng import derive_seed
+from repro.util.vectorized import ColumnMemo
 
 #: factory(state) -> restored algorithm instance.
 AlgorithmFactory = Callable[[SketchState], StreamingAlgorithm]
@@ -84,9 +92,13 @@ def restore_algorithm(state: SketchState) -> StreamingAlgorithm:
 class ShardTask:
     """One shard's work for one pass, in picklable form.
 
-    ``trace`` carries the driver tracer's position (the enclosing
-    ``pass:<i>`` span) into the worker so shard spans attach to the
-    right parent; ``None`` means tracing is off.
+    Self-contained (carries the shard's ``lists``): the serial path and
+    one-shot fan-outs use it directly.  The persistent :class:`ShardPool`
+    ships lists once via its initializer and sends the slimmer
+    :class:`PooledShardTask` per pass instead.  ``trace`` carries the
+    driver tracer's position (the enclosing ``pass:<i>`` span) into the
+    worker so shard spans attach to the right parent; ``None`` means
+    tracing is off.
     """
 
     shard_index: int
@@ -94,6 +106,22 @@ class ShardTask:
     state: SketchState
     lists: Tuple
     space_poll_interval: int = 1
+    trace: Optional[TraceContext] = None
+
+
+@dataclass(frozen=True)
+class PooledShardTask:
+    """Per-pass work order for a :class:`ShardPool` worker.
+
+    Carries only what changes between passes — the merged state and the
+    tracer position.  The shard's adjacency lists (the bulky, pass-
+    invariant part) live in the worker process already, installed once
+    by the pool initializer.
+    """
+
+    shard_index: int
+    pass_index: int
+    state: SketchState
     trace: Optional[TraceContext] = None
 
 
@@ -114,29 +142,122 @@ class ShardPassResult:
     spans: Tuple = ()
 
 
-def _run_shard_pass(task: ShardTask) -> ShardPassResult:
-    """Worker entry point: restore, run one pass over the shard, snapshot.
+def _execute_shard_pass(
+    shard_index: int,
+    pass_index: int,
+    state: SketchState,
+    lists: Tuple,
+    space_poll_interval: int,
+    trace: Optional[TraceContext],
+    column_provider=None,
+) -> ShardPassResult:
+    """Restore, run one pass over the shard's lists, snapshot.
 
-    Module-level so ``parallel_map`` can ship it to pool processes.
+    ``column_provider`` (a :class:`~repro.util.vectorized.ColumnMemo`
+    scoped to this shard) lets the counters' vectorized fast path reuse
+    vertex-id columns across passes; it never changes results.
     """
-    algorithm = restore_algorithm(task.state)
-    tracer = Tracer.from_context(task.trace) if task.trace is not None else NULL_TRACER
-    with tracer.span(f"shard:{task.shard_index}", category="shard") as span:
+    algorithm = restore_algorithm(state)
+    tracer = Tracer.from_context(trace) if trace is not None else NULL_TRACER
+    with tracer.span(f"shard:{shard_index}", category="shard") as span:
         meter = run_single_pass(
             algorithm,
-            task.lists,
-            task.pass_index,
-            space_poll_interval=task.space_poll_interval,
+            lists,
+            pass_index,
+            space_poll_interval=space_poll_interval,
+            column_provider=column_provider,
         )
-        pairs = sum(len(neighbors) for _, neighbors in task.lists)
+        pairs = sum(len(neighbors) for _, neighbors in lists)
         span.set(pairs=pairs, peak_space_words=meter.peak_words)
     return ShardPassResult(
-        shard_index=task.shard_index,
+        shard_index=shard_index,
         state=algorithm.snapshot(),
         peak_space_words=meter.peak_words,
         pairs=pairs,
         spans=tuple(tracer.encoded_spans()),
     )
+
+
+def _run_shard_pass(task: ShardTask, column_provider=None) -> ShardPassResult:
+    """Worker entry point for self-contained tasks (serial / one-shot)."""
+    return _execute_shard_pass(
+        task.shard_index,
+        task.pass_index,
+        task.state,
+        task.lists,
+        task.space_poll_interval,
+        task.trace,
+        column_provider=column_provider,
+    )
+
+
+# Per-worker state installed once by the ShardPool initializer: every
+# shard's lists plus one ColumnMemo per shard, kept warm across passes.
+_worker_shard_lists: Dict[int, Tuple] = {}
+_worker_shard_memos: Dict[int, ColumnMemo] = {}
+_worker_poll_interval: int = 1
+
+
+def _init_shard_worker(lists_by_shard: Dict[int, Tuple], space_poll_interval: int) -> None:
+    global _worker_shard_lists, _worker_shard_memos, _worker_poll_interval
+    _worker_shard_lists = dict(lists_by_shard)
+    _worker_shard_memos = {index: ColumnMemo() for index in _worker_shard_lists}
+    _worker_poll_interval = space_poll_interval
+
+
+def _run_shard_pass_pooled(task: PooledShardTask) -> ShardPassResult:
+    """Worker entry point for pooled tasks: lists come from worker state."""
+    return _execute_shard_pass(
+        task.shard_index,
+        task.pass_index,
+        task.state,
+        _worker_shard_lists[task.shard_index],
+        _worker_poll_interval,
+        task.trace,
+        column_provider=_worker_shard_memos[task.shard_index],
+    )
+
+
+class ShardPool:
+    """Persistent worker pool for a sharded run.
+
+    Started once per :func:`run_sharded` call (when it resolves to more
+    than one worker) and reused for every pass: the initializer ships the
+    full ``{shard_index: lists}`` map to each worker a single time, so
+    the per-pass IPC payload is one merged :class:`SketchState` per shard
+    instead of the whole stream re-pickled every pass — the dominant
+    fan-out cost for multi-pass algorithms on large streams.  Workers
+    hold per-shard column memos across passes, matching the warm-cache
+    behaviour of the serial path.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[StreamShard],
+        workers: int,
+        space_poll_interval: int = 1,
+    ):
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_shard_worker,
+            initargs=(
+                {shard.index: shard.lists for shard in shards},
+                space_poll_interval,
+            ),
+        )
+
+    def run_pass(self, tasks: Sequence[PooledShardTask]) -> List[ShardPassResult]:
+        """Execute one pass's shard tasks; results in task (= shard) order."""
+        return list(self._pool.map(_run_shard_pass_pooled, tasks))
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass(frozen=True)
@@ -146,6 +267,13 @@ class ShardRunResult:
     ``peak_space_words`` is the largest per-shard peak — the worst-case
     footprint of any single worker, the number the paper's space bounds
     constrain.  ``mean_space_words`` averages the per-shard-pass peaks.
+
+    ``workers`` is the *requested* worker count (resolved: ``0`` becomes
+    ``os.cpu_count()``); ``effective_parallelism`` is how many shard
+    passes could actually run concurrently — ``min(workers, n_shards)``
+    — the honest denominator for any speedup claim.  A single-core box
+    reports ``effective_parallelism == 1`` no matter what was requested,
+    which is what lets the bench gate skip speedup assertions there.
     """
 
     estimate: float
@@ -158,6 +286,7 @@ class ShardRunResult:
     peak_space_words: int
     mean_space_words: float
     wall_time_seconds: float
+    effective_parallelism: int = 1
 
 
 def run_sharded(
@@ -183,6 +312,11 @@ def run_sharded(
     drives the randomised parts of merging (per pass, statelessly derived,
     so a resumed run merges identically); the default is deterministic.
 
+    With ``workers`` resolving above 1 (and more than one shard), the
+    run starts one persistent :class:`ShardPool` and reuses it for every
+    pass; otherwise shards run serially in-process with per-shard column
+    memos.  Both schedules produce bit-identical results.
+
     ``telemetry`` records per-shard pass completions, merge boundaries and
     the fleet-wide space picture; shard *workers* run with the default
     null telemetry (their peaks come home in :class:`ShardPassResult`),
@@ -196,8 +330,18 @@ def run_sharded(
             f"{type(algorithm).__name__} does not implement the sketch "
             "state protocol (snapshot/restore); cannot run sharded"
         )
+    if getattr(algorithm, "sharded", True) is False:
+        # Algorithms with an explicit sharded mode (e.g. the triangle
+        # counter's hash-designated ρ) cannot be merged correctly in their
+        # conventional mode — fail up front rather than deep in estimation.
+        raise SketchStateError(
+            f"{type(algorithm).__name__} was constructed in conventional "
+            "mode; pass sharded=True to its constructor for run_sharded"
+        )
     shards = partition_stream(stream, n_shards, strategy)
     meter = SpaceMeter()
+    n_workers = min(resolve_workers(workers), max(len(shards), 1))
+    effective = min(n_workers, os.cpu_count() or 1)
 
     state = algorithm.snapshot()
     start_pass = 0
@@ -223,62 +367,86 @@ def run_sharded(
         )
 
     base_seed = 0 if merge_seed is None else int(merge_seed)
+    # Serial path: one column memo per shard, warm across passes (the
+    # pooled path gets the same via the workers' initializer state).
+    pool: Optional[ShardPool] = None
+    serial_memos: Dict[int, ColumnMemo] = {}
+    if n_workers > 1 and len(shards) > 1:
+        pool = ShardPool(shards, workers=n_workers, space_poll_interval=space_poll_interval)
+    else:
+        serial_memos = {shard.index: ColumnMemo() for shard in shards}
     # repro-lint: disable=DET003 -- wall-time telemetry for ShardRunResult only; never touches sketch state
     start = time.perf_counter()
-    for pass_index in range(start_pass, algorithm.n_passes):
-        with tracer.span(f"pass:{pass_index}", category="pass") as pass_span:
-            trace_ctx = tracer.context()
-            tasks = [
-                ShardTask(
-                    shard_index=shard.index,
-                    pass_index=pass_index,
-                    state=state,
-                    lists=shard.lists,
-                    space_poll_interval=space_poll_interval,
-                    trace=trace_ctx,
-                )
-                for shard in shards
-            ]
-            results = parallel_map(_run_shard_pass, tasks, workers=workers)
-            pass_pairs = 0
-            for result in results:
-                tracer.adopt(result.spans)
-                pass_pairs += result.pairs
+    try:
+        for pass_index in range(start_pass, algorithm.n_passes):
+            with tracer.span(f"pass:{pass_index}", category="pass") as pass_span:
+                trace_ctx = tracer.context()
+                if pool is not None:
+                    tasks = [
+                        PooledShardTask(
+                            shard_index=shard.index,
+                            pass_index=pass_index,
+                            state=state,
+                            trace=trace_ctx,
+                        )
+                        for shard in shards
+                    ]
+                    results = pool.run_pass(tasks)
+                else:
+                    results = [
+                        _execute_shard_pass(
+                            shard.index,
+                            pass_index,
+                            state,
+                            shard.lists,
+                            space_poll_interval,
+                            trace_ctx,
+                            column_provider=serial_memos[shard.index],
+                        )
+                        for shard in shards
+                    ]
+                pass_pairs = 0
+                for result in results:
+                    tracer.adopt(result.spans)
+                    pass_pairs += result.pairs
+                    if telemetry.enabled:
+                        telemetry.emit(
+                            ShardPassFinished(
+                                shard_index=result.shard_index,
+                                pass_index=pass_index,
+                                pairs=result.pairs,
+                                peak_space_words=result.peak_space_words,
+                            )
+                        )
+                        telemetry.count(
+                            "shard_pairs_total", result.pairs,
+                            help="adjacency pairs consumed by shard workers",
+                            shard=str(result.shard_index),
+                        )
+                        telemetry.set_gauge(
+                            "shard_peak_space_words", result.peak_space_words,
+                            help="per-shard peak live state in machine words",
+                            shard=str(result.shard_index),
+                        )
+                    meter.observe(result.peak_space_words)
+                with tracer.span(f"merge:{pass_index}", category="merge", n_shards=len(results)):
+                    state = merge_states(
+                        [result.state for result in results],
+                        base=state,
+                        seed=derive_seed(base_seed, pass_index),
+                    )
+                pass_span.set(pairs=pass_pairs, n_shards=len(results))
                 if telemetry.enabled:
                     telemetry.emit(
-                        ShardPassFinished(
-                            shard_index=result.shard_index,
-                            pass_index=pass_index,
-                            pairs=result.pairs,
-                            peak_space_words=result.peak_space_words,
-                        )
+                        MergeCompleted(pass_index=pass_index, n_shards=len(results))
                     )
-                    telemetry.count(
-                        "shard_pairs_total", result.pairs,
-                        help="adjacency pairs consumed by shard workers",
-                        shard=str(result.shard_index),
-                    )
-                    telemetry.set_gauge(
-                        "shard_peak_space_words", result.peak_space_words,
-                        help="per-shard peak live state in machine words",
-                        shard=str(result.shard_index),
-                    )
-                meter.observe(result.peak_space_words)
-            with tracer.span(f"merge:{pass_index}", category="merge", n_shards=len(results)):
-                state = merge_states(
-                    [result.state for result in results],
-                    base=state,
-                    seed=derive_seed(base_seed, pass_index),
-                )
-            pass_span.set(pairs=pass_pairs, n_shards=len(results))
-            if telemetry.enabled:
-                telemetry.emit(
-                    MergeCompleted(pass_index=pass_index, n_shards=len(results))
-                )
-                telemetry.count("shard_merges_total", help="pass-boundary shard merges")
-        if checkpoint is not None:
-            with tracer.span(f"checkpoint:pass:{pass_index + 1}", category="checkpoint"):
-                checkpoint.write(state, pass_index + 1, 0, meter.state_dict())
+                    telemetry.count("shard_merges_total", help="pass-boundary shard merges")
+            if checkpoint is not None:
+                with tracer.span(f"checkpoint:pass:{pass_index + 1}", category="checkpoint"):
+                    checkpoint.write(state, pass_index + 1, 0, meter.state_dict())
+    finally:
+        if pool is not None:
+            pool.close()
     elapsed = time.perf_counter() - start  # repro-lint: disable=DET003 -- telemetry field, mirrors streaming/runner.py
 
     algorithm.restore(state)
@@ -287,6 +455,7 @@ def run_sharded(
         passes=algorithm.n_passes,
         n_shards=len(shards),
         workers=resolve_workers(workers),
+        effective_parallelism=effective,
         strategy=strategy,
         pairs_per_pass=sum(len(shard) for shard in shards),
         shard_pairs=[len(shard) for shard in shards],

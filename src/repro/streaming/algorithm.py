@@ -44,6 +44,19 @@ class StreamingAlgorithm(abc.ABC):
     #: (required by the two-pass triangle algorithm, Section 3.2).
     requires_same_order: bool = False
 
+    def bind_columns(self, provider) -> None:
+        """Offer a columnar view of the stream's adjacency lists.
+
+        ``provider(vertex, neighbors)`` returns the list's vertex-id
+        column (a ``uint64`` array) or ``None`` when the labels have no
+        columnar representation.  The runner binds the stream's memoised
+        provider before a run; algorithms with a vectorized fast path
+        store it and prefer it over converting each list themselves.
+        Purely an acceleration channel: the provider's output is
+        bit-identical to a direct conversion, and the default
+        implementation ignores it.
+        """
+
     def begin_pass(self, pass_index: int) -> None:
         """Called before pass ``pass_index`` (0-based) starts."""
 

@@ -99,6 +99,7 @@ def run_single_pass(
     *,
     space_poll_interval: int = 1,
     use_fast_path: Optional[bool] = None,
+    column_provider=None,
     telemetry: Telemetry = NULL_TELEMETRY,
     tracer: Tracer = NULL_TRACER,
 ) -> SpaceMeter:
@@ -107,7 +108,10 @@ def run_single_pass(
     ``lists`` yields ``(vertex, neighbours)`` entries — a full stream's
     ``iter_lists()`` or one shard's slice of it.  Calls ``begin_pass`` and
     ``end_pass`` around the slice; the shard-and-merge driver is the main
-    consumer.  Returns the meter used.
+    consumer.  ``column_provider`` (e.g. the source stream's
+    ``columns_for``) is bound to the algorithm when given, letting its
+    vectorized fast path reuse the stream's memoised vertex-id columns.
+    Returns the meter used.
 
     ``telemetry`` receives pass-boundary, throughput, space high-water and
     occupancy events; the default :data:`NULL_TELEMETRY` keeps the loop's
@@ -119,6 +123,8 @@ def run_single_pass(
         raise ValueError("space_poll_interval must be at least 1")
     meter = meter if meter is not None else SpaceMeter()
     fast, skip_pairs = _dispatch_flags(algorithm, use_fast_path)
+    if column_provider is not None:
+        algorithm.bind_columns(column_provider)
     emit_estimate = telemetry.enabled and supports_current_estimate(algorithm)
     if telemetry.enabled:
         telemetry.emit(PassStarted(pass_index=pass_index))
@@ -297,6 +303,14 @@ def run_algorithm(
             skip_lists = resume_from.lists_done
             if resume_from.meter_state:
                 meter.load_state_dict(resume_from.meter_state)
+    # Columnar stream handoff: the stream memoises each list's vertex-id
+    # column, so both passes (and all per-list hooks) share one conversion.
+    # (After the resume restore, which resets any bound provider.  Duck-
+    # typed streams without the memo simply leave algorithms converting
+    # their own lists.)
+    provider = getattr(stream, "columns_for", None)
+    if provider is not None:
+        algorithm.bind_columns(provider)
 
     if telemetry.enabled:
         telemetry.emit(

@@ -78,6 +78,8 @@ class AdjacencyListStream:
                 nbrs = list(graph.neighbor_list(v))
                 rng.shuffle(nbrs)
             self._lists[v] = tuple(nbrs)
+        # vertex -> (neighbours tuple, uint64 column or None); see columns_for.
+        self._column_cache: Dict[Vertex, Tuple] = {}
 
     # -- basic facts --------------------------------------------------------
 
@@ -103,6 +105,30 @@ class AdjacencyListStream:
     def neighbors_in_order(self, v: Vertex) -> Tuple[Vertex, ...]:
         """Return ``v``'s adjacency list in stream order."""
         return self._lists[v]
+
+    def columns_for(self, vertex: Vertex, neighbors: Sequence[Vertex]):
+        """Columnar (uint64) view of ``vertex``'s adjacency list, memoised.
+
+        The stream's lists are fixed tuples, so every pass replays the
+        identical objects; converting each list to a vertex-id column once
+        and reusing it across passes (and across the per-list hooks of a
+        single pass) removes the dominant fixed cost of the counters'
+        vectorized fast path.  Returns ``None`` for lists the columnar
+        kernels cannot represent (non-int labels) — callers fall back to
+        their scalar paths, exactly as with a direct conversion.
+
+        The cache lives on the *stream*, which already owns the input
+        data, so algorithm space accounting is untouched.  ``neighbors``
+        is identity-checked against the cached entry: a caller replaying
+        a different ordering of the same vertex misses and re-converts.
+        """
+        entry = self._column_cache.get(vertex)
+        if entry is None or entry[0] is not neighbors:
+            from repro.util.vectorized import as_vertex_array
+
+            entry = (neighbors, as_vertex_array(neighbors))
+            self._column_cache[vertex] = entry
+        return entry[1]
 
     # -- iteration ------------------------------------------------------------
 

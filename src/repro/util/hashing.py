@@ -18,9 +18,12 @@ in ``[0, 1)``.
 from __future__ import annotations
 
 import random
-from typing import Hashable, Optional
+from typing import TYPE_CHECKING, Hashable, Optional
 
 from repro.util.rng import SeedLike, resolve_rng
+
+if TYPE_CHECKING:  # numpy only needed for the columnar batch signatures
+    import numpy as np
 
 _MASK64 = (1 << 64) - 1
 #: Mersenne prime 2^89 - 1, comfortably above 64-bit key space.
@@ -93,6 +96,23 @@ class MixHash64:
         """Return a pseudorandom float in ``[0, 1)`` for ``key``."""
         return self.hash_int(key) / 2.0**64
 
+    def hash_int_array(self, encoded_keys: "np.ndarray") -> "np.ndarray":
+        """Columnar :meth:`hash_int` over pre-encoded ``uint64`` keys.
+
+        ``encoded_keys`` must already be ``_to_int_key`` outputs (see the
+        encode kernels in :mod:`repro.util.vectorized`); the result is
+        bit-identical to calling :meth:`hash_int` per key.
+        """
+        from repro.util.vectorized import mixhash_int_array
+
+        return mixhash_int_array(encoded_keys, self._key)
+
+    def hash_unit_array(self, encoded_keys: "np.ndarray") -> "np.ndarray":
+        """Columnar :meth:`hash_unit` over pre-encoded ``uint64`` keys."""
+        from repro.util.vectorized import mixhash_unit_array
+
+        return mixhash_unit_array(encoded_keys, self._key)
+
 
 class PairwiseHash:
     """Pairwise-independent hash family ``h(x) = ((a*x + b) mod p) mod 2^64``.
@@ -115,6 +135,17 @@ class PairwiseHash:
     def hash_unit(self, key: Hashable) -> float:
         """Return a pseudorandom float in ``[0, 1)`` for ``key``."""
         return self.hash_int(key) / 2.0**64
+
+    def hash_int_array(self, encoded_keys: "np.ndarray") -> "np.ndarray":
+        """Columnar :meth:`hash_int` over pre-encoded ``uint64`` keys.
+
+        Bit-identical to the scalar modular arithmetic: the kernel carries
+        the full ``a·x + b`` product in 32-bit limbs and reduces modulo the
+        Mersenne prime exactly.
+        """
+        from repro.util.vectorized import pairwise_int_array
+
+        return pairwise_int_array(encoded_keys, self._a, self._b)
 
 
 def fresh_hash(rng: random.Random) -> MixHash64:

@@ -21,7 +21,20 @@ Three samplers back the paper's algorithms:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+import numpy as np
 
 from repro.util.hashing import MixHash64
 from repro.util.rng import SeedLike, resolve_rng
@@ -63,6 +76,19 @@ class BottomKSampler(Generic[K]):
         self._heap: List[tuple] = []  # max-heap via negated priority
         self._members: Dict[K, int] = {}
         self._on_evict = on_evict
+        # Monotonic structural-mutation counter.  Consumers that maintain
+        # columnar views over the membership (the two-pass counters' member
+        # edge columns) key their caches on this and rebuild only when the
+        # sample actually changed.
+        self._version = 0
+        # Append-only admission log: every key ever admitted, in admission
+        # order.  Columnar consumers snapshot a (epoch, position) cursor and
+        # treat log entries past it as a pending tail, so a few admissions
+        # never force a full column rebuild.  The log is compacted back to
+        # the live membership (bumping the epoch, which invalidates all
+        # cursors) once stale entries dominate, keeping it O(capacity).
+        self._admit_log: List[K] = []
+        self._admit_epoch = 0
 
     def __len__(self) -> int:
         return len(self._members)
@@ -70,9 +96,72 @@ class BottomKSampler(Generic[K]):
     def __contains__(self, key: K) -> bool:
         return key in self._members
 
+    @property
+    def version(self) -> int:
+        """Counter bumped on every structural change to the membership."""
+        return self._version
+
+    @property
+    def admission_log(self) -> List[K]:
+        """Append-only list of admitted keys (may contain evicted keys).
+
+        Read-only for consumers; valid only together with
+        :attr:`admission_epoch` — a changed epoch means the log was
+        compacted or the sampler restored, and any cursor into it is void.
+        """
+        return self._admit_log
+
+    @property
+    def admission_epoch(self) -> int:
+        """Bumped whenever the admission log is rewritten wholesale."""
+        return self._admit_epoch
+
+    def _note_admit(self, key: K) -> None:
+        log = self._admit_log
+        log.append(key)
+        if len(log) > 4 * self.capacity + 64:
+            del log[:]
+            log.extend(self._members)
+            self._admit_epoch += 1
+
     def priority(self, key: K) -> int:
         """Return the fixed pseudorandom priority of ``key``."""
         return self._hash.hash_int(key)
+
+    def priority_array(self, encoded_keys: np.ndarray) -> np.ndarray:
+        """Columnar :meth:`priority` over pre-encoded ``uint64`` keys.
+
+        ``encoded_keys`` must be ``_to_int_key`` outputs for the original
+        keys (see :mod:`repro.util.vectorized`); bit-identical to the
+        scalar priorities.
+        """
+        return self._hash.hash_int_array(encoded_keys)
+
+    def threshold(self) -> Optional[int]:
+        """Current admission threshold: the largest member priority.
+
+        ``None`` while the sample is not yet full — every new key is then
+        admitted regardless of priority.  Once full, a key can be (or
+        become) a member iff its priority is ``<=`` this value: strictly
+        below to displace the worst member, equal only if it *is* the
+        worst member.
+        """
+        if len(self._members) < self.capacity:
+            return None
+        return -self._heap[0][0]
+
+    def candidate_indices(self, priorities: np.ndarray) -> np.ndarray:
+        """Indices of priorities that could belong to (or enter) the sample.
+
+        The vectorized pre-filter of the columnar fast path: with a full
+        sample only ``prio <= threshold`` can be members or displace one,
+        so membership tests and offers need only touch these indices.
+        While the sample is not full every index is a candidate.
+        """
+        threshold = self.threshold()
+        if threshold is None:
+            return np.arange(len(priorities))
+        return np.nonzero(priorities <= np.uint64(threshold))[0]
 
     def offer(self, key: K) -> bool:
         """Offer ``key`` to the sample; return True iff it is now sampled.
@@ -87,6 +176,8 @@ class BottomKSampler(Generic[K]):
         if len(self._members) < self.capacity:
             heapq.heappush(self._heap, (-prio, key))
             self._members[key] = prio
+            self._version += 1
+            self._note_admit(key)
             return True
         worst_neg, worst_key = self._heap[0]
         if prio >= -worst_neg:
@@ -94,17 +185,23 @@ class BottomKSampler(Generic[K]):
         heapq.heapreplace(self._heap, (-prio, key))
         self._members[key] = prio
         del self._members[worst_key]
+        self._version += 1
+        self._note_admit(key)
         if self._on_evict is not None:
             self._on_evict(worst_key)
         return True
 
-    def offer_many(self, keys) -> None:
-        """Offer each key in order: observably identical to calling
-        :meth:`offer` per key, with the per-call overhead hoisted out of the
-        loop (the batched streaming fast path's inner loop).
+    def offer_many(self, keys) -> int:
+        """Offer each key in order; return how many offers were accepted.
+
+        Observably identical to calling :meth:`offer` per key — the return
+        value is the number of per-key calls that would have returned True
+        (repeat members included) — with the per-call overhead hoisted out
+        of the loop (the batched streaming fast path's inner loop).
         """
         if self.capacity == 0:
-            return
+            return 0
+        admitted = 0
         members = self._members
         heap = self._heap
         hash_int = self._hash.hash_int
@@ -112,11 +209,15 @@ class BottomKSampler(Generic[K]):
         on_evict = self._on_evict
         for key in keys:
             if key in members:
+                admitted += 1
                 continue
             prio = hash_int(key)
             if len(members) < capacity:
                 heapq.heappush(heap, (-prio, key))
                 members[key] = prio
+                self._version += 1
+                self._note_admit(key)
+                admitted += 1
                 continue
             worst_neg, worst_key = heap[0]
             if prio >= -worst_neg:
@@ -124,8 +225,78 @@ class BottomKSampler(Generic[K]):
             heapq.heapreplace(heap, (-prio, key))
             members[key] = prio
             del members[worst_key]
+            self._version += 1
+            self._note_admit(key)
+            admitted += 1
             if on_evict is not None:
                 on_evict(worst_key)
+        return admitted
+
+    def offer_array(self, priorities: np.ndarray, keys: Sequence[K]) -> int:
+        """Batched :meth:`offer` over pre-hashed priorities; return the
+        number of accepted offers, exactly as :meth:`offer_many` would.
+
+        ``priorities[i]`` must be ``priority(keys[i])`` (use
+        :meth:`priority_array`); ``keys`` only needs ``__getitem__`` — the
+        lazy :class:`repro.util.vectorized.PairColumns` view qualifies, so
+        tuple keys are materialised solely for batch survivors.
+
+        State and return value are bit-identical to offering per key, by
+        the threshold monotonicity argument: once the sample is full, the
+        admission threshold can only *tighten* within a batch, so any key
+        with ``prio > threshold_at_batch_start`` would be rejected by the
+        scalar loop no matter where in the batch it sits, cannot already
+        be a member (member priorities never exceed the threshold), and
+        changes neither state nor the accepted count.  Keys at exactly the
+        threshold are kept — the worst member itself re-offered must
+        count as accepted.  While the sample is not yet full, keys are
+        processed scalar until it fills, then the remainder is
+        pre-filtered.
+        """
+        if self.capacity == 0:
+            return 0
+        admitted = 0
+        members = self._members
+        heap = self._heap
+        capacity = self.capacity
+        on_evict = self._on_evict
+        total = len(priorities)
+        start = 0
+        # Scalar warm-up: while not full, every offer is accepted, so there
+        # is nothing to pre-filter (and no threshold to filter against).
+        while len(members) < capacity and start < total:
+            key = keys[start]
+            if key not in members:
+                prio = int(priorities[start])
+                heapq.heappush(heap, (-prio, key))
+                members[key] = prio
+                self._version += 1
+                self._note_admit(key)
+            admitted += 1
+            start += 1
+        if start >= total:
+            return admitted
+        # Full sample: one vectorized comparison selects the survivors.
+        survivors = np.nonzero(priorities[start:] <= np.uint64(-heap[0][0]))[0]
+        for offset in survivors:
+            index = start + int(offset)
+            key = keys[index]
+            if key in members:
+                admitted += 1
+                continue
+            prio = int(priorities[index])
+            worst_neg, worst_key = heap[0]
+            if prio >= -worst_neg:
+                continue
+            heapq.heapreplace(heap, (-prio, key))
+            members[key] = prio
+            del members[worst_key]
+            self._version += 1
+            self._note_admit(key)
+            admitted += 1
+            if on_evict is not None:
+                on_evict(worst_key)
+        return admitted
 
     def members(self) -> List[K]:
         """Return the currently sampled keys (unspecified order)."""
@@ -176,6 +347,9 @@ class BottomKSampler(Generic[K]):
         self._members = dict(members)
         self._heap = [(-p, k) for k, p in members]
         heapq.heapify(self._heap)
+        self._version += 1
+        self._admit_log = list(self._members)
+        self._admit_epoch += 1
 
     @classmethod
     def from_state_dict(
@@ -213,6 +387,14 @@ class ThresholdSampler(Generic[K]):
     def wants(self, key: K) -> bool:
         """Return whether ``key`` falls under the sampling threshold."""
         return self._hash.hash_unit(key) < self.rate
+
+    def wants_array(self, encoded_keys: np.ndarray) -> np.ndarray:
+        """Columnar :meth:`wants` over pre-encoded ``uint64`` keys.
+
+        Returns a boolean mask; bit-identical to the scalar decision (the
+        unit-interval division rounds identically in both paths).
+        """
+        return self._hash.hash_unit_array(encoded_keys) < self.rate
 
     def offer(self, key: K) -> bool:
         """Offer ``key``; record and return True iff it is sampled."""
@@ -299,8 +481,32 @@ class ReservoirSampler(Generic[V]):
 
     def discard(self, predicate: Callable[[V], bool]) -> int:
         """Remove all items matching ``predicate``; return how many."""
-        kept = [item for item in self._items if not predicate(item)]
-        removed = len(self._items) - len(kept)
+        return len(self.discard_collect(predicate))
+
+    def discard_collect(
+        self, predicate: Callable[[V], bool], limit: Optional[int] = None
+    ) -> List[V]:
+        """Remove all items matching ``predicate``; return them, in order.
+
+        One partitioning scan: callers that need the removed items to
+        unregister side indexes would otherwise pay a second full scan
+        (collect, then :meth:`discard`).  Keeps the survivors' relative
+        order, exactly like :meth:`discard`.  ``limit``, when the caller
+        knows the exact match count up front (e.g. from a side index),
+        stops the predicate scan at the last match and keeps the tail
+        wholesale — same result, about half the predicate calls.
+        """
+        items = self._items
+        kept: List[V] = []
+        removed: List[V] = []
+        for i, item in enumerate(items):
+            if predicate(item):
+                removed.append(item)
+                if limit is not None and len(removed) == limit:
+                    kept.extend(items[i + 1:])
+                    break
+            else:
+                kept.append(item)
         self._items = kept
         return removed
 

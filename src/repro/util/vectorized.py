@@ -1,0 +1,417 @@
+"""Columnar (numpy-vectorized) kernels for the streaming hot path.
+
+The paper's samplers are *hash-priority* based: every edge carries a fixed
+pseudorandom priority shared across passes, and all sampling decisions are
+comparisons against that priority.  That structure vectorizes directly —
+hash a whole adjacency list's edges at once, compare against the current
+bottom-k threshold with one vectorized comparison, and let only the few
+surviving candidates touch Python-level data structures.
+
+This module holds the kernels; they are drop-in, **bit-identical**
+replacements for the scalar implementations in :mod:`repro.util.hashing`:
+
+* :func:`encode_pair_keys` — vectorized ``_to_int_key((u, v))`` for edge
+  tuples of non-negative ints (the samplers' canonical edge keys).
+* :func:`splitmix64_array` / :func:`mixhash_int_array` — vectorized
+  ``_splitmix64`` / :meth:`MixHash64.hash_int` over encoded key arrays.
+* :func:`pairwise_int_array` — vectorized :meth:`PairwiseHash.hash_int`
+  (``(a·x + b) mod (2^89 − 1)`` via 32-bit limb arithmetic, exact).
+
+Bit-identity is pinned by hypothesis property tests
+(``tests/util/test_vectorized.py``); the scalar implementations remain the
+oracle and the fallback for exotic vertex labels (see
+:func:`as_vertex_array`).
+
+The module-level switch :func:`set_columnar_enabled` /
+:func:`scalar_oracle` lets tests and benchmarks force every consumer back
+onto the scalar path, which is how columnar-vs-scalar equivalence and
+throughput are measured end to end.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "as_vertex_array",
+    "as_vertex_scalar",
+    "canonical_pair_columns",
+    "ColumnMemo",
+    "edge_columns",
+    "columnar_enabled",
+    "encode_pair_keys",
+    "encode_int_keys",
+    "in_sorted",
+    "mixhash_int_array",
+    "mixhash_unit_array",
+    "pairwise_int_array",
+    "PairColumns",
+    "scalar_oracle",
+    "set_columnar_enabled",
+    "splitmix64_array",
+    "VertexTable",
+]
+
+_MASK64 = (1 << 64) - 1
+
+# Constants mirrored from repro.util.hashing (kept as np.uint64 scalars so
+# the per-list kernels never pay a Python-int -> numpy conversion).
+_FNV_PRIME = np.uint64(0x100000001B3)
+#: ``_to_int_key`` tuple accumulator after the first multiply:
+#: ``(0x243F6A8885A308D3 * 0x100000001B3) & MASK64``.
+_TUPLE_ACC1 = np.uint64((0x243F6A8885A308D3 * 0x100000001B3) & _MASK64)
+_SM_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_SM_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM_MUL2 = np.uint64(0x94D049BB133111EB)
+_SM_S1 = np.uint64(30)
+_SM_S2 = np.uint64(27)
+_SM_S3 = np.uint64(31)
+
+_MASK32 = (1 << 32) - 1
+#: Mersenne prime 2^89 - 1 (matches hashing._MERSENNE_P).
+_MERSENNE_P = (1 << 89) - 1
+_M25 = np.uint64((1 << 25) - 1)  # high 25 bits of an 89-bit value
+_U64_MAX = np.uint64(_MASK64)
+
+# -- global columnar switch ----------------------------------------------------
+
+_COLUMNAR_ENABLED = True
+
+
+def columnar_enabled() -> bool:
+    """Whether consumers should use the columnar kernels (default True)."""
+    return _COLUMNAR_ENABLED
+
+
+def set_columnar_enabled(enabled: bool) -> bool:
+    """Toggle the columnar fast path globally; returns the previous value.
+
+    The scalar implementations are always available and bit-identical, so
+    flipping this mid-run only changes speed, never results.
+    """
+    global _COLUMNAR_ENABLED
+    previous = _COLUMNAR_ENABLED
+    _COLUMNAR_ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def scalar_oracle() -> Iterator[None]:
+    """Context manager forcing every consumer onto the scalar oracle path.
+
+    Used by the equivalence tests and the columnar-vs-scalar throughput
+    benchmark: run once inside this context, once outside, and require
+    bit-identical estimates, sampler state and space trajectories.
+    """
+    previous = set_columnar_enabled(False)
+    try:
+        yield
+    finally:
+        set_columnar_enabled(previous)
+
+
+# -- input adaptation ----------------------------------------------------------
+
+def as_vertex_array(vertices: Sequence) -> Optional[np.ndarray]:
+    """Convert a neighbour list to a ``uint64`` array, or None to fall back.
+
+    The columnar kernels are exact only for vertices that are non-negative
+    Python ints below 2^64 (the universal case for generated graphs).
+    Anything else — structured tuples from the lower-bound gadgets,
+    strings, negative or huge ints — returns ``None`` and the caller uses
+    the scalar path.  The leading ``type(...) is int`` probe keeps the
+    common rejection (gadget labels) cheap and refuses bools and numeric
+    subclasses whose ``__index__`` could diverge from the scalar hash.
+    """
+    if not vertices or type(vertices[0]) is not int:
+        return None
+    try:
+        return np.asarray(vertices, dtype=np.uint64)
+    except (OverflowError, ValueError, TypeError):
+        return None
+
+
+def as_vertex_scalar(vertex: object) -> Optional[np.uint64]:
+    """Single-vertex counterpart of :func:`as_vertex_array`."""
+    if type(vertex) is not int:
+        return None
+    try:
+        return np.uint64(vertex)
+    except (OverflowError, ValueError, TypeError):
+        return None
+
+
+class ColumnMemo:
+    """Identity-keyed memo of per-list vertex-id columns.
+
+    The callable counterpart of ``AdjacencyListStream.columns_for`` for
+    contexts that hold adjacency lists without a stream object — shard
+    workers in the sharded driver keep one per shard, so a multi-pass
+    algorithm converts each list to a ``uint64`` column once and reuses
+    it across passes.  ``neighbors`` is identity-checked against the
+    cached entry (the shard's lists are fixed tuples replayed verbatim
+    each pass), so a different object for the same vertex misses and
+    re-converts.  Results are bit-identical to a direct
+    :func:`as_vertex_array` call; this is purely an acceleration channel.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self) -> None:
+        self._cache: dict = {}
+
+    def __call__(self, vertex, neighbors: Sequence) -> Optional[np.ndarray]:
+        entry = self._cache.get(vertex)
+        if entry is None or entry[0] is not neighbors:
+            entry = (neighbors, as_vertex_array(neighbors))
+            self._cache[vertex] = entry
+        return entry[1]
+
+
+def canonical_pair_columns(
+    source: np.uint64, neighbors: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Columnar ``canonical_edge(source, nbr)``: (min, max) endpoint arrays."""
+    return np.minimum(neighbors, source), np.maximum(neighbors, source)
+
+
+def edge_columns(
+    source: object, neighbors: Sequence
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Canonical edge columns for one adjacency list, or None to fall back.
+
+    The counters' single entry point into the columnar path: returns the
+    ``(u, v)`` endpoint arrays of ``canonical_edge(source, nbr)`` for every
+    neighbour, or ``None`` when the columnar path is disabled or the labels
+    are not plain ints (scalar fallback).
+    """
+    if not _COLUMNAR_ENABLED:
+        return None
+    src = as_vertex_scalar(source)
+    if src is None:
+        return None
+    nbrs = as_vertex_array(neighbors)
+    if nbrs is None:
+        return None
+    return canonical_pair_columns(src, nbrs)
+
+
+class PairColumns:
+    """Lazy tuple view over two endpoint columns.
+
+    ``keys[i]`` materialises the canonical edge tuple ``(u_i, v_i)`` as
+    Python ints — only the few batch survivors that actually reach the
+    heap/dict pay tuple construction.
+    """
+
+    __slots__ = ("u", "v")
+
+    def __init__(self, u: np.ndarray, v: np.ndarray) -> None:
+        self.u = u
+        self.v = v
+
+    def __len__(self) -> int:
+        return len(self.u)
+
+    def __getitem__(self, index: int) -> Tuple[int, int]:
+        return (int(self.u[index]), int(self.v[index]))
+
+
+def in_sorted(sorted_values: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Membership mask of ``queries`` against an ascending-sorted array.
+
+    ``searchsorted`` beats ``np.isin`` here: the counters test many small
+    query batches against one adjacency list per call, and ``isin`` would
+    re-sort both sides every time, while this is one binary search per
+    query against the list sorted once per ``end_list``.
+    """
+    count = len(sorted_values)
+    if count == 0:
+        return np.zeros(len(queries), dtype=bool)
+    idx = np.searchsorted(sorted_values, queries)
+    np.minimum(idx, count - 1, out=idx)
+    result: np.ndarray = sorted_values[idx] == queries
+    return result
+
+
+class VertexTable:
+    """Reusable boolean lookup table for small-integer vertex universes.
+
+    Membership masks via direct indexing: an order of magnitude cheaper
+    than ``searchsorted`` at adjacency-list sizes because a fancy-indexed
+    boolean gather has essentially no per-call dispatch cost.  Only
+    engages when the largest id involved stays under ``universe_cap``
+    (generated graphs label vertices ``0..n-1``, so this is the universal
+    case); callers fall back to :func:`in_sorted` otherwise.
+
+    Usage discipline: :meth:`mark` the current adjacency list, run any
+    number of :meth:`lookup` calls whose query values are ``<=`` the
+    ``query_max`` passed to ``mark``, then :meth:`unmark` with the same
+    values.  Unmarking only clears the set positions, so the buffer is
+    reused across lists without O(universe) zeroing.
+    """
+
+    __slots__ = ("_table", "_cap")
+
+    def __init__(self, universe_cap: int = 1 << 22) -> None:
+        self._table = np.zeros(0, dtype=bool)
+        self._cap = universe_cap
+
+    def mark(self, values: np.ndarray, query_max: int) -> bool:
+        """Mark ``values`` present; return False (no-op) if the universe
+        implied by ``max(values.max(), query_max)`` exceeds the cap."""
+        if len(values) == 0:
+            return False
+        hi = int(values.max())
+        if query_max > hi:
+            hi = query_max
+        if hi >= self._cap:
+            return False
+        if hi >= len(self._table):
+            self._table = np.zeros(hi + 1, dtype=bool)
+        self._table[values] = True
+        return True
+
+    def lookup(self, queries: np.ndarray) -> np.ndarray:
+        """Boolean membership mask for ``queries`` (all ``<= query_max``)."""
+        result: np.ndarray = self._table[queries]
+        return result
+
+    def contains_checked(self, value: int) -> bool:
+        """Scalar membership probe, safe for ids beyond the marked range.
+
+        Out-of-range ids (admitted after the covering views were built,
+        hence possibly larger than anything marked) are simply not
+        members of the marked list.
+        """
+        table = self._table
+        return 0 <= value < len(table) and bool(table[value])
+
+    def unmark(self, values: np.ndarray) -> None:
+        """Clear exactly the positions set by the matching :meth:`mark`."""
+        self._table[values] = False
+
+
+# -- key encoding --------------------------------------------------------------
+
+def encode_int_keys(keys: np.ndarray) -> np.ndarray:
+    """Vectorized ``_to_int_key`` for plain int keys (identity mod 2^64)."""
+    return keys.astype(np.uint64, copy=False)
+
+
+def encode_pair_keys(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Vectorized ``_to_int_key((u, v))`` for int-pair tuples.
+
+    Bit-identical to the scalar FNV-style tuple fold in
+    :func:`repro.util.hashing._to_int_key`: the accumulator is seeded,
+    multiplied by the FNV prime and XORed per part; for a 2-tuple the
+    first multiply is constant-folded into :data:`_TUPLE_ACC1`.
+    """
+    with np.errstate(over="ignore"):
+        acc = np.bitwise_xor(_TUPLE_ACC1, u)
+        acc *= _FNV_PRIME
+        acc ^= v
+    return acc
+
+
+# -- MixHash64 kernel ----------------------------------------------------------
+
+def splitmix64_array(z: np.ndarray) -> np.ndarray:
+    """Vectorized ``_splitmix64`` over a ``uint64`` array (new array)."""
+    with np.errstate(over="ignore"):
+        z = z + _SM_GOLDEN
+        z ^= z >> _SM_S1
+        z *= _SM_MUL1
+        z ^= z >> _SM_S2
+        z *= _SM_MUL2
+        z ^= z >> _SM_S3
+    return z
+
+
+def mixhash_int_array(encoded_keys: np.ndarray, hash_key: int) -> np.ndarray:
+    """Vectorized :meth:`MixHash64.hash_int` over encoded ``uint64`` keys.
+
+    ``encoded_keys`` are ``_to_int_key`` outputs (see the encode kernels);
+    ``hash_key`` is the hash's 64-bit internal key.
+    """
+    return splitmix64_array(np.bitwise_xor(encoded_keys, np.uint64(hash_key)))
+
+
+def mixhash_unit_array(encoded_keys: np.ndarray, hash_key: int) -> np.ndarray:
+    """Vectorized :meth:`MixHash64.hash_unit`: floats in ``[0, 1)``.
+
+    ``h / 2**64`` in float64 rounds identically scalar and vectorized
+    (both are one IEEE-754 division), so threshold comparisons agree with
+    the scalar path bit for bit.
+    """
+    return mixhash_int_array(encoded_keys, hash_key) / 2.0**64
+
+
+# -- PairwiseHash kernel -------------------------------------------------------
+
+def pairwise_int_array(encoded_keys: np.ndarray, a: int, b: int) -> np.ndarray:
+    """Vectorized :meth:`PairwiseHash.hash_int`: ``((a·x + b) mod p) & MASK64``.
+
+    ``p = 2^89 − 1`` exceeds uint64, so the product is assembled in 32-bit
+    limbs (every partial product and carry fits a uint64 exactly) and
+    reduced with the Mersenne identity ``2^89 ≡ 1 (mod p)``.  Exact for
+    the family's full parameter range ``a ∈ [1, p), b ∈ [0, p)``.
+    """
+    x = encoded_keys.astype(np.uint64, copy=False)
+    with np.errstate(over="ignore"):
+        x0 = x & np.uint64(_MASK32)
+        x1 = x >> np.uint64(32)
+        # 5 base-2^32 limbs cover a·x + b < 2^153.
+        limbs = [np.zeros(x.shape, dtype=np.uint64) for _ in range(5)]
+        a_limbs = [(a >> shift) & _MASK32 for shift in (0, 32, 64)]
+        b_limbs = [(b >> shift) & _MASK32 for shift in (0, 32, 64)]
+        for i, ai in enumerate(a_limbs):
+            if ai == 0:
+                continue
+            ai64 = np.uint64(ai)
+            for j, xj in enumerate((x0, x1)):
+                t = ai64 * xj  # < 2^64: 32-bit by 32-bit product
+                limbs[i + j] += t & np.uint64(_MASK32)
+                limbs[i + j + 1] += t >> np.uint64(32)
+        for k, bk in enumerate(b_limbs):
+            if bk:
+                limbs[k] += np.uint64(bk)
+        # Carry-normalize (each limb accumulated at most ~2^35).
+        for k in range(4):
+            limbs[k + 1] += limbs[k] >> np.uint64(32)
+            limbs[k] &= np.uint64(_MASK32)
+        # Pack into 64-bit words: n = w0 + w1·2^64 + w2·2^128 < 2^153.
+        w0 = limbs[0] | (limbs[1] << np.uint64(32))
+        w1 = limbs[2] | (limbs[3] << np.uint64(32))
+        w2 = limbs[4]
+        # Mersenne fold #1: n = q·2^89 + r, n ≡ q + r (mod p); q < 2^64
+        # because n < (p−1)·2^64 + p < 2^153.
+        r_lo = w0
+        r_hi = w1 & _M25
+        q = (w1 >> np.uint64(25)) | (w2 << np.uint64(39))
+        s = r_lo + q
+        carry = (s < q).astype(np.uint64)
+        lo = s
+        hi = r_hi + carry  # < 2^26
+        # Mersenne fold #2: value < 2^90 now, one more fold + subtract.
+        q2 = hi >> np.uint64(25)
+        hi &= _M25
+        s2 = lo + q2
+        carry2 = (s2 < q2).astype(np.uint64)
+        lo = s2
+        hi += carry2
+        # Final conditional subtractions: value ≤ 2^89, so at most twice.
+        for _ in range(2):
+            ge = (hi > _M25) | ((hi == _M25) & (lo == _U64_MAX))
+            if not ge.any():
+                break
+            # value − p = value − 2^89 + 1: borrow-aware two-word subtract.
+            new_lo = lo + np.uint64(1)  # − (2^64 − 1) ≡ + 1 with borrow
+            borrow = (lo != _U64_MAX).astype(np.uint64)
+            new_hi = hi - _M25 - borrow
+            lo = np.where(ge, new_lo, lo)
+            hi = np.where(ge, new_hi, hi)
+    return lo

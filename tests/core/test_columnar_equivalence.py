@@ -1,0 +1,100 @@
+"""End-to-end columnar-vs-scalar equivalence for the two-pass counters.
+
+The scalar implementations are the correctness oracle for the whole
+columnar fast path (vectorized hashing, batched sampler offers, columnar
+watcher/detection scans, column providers).  These tests run the same
+seeded workload through both paths and require *bit-identical* outcomes —
+estimates, space peaks and internal observables — under every dispatch
+combination, including the sharded driver whose workers now reuse
+per-shard column memos across passes.
+"""
+
+import pytest
+
+from repro.core.fourcycle_two_pass import TwoPassFourCycleCounter
+from repro.core.triangle_two_pass import TwoPassTriangleCounter
+from repro.graph.generators import gnm_random_graph
+from repro.sketch.driver import run_sharded
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+from repro.util.vectorized import ColumnMemo, scalar_oracle
+
+FACTORIES = {
+    "triangle": lambda: TwoPassTriangleCounter(sample_size=48, seed=42),
+    "fourcycle": lambda: TwoPassFourCycleCounter(sample_size=48, seed=42),
+}
+
+# The triangle counter's H-watcher ρ-rule needs whole-stream pass-2 state,
+# so sharded runs require its explicit sharded mode (hash-designated ρ).
+SHARDED_FACTORIES = {
+    "triangle": lambda: TwoPassTriangleCounter(sample_size=48, seed=42, sharded=True),
+    "fourcycle": lambda: TwoPassFourCycleCounter(sample_size=48, seed=42),
+}
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return AdjacencyListStream(gnm_random_graph(120, 1500, seed=7), seed=5)
+
+
+@pytest.fixture(params=sorted(FACTORIES))
+def factory(request):
+    return FACTORIES[request.param]
+
+
+def _run(factory, stream, *, fast, columnar):
+    algo = factory()
+    if columnar:
+        result = run_algorithm(algo, stream, use_fast_path=fast)
+    else:
+        with scalar_oracle():
+            result = run_algorithm(algo, stream, use_fast_path=fast)
+    return algo, result
+
+
+class TestFullRunEquivalence:
+    def test_all_dispatch_tiers_bit_identical(self, factory, stream):
+        runs = {
+            (fast, columnar): _run(factory, stream, fast=fast, columnar=columnar)
+            for fast in (False, True)
+            for columnar in (False, True)
+        }
+        base_algo, base_result = runs[(False, False)]
+        for (fast, columnar), (algo, result) in runs.items():
+            label = f"fast={fast}, columnar={columnar}"
+            assert result.estimate == base_result.estimate, label
+            assert result.peak_space_words == base_result.peak_space_words, label
+            assert algo.observables() == base_algo.observables(), label
+
+    def test_explicit_column_provider_is_transparent(self, factory, stream):
+        algo_memo = factory()
+        algo_memo.bind_columns(ColumnMemo())
+        with_memo = run_algorithm(algo_memo, stream)
+        algo_plain = factory()
+        plain = run_algorithm(algo_plain, stream)
+        assert with_memo.estimate == plain.estimate
+        assert with_memo.peak_space_words == plain.peak_space_words
+        assert algo_memo.observables() == algo_plain.observables()
+
+
+class TestShardedEquivalence:
+    @pytest.fixture(params=sorted(SHARDED_FACTORIES))
+    def sharded_factory(self, request):
+        return SHARDED_FACTORIES[request.param]
+
+    def test_sharded_columnar_matches_scalar(self, sharded_factory, stream):
+        columnar = run_sharded(sharded_factory(), stream, n_shards=3)
+        with scalar_oracle():
+            scalar = run_sharded(sharded_factory(), stream, n_shards=3)
+        assert columnar.estimate == scalar.estimate
+        assert columnar.peak_space_words == scalar.peak_space_words
+
+    def test_effective_parallelism_recorded(self, sharded_factory, stream):
+        result = run_sharded(sharded_factory(), stream, n_shards=2, workers=None)
+        assert result.effective_parallelism == 1
+        import os
+
+        pooled = run_sharded(sharded_factory(), stream, n_shards=2, workers=4)
+        assert pooled.workers == 4
+        assert pooled.effective_parallelism == min(4, 2, os.cpu_count() or 1)
+        assert pooled.estimate == result.estimate

@@ -6,12 +6,15 @@ import pytest
 
 from repro.obs.bench_report import (
     CONTEXT,
+    GATE,
     INVARIANT,
     RESOURCE_HIGH,
     RESOURCE_LOW,
     TIMING_LOW,
     classify,
     compare_pair,
+    evaluate_gates,
+    load_artifact,
     load_flat_metrics,
     main,
 )
@@ -140,3 +143,84 @@ def test_cli_pairing_mismatch_is_an_error(tmp_path, capsys):
     c = _write(tmp_path, "three.json", BASELINE)
     # No basename overlap and unequal counts: nothing sane to pair.
     assert main([a, "--against", b, c]) == 2
+
+
+# -- self-declared gates ------------------------------------------------------
+
+GATED = {
+    "cpu_count": 4,
+    "fast_path": {"triangle": {"columnar_speedup": 6.2}},
+    "sweep": {"speedup": 1.4},
+    "gates": [
+        {"metric": "fast_path.triangle.columnar_speedup", "min": 5.0},
+        {"metric": "sweep.speedup", "min": 1.0, "needs_parallelism": True},
+    ],
+}
+
+
+def test_load_artifact_splits_gates(tmp_path):
+    path = _write(tmp_path, "BENCH_g.json", GATED)
+    flat, gates = load_artifact(path)
+    assert gates == GATED["gates"]
+    assert "gates.0.metric" not in flat
+    assert flat["fast_path.triangle.columnar_speedup"] == 6.2
+
+
+def test_gates_pass_when_floors_met():
+    flat = {"cpu_count": 4, "fast_path.triangle.columnar_speedup": 6.2,
+            "sweep.speedup": 1.4}
+    deltas = evaluate_gates(flat, GATED["gates"])
+    assert [d.status for d in deltas] == ["ok", "ok"]
+    assert all(d.kind == GATE for d in deltas)
+
+
+def test_gate_floor_violation_is_a_regression():
+    flat = {"cpu_count": 4, "fast_path.triangle.columnar_speedup": 3.0,
+            "sweep.speedup": 1.4}
+    deltas = evaluate_gates(flat, GATED["gates"])
+    (reg,) = [d for d in deltas if d.status == "regression"]
+    assert reg.key == "gate:fast_path.triangle.columnar_speedup"
+    assert "below floor" in reg.note
+
+
+def test_parallel_gate_skipped_on_single_core_with_note():
+    flat = {"cpu_count": 1, "fast_path.triangle.columnar_speedup": 6.2,
+            "sweep.speedup": 0.8}  # would fail, but cannot be gated here
+    deltas = evaluate_gates(flat, GATED["gates"])
+    by_key = {d.key: d for d in deltas}
+    assert by_key["gate:sweep.speedup"].status == "skipped"
+    assert "cpu_count=1" in by_key["gate:sweep.speedup"].note
+    # The machine-independent columnar gate still applies on one core.
+    assert by_key["gate:fast_path.triangle.columnar_speedup"].status == "ok"
+
+
+def test_gate_on_missing_metric_warns():
+    deltas = evaluate_gates({"cpu_count": 4}, [{"metric": "nope.speedup", "min": 1.0}])
+    assert [d.status for d in deltas] == ["missing"]
+
+
+def test_malformed_gate_warns_not_crashes():
+    deltas = evaluate_gates({"cpu_count": 4}, [{"min": 1.0}, {"metric": "x"}])
+    assert [d.status for d in deltas] == ["missing", "missing"]
+
+
+def test_gate_ceiling():
+    deltas = evaluate_gates(
+        {"overhead.fraction": 0.4}, [{"metric": "overhead.fraction", "max": 0.25}]
+    )
+    assert deltas[0].status == "regression"
+    assert "above ceiling" in deltas[0].note
+
+
+def test_cli_gates_exit_code_and_visibility(tmp_path, capsys):
+    failing = dict(GATED, fast_path={"triangle": {"columnar_speedup": 2.0}})
+    cur = _write(tmp_path, "BENCH_g.json", failing)
+    base = _write(tmp_path, "base.json", GATED)
+    assert main([cur, "--against", base, "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error" in out and "below floor" in out
+    # A passing artifact shows its gate verdicts (ok + skipped note).
+    passing = _write(tmp_path, "BENCH_ok.json", dict(GATED, cpu_count=1))
+    assert main([passing, "--against", base]) == 0
+    out = capsys.readouterr().out
+    assert "gate met" in out and "skipped" in out

@@ -1,0 +1,251 @@
+"""Bit-identity of the columnar kernels against their scalar oracles.
+
+The vectorized layer (:mod:`repro.util.vectorized`) is pure acceleration:
+every kernel must agree with the scalar implementation in
+:mod:`repro.util.hashing` / :mod:`repro.util.sampling` on every input —
+not approximately, bit for bit, because sampler admissions hang off exact
+integer comparisons of the hash values.  These hypothesis properties pin
+that contract over random ints, int-pair tuples and batch boundaries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import vectorized
+from repro.util.hashing import MixHash64, PairwiseHash, _splitmix64, _to_int_key
+from repro.util.sampling import BottomKSampler
+from repro.util.vectorized import (
+    ColumnMemo,
+    VertexTable,
+    as_vertex_array,
+    as_vertex_scalar,
+    encode_int_keys,
+    encode_pair_keys,
+    in_sorted,
+    mixhash_int_array,
+    mixhash_unit_array,
+    pairwise_int_array,
+    splitmix64_array,
+)
+
+uint64s = st.integers(min_value=0, max_value=2**64 - 1)
+#: Batch sizes straddle the interesting boundaries: empty, single, odd.
+key_batches = st.lists(uint64s, min_size=0, max_size=65)
+pair_batches = st.lists(st.tuples(uint64s, uint64s), min_size=0, max_size=65)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _as_u64(values):
+    return np.array(values, dtype=np.uint64)
+
+
+class TestHashKernelsBitIdentical:
+    @given(keys=key_batches)
+    def test_splitmix64(self, keys):
+        out = splitmix64_array(_as_u64(keys))
+        assert out.tolist() == [_splitmix64(k) for k in keys]
+
+    @given(keys=key_batches)
+    def test_encode_int_keys(self, keys):
+        out = encode_int_keys(_as_u64(keys))
+        assert out.tolist() == [_to_int_key(k) for k in keys]
+
+    @given(pairs=pair_batches)
+    def test_encode_pair_keys(self, pairs):
+        u = _as_u64([p[0] for p in pairs])
+        v = _as_u64([p[1] for p in pairs])
+        assert encode_pair_keys(u, v).tolist() == [_to_int_key(p) for p in pairs]
+
+    @given(keys=key_batches, seed=seeds)
+    def test_mixhash_int(self, keys, seed):
+        h = MixHash64(seed=seed)
+        out = mixhash_int_array(encode_int_keys(_as_u64(keys)), h.key)
+        assert out.tolist() == [h.hash_int(k) for k in keys]
+
+    @given(keys=key_batches, seed=seeds)
+    def test_mixhash_unit(self, keys, seed):
+        h = MixHash64(seed=seed)
+        out = mixhash_unit_array(encode_int_keys(_as_u64(keys)), h.key)
+        # hash_unit is one IEEE-754 division either way: exact equality.
+        assert out.tolist() == [h.hash_unit(k) for k in keys]
+
+    @given(pairs=pair_batches, seed=seeds)
+    @settings(max_examples=60)
+    def test_pairwise_on_pairs(self, pairs, seed):
+        h = PairwiseHash(seed=seed)
+        u = _as_u64([p[0] for p in pairs])
+        v = _as_u64([p[1] for p in pairs])
+        out = pairwise_int_array(encode_pair_keys(u, v), h._a, h._b)
+        assert out.tolist() == [h.hash_int(p) for p in pairs]
+
+    def test_pairwise_extreme_parameters(self):
+        # The limb arithmetic must be exact at the family's corners.
+        p = (1 << 89) - 1
+        keys = _as_u64([0, 1, 2**63, 2**64 - 1])
+        for a, b in [(1, 0), (p - 1, p - 1), (p // 2, p // 3)]:
+            expected = [((a * int(x) + b) % p) & (2**64 - 1) for x in keys.tolist()]
+            assert pairwise_int_array(keys, a, b).tolist() == expected
+
+
+class TestInputAdaptation:
+    def test_rejects_non_int_labels(self):
+        assert as_vertex_array(["a", "b"]) is None
+        assert as_vertex_array([(1, 2), (3, 4)]) is None
+        assert as_vertex_array([True, False]) is None  # bool is not a vertex id
+        assert as_vertex_array([]) is None
+        assert as_vertex_scalar("x") is None
+        assert as_vertex_scalar(True) is None
+
+    def test_rejects_out_of_range_ints(self):
+        assert as_vertex_array([1, -2]) is None
+        assert as_vertex_array([1, 2**64]) is None
+        assert as_vertex_scalar(-1) is None
+        assert as_vertex_scalar(2**64) is None
+
+    @given(values=st.lists(uint64s, min_size=1, max_size=40))
+    def test_accepts_plain_ints(self, values):
+        out = as_vertex_array(values)
+        assert out is not None and out.tolist() == values
+
+
+class TestMembershipStructures:
+    @given(
+        members=st.lists(st.integers(0, 500), min_size=0, max_size=40),
+        queries=st.lists(st.integers(0, 500), min_size=0, max_size=40),
+    )
+    def test_in_sorted_matches_python_membership(self, members, queries):
+        sorted_members = _as_u64(sorted(set(members)))
+        mask = in_sorted(sorted_members, _as_u64(queries))
+        assert mask.tolist() == [q in set(members) for q in queries]
+
+    @given(
+        members=st.lists(st.integers(0, 500), min_size=1, max_size=40),
+        queries=st.lists(st.integers(0, 600), min_size=0, max_size=40),
+    )
+    def test_vertex_table_matches_in_sorted(self, members, queries):
+        table = VertexTable()
+        values = _as_u64(sorted(set(members)))
+        assert table.mark(values, query_max=600)
+        mask = table.lookup(_as_u64(queries)) if queries else []
+        assert list(mask) == [q in set(members) for q in queries]
+        for q in queries + [0, 599, 10**6]:
+            assert table.contains_checked(q) == (q in set(members))
+        table.unmark(values)
+        if queries:
+            assert not table.lookup(_as_u64(queries)).any()
+
+    def test_vertex_table_respects_universe_cap(self):
+        table = VertexTable(universe_cap=1000)
+        assert not table.mark(_as_u64([2000]), query_max=0)
+        assert not table.mark(_as_u64([1]), query_max=5000)
+        assert table.mark(_as_u64([1]), query_max=999)
+
+
+class TestOfferArrayMatchesScalarSampler:
+    """``offer_array`` must leave the sampler in the identical state that
+    per-key ``offer``/``offer_many`` calls would, on every prefix."""
+
+    def _samplers(self, capacity, seed):
+        return BottomKSampler(capacity, seed=seed), BottomKSampler(capacity, seed=seed)
+
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 60), st.integers(0, 60)), min_size=0, max_size=80
+        ),
+        capacity=st.integers(1, 12),
+        seed=seeds,
+    )
+    @settings(max_examples=60)
+    def test_state_identical_after_batches(self, edges, capacity, seed):
+        edges = [tuple(sorted(e)) for e in edges if e[0] != e[1]]
+        vec, scalar = self._samplers(capacity, seed)
+        accepted_vec = accepted_scalar = 0
+        # Feed in uneven batches to cross batch boundaries mid-stream.
+        for start in range(0, len(edges), 7):
+            batch = edges[start:start + 7]
+            u = _as_u64([e[0] for e in batch])
+            v = _as_u64([e[1] for e in batch])
+            priorities = vec.priority_array(encode_pair_keys(u, v))
+            accepted_vec += vec.offer_array(priorities, batch)
+            accepted_scalar += scalar.offer_many(batch)
+        assert accepted_vec == accepted_scalar
+        assert vec.state_dict() == scalar.state_dict()
+        assert vec.members() == scalar.members()
+        assert vec.threshold() == scalar.threshold()
+
+    @given(seed=seeds)
+    def test_empty_batch_is_a_no_op(self, seed):
+        vec, scalar = self._samplers(4, seed)
+        before = vec.state_dict()
+        assert vec.offer_array(np.empty(0, dtype=np.uint64), []) == 0
+        assert vec.state_dict() == before
+        assert vec.state_dict() == scalar.state_dict()
+
+
+class TestAdmissionLog:
+    def test_log_covers_membership(self):
+        sampler = BottomKSampler(4, seed=3)
+        sampler.offer_many([(i, i + 1) for i in range(50)])
+        # Superset semantics: every member was admitted since the last
+        # compaction (which reseeds the log from the members), so the log
+        # always covers the membership; evicted entries may linger.
+        assert set(sampler.members()) <= set(sampler.admission_log)
+
+    def test_log_compaction_bumps_epoch(self):
+        sampler = BottomKSampler(1, seed=1)
+        epoch = sampler.admission_epoch
+        # Feed keys in strictly decreasing priority order: every offer
+        # displaces the single member, so admissions (and log growth) are
+        # deterministic and compaction must trigger.
+        keys = sorted(
+            [(i, i + 1) for i in range(200)],
+            key=sampler.priority,
+            reverse=True,
+        )
+        for key in keys:
+            assert sampler.offer(key)
+        assert sampler.admission_epoch > epoch
+        assert len(sampler.admission_log) <= 4 * 1 + 64
+        assert set(sampler.members()) <= set(sampler.admission_log)
+
+    def test_load_state_resets_log(self):
+        sampler = BottomKSampler(3, seed=2)
+        sampler.offer_many([(i, i + 1) for i in range(30)])
+        clone = BottomKSampler(3, seed=99)
+        epoch = clone.admission_epoch
+        clone.load_state_dict(sampler.state_dict())
+        assert clone.admission_epoch > epoch
+        assert set(clone.admission_log) == set(clone.members())
+
+
+class TestColumnMemo:
+    def test_identity_hit_and_miss(self):
+        memo = ColumnMemo()
+        neighbors = [3, 1, 2]
+        first = memo(7, neighbors)
+        assert first is memo(7, neighbors)  # identity hit: same array back
+        assert first.tolist() == neighbors
+        reordered = [2, 1, 3]
+        second = memo(7, reordered)
+        assert second is not first and second.tolist() == reordered
+
+    def test_non_int_labels_memoise_none(self):
+        memo = ColumnMemo()
+        neighbors = [("a", 1), ("b", 2)]
+        assert memo(0, neighbors) is None
+        assert memo(0, neighbors) is None
+
+
+class TestColumnarSwitch:
+    def test_scalar_oracle_restores_flag(self):
+        assert vectorized.columnar_enabled()
+        with vectorized.scalar_oracle():
+            assert not vectorized.columnar_enabled()
+        assert vectorized.columnar_enabled()
+        with pytest.raises(RuntimeError):
+            with vectorized.scalar_oracle():
+                assert not vectorized.columnar_enabled()
+                raise RuntimeError("boom")
+        assert vectorized.columnar_enabled()
