@@ -1,0 +1,144 @@
+"""Benchmark: the serve service under a 1000-session concurrent fleet.
+
+A plain artifact-writing script (CI runs it with ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--quick] [--out PATH]
+
+Starts one :class:`~repro.serve.server.ServeServer` in-process, then
+drives it over real TCP with the load generator: every session streams a
+full two-pass planted-triangle workload in chunks, polls anytime
+estimates mid-flood, and finishes to a final estimate.  The artifact
+(default ``BENCH_serve.json``) records fleet size, peak concurrency,
+pairs/sec, client-observed poll latency percentiles, and the bit-identity
+audit (every session's final estimate must equal the batch runner's,
+exactly).
+
+Self-declared gates (evaluated by ``repro-cycles bench-report``):
+
+* ``serve.concurrent_peak >= 1000`` — one server process must actually
+  hold the whole fleet open at once, even under ``--quick``;
+* ``serve.all_bit_identical >= 1`` — serving is an execution mode, not
+  an approximation: one mismatched estimate anywhere fails the bench;
+* ``serve.poll_p99_seconds <= 2.0`` — an anytime poll issued while all
+  sessions flood feeds must still answer inside the latency SLO;
+* ``serve.pairs_per_second >= 2000`` — a sanity floor on fleet ingest
+  throughput (the quick workload does ~400k pairs; the gate only
+  catches order-of-magnitude collapses, not machine noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+
+if __package__ in (None, ""):  # script execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.serve.loadgen import run_load_async
+from repro.serve.manager import SessionManager
+from repro.serve.server import ServeServer
+
+#: The ISSUE-level floor: quick mode may shrink graphs, never the fleet.
+MIN_SESSIONS = 1000
+
+GATES = [
+    {"metric": "serve.concurrent_peak", "min": MIN_SESSIONS},
+    {"metric": "serve.all_bit_identical", "min": 1},
+    {"metric": "serve.poll_p99_seconds", "max": 2.0},
+    {"metric": "serve.pairs_per_second", "min": 2000},
+]
+
+
+async def _run_fleet(sessions, connections, chunk_pairs, max_inflight_feeds):
+    manager = SessionManager(
+        max_sessions=max(sessions + 16, 1024),
+        max_inflight_feeds=max_inflight_feeds,
+    )
+    server = ServeServer(manager, port=0)
+    await server.start()
+    server_task = asyncio.ensure_future(server.serve_until_stopped())
+    try:
+        result = await run_load_async(
+            sessions=sessions,
+            host="127.0.0.1",
+            port=server.bound_port,
+            connections=connections,
+            chunk_pairs=chunk_pairs,
+        )
+    finally:
+        server.stop()
+        await server_task
+    return result
+
+
+def run(
+    quick: bool = False,
+    sessions: int = None,
+    connections: int = 32,
+    chunk_pairs: int = 96,
+    max_inflight_feeds: int = 256,
+) -> dict:
+    if sessions is None:
+        sessions = MIN_SESSIONS if quick else 2 * MIN_SESSIONS
+    result = asyncio.run(
+        _run_fleet(sessions, connections, chunk_pairs, max_inflight_feeds)
+    )
+    return {
+        "workload": {
+            "quick": quick,
+            "sessions": sessions,
+            "connections": connections,
+            "chunk_pairs": chunk_pairs,
+            "max_inflight_feeds": max_inflight_feeds,
+        },
+        "cpu_count": os.cpu_count() or 1,
+        "serve": result.to_dict(),
+        "gates": GATES,
+    }
+
+
+def render(artifact: dict) -> None:
+    serve = artifact["serve"]
+    print(
+        f"sessions={serve['sessions']} peak={serve['concurrent_peak']} "
+        f"pairs/s={serve['pairs_per_second']:.0f} "
+        f"poll p50/p95/p99={serve['poll_p50_seconds']*1e3:.1f}/"
+        f"{serve['poll_p95_seconds']*1e3:.1f}/{serve['poll_p99_seconds']*1e3:.1f} ms "
+        f"bit_identical={serve['bit_identical_sessions']}/{serve['sessions']}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced parameters for CI smoke runs")
+    parser.add_argument("--sessions", type=int, default=None,
+                        help=f"fleet size (floor {MIN_SESSIONS}; default 1000 quick / 2000 full)")
+    parser.add_argument("--connections", type=int, default=32,
+                        help="TCP connections the fleet multiplexes over")
+    parser.add_argument("--chunk-pairs", type=int, default=96,
+                        help="pairs per feed chunk")
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="artifact path (default BENCH_serve.json)")
+    args = parser.parse_args(argv)
+    if args.sessions is not None and args.sessions < MIN_SESSIONS:
+        parser.error(f"--sessions must be at least {MIN_SESSIONS}")
+    artifact = run(
+        quick=args.quick, sessions=args.sessions, connections=args.connections,
+        chunk_pairs=args.chunk_pairs,
+    )
+    render(artifact)
+    with open(args.out, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,12 @@ Installed as ``repro-cycles``.  Subcommands:
   streaming model's promise;
 * ``experiment`` — regenerate the paper's Table-1 rows or Figure-1 panels
   and print them;
+* ``algorithms`` — list every registered estimator (cycle length, passes,
+  budget kind) and whether the serve subsystem supports its full session
+  lifecycle;
+* ``serve`` — run the async streaming counting service: sessions, chunked
+  feeds, anytime-estimate polls, snapshots and cross-session sketch merge
+  over a newline-JSON protocol (see ``docs/SERVING.md``);
 * ``bench-report`` — compare benchmark artifacts (``BENCH_*.json`` or
   ``.jsonl`` telemetry logs) against baselines and exit non-zero on
   regression (the CI perf gate; see ``repro.obs.bench_report``);
@@ -30,6 +36,8 @@ Examples::
     repro-cycles obs-report --log run.jsonl --trace run.trace --format html --out report.html
     repro-cycles experiment table1
     repro-cycles bench-report fresh/BENCH_parallel.json --against BENCH_parallel.json
+    repro-cycles algorithms
+    repro-cycles serve --port 7340 --telemetry serve.jsonl --checkpoint-dir ckpt/
 """
 
 from __future__ import annotations
@@ -56,7 +64,7 @@ from repro.graph.io import (
     write_edge_list,
 )
 from repro.streaming.runner import run_algorithm
-from repro.streaming.stream import AdjacencyListStream, validate_pair_sequence
+from repro.streaming.stream import AdjacencyListStream, PairSequenceValidator
 
 TRIANGLE_ALGORITHMS = (
     "two-pass", "three-pass", "one-pass", "wedge", "naive", "adaptive", "exact"
@@ -271,11 +279,19 @@ def cmd_validate(args) -> int:
     detail goes to stderr and the exit code is 1 (so shell pipelines and
     CI steps can gate on validity).  ``StreamFormatError`` subclasses
     ``ValueError``, so one catch covers parse and model failures alike.
+
+    Validation streams through the incremental
+    :class:`~repro.streaming.stream.PairSequenceValidator` — the same
+    checker the serve subsystem applies to session chunks — one adjacency
+    list at a time, so the pair sequence is never materialised.
     """
     try:
         graph = _read_graph(args.input, args.format)
         stream = AdjacencyListStream(graph, seed=args.seed)
-        summary = validate_pair_sequence(list(stream.iter_pairs()))
+        validator = PairSequenceValidator()
+        for vertex, neighbors in stream.iter_lists():
+            validator.feed((vertex, u) for u in neighbors)
+        summary = validator.finish()
     except (ValueError, OSError) as exc:
         print(f"INVALID: {args.input}: {exc}", file=sys.stderr)
         return 1
@@ -311,6 +327,119 @@ def cmd_experiment(args) -> int:
     else:
         raise SystemExit("experiments: table1, figure1 (full set: pytest benchmarks/)")
     return 0
+
+
+def cmd_algorithms(args) -> int:
+    """List the registry: every estimator with its shape and serve support."""
+    import json as _json
+
+    from repro.streaming.registry import iter_specs, serve_capabilities
+
+    rows = []
+    for spec in iter_specs():
+        caps = serve_capabilities(spec)
+        rows.append(
+            {
+                "name": spec.name,
+                "cycle_length": spec.cycle_length,
+                "passes": spec.n_passes,
+                "budget_kind": spec.budget_kind,
+                "snapshot": caps.snapshot,
+                "anytime": caps.anytime,
+                "serve_compatible": caps.serve_compatible,
+                "summary": spec.summary,
+            }
+        )
+    if args.json:
+        print(_json.dumps(rows, indent=2))
+        return 0
+    name_width = max(len(r["name"]) for r in rows)
+    header = f"{'name':<{name_width}}  len passes budget       serve  summary"
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        serve_flag = "yes" if r["serve_compatible"] else "no"
+        print(
+            f"{r['name']:<{name_width}}  {r['cycle_length']:>3} {r['passes']:>6} "
+            f"{r['budget_kind']:<12} {serve_flag:<6} {r['summary']}"
+        )
+    print(
+        f"\n{len(rows)} algorithms; serve = snapshot/restore + anytime estimates "
+        "(full session lifecycle incl. merge)"
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the asyncio streaming-counting service until interrupted.
+
+    Sessions bind to registry algorithms; clients stream pair chunks,
+    poll anytime estimates, snapshot and merge (see ``docs/SERVING.md``).
+    With ``--checkpoint-dir`` a graceful shutdown freezes every live
+    snapshot-capable session there, and ``--resume`` restores them on the
+    next start.  ``--telemetry``/``--trace`` wire the serve metrics and
+    per-session spans to the same files every other runner uses.
+    """
+    import asyncio
+
+    from repro.obs.telemetry import NULL_TELEMETRY, open_telemetry
+    from repro.obs.trace import NULL_TRACER, Tracer, write_chrome_trace
+    from repro.serve.manager import SessionManager
+    from repro.serve.protocol import ServeError
+    from repro.serve.server import ServeServer
+
+    telemetry = open_telemetry(args.telemetry) if args.telemetry else NULL_TELEMETRY
+    tracer = (
+        Tracer(seed=0, telemetry=telemetry, root="serve")
+        if args.trace
+        else NULL_TRACER
+    )
+
+    async def _serve() -> None:
+        manager = SessionManager(
+            max_sessions=args.max_sessions,
+            max_inflight_feeds=args.max_inflight_feeds,
+            default_byte_budget=args.byte_budget,
+            default_space_budget_words=args.space_budget,
+            telemetry=telemetry,
+            tracer=tracer,
+        )
+        server = ServeServer(
+            manager,
+            args.host,
+            args.port,
+            shutdown_checkpoint_dir=args.checkpoint_dir,
+        )
+        await server.start()
+        if args.resume:
+            try:
+                restored = await manager.load_checkpoints(args.checkpoint_dir)
+                print(f"resumed {len(restored)} checkpointed session(s)")
+            except ServeError as exc:
+                print(f"no sessions resumed: {exc.message}")
+        print(f"serving on {args.host}:{server.bound_port}", flush=True)
+        await server.serve_until_stopped()
+
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    exit_code = 0
+    try:
+        if tracer is not NULL_TRACER:
+            with tracer:
+                asyncio.run(_serve())
+        else:
+            asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass  # graceful path already ran inside serve_until_stopped's finally
+    except OSError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        exit_code = 1
+    finally:
+        if args.trace and tracer.spans:
+            write_chrome_trace(args.trace, tracer.spans)
+        telemetry.close()
+    return exit_code
 
 
 def cmd_bench_report(args) -> int:
@@ -445,6 +574,49 @@ def build_parser() -> argparse.ArgumentParser:
         "default serial); results are bit-identical to serial runs",
     )
     exp.set_defaults(func=cmd_experiment)
+
+    algos = sub.add_parser(
+        "algorithms",
+        help="list the registered algorithms and their serve support",
+        description="List every registered streaming algorithm: cycle "
+        "length, pass count, how its budget knob is interpreted, and "
+        "whether the serve subsystem supports the full session lifecycle "
+        "(snapshot/restore + anytime estimates) for it.",
+    )
+    algos.add_argument("--json", action="store_true", help="machine-readable output")
+    algos.set_defaults(func=cmd_algorithms)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async streaming counting service",
+        description="Serve registry algorithms over the newline-JSON "
+        "protocol (see docs/SERVING.md): clients open sessions, stream "
+        "adjacency pairs in chunks, poll anytime estimates with "
+        "convergence verdicts, snapshot, and merge sketches across "
+        "sessions.  Ctrl-C shuts down gracefully, checkpointing live "
+        "sessions when --checkpoint-dir is set.",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7340,
+                       help="TCP port (0 picks a free one; default 7340)")
+    serve.add_argument("--max-sessions", type=int, default=10_000,
+                       help="hard cap on concurrently open sessions")
+    serve.add_argument("--max-inflight-feeds", type=int, default=64,
+                       help="feed chunks processed concurrently before "
+                       "backpressure queues the rest")
+    serve.add_argument("--byte-budget", type=int, default=None,
+                       help="default per-session request-payload byte budget")
+    serve.add_argument("--space-budget", type=int, default=None,
+                       help="default per-session cap on algorithm space (words)")
+    serve.add_argument("--checkpoint-dir", default=None,
+                       help="directory where graceful shutdown freezes live sessions")
+    serve.add_argument("--resume", action="store_true",
+                       help="restore sessions checkpointed in --checkpoint-dir")
+    serve.add_argument("--telemetry", default=None,
+                       help="write serve telemetry (JSONL) to this path")
+    serve.add_argument("--trace", default=None,
+                       help="write per-session trace spans (Chrome trace) to this path")
+    serve.set_defaults(func=cmd_serve)
 
     from repro.obs.bench_report import build_parser as build_bench_parser
 

@@ -32,6 +32,10 @@ __all__ = [
     "RunFinished",
     "MetricsReport",
     "EstimateSample",
+    "SessionOpened",
+    "SessionClosed",
+    "SessionsMerged",
+    "ServeCheckpointed",
     "SpanFinished",
     "EVENT_TYPES",
     "encode_event",
@@ -157,6 +161,51 @@ class EstimateSample(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class SessionOpened(TelemetryEvent):
+    """A serve session was created (see :mod:`repro.serve`)."""
+
+    session_id: str
+    algorithm: str
+    budget: int
+    start_pass: int
+    resumed: bool
+
+
+@dataclass(frozen=True)
+class SessionClosed(TelemetryEvent):
+    """A serve session ended (client close, merge consumption, shutdown).
+
+    ``estimate`` is the final result when the session completed all its
+    passes, else the last anytime estimate, else ``None``.
+    """
+
+    session_id: str
+    pairs: int
+    chunks: int
+    polls: int
+    passes_completed: int
+    estimate: "float | None"
+    reason: str
+
+
+@dataclass(frozen=True)
+class SessionsMerged(TelemetryEvent):
+    """Sketches of several sessions were merged into one state."""
+
+    target_id: str
+    source_ids: str  # comma-joined (event fields are flat scalars)
+    n_sources: int
+
+
+@dataclass(frozen=True)
+class ServeCheckpointed(TelemetryEvent):
+    """Graceful shutdown checkpointed the live sessions to a directory."""
+
+    directory: str
+    sessions: int
+
+
+@dataclass(frozen=True)
 class SpanFinished(TelemetryEvent):
     """One hierarchical trace span closed (see :mod:`repro.obs.trace`).
 
@@ -191,6 +240,10 @@ EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
         RunFinished,
         MetricsReport,
         EstimateSample,
+        SessionOpened,
+        SessionClosed,
+        SessionsMerged,
+        ServeCheckpointed,
         SpanFinished,
     )
 }

@@ -42,6 +42,19 @@ METRIC_NAMES: Dict[str, str] = {
     "shard_pairs_total": "adjacency pairs consumed by shard workers",
     "shard_peak_space_words": "per-shard peak live state in machine words",
     "shard_merges_total": "pass-boundary shard merges",
+    # serve/manager.py + serve/server.py
+    "serve_sessions_open": "serve sessions currently open (high water = peak concurrency)",
+    "serve_sessions_total": "serve sessions ever opened",
+    "serve_session_pairs_total": "adjacency pairs ingested across all serve sessions",
+    "serve_session_chunks_total": "feed chunks ingested across all serve sessions",
+    "serve_polls_total": "anytime-estimate polls answered",
+    "serve_poll_seconds": "server-side wall time answering one poll",
+    "serve_feed_seconds": "server-side wall time ingesting one chunk",
+    "serve_merges_total": "cross-session sketch merges performed",
+    "serve_snapshots_total": "session snapshots taken (client-requested or shutdown)",
+    "serve_errors_total": "requests rejected with a protocol error",
+    "serve_bytes_total": "approximate request payload bytes accepted",
+    "serve_requests_total": "protocol requests handled by the server",
 }
 
 

@@ -45,6 +45,15 @@ class TelemetrySink:
     def emit(self, event: TelemetryEvent) -> None:
         raise NotImplementedError
 
+    def flush(self) -> None:
+        """Push buffered output to durable storage without closing.
+
+        Long-lived consumers (the serve subsystem) call this at quiet
+        points so a later hard kill — ``SIGKILL``, a cancelled asyncio
+        task that never reaches ``close()`` — loses at most the events
+        since the last flush, never the whole log.
+        """
+
     def close(self) -> None:
         """Flush and release resources (idempotent)."""
 
@@ -76,6 +85,10 @@ class TeeSink(TelemetrySink):
     def emit(self, event: TelemetryEvent) -> None:
         for sink in self.sinks:
             sink.emit(event)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
 
     def close(self) -> None:
         first_error: Optional[BaseException] = None
@@ -109,17 +122,40 @@ class InMemorySink(TelemetrySink):
 
 
 class JsonlSink(TelemetrySink):
-    """Append one JSON object per event to ``path`` (created eagerly)."""
+    """Append one JSON object per event to ``path`` (created eagerly).
 
-    def __init__(self, path: str):
+    Each event is serialised to a complete line *first* and written with a
+    single ``write`` call — never streamed piecewise into the file — so an
+    asyncio cancellation (or any exception) landing between events can
+    never leave a torn half-line behind: whatever made it to disk parses.
+    ``flush_every`` bounds the tail a hard kill can lose; the default
+    flushes after every event, which long-lived servers relax for
+    throughput and supplement with explicit :meth:`flush` calls at quiet
+    points.
+    """
+
+    def __init__(self, path: str, flush_every: int = 1):
+        if flush_every < 1:
+            raise ValueError("flush_every must be at least 1")
         self.path = path
+        self.flush_every = flush_every
+        self._since_flush = 0
         self._fh: Optional[IO[str]] = open(path, "w")
 
     def emit(self, event: TelemetryEvent) -> None:
         if self._fh is None:
             raise ValueError(f"JsonlSink({self.path!r}) is closed")
-        json.dump(encode_event(event), self._fh, sort_keys=True)
-        self._fh.write("\n")
+        line = json.dumps(encode_event(event), sort_keys=True)
+        self._fh.write(line + "\n")
+        self._since_flush += 1
+        if self._since_flush >= self.flush_every:
+            self._fh.flush()
+            self._since_flush = 0
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            self._since_flush = 0
 
     def close(self) -> None:
         if self._fh is not None:

@@ -78,6 +78,17 @@ class Telemetry:
 
     # -- lifecycle ------------------------------------------------------------
 
+    def flush(self) -> None:
+        """Flush the sink's buffered output (no-op for buffer-less sinks).
+
+        The serve subsystem calls this at request-loop quiet points so a
+        cancelled or killed server still leaves a parseable event log up
+        to the last flush — the asyncio extension of the CLI's
+        context-manager guarantee.
+        """
+        if self.sink is not None and not self._closed:
+            self.sink.flush()
+
     def close(self) -> None:
         """Emit the final :class:`MetricsReport` and close the sink."""
         if self._closed:

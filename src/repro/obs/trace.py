@@ -274,6 +274,32 @@ class Tracer:
             self._path_stack.pop()
             self._record(name, category, path, start, end, handle.attrs)
 
+    def record_span(
+        self,
+        name: str,
+        category: str = "phase",
+        *,
+        parent: Optional[str] = None,
+        start_s: float = 0.0,
+        end_s: float = 0.0,
+        **attrs: float,
+    ) -> SpanRecord:
+        """Record a completed span at an explicit position in the tree.
+
+        The stack-based :meth:`span` context manager assumes spans nest
+        with the call structure; concurrent *sessions* in the serve
+        subsystem interleave arbitrarily, so their spans are recorded
+        after the fact with explicit parent paths instead.  ``parent`` is
+        the parent span's structural path (default: the tracer's root),
+        and identity stays the same pure function of seed and path as
+        everywhere else — a serial replay of the same sessions traces
+        identically modulo timings.
+        """
+        parent_path = parent if parent is not None else self._root_path
+        path = f"{parent_path}/{name}"
+        self._record(name, category, path, start_s, end_s, dict(attrs))
+        return self.spans[-1]
+
     def adopt(self, encoded_spans: Sequence[Mapping[str, Any]]) -> List[SpanRecord]:
         """Fold spans a worker shipped home into this tracer (in order)."""
         records = [decode_span(blob) for blob in encoded_spans]
@@ -331,6 +357,18 @@ class _NullTracer(Tracer):
 
     def span(self, name: str, category: str = "phase", **attrs: float) -> Any:
         return _NULL_SPAN_CONTEXT
+
+    def record_span(
+        self,
+        name: str,
+        category: str = "phase",
+        *,
+        parent: Optional[str] = None,
+        start_s: float = 0.0,
+        end_s: float = 0.0,
+        **attrs: float,
+    ) -> Optional[SpanRecord]:  # type: ignore[override]
+        return None
 
     def context(self) -> Optional[TraceContext]:
         return None

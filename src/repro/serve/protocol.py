@@ -1,0 +1,222 @@
+"""The serve wire protocol: ops, error codes, framing, snapshot encoding.
+
+The protocol is **newline-delimited JSON** — one request object per line,
+one response object per line — chosen so a session can be driven from
+``nc``/``socat`` and logs stay greppable.  Requests carry a client-chosen
+correlation ``id`` (echoed verbatim in the response), an ``op``, and
+op-specific parameters; any number of sessions multiplex over one
+connection, and responses may interleave across ids (the client matches
+on ``id``, not order).
+
+Request::
+
+    {"id": 7, "op": "feed", "session": "s3", "pairs": [[0, 1], [0, 4]]}
+
+Response::
+
+    {"id": 7, "ok": true, "pairs": 2, "pairs_total": 128}
+    {"id": 7, "ok": false, "error": {"code": "STREAM_FORMAT", "message": "..."}}
+
+Ops: ``hello``, ``algorithms``, ``open``, ``feed``, ``finish_pass``,
+``poll``, ``snapshot``, ``merge``, ``close``, ``stats``, ``shutdown``.
+See ``docs/SERVING.md`` for the full parameter tables.
+
+Session snapshots travel as the JSON-dict form of a
+:class:`~repro.sketch.state.SketchState` of kind ``serve-session`` —
+self-contained (spec name, budget, algorithm state, validator state,
+open-list buffer, position), so a snapshot taken on one server restores
+on another with no side channel.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.sketch.state import SketchState, SketchStateError
+
+#: Bumped on wire-visible changes; ``hello`` reports it so clients can refuse.
+PROTOCOL_VERSION = 1
+
+#: Session-snapshot container identity (see ``session.py`` for the payload).
+SESSION_STATE_KIND = "serve-session"
+SESSION_STATE_VERSION = 1
+
+#: Default cap on one encoded request line (backpressure: a client cannot
+#: buffer an unbounded chunk server-side; asyncio's reader enforces it).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+# -- error codes --------------------------------------------------------------
+
+BAD_REQUEST = "BAD_REQUEST"
+UNKNOWN_OP = "UNKNOWN_OP"
+NO_SUCH_ALGORITHM = "NO_SUCH_ALGORITHM"
+NO_SUCH_SESSION = "NO_SUCH_SESSION"
+SESSION_EXISTS = "SESSION_EXISTS"
+SESSION_DONE = "SESSION_DONE"
+STREAM_FORMAT = "STREAM_FORMAT"
+BUDGET_EXCEEDED = "BUDGET_EXCEEDED"
+SPACE_BUDGET_EXCEEDED = "SPACE_BUDGET_EXCEEDED"
+SESSION_LIMIT = "SESSION_LIMIT"
+UNSUPPORTED = "UNSUPPORTED"
+MERGE_INCOMPATIBLE = "MERGE_INCOMPATIBLE"
+BAD_STATE = "BAD_STATE"
+SERVER_SHUTDOWN = "SERVER_SHUTDOWN"
+INTERNAL = "INTERNAL"
+
+ERROR_CODES = (
+    BAD_REQUEST,
+    UNKNOWN_OP,
+    NO_SUCH_ALGORITHM,
+    NO_SUCH_SESSION,
+    SESSION_EXISTS,
+    SESSION_DONE,
+    STREAM_FORMAT,
+    BUDGET_EXCEEDED,
+    SPACE_BUDGET_EXCEEDED,
+    SESSION_LIMIT,
+    UNSUPPORTED,
+    MERGE_INCOMPATIBLE,
+    BAD_STATE,
+    SERVER_SHUTDOWN,
+    INTERNAL,
+)
+
+#: Validation modes a session can be opened with.
+VALIDATE_STRICT = "strict"  # full adjacency-list promise incl. reverse pairs
+VALIDATE_LISTS = "lists"  # contiguity/duplicates only (shard slices)
+VALIDATE_OFF = "off"
+
+VALIDATE_MODES = (VALIDATE_STRICT, VALIDATE_LISTS, VALIDATE_OFF)
+
+
+class ServeError(Exception):
+    """A protocol-level failure with a stable machine-readable code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"code": self.code, "message": self.message}
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One protocol message as a complete wire line (single write)."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line; raises :class:`ServeError` on garbage."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(BAD_REQUEST, f"unparseable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServeError(BAD_REQUEST, "frame must be a JSON object")
+    return message
+
+
+def request_id(message: Dict[str, Any]) -> Any:
+    """The correlation id of a decoded request (``None`` if absent)."""
+    return message.get("id")
+
+
+def require_op(message: Dict[str, Any]) -> str:
+    """Extract and check the ``op`` field of a decoded request."""
+    op = message.get("op")
+    if not isinstance(op, str) or not op:
+        raise ServeError(BAD_REQUEST, "request needs a string 'op' field")
+    return op
+
+
+def ok_response(req_id: Any, **fields: Any) -> Dict[str, Any]:
+    """A success response echoing ``req_id``."""
+    response = {"id": req_id, "ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(req_id: Any, error: ServeError) -> Dict[str, Any]:
+    """A failure response echoing ``req_id``."""
+    return {"id": req_id, "ok": False, "error": error.to_dict()}
+
+
+# -- parameter extraction -----------------------------------------------------
+
+
+def get_str(message: Dict[str, Any], key: str, default: Any = ...) -> str:
+    value = message.get(key, default)
+    if value is ...:
+        raise ServeError(BAD_REQUEST, f"request needs a string {key!r} field")
+    if not isinstance(value, str):
+        raise ServeError(BAD_REQUEST, f"{key!r} must be a string")
+    return value
+
+def get_int(message: Dict[str, Any], key: str, default: Any = ...) -> int:
+    value = message.get(key, default)
+    if value is ...:
+        raise ServeError(BAD_REQUEST, f"request needs an integer {key!r} field")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServeError(BAD_REQUEST, f"{key!r} must be an integer")
+    return value
+
+
+def get_opt_number(message: Dict[str, Any], key: str) -> Any:
+    value = message.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServeError(BAD_REQUEST, f"{key!r} must be a number")
+    return value
+
+
+def decode_pairs(raw: Any) -> List[Tuple[Any, Any]]:
+    """Decode a feed chunk's ``pairs`` field into vertex-pair tuples.
+
+    Vertices are JSON scalars (ints or strings — the same labels graph
+    files carry); each entry must be a two-element array.
+    """
+    if not isinstance(raw, list):
+        raise ServeError(BAD_REQUEST, "'pairs' must be a list of [src, dst] pairs")
+    pairs: List[Tuple[Any, Any]] = []
+    for entry in raw:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+            raise ServeError(
+                BAD_REQUEST, f"pair entry {entry!r} is not a [src, dst] pair"
+            )
+        src, dst = entry
+        for vertex in (src, dst):
+            if isinstance(vertex, bool) or not isinstance(vertex, (int, str)):
+                raise ServeError(
+                    BAD_REQUEST, f"vertex {vertex!r} must be an int or string label"
+                )
+        pairs.append((src, dst))
+    return pairs
+
+
+def encode_pairs(pairs: Sequence[Tuple[Any, Any]]) -> List[List[Any]]:
+    """Wire form of a pair chunk (inverse of :func:`decode_pairs`)."""
+    return [[src, dst] for src, dst in pairs]
+
+
+# -- session-snapshot wire form ----------------------------------------------
+
+
+def encode_state(state: SketchState) -> Dict[str, Any]:
+    """A sketch state as its JSON-dict wire form."""
+    return state.to_json_dict()
+
+
+def decode_state(blob: Any) -> SketchState:
+    """Invert :func:`encode_state`; raises :class:`ServeError` on garbage."""
+    if not isinstance(blob, dict):
+        raise ServeError(BAD_STATE, "state must be a JSON object")
+    try:
+        return SketchState.from_json_dict(blob)
+    except (SketchStateError, KeyError, TypeError, ValueError) as exc:
+        raise ServeError(BAD_STATE, f"malformed sketch state: {exc}") from exc

@@ -1,0 +1,335 @@
+"""The asyncio TCP front-end and the transport-free request dispatcher.
+
+Two layers, deliberately separable:
+
+* :func:`handle_request` — takes a decoded request dict and a
+  :class:`~repro.serve.manager.SessionManager`, returns a response dict.
+  No sockets, no framing: the :class:`~repro.serve.client.InProcessClient`
+  and the tests drive it directly, so every op is exercised without a
+  running event-loop server.
+* :class:`ServeServer` — ``asyncio.start_server`` wiring: one reader task
+  per connection, newline framing with the protocol's frame cap as the
+  read limit (oversized frames surface as ``BAD_REQUEST``, not memory
+  growth), responses written under a per-connection lock so interleaved
+  session tasks never produce torn lines.
+
+Graceful shutdown (``stop()``, or the ``shutdown`` op) stops accepting
+connections, optionally checkpoints every live session via
+:meth:`SessionManager.checkpoint_all`, closes the rest, and flushes
+telemetry — all inside ``try/finally`` so a cancelled serve task still
+leaves parseable telemetry behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro.serve.manager import SessionManager
+from repro.serve.protocol import (
+    BAD_REQUEST,
+    INTERNAL,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    UNKNOWN_OP,
+    VALIDATE_STRICT,
+    ServeError,
+    decode_frame,
+    decode_pairs,
+    decode_state,
+    encode_frame,
+    encode_state,
+    error_response,
+    get_int,
+    get_opt_number,
+    get_str,
+    ok_response,
+    request_id,
+    require_op,
+)
+from repro.streaming.registry import iter_specs, serve_capabilities
+
+__all__ = ["handle_request", "ServeServer"]
+
+
+def _algorithms_listing() -> list:
+    """The registry as the ``algorithms`` op reports it (and the CLI)."""
+    listing = []
+    for spec in iter_specs():
+        caps = serve_capabilities(spec)
+        listing.append(
+            {
+                "name": spec.name,
+                "cycle_length": spec.cycle_length,
+                "passes": spec.n_passes,
+                "budget_kind": spec.budget_kind,
+                "summary": spec.summary,
+                "snapshot": caps.snapshot,
+                "anytime": caps.anytime,
+                "serve_compatible": caps.serve_compatible,
+            }
+        )
+    return listing
+
+
+async def handle_request(
+    manager: SessionManager, message: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Dispatch one decoded request; always returns a response dict.
+
+    Protocol failures become ``ok: false`` responses with the error's
+    stable code; unexpected exceptions become ``INTERNAL`` (the server
+    must never die because one session misbehaved).
+    """
+    req_id = request_id(message)
+    try:
+        op = require_op(message)
+        if op == "hello":
+            return ok_response(
+                req_id,
+                protocol=PROTOCOL_VERSION,
+                server="repro-cycles",
+                sessions_open=manager.open_count,
+            )
+        if op == "algorithms":
+            return ok_response(req_id, algorithms=_algorithms_listing())
+        if op == "open":
+            session_id = get_str(message, "session")
+            state_blob = message.get("state")
+            if state_blob is not None:
+                session = await manager.restore(session_id, decode_state(state_blob))
+            else:
+                session = await manager.open(
+                    session_id,
+                    get_str(message, "algorithm"),
+                    get_int(message, "budget"),
+                    message.get("seed"),
+                    validate_mode=get_str(message, "validate", VALIDATE_STRICT),
+                    byte_budget=message.get("byte_budget"),
+                    space_budget_words=message.get("space_budget"),
+                )
+            return ok_response(
+                req_id,
+                session=session.session_id,
+                algorithm=session.spec.name,
+                passes=session.algorithm.n_passes,
+                start_pass=session.pass_index,
+            )
+        if op == "feed":
+            session_id = get_str(message, "session")
+            pairs = decode_pairs(message.get("pairs"))
+            nbytes = message.get("_nbytes", 0)
+            out = await manager.feed(session_id, pairs, nbytes=int(nbytes))
+            return ok_response(req_id, **out)
+        if op == "finish_pass":
+            out = await manager.finish_pass(get_str(message, "session"))
+            return ok_response(req_id, **out)
+        if op == "poll":
+            theorem = message.get("theorem")
+            if theorem is not None and not isinstance(theorem, str):
+                raise ServeError(BAD_REQUEST, "'theorem' must be a string")
+            epsilon = get_opt_number(message, "epsilon")
+            out = await manager.poll(
+                get_str(message, "session"),
+                truth=get_opt_number(message, "truth"),
+                m=get_opt_number(message, "m"),
+                epsilon=float(epsilon) if epsilon is not None else 0.5,
+                theorem=theorem,
+            )
+            return ok_response(req_id, **out)
+        if op == "snapshot":
+            state = await manager.snapshot(get_str(message, "session"))
+            return ok_response(req_id, state=encode_state(state))
+        if op == "merge":
+            sources = message.get("sources")
+            if not isinstance(sources, list) or not all(
+                isinstance(s, str) for s in sources
+            ):
+                raise ServeError(
+                    BAD_REQUEST, "'sources' must be a list of session ids"
+                )
+            merged = await manager.merge(
+                get_str(message, "target"),
+                sources,
+                merge_seed=get_int(message, "merge_seed", 0),
+                close_sources=bool(message.get("close_sources", True)),
+            )
+            return ok_response(
+                req_id,
+                session=merged.session_id,
+                sources=len(sources),
+                pass_index=merged.pass_index,
+            )
+        if op == "stats":
+            session_id = message.get("session")
+            if session_id is None:
+                return ok_response(
+                    req_id,
+                    sessions_open=manager.open_count,
+                    sessions_total=manager.sessions_total,
+                    open_high_water=manager.open_high_water,
+                )
+            out = await manager.stats(get_str(message, "session"))
+            return ok_response(req_id, **out)
+        if op == "close":
+            out = await manager.close(get_str(message, "session"))
+            return ok_response(req_id, **out)
+        raise ServeError(UNKNOWN_OP, f"unknown op {op!r}")
+    except ServeError as exc:
+        if manager.telemetry.enabled:
+            manager.telemetry.count(
+                "serve_errors_total",
+                help="requests rejected with a protocol error",
+                code=exc.code,
+            )
+        return error_response(req_id, exc)
+    except asyncio.CancelledError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - one bad request must not kill the server
+        if manager.telemetry.enabled:
+            manager.telemetry.count(
+                "serve_errors_total",
+                help="requests rejected with a protocol error",
+                code=INTERNAL,
+            )
+        return error_response(
+            req_id, ServeError(INTERNAL, f"{type(exc).__name__}: {exc}")
+        )
+
+
+class ServeServer:
+    """The TCP service: ``asyncio.start_server`` over :func:`handle_request`.
+
+    ``shutdown_checkpoint_dir`` makes shutdown durable: every live
+    snapshot-capable session is frozen there before closing (a restarted
+    server resumes them with ``SessionManager.load_checkpoints``).
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        shutdown_checkpoint_dir: Optional[str] = None,
+    ):
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.shutdown_checkpoint_dir = shutdown_checkpoint_dir
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping = asyncio.Event()
+
+    @property
+    def bound_port(self) -> int:
+        """The concrete port after binding (``port=0`` picks a free one)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_FRAME_BYTES,
+        )
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    response = error_response(
+                        None,
+                        ServeError(
+                            BAD_REQUEST,
+                            f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                        ),
+                    )
+                    async with write_lock:
+                        writer.write(encode_frame(response))
+                        await writer.drain()
+                    break
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if self.manager.telemetry.enabled:
+                    self.manager.telemetry.count(
+                        "serve_requests_total",
+                        help="protocol requests handled by the server",
+                    )
+                try:
+                    message = decode_frame(stripped)
+                except ServeError as exc:
+                    response = error_response(None, exc)
+                else:
+                    if message.get("op") == "shutdown":
+                        response = ok_response(
+                            request_id(message), stopping=True
+                        )
+                        async with write_lock:
+                            writer.write(encode_frame(response))
+                            await writer.drain()
+                        self._stopping.set()
+                        break
+                    message["_nbytes"] = len(line)
+                    response = await handle_request(self.manager, message)
+                async with write_lock:
+                    writer.write(encode_frame(response))
+                    await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def serve_until_stopped(self) -> None:
+        """Run until ``stop()``/the ``shutdown`` op, then wind down cleanly.
+
+        The ``finally`` block is the graceful-shutdown path *and* the
+        cancellation path: checkpoint live sessions, close the rest,
+        flush telemetry — so killing the serve task mid-run still leaves
+        a parseable telemetry trail and durable session state.
+        """
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._stopping.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            try:
+                await asyncio.shield(
+                    self.manager.shutdown(self.shutdown_checkpoint_dir)
+                )
+            finally:
+                self.manager.telemetry.flush()
+
+    def stop(self) -> None:
+        """Request shutdown (idempotent; safe from any task)."""
+        self._stopping.set()
+
+    async def __aenter__(self) -> "ServeServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        self.stop()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.shield(self.manager.shutdown(self.shutdown_checkpoint_dir))
+        finally:
+            self.manager.telemetry.flush()

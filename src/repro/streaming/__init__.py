@@ -14,6 +14,7 @@ from repro.streaming.runner import RunResult, run_algorithm
 from repro.streaming.space import SpaceMeter
 from repro.streaming.stream import (
     AdjacencyListStream,
+    PairSequenceValidator,
     StreamFormatError,
     validate_pair_sequence,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "FixedValueAlgorithm",
     "AdjacencyListStream",
     "StreamFormatError",
+    "PairSequenceValidator",
     "validate_pair_sequence",
     "SpaceMeter",
     "RunResult",

@@ -39,13 +39,21 @@ def rate_from_budget(budget: int) -> float:
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
-    """A registered algorithm: identity, shape, and how to build one."""
+    """A registered algorithm: identity, shape, and how to build one.
+
+    ``budget_kind`` names how the ``budget`` argument is interpreted by
+    ``build``: ``"sample-size"`` (the sample/reservoir size in words),
+    ``"rate"`` (mapped through :func:`rate_from_budget` to a Bernoulli
+    sampling rate), ``"ceiling"`` (an upper bound the algorithm adapts
+    under), or ``"none"`` (ignored — store-everything baselines).
+    """
 
     name: str
     cycle_length: int
     n_passes: int
     build: AlgorithmBuilder = field(repr=False)
     summary: str = ""
+    budget_kind: str = "sample-size"
 
     def make(self, budget: int, seed: SeedLike = None) -> StreamingAlgorithm:
         """Build a fresh instance at ``budget`` words with ``seed``."""
@@ -89,6 +97,37 @@ def snapshot_support() -> List[Tuple[AlgorithmSpec, bool]]:
     return [
         (spec, supports_snapshot(spec.make(8, seed=0))) for spec in iter_specs()
     ]
+
+
+@dataclass(frozen=True)
+class ServeCapabilities:
+    """What the serve subsystem can do with one registered algorithm.
+
+    ``snapshot`` — sessions can be checkpointed, restored and merged (the
+    sketch state protocol); ``anytime`` — mid-stream polls return a live
+    ``current_estimate()`` rather than ``None``; ``serve_compatible`` —
+    the conjunction: the full session lifecycle (feed / poll / snapshot /
+    merge / graceful-shutdown checkpoint) is available.  Algorithms
+    without these can still be hosted for plain feed-then-result runs.
+    """
+
+    snapshot: bool
+    anytime: bool
+
+    @property
+    def serve_compatible(self) -> bool:
+        return self.snapshot and self.anytime
+
+
+def serve_capabilities(spec: AlgorithmSpec) -> ServeCapabilities:
+    """Probe a fresh minimal instance of ``spec`` for serve support."""
+    from repro.streaming.algorithm import supports_current_estimate
+
+    instance = spec.make(8, seed=0)
+    return ServeCapabilities(
+        snapshot=supports_snapshot(instance),
+        anytime=supports_current_estimate(instance),
+    )
 
 
 def _register_builtin() -> None:
@@ -136,6 +175,7 @@ def _register_builtin() -> None:
             rate_from_budget(budget), seed=seed
         ),
         summary="prior one-pass O(m/sqrt(T)) baseline (Table 1, [27])",
+        budget_kind="rate",
     ))
     register(AlgorithmSpec(
         name="triangle-wedge",
@@ -161,6 +201,7 @@ def _register_builtin() -> None:
         n_passes=2,
         build=lambda budget, seed: AdaptiveTriangleCounter(max(budget, 1), seed=seed),
         summary="adaptive counter needing no prior T",
+        budget_kind="ceiling",
     ))
     register(AlgorithmSpec(
         name="triangle-exact",
@@ -168,6 +209,7 @@ def _register_builtin() -> None:
         n_passes=1,
         build=lambda budget, seed: ExactCycleCounter(3),
         summary="store-everything exact triangle count",
+        budget_kind="none",
     ))
     register(AlgorithmSpec(
         name="triangle-distinguisher",
@@ -198,6 +240,7 @@ def _register_builtin() -> None:
             rate_from_budget(budget), seed=seed
         ),
         summary="order-sensitive one-pass heuristic (doomed by Theorem 5.3)",
+        budget_kind="rate",
     ))
     register(AlgorithmSpec(
         name="fourcycle-exact",
@@ -205,6 +248,7 @@ def _register_builtin() -> None:
         n_passes=1,
         build=lambda budget, seed: ExactCycleCounter(4),
         summary="store-everything exact 4-cycle count",
+        budget_kind="none",
     ))
 
 

@@ -15,7 +15,7 @@ pair sequence against the model's promise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graph.graph import Graph, Vertex
 from repro.util.rng import SeedLike, resolve_rng
@@ -189,62 +189,172 @@ class PairSequenceSummary:
     max_list_length: int = 0  # longest adjacency list, i.e. the max degree
 
 
-def validate_pair_sequence(pairs: Sequence[Pair]) -> PairSequenceSummary:
-    """Check a raw pair sequence against the adjacency-list model.
+class PairSequenceValidator:
+    """Incremental checker of the adjacency-list promise.
 
-    Raises :class:`StreamFormatError` if any of the model's promises fail:
+    The streaming service feeds chunks of pairs as they arrive; the batch
+    entry point :func:`validate_pair_sequence` feeds everything at once.
+    Both share this one implementation, so the server validates with
+    exactly the rules (and error messages) of ``repro-cycles validate``:
     lists must be contiguous, each edge must appear exactly once per
-    direction, self loops and within-list duplicates are forbidden.  Error
-    messages carry positional context (pair index, lists closed so far) so
-    an offending file can be located without bisection.  Returns a
-    :class:`PairSequenceSummary`; the final adjacency list — which no
-    transition ever closes — is counted too.
+    direction, self loops and within-list duplicates are forbidden.
+
+    Per-pair violations raise :class:`StreamFormatError` from
+    :meth:`feed` as soon as the offending pair arrives, with its absolute
+    position in the overall sequence.  The reverse-pair completeness check
+    can only run once the stream ends, so it lives in :meth:`finish`,
+    which also closes the final list and returns the
+    :class:`PairSequenceSummary`.  ``check_reverse=False`` skips that
+    final check — required when validating one *shard slice* of a stream,
+    whose reverse pairs legitimately live in other shards.
+
+    State is exposed via :meth:`state_dict` / :meth:`load_state_dict` so a
+    serve session snapshot can freeze validation mid-stream and resume it
+    bit-exactly (the directed-pair set makes this O(pairs seen) — it is
+    service bookkeeping, not algorithm space).
     """
-    seen_lists: set = set()
-    current: Optional[Vertex] = None
-    current_neighbors: set = set()
-    directed_seen: set = set()
-    max_list_length = 0
-    index = 0
-    for index, (src, dst) in enumerate(pairs):
+
+    def __init__(self, check_reverse: bool = True):
+        self.check_reverse = check_reverse
+        self._seen_lists: set = set()
+        self._current: Optional[Vertex] = None
+        self._current_neighbors: set = set()
+        self._directed_seen: set = set()
+        self._max_list_length = 0
+        self._pairs = 0
+        self._finished = False
+
+    # -- feeding -------------------------------------------------------------
+
+    @property
+    def pairs_seen(self) -> int:
+        """Pairs accepted so far."""
+        return self._pairs
+
+    @property
+    def current_list(self) -> Optional[Vertex]:
+        """The source vertex of the currently open adjacency list."""
+        return self._current
+
+    def feed_pair(self, src: Vertex, dst: Vertex) -> None:
+        """Validate and account one pair; raises on a model violation."""
+        if self._finished:
+            raise StreamFormatError("validator already finished")
+        index = self._pairs
         if src == dst:
             raise StreamFormatError(
                 f"self loop {src!r} in stream (pair #{index}, "
-                f"{len(seen_lists)} lists closed)"
+                f"{len(self._seen_lists)} lists closed)"
             )
-        if src != current:
-            if src in seen_lists:
+        if src != self._current:
+            if src in self._seen_lists:
                 raise StreamFormatError(
                     f"adjacency list of {src!r} is not contiguous: reopened at "
-                    f"pair #{index} after {len(seen_lists)} closed lists"
+                    f"pair #{index} after {len(self._seen_lists)} closed lists"
                 )
-            if current is not None:
-                seen_lists.add(current)
-            current = src
-            current_neighbors = set()
-        if dst in current_neighbors:
+            if self._current is not None:
+                self._seen_lists.add(self._current)
+            self._current = src
+            self._current_neighbors = set()
+        if dst in self._current_neighbors:
             raise StreamFormatError(
                 f"duplicate pair ({src!r}, {dst!r}) at pair #{index}: "
-                f"{len(current_neighbors)} neighbours already seen in this list"
+                f"{len(self._current_neighbors)} neighbours already seen in this list"
             )
-        current_neighbors.add(dst)
-        if len(current_neighbors) > max_list_length:
-            max_list_length = len(current_neighbors)
-        directed_seen.add((src, dst))
-    # Close the last list: the loop above only closes lists on transition,
-    # so without this the final list would never reach ``seen_lists`` and
-    # the summary would undercount by one.
-    if current is not None:
-        seen_lists.add(current)
-    for src, dst in directed_seen:
-        if (dst, src) not in directed_seen:
-            raise StreamFormatError(
-                f"edge ({src!r}, {dst!r}) lacks its reverse pair "
-                f"({len(seen_lists)} lists, {len(directed_seen)} directed pairs scanned)"
-            )
-    return PairSequenceSummary(
-        pairs=len(pairs),
-        lists=len(seen_lists),
-        edges=len(directed_seen) // 2,
-        max_list_length=max_list_length,
-    )
+        self._current_neighbors.add(dst)
+        if len(self._current_neighbors) > self._max_list_length:
+            self._max_list_length = len(self._current_neighbors)
+        self._directed_seen.add((src, dst))
+        self._pairs = index + 1
+
+    def feed(self, pairs: Iterable[Pair]) -> None:
+        """Validate a chunk of pairs (any chunking, including one at a time)."""
+        for src, dst in pairs:
+            self.feed_pair(src, dst)
+
+    # -- summaries -----------------------------------------------------------
+
+    def _summary(self) -> PairSequenceSummary:
+        lists = len(self._seen_lists) + (1 if self._current is not None else 0)
+        return PairSequenceSummary(
+            pairs=self._pairs,
+            lists=lists,
+            edges=len(self._directed_seen) // 2,
+            max_list_length=self._max_list_length,
+        )
+
+    def partial_summary(self) -> PairSequenceSummary:
+        """What has streamed so far (the open list counted, reverse unchecked).
+
+        ``edges`` counts *completed* undirected edges — both directions
+        seen — so mid-stream it may undercount by the pairs still awaiting
+        their reverse.
+        """
+        return self._summary()
+
+    def finish(self) -> PairSequenceSummary:
+        """Close the final list, run the end-of-stream checks, summarise.
+
+        Idempotent: calling again returns the same summary.  The final
+        adjacency list — which no transition ever closes — is counted too.
+        """
+        if not self._finished:
+            if self._current is not None:
+                self._seen_lists.add(self._current)
+                self._current = None
+                self._current_neighbors = set()
+            if self.check_reverse:
+                for src, dst in self._directed_seen:
+                    if (dst, src) not in self._directed_seen:
+                        raise StreamFormatError(
+                            f"edge ({src!r}, {dst!r}) lacks its reverse pair "
+                            f"({len(self._seen_lists)} lists, "
+                            f"{len(self._directed_seen)} directed pairs scanned)"
+                        )
+            self._finished = True
+        return PairSequenceSummary(
+            pairs=self._pairs,
+            lists=len(self._seen_lists),
+            edges=len(self._directed_seen) // 2,
+            max_list_length=self._max_list_length,
+        )
+
+    # -- snapshot ------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe-ish state (sets/tuples; sketch-state encodable)."""
+        return {
+            "check_reverse": self.check_reverse,
+            "seen_lists": set(self._seen_lists),
+            "current": self._current,
+            "current_neighbors": set(self._current_neighbors),
+            "directed_seen": set(self._directed_seen),
+            "max_list_length": self._max_list_length,
+            "pairs": self._pairs,
+            "finished": self._finished,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore from :meth:`state_dict` output."""
+        self.check_reverse = bool(state["check_reverse"])
+        self._seen_lists = set(state["seen_lists"])
+        self._current = state["current"]
+        self._current_neighbors = set(state["current_neighbors"])
+        self._directed_seen = {tuple(p) for p in state["directed_seen"]}
+        self._max_list_length = int(state["max_list_length"])
+        self._pairs = int(state["pairs"])
+        self._finished = bool(state["finished"])
+
+
+def validate_pair_sequence(pairs: Sequence[Pair]) -> PairSequenceSummary:
+    """Check a raw pair sequence against the adjacency-list model.
+
+    One-shot wrapper over :class:`PairSequenceValidator`: feeds the whole
+    sequence, then finishes.  Raises :class:`StreamFormatError` if any of
+    the model's promises fail; error messages carry positional context
+    (pair index, lists closed so far) so an offending file can be located
+    without bisection.  Returns a :class:`PairSequenceSummary`.
+    """
+    validator = PairSequenceValidator()
+    validator.feed(pairs)
+    return validator.finish()

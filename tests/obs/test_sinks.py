@@ -44,7 +44,7 @@ def test_decode_rejects_unknown_type_and_fields():
         decode_event({"event": "NoSuchEvent"})
     with pytest.raises(ValueError):
         decode_event({"event": "PassStarted", "pass_index": 0, "bogus": 1})
-    assert len(EVENT_TYPES) == 12
+    assert len(EVENT_TYPES) == 16
 
 
 def test_jsonl_round_trip(tmp_path):

@@ -1,0 +1,294 @@
+"""End-to-end server tests: TCP transport, shutdown, telemetry durability.
+
+Everything runs real asyncio servers on ephemeral localhost ports inside
+``asyncio.run`` (no event-loop plugins needed).  The cancellation test
+pins the ISSUE's satellite: a serve run killed mid-flight must leave a
+*parseable* telemetry JSONL behind — no torn lines, no lost flush.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.graph.planted import planted_triangles
+from repro.obs.telemetry import open_telemetry
+from repro.serve.client import InProcessClient, ServeClient, ServeClientError
+from repro.serve.loadgen import run_load_async
+from repro.serve.manager import SessionManager
+from repro.serve.server import ServeServer, handle_request
+from repro.streaming.registry import get as get_spec
+from repro.streaming.runner import run_algorithm
+from repro.streaming.stream import AdjacencyListStream
+
+
+def _world():
+    planted = planted_triangles(noise_edges=120, triangles=15, seed=3)
+    stream = AdjacencyListStream(planted.graph, seed=4)
+    return stream, list(stream.iter_pairs()), planted.true_count
+
+
+async def _with_server(manager, fn):
+    """Run ``fn(host, port)`` against a live server, then stop it."""
+    server = ServeServer(manager, port=0)
+    await server.start()
+    task = asyncio.ensure_future(server.serve_until_stopped())
+    try:
+        return await fn("127.0.0.1", server.bound_port)
+    finally:
+        server.stop()
+        await task
+
+
+class TestDispatcher:
+    """Transport-free request dispatch (what InProcessClient wraps)."""
+
+    def test_hello_and_algorithms(self):
+        async def main():
+            manager = SessionManager()
+            hello = await handle_request(manager, {"id": 1, "op": "hello"})
+            assert hello["ok"] and hello["protocol"] == 1
+            algos = await handle_request(manager, {"id": 2, "op": "algorithms"})
+            assert len(algos["algorithms"]) == 13
+            by_name = {a["name"]: a for a in algos["algorithms"]}
+            assert by_name["triangle-two-pass"]["serve_compatible"]
+            assert not by_name["triangle-exact"]["serve_compatible"]
+
+        asyncio.run(main())
+
+    def test_unknown_op_and_bad_request(self):
+        async def main():
+            manager = SessionManager()
+            out = await handle_request(manager, {"id": 1, "op": "dance"})
+            assert not out["ok"] and out["error"]["code"] == "UNKNOWN_OP"
+            out = await handle_request(manager, {"id": 2})
+            assert out["error"]["code"] == "BAD_REQUEST"
+            out = await handle_request(
+                manager, {"id": 3, "op": "open", "session": "s",
+                          "algorithm": "nope", "budget": 8},
+            )
+            assert out["error"]["code"] == "NO_SUCH_ALGORITHM"
+
+        asyncio.run(main())
+
+    def test_internal_errors_do_not_leak(self):
+        async def main():
+            manager = SessionManager()
+            # A poll with a truth but no estimate-capable session state is
+            # fine; instead provoke INTERNAL by breaking the manager.
+            manager.poll = None  # type: ignore[assignment]
+            out = await handle_request(
+                manager, {"id": 1, "op": "poll", "session": "s"}
+            )
+            assert out["error"]["code"] == "INTERNAL"
+
+        asyncio.run(main())
+
+    def test_in_process_client_full_lifecycle(self):
+        stream, pairs, truth = _world()
+        reference = run_algorithm(
+            get_spec("triangle-two-pass").make(48, seed=6), stream
+        ).estimate
+
+        async def main():
+            client = InProcessClient()
+            await client.open("s", "triangle-two-pass", 48, seed=6)
+            for _ in range(2):
+                for i in range(0, len(pairs), 40):
+                    await client.feed("s", pairs[i : i + 40])
+                final = await client.finish_pass("s")
+            poll = await client.poll("s", truth=truth, m=stream.m)
+            assert poll["done"] and "verdict" in poll
+            stats = await client.stats("s")
+            assert stats["pairs_total"] == 2 * len(pairs)
+            await client.close_session("s")
+            with pytest.raises(ServeClientError) as err:
+                await client.poll("s")
+            assert err.value.code == "NO_SUCH_SESSION"
+            return final["estimate"]
+
+        assert asyncio.run(main()) == reference
+
+
+class TestTcp:
+    def test_tcp_matches_serial_run(self):
+        stream, pairs, _ = _world()
+        reference = run_algorithm(
+            get_spec("triangle-two-pass").make(48, seed=6), stream
+        ).estimate
+
+        async def drive(host, port):
+            async with ServeClient(host, port) as client:
+                await client.open("s", "triangle-two-pass", 48, seed=6)
+                final = None
+                for _ in range(2):
+                    for i in range(0, len(pairs), 64):
+                        await client.feed("s", pairs[i : i + 64])
+                    final = await client.finish_pass("s")
+                return final["estimate"]
+
+        async def main():
+            return await _with_server(SessionManager(), drive)
+
+        assert asyncio.run(main()) == reference
+
+    def test_multiplexed_sessions_one_connection(self):
+        """Interleaved sessions on ONE socket stay isolated and correct."""
+        stream, pairs, _ = _world()
+        seeds = [0, 1, 2, 3]
+        references = {
+            seed: run_algorithm(
+                get_spec("triangle-two-pass").make(32, seed=seed), stream
+            ).estimate
+            for seed in seeds
+        }
+
+        async def drive(host, port):
+            async with ServeClient(host, port) as client:
+                async def one(seed):
+                    sid = f"s{seed}"
+                    await client.open(sid, "triangle-two-pass", 32, seed=seed)
+                    final = None
+                    for _ in range(2):
+                        for i in range(0, len(pairs), 51):
+                            await client.feed(sid, pairs[i : i + 51])
+                        final = await client.finish_pass(sid)
+                    return final["estimate"]
+
+                return await asyncio.gather(*(one(s) for s in seeds))
+
+        async def main():
+            return await _with_server(SessionManager(), drive)
+
+        assert asyncio.run(main()) == [references[s] for s in seeds]
+
+    def test_snapshot_travels_over_the_wire(self):
+        stream, pairs, _ = _world()
+        reference = run_algorithm(
+            get_spec("triangle-two-pass").make(48, seed=6), stream
+        ).estimate
+        cut = len(pairs) // 2
+
+        async def drive(host, port):
+            async with ServeClient(host, port) as client:
+                await client.open("a", "triangle-two-pass", 48, seed=6)
+                await client.feed("a", pairs[:cut])
+                state = await client.snapshot("a")
+                json.dumps(state)  # must be pure JSON on the wire
+                await client.close_session("a")
+                await client.open("b", state=state)
+                await client.feed("b", pairs[cut:])
+                await client.finish_pass("b")
+                await client.feed("b", pairs)
+                return (await client.finish_pass("b"))["estimate"]
+
+        async def main():
+            return await _with_server(SessionManager(), drive)
+
+        assert asyncio.run(main()) == reference
+
+    def test_shutdown_op_stops_server(self):
+        async def main():
+            manager = SessionManager()
+            server = ServeServer(manager, port=0)
+            await server.start()
+            task = asyncio.ensure_future(server.serve_until_stopped())
+            client = await ServeClient("127.0.0.1", server.bound_port).connect()
+            await client.shutdown_server()
+            await asyncio.wait_for(task, timeout=5)
+            await client.aclose()
+
+        asyncio.run(main())
+
+    def test_loadgen_over_tcp(self):
+        """A small fleet through the real transport: full concurrency, all
+        estimates bit-identical to batch runs (the bench at miniature)."""
+
+        async def main():
+            manager = SessionManager()
+            server = ServeServer(manager, port=0)
+            await server.start()
+            task = asyncio.ensure_future(server.serve_until_stopped())
+            try:
+                return await run_load_async(
+                    sessions=40, host="127.0.0.1", port=server.bound_port,
+                    connections=3, chunk_pairs=64,
+                )
+            finally:
+                server.stop()
+                await task
+
+        result = asyncio.run(main())
+        assert result.concurrent_peak == 40
+        assert result.all_bit_identical == 1
+        assert result.polls > 0
+
+
+class TestShutdownDurability:
+    def test_cancelled_serve_leaves_parseable_telemetry(self, tmp_path):
+        """Kill the serve task mid-flood; telemetry must parse line-by-line."""
+        _, pairs, _ = _world()
+        log_path = tmp_path / "serve.jsonl"
+
+        async def main():
+            telemetry = open_telemetry(str(log_path))
+            manager = SessionManager(telemetry=telemetry)
+            server = ServeServer(manager, port=0)
+            await server.start()
+            serve_task = asyncio.ensure_future(server.serve_until_stopped())
+
+            async def flood():
+                async with ServeClient("127.0.0.1", server.bound_port) as client:
+                    for round_index in range(50):
+                        sid = f"s{round_index}"
+                        await client.open(sid, "triangle-two-pass", 32, seed=1)
+                        for i in range(0, len(pairs), 16):
+                            await client.feed(sid, pairs[i : i + 16])
+
+            flood_task = asyncio.ensure_future(flood())
+            await asyncio.sleep(0.15)  # mid-flood
+            serve_task.cancel()
+            flood_task.cancel()
+            for task in (serve_task, flood_task):
+                try:
+                    await task
+                except (asyncio.CancelledError, ServeClientError, ConnectionError):
+                    pass
+            telemetry.close()
+
+        asyncio.run(main())
+        lines = log_path.read_text().strip().splitlines()
+        assert lines, "cancelled run must still leave telemetry behind"
+        events = [json.loads(line) for line in lines]  # every line parses
+        assert any(e.get("event") == "SessionOpened" for e in events)
+
+    def test_shutdown_checkpoints_live_sessions(self, tmp_path):
+        stream, pairs, _ = _world()
+        reference = run_algorithm(
+            get_spec("triangle-two-pass").make(48, seed=2), stream
+        ).estimate
+        cut = len(pairs) // 2
+        ckpt = tmp_path / "ckpt"
+
+        async def first_life():
+            manager = SessionManager()
+            server = ServeServer(manager, port=0, shutdown_checkpoint_dir=str(ckpt))
+            await server.start()
+            task = asyncio.ensure_future(server.serve_until_stopped())
+            async with ServeClient("127.0.0.1", server.bound_port) as client:
+                await client.open("s", "triangle-two-pass", 48, seed=2)
+                await client.feed("s", pairs[:cut])
+            server.stop()
+            await task
+
+        async def second_life():
+            manager = SessionManager()
+            restored = await manager.load_checkpoints(ckpt)
+            assert restored == ["s"]
+            await manager.feed("s", pairs[cut:])
+            await manager.finish_pass("s")
+            await manager.feed("s", pairs)
+            return (await manager.finish_pass("s"))["estimate"]
+
+        asyncio.run(first_life())
+        assert asyncio.run(second_life()) == reference

@@ -8,6 +8,7 @@ from repro.graph.generators import cycle_graph, gnm_random_graph, star_graph
 from repro.graph.graph import Graph
 from repro.streaming.stream import (
     AdjacencyListStream,
+    PairSequenceValidator,
     StreamFormatError,
     validate_pair_sequence,
 )
@@ -147,6 +148,69 @@ class TestValidation:
         pairs = [(0, 1), (1, 0), (1, 0)]
         with pytest.raises(StreamFormatError, match="duplicate"):
             validate_pair_sequence(pairs)
+
+
+class TestIncrementalValidator:
+    """The chunked validator behind both ``cmd_validate`` and the server."""
+
+    def test_chunked_feed_matches_one_shot(self, small_random_graph):
+        s = AdjacencyListStream(small_random_graph, seed=6)
+        pairs = list(s.iter_pairs())
+        one_shot = validate_pair_sequence(pairs)
+        for chunk in (1, 3, 7, len(pairs)):
+            validator = PairSequenceValidator()
+            for i in range(0, len(pairs), chunk):
+                validator.feed(pairs[i : i + chunk])
+            assert validator.finish() == one_shot
+
+    def test_partial_summary_counts_open_list(self):
+        validator = PairSequenceValidator()
+        validator.feed([(0, 1), (0, 2), (1, 0)])
+        partial = validator.partial_summary()
+        assert partial.pairs == 3
+        assert partial.lists == 2  # list 1 is open but counted
+        assert partial.edges == 1  # only (0,1)/(1,0) completed so far
+        assert partial.max_list_length == 2
+        assert validator.current_list == 1
+
+    def test_violation_reports_absolute_position(self):
+        validator = PairSequenceValidator()
+        validator.feed([(0, 1), (0, 2)])
+        with pytest.raises(StreamFormatError, match="pair #2"):
+            validator.feed([(0, 1)])
+
+    def test_check_reverse_false_allows_shard_slices(self):
+        validator = PairSequenceValidator(check_reverse=False)
+        validator.feed([(0, 1), (0, 2)])  # reverses live in other shards
+        assert validator.finish().pairs == 2
+
+    def test_state_dict_round_trip_mid_list(self, small_random_graph):
+        s = AdjacencyListStream(small_random_graph, seed=6)
+        pairs = list(s.iter_pairs())
+        cut = len(pairs) // 2 + 1  # odd offset: snapshot inside an open list
+        original = PairSequenceValidator()
+        original.feed(pairs[:cut])
+        resumed = PairSequenceValidator()
+        resumed.load_state_dict(original.state_dict())
+        assert resumed.pairs_seen == original.pairs_seen
+        assert resumed.current_list == original.current_list
+        resumed.feed(pairs[cut:])
+        assert resumed.finish() == validate_pair_sequence(pairs)
+
+    def test_restored_validator_still_rejects(self):
+        original = PairSequenceValidator()
+        original.feed([(0, 1), (1, 0)])
+        resumed = PairSequenceValidator()
+        resumed.load_state_dict(original.state_dict())
+        with pytest.raises(StreamFormatError, match="not contiguous"):
+            resumed.feed([(0, 2)])
+
+    def test_finish_is_idempotent(self):
+        validator = PairSequenceValidator()
+        validator.feed([(0, 1), (1, 0)])
+        assert validator.finish() == validator.finish()
+        with pytest.raises(StreamFormatError, match="finished"):
+            validator.feed_pair(2, 3)
 
 
 class TestFromPairs:

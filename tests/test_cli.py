@@ -327,3 +327,26 @@ class TestObservability:
                 ]
             )
         assert not (tmp_path / "log.csv").exists()
+
+
+class TestAlgorithms:
+    def test_table_lists_all_specs(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "triangle-two-pass" in out
+        assert "fourcycle-two-pass" in out
+        assert "serve" in out  # the serve-compatibility column
+
+    def test_json_listing(self, capsys):
+        import json
+
+        assert main(["algorithms", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert len(listing) == 13
+        by_name = {entry["name"]: entry for entry in listing}
+        assert by_name["triangle-two-pass"]["serve_compatible"] is True
+        assert by_name["triangle-two-pass"]["passes"] == 2
+        assert by_name["triangle-exact"]["serve_compatible"] is False
+        for entry in listing:
+            assert {"name", "cycle_length", "passes", "budget_kind",
+                    "snapshot", "anytime", "serve_compatible"} <= set(entry)
