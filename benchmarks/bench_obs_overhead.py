@@ -29,7 +29,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import random
 import sys
 import time
 
@@ -49,6 +48,7 @@ from repro.obs.trace import Tracer
 from repro.streaming.runner import run_algorithm
 from repro.streaming.space import SpaceMeter
 from repro.streaming.stream import AdjacencyListStream
+from repro.util.rng import resolve_rng
 
 
 def _bare_run(algorithm, stream, space_poll_interval: int = 1) -> float:
@@ -133,7 +133,7 @@ def bench_convergence(runs: int) -> dict:
     """Deterministic Theorem 3.7 verdict at the paper's space setting."""
     workload = planted_triangles(300, 30, seed=7)
     budget = recommended_sample_size(workload.m, workload.true_count, epsilon=0.5)
-    specs = trial_specs(random.Random(123), budget, runs)
+    specs = trial_specs(resolve_rng(123), budget, runs)
     estimates = [
         run_trial(_trial_factory, workload.graph, spec).estimate for spec in specs
     ]

@@ -31,14 +31,14 @@ RECORD_TYPES = {
     cls.__name__: cls
     for cls in (
         AccuracyPoint,
-        Table1Row,
-        DistinguisherRow,
-        ScalingResult,
-        PanelRow,
-        HeuristicFailureRow,
-        TrialResult,
-        ShardRunResult,
         CheckpointRecord,
+        DistinguisherRow,
+        HeuristicFailureRow,
+        PanelRow,
+        ScalingResult,
+        ShardRunResult,
+        Table1Row,
+        TrialResult,
     )
 }
 

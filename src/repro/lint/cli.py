@@ -6,6 +6,7 @@ Usage::
     repro-lint --format=json -o report.json src/repro
     repro-lint --format=github src/repro       # PR annotations in CI
     repro-lint --write-baseline src/repro      # grandfather current findings
+    repro-lint --fix src/repro                 # apply the safe auto-rewrites
     repro-lint --list-rules
 
 Also reachable as ``python -m repro.lint`` and ``repro-cycles lint``.
@@ -21,7 +22,7 @@ from typing import List, Optional
 from repro.lint.baseline import Baseline
 from repro.lint.engine import run_lint
 from repro.lint.formats import FORMATTERS
-from repro.lint.rules import ALL_RULE_CLASSES, build_rules
+from repro.lint.rules import ALL_RULE_CLASSES, Rule, build_rules
 from repro.lint.violations import CODE_SUMMARIES
 
 #: Default committed baseline, relative to the working directory.
@@ -84,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to skip",
     )
     parser.add_argument(
+        "--fix",
+        action="store_true",
+        help=(
+            "apply the safe mechanical rewrites in place (rule-attached "
+            "fixes, pragma normalization, registry ordering), then re-lint"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -95,6 +104,27 @@ def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
     if raw is None:
         return None
     return [c.strip() for c in raw.split(",") if c.strip()]
+
+
+def _run_fix(paths: List[str], rules: List[Rule]) -> None:
+    """Apply the safe rewrites in place; the caller re-lints afterwards.
+
+    The fix pass deliberately ignores the baseline — a grandfathered
+    violation with a known mechanical fix is exactly the one worth
+    burning down.
+    """
+    from repro.lint.engine import discover_files
+    from repro.lint.fixer import fix_paths
+
+    report = run_lint(paths, rules=rules, baseline=None)
+    sources = {
+        path.as_posix(): path.read_text(encoding="utf-8")
+        for path in discover_files(paths)
+    }
+    for result in fix_paths(sources, report.violations):
+        Path(result.path).write_text(result.new_source, encoding="utf-8")
+        for description in result.applied:
+            print(f"fixed {result.path}: {description}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -119,6 +149,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             baseline = Baseline.load(baseline_path)
         except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+
+    if args.fix:
+        try:
+            _run_fix(args.paths, rules)
+        except FileNotFoundError as exc:
             print(f"repro-lint: {exc}", file=sys.stderr)
             return 2
 

@@ -18,8 +18,19 @@ from repro.lint.rules.base import FileContext
 from repro.lint.suppress import parse_suppressions
 from repro.lint.violations import Violation
 
-#: Directories never scanned.
-_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+#: Directories never scanned: caches, VCS internals, build output, and
+#: tool/virtualenv state that can shadow thousands of third-party files.
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".venv",
+    ".tox",
+    ".mypy_cache",
+    ".eggs",
+    "build",
+    "dist",
+}
 
 
 def discover_files(paths: Sequence[str]) -> List[Path]:

@@ -1,0 +1,219 @@
+"""The ``repro-lint --fix`` engine: mechanical, idempotent rewrites.
+
+Only the *safe subset* of findings is auto-fixed — rewrites that are
+provably behaviour-preserving and whose output the linter itself accepts:
+
+* **violation-attached fixes** — rules that know a mechanical rewrite
+  attach a :class:`~repro.lint.violations.Fix` span (today: DET002's
+  ``sorted(...)`` wrap of an unordered iterable);
+* **pragma normalization** — justified suppression comments are
+  rewritten to the one canonical spelling
+  ``# repro-lint: disable=CODE1,CODE2 -- why`` (codes sorted and
+  de-duplicated, single spacing), so pragma greps and reviews see one
+  format;
+* **registry ordering** — the ``RECORD_TYPES`` registry tuple in the
+  persistence module is kept alphabetical, so registrations merge
+  without conflicts and SKT002 diffs stay minimal.
+
+Everything else (ASY/VEC/SRV findings, unjustified pragmas) requires a
+human: the fixer never invents justifications and never restructures
+control flow.  Fixing is idempotent by construction — every rewrite maps
+canonical input to itself — and the CLI re-lints after applying so the
+user sees exactly what remains.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.suppress import _PRAGMA_RE, _iter_comments
+from repro.lint.violations import Fix, Violation
+
+
+@dataclass
+class FileFixResult:
+    """What the fixer did to one file."""
+
+    path: str
+    new_source: str
+    changed: bool
+    #: Human-readable descriptions of each rewrite applied.
+    applied: List[str] = field(default_factory=list)
+
+
+def _line_offsets(source: str) -> List[int]:
+    """Start offset of each 1-based line (index 0 unused)."""
+    offsets = [0, 0]
+    for i, ch in enumerate(source):
+        if ch == "\n":
+            offsets.append(i + 1)
+    return offsets
+
+
+def _span_to_offsets(source: str, fix: Fix, offsets: List[int]) -> Optional[Tuple[int, int]]:
+    if fix.start_line >= len(offsets) or fix.end_line >= len(offsets):
+        return None
+    start = offsets[fix.start_line] + fix.start_col
+    end = offsets[fix.end_line] + fix.end_col
+    if start > end or end > len(source):
+        return None
+    return start, end
+
+
+def apply_fixes(source: str, fixes: Sequence[Fix]) -> Tuple[str, List[Fix]]:
+    """Apply non-overlapping fixes to ``source``, rightmost-first.
+
+    Overlapping spans keep only the first (in document order) — the
+    dropped ones resurface on the post-fix re-lint, so nothing is lost,
+    and no rewrite ever lands inside another rewrite's replacement text.
+    Returns the new source and the fixes actually applied.
+    """
+    offsets = _line_offsets(source)
+    resolved: List[Tuple[int, int, Fix]] = []
+    for fix in fixes:
+        span = _span_to_offsets(source, fix, offsets)
+        if span is not None:
+            resolved.append((span[0], span[1], fix))
+    resolved.sort(key=lambda item: (item[0], item[1]))
+    chosen: List[Tuple[int, int, Fix]] = []
+    last_end = -1
+    for start, end, fix in resolved:
+        if start < last_end:
+            continue
+        chosen.append((start, end, fix))
+        last_end = end
+    out = source
+    for start, end, fix in reversed(chosen):
+        out = out[:start] + fix.replacement + out[end:]
+    return out, [fix for _, _, fix in chosen]
+
+
+# -- pragma normalization -----------------------------------------------------
+
+
+def _canonical_pragma(codes: Sequence[str], why: str) -> str:
+    unique = sorted({c.strip() for c in codes if c.strip()})
+    head = f"# repro-lint: disable={','.join(unique)}"
+    return f"{head} -- {why}" if why else head
+
+
+def normalize_pragmas(source: str) -> Tuple[str, int]:
+    """Rewrite every suppression pragma to the canonical spelling.
+
+    Unjustified pragmas are normalized too (their LNT001 finding stays —
+    the fixer never writes a justification for you).
+    """
+    lines = source.splitlines(keepends=True)
+    changed = 0
+    for line_no, col, text, _standalone in _iter_comments(source):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes").split(",")
+        why = (match.group("why") or "").strip()
+        canonical = _canonical_pragma(codes, why)
+        new_text = text[: match.start()] + canonical
+        if new_text == text:
+            continue
+        raw = lines[line_no - 1]
+        eol = raw[len(raw.rstrip("\r\n")):]
+        lines[line_no - 1] = raw[:col] + new_text + eol
+        changed += 1
+    return "".join(lines), changed
+
+
+# -- registry ordering --------------------------------------------------------
+
+#: The persistence registry kept in canonical (alphabetical) order.
+_REGISTRY_NAME = "RECORD_TYPES"
+
+
+def _registry_tuple(tree: ast.Module) -> Optional[ast.expr]:
+    """The ``for cls in (A, B, ...)`` tuple of the RECORD_TYPES dictcomp."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == _REGISTRY_NAME):
+            continue
+        if not isinstance(node.value, ast.DictComp):
+            return None
+        generators = node.value.generators
+        if len(generators) != 1:
+            return None
+        return generators[0].iter
+    return None
+
+
+def order_record_types(source: str) -> Tuple[str, int]:
+    """Alphabetize the RECORD_TYPES registry tuple, preserving layout.
+
+    Each ``Name`` element's source span is replaced positionally with the
+    sorted sequence, so a one-per-line tuple stays one-per-line.  Returns
+    ``(new_source, number_of_names_moved)``; anything but a plain tuple
+    of names (or an already-sorted one) is left untouched.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, 0
+    iterable = _registry_tuple(tree)
+    if not isinstance(iterable, (ast.Tuple, ast.List)):
+        return source, 0
+    elements = iterable.elts
+    if not all(isinstance(e, ast.Name) for e in elements):
+        return source, 0
+    names = [e.id for e in elements]  # type: ignore[attr-defined]
+    ordered = sorted(names)
+    if names == ordered:
+        return source, 0
+    fixes = [
+        Fix(
+            start_line=e.lineno,
+            start_col=e.col_offset,
+            end_line=e.end_lineno or e.lineno,
+            end_col=e.end_col_offset or e.col_offset,
+            replacement=new_name,
+            description=f"registry order: {new_name}",
+        )
+        for e, new_name in zip(elements, ordered)
+        if e.id != new_name  # type: ignore[attr-defined]
+    ]
+    new_source, applied = apply_fixes(source, fixes)
+    return new_source, len(applied)
+
+
+# -- orchestration ------------------------------------------------------------
+
+
+def fix_source(path: str, source: str, violations: Sequence[Violation]) -> FileFixResult:
+    """Run every fixer stage over one file's source."""
+    applied: List[str] = []
+    fixes = [v.fix for v in violations if v.path == path and v.fix is not None]
+    out, done = apply_fixes(source, fixes)
+    for fix in done:
+        applied.append(fix.description or "rule-attached rewrite")
+    out, n_pragmas = normalize_pragmas(out)
+    if n_pragmas:
+        applied.append(f"normalized {n_pragmas} suppression pragma(s)")
+    out, n_moved = order_record_types(out)
+    if n_moved:
+        applied.append(f"alphabetized {_REGISTRY_NAME} ({n_moved} moved)")
+    return FileFixResult(
+        path=path, new_source=out, changed=out != source, applied=applied
+    )
+
+
+def fix_paths(
+    file_sources: Dict[str, str], violations: Sequence[Violation]
+) -> List[FileFixResult]:
+    """Fix every file, returning only the results that changed."""
+    results = []
+    for path, source in file_sources.items():
+        result = fix_source(path, source, violations)
+        if result.changed:
+            results.append(result)
+    return results

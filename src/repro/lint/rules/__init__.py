@@ -4,13 +4,18 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Type
 
+from repro.lint.rules.asy001 import Asy001BlockingCall
+from repro.lint.rules.asy002 import Asy002SharedStateMutation
 from repro.lint.rules.base import FileContext, Rule
 from repro.lint.rules.det001 import Det001RawRandomness
 from repro.lint.rules.det002 import Det002UnorderedIteration
 from repro.lint.rules.det003 import Det003WallClock
+from repro.lint.rules.det004 import Det004RngTaint
 from repro.lint.rules.obs001 import Obs001MetricRegistry
 from repro.lint.rules.skt001 import Skt001RestoreCoverage
 from repro.lint.rules.skt002 import Skt002PersistenceRegistry
+from repro.lint.rules.srv001 import Srv001ErrorCodeTable
+from repro.lint.rules.vec001 import Vec001ColumnarParity
 
 __all__ = [
     "FileContext",
@@ -23,6 +28,11 @@ ALL_RULE_CLASSES: List[Type[Rule]] = [
     Det001RawRandomness,
     Det002UnorderedIteration,
     Det003WallClock,
+    Det004RngTaint,
+    Asy001BlockingCall,
+    Asy002SharedStateMutation,
+    Vec001ColumnarParity,
+    Srv001ErrorCodeTable,
     Obs001MetricRegistry,
     Skt001RestoreCoverage,
     Skt002PersistenceRegistry,

@@ -1,0 +1,162 @@
+"""ASY001 — no blocking calls inside ``async def`` in ``repro/serve``.
+
+The serve subsystem multiplexes thousands of sessions on one event loop;
+a single synchronous ``time.sleep``, file read/write, socket call or
+subprocess inside a coroutine stalls *every* session at once — feeds
+queue behind it, poll latencies spike past their benchmark gates, and the
+graceful-shutdown path can miss its cancellation window.  Blocking work
+belongs either in a plain helper dispatched via ``asyncio.to_thread`` /
+``run_in_executor`` or outside the async layer entirely.
+
+Flagged inside the body of an ``async def`` (nested synchronous ``def``
+bodies are excluded — they are not awaited code):
+
+* ``time.sleep`` (use ``asyncio.sleep``), ``subprocess.run/call/
+  check_call/check_output/Popen``, ``os.system``, ``socket.socket/
+  create_connection``, ``urllib.request.urlopen``, ``requests.*`` calls;
+* the builtin ``open(...)`` and the path I/O method family
+  ``read_text/read_bytes/write_text/write_bytes`` on any receiver;
+* any method of the blocking set ``mkdir/rmdir/unlink/touch/rename/
+  replace/exists/glob/iterdir/open`` on a receiver the dataflow layer
+  resolved to a ``pathlib.Path`` binding (``p = Path(x)``, including
+  ``child = p / "name"`` joins).
+
+The escape hatch for deliberate blocking (rare, e.g. a tiny config read
+at startup) is the usual justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.rules.base import (
+    FileContext,
+    Rule,
+    build_import_map,
+    enclosing_symbols,
+    qualified_name,
+)
+from repro.lint.violations import Violation
+
+#: Qualified calls that always block (resolved through the import map).
+_BANNED_QUALS = {
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "os.system",
+    "os.popen",
+    "socket.socket",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+}
+
+#: Method names that are path I/O wherever they appear (the names are
+#: distinctive enough that any receiver is effectively a Path).
+_BANNED_METHODS_ANY_RECEIVER = {
+    "read_text",
+    "read_bytes",
+    "write_text",
+    "write_bytes",
+}
+
+#: Additional blocking methods, flagged only on receivers the dataflow
+#: layer has resolved to a Path binding (too generic otherwise).
+_BANNED_METHODS_PATH_RECEIVER = {
+    "mkdir",
+    "rmdir",
+    "unlink",
+    "touch",
+    "rename",
+    "replace",
+    "exists",
+    "glob",
+    "iterdir",
+    "open",
+    "stat",
+}
+
+_HINTS = {
+    "time.sleep": "use await asyncio.sleep(...) instead",
+}
+_DEFAULT_HINT = (
+    "dispatch it off the loop with await asyncio.to_thread(...) or move it "
+    "out of the async layer"
+)
+
+
+def _requests_call(qual: str) -> bool:
+    return qual == "requests" or qual.startswith("requests.")
+
+
+class Asy001BlockingCall(Rule):
+    code = "ASY001"
+    summary = "blocking call inside an async def in repro/serve"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_dirs("serve"):
+            return
+        from repro.lint.dataflow import module_flow
+
+        flow = module_flow(ctx)
+        imports = build_import_map(ctx.tree)
+        symbols = enclosing_symbols(ctx.tree)
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in flow.own_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = self._blocking_reason(node, imports, flow, func)
+                if reason is None:
+                    continue
+                what, hint = reason
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{what} blocks the event loop inside async def "
+                    f"{func.name!r}; {hint}",
+                    symbol=symbols.get(id(node), ""),
+                )
+
+    def _blocking_reason(
+        self,
+        node: ast.Call,
+        imports: dict,
+        flow: object,
+        func: ast.AST,
+    ) -> Optional[tuple]:
+        callee = node.func
+        if isinstance(callee, ast.Name):
+            if callee.id == "open" and callee.id not in imports:
+                return ("builtin open()", _DEFAULT_HINT)
+            qual = qualified_name(callee, imports)
+            if qual is not None:
+                if qual in _BANNED_QUALS:
+                    return (f"call to {qual}()", _HINTS.get(qual, _DEFAULT_HINT))
+                if _requests_call(qual):
+                    return (f"call to {qual}()", _DEFAULT_HINT)
+            return None
+        if isinstance(callee, ast.Attribute):
+            qual = qualified_name(callee, imports)
+            if qual is not None:
+                if qual in _BANNED_QUALS:
+                    return (f"call to {qual}()", _HINTS.get(qual, _DEFAULT_HINT))
+                if _requests_call(qual):
+                    return (f"call to {qual}()", _DEFAULT_HINT)
+            method = callee.attr
+            if method in _BANNED_METHODS_ANY_RECEIVER:
+                return (f"path I/O .{method}()", _DEFAULT_HINT)
+            if method in _BANNED_METHODS_PATH_RECEIVER and isinstance(
+                callee.value, ast.Name
+            ):
+                binding = flow.binding_of(func, callee.value.id)  # type: ignore[attr-defined]
+                if binding == "path":
+                    return (
+                        f"Path.{method}() on {callee.value.id!r}",
+                        _DEFAULT_HINT,
+                    )
+        return None

@@ -5,6 +5,8 @@ generation and friends make state depend on *when* and *where* a run
 executes.  Estimates, sketch payloads and merge decisions must be pure
 functions of (stream, seed); wall-time telemetry belongs only in the
 runner's timing fields (``streaming/runner.py``, which is allowlisted).
+The ``benchmarks/`` directory is also exempt: measuring wall time is a
+benchmark's whole purpose, and its timings never feed estimator state.
 Anything else needs an explicit justified suppression.
 """
 
@@ -24,6 +26,9 @@ from repro.lint.violations import Violation
 
 #: The runner owns wall-time measurement for RunResult telemetry fields.
 _ALLOWED_FILES = ("streaming/runner.py",)
+
+#: Directories where wall-clock measurement is the point of the code.
+_ALLOWED_DIRS = ("benchmarks",)
 
 _BANNED = {
     "time.time",
@@ -54,6 +59,8 @@ class Det003WallClock(Rule):
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if any(ctx.endswith(allowed) for allowed in _ALLOWED_FILES):
+            return
+        if ctx.in_dirs(*_ALLOWED_DIRS):
             return
         imports = build_import_map(ctx.tree)
         symbols = enclosing_symbols(ctx.tree)

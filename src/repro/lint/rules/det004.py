@@ -1,0 +1,185 @@
+"""DET004 — a function that receives an RNG must not also construct one.
+
+The seed-threading discipline (``resolve_rng`` at the boundary,
+``spawn_rng``/``spawn_seed`` for children) gives every trial exactly one
+ancestry tree of generators; serial==parallel identity and
+checkpoint/resume replay are proved against that tree.  A function that
+*receives* a generator and then *also* builds its own — a second
+``resolve_rng(seed)`` from some constant, a stray ``random.Random(0)`` —
+splits its randomness across two streams: half the draws replay under
+the caller's seed, half do not, and the divergence only shows up as
+flaky cross-shard mismatches.
+
+Using the dataflow layer, this rule flags inside any function with an
+RNG-like parameter (named ``rng``/``*_rng`` or annotated ``Random``):
+
+* a call to ``resolve_rng``/``random.Random``/``random.SystemRandom``/
+  ``numpy.random.default_rng``/``numpy.random.RandomState`` whose
+  arguments do not reference the received RNG parameter (passthrough
+  normalization like ``resolve_rng(rng)`` and derivation like
+  ``spawn_rng(rng)`` are fine);
+* a call to a same-module helper that takes no RNG parameter itself and
+  unconditionally constructs its own generator (the one-level call-graph
+  extension: the split stream hides one call away).
+
+A deliberate second stream (e.g. seeding a noise source that must not
+perturb the estimator's draw sequence) needs a justified suppression
+naming why the streams are independent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.dataflow import ModuleFlow
+
+from repro.lint.rules.base import (
+    FileContext,
+    Rule,
+    build_import_map,
+    enclosing_symbols,
+    qualified_name,
+)
+from repro.lint.violations import Violation
+
+#: Files where constructing generators is the point.
+_ALLOWED_FILES = ("util/rng.py",)
+
+#: Calls that mint a fresh generator / derive one from a seed.
+_CONSTRUCTOR_QUALS = {
+    "repro.util.rng.resolve_rng",
+    "random.Random",
+    "random.SystemRandom",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+}
+
+_RNG_ANNOTATIONS = {"Random", "random.Random"}
+
+
+def _annotation_text(node: Optional[ast.expr]) -> str:
+    if node is None:
+        return ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on valid trees
+        return ""
+
+
+def _rng_params(func: ast.AST) -> Tuple[str, ...]:
+    """Parameter names of ``func`` that carry a generator."""
+    args = func.args  # type: ignore[attr-defined]
+    names = []
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        name = arg.arg
+        if name == "rng" or name.endswith("_rng"):
+            names.append(name)
+        elif _annotation_text(arg.annotation) in _RNG_ANNOTATIONS:
+            names.append(name)
+    return tuple(names)
+
+
+def _references_any(node: ast.expr, names: Sequence[str]) -> bool:
+    wanted = set(names)
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in wanted:
+            return True
+    return False
+
+
+def _call_args(call: ast.Call) -> Iterator[ast.expr]:
+    for arg in call.args:
+        yield arg
+    for kw in call.keywords:
+        yield kw.value
+
+
+class Det004RngTaint(Rule):
+    code = "DET004"
+    summary = "function that receives an RNG also constructs its own"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if any(ctx.endswith(allowed) for allowed in _ALLOWED_FILES):
+            return
+        from repro.lint.dataflow import module_flow
+
+        flow = module_flow(ctx)
+        imports = build_import_map(ctx.tree)
+        symbols = enclosing_symbols(ctx.tree)
+        own_constructors = self._helpers_minting_rngs(flow, imports)
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            rng_params = _rng_params(func)
+            if not rng_params:
+                continue
+            for node in flow.own_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                qual = qualified_name(node.func, imports)
+                if qual in _CONSTRUCTOR_QUALS:
+                    if any(
+                        _references_any(arg, rng_params)
+                        for arg in _call_args(node)
+                    ):
+                        continue  # passthrough / derivation from the param
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{func.name!r} receives RNG parameter "
+                        f"{rng_params[0]!r} but constructs its own via "
+                        f"{qual.rsplit('.', 1)[-1]}(); derive children with "
+                        "spawn_rng/spawn_seed from the received generator",
+                        symbol=symbols.get(id(node), ""),
+                    )
+                elif (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in own_constructors
+                    and not any(
+                        _references_any(arg, rng_params)
+                        for arg in _call_args(node)
+                    )
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{func.name!r} receives RNG parameter "
+                        f"{rng_params[0]!r} but calls helper "
+                        f"{node.func.id!r}, which constructs its own "
+                        "generator; pass randomness down explicitly instead "
+                        "of letting the helper mint a second stream",
+                        symbol=symbols.get(id(node), ""),
+                    )
+
+    @staticmethod
+    def _helpers_minting_rngs(
+        flow: "ModuleFlow", imports: dict
+    ) -> Set[str]:
+        """Module-level helpers with no RNG param that mint a generator."""
+        minting: Set[str] = set()
+        for name, func in flow.module_functions.items():
+            if _rng_params(func):
+                continue
+            params = set(
+                flow.function_at(func).params
+                if flow.function_at(func)
+                else ()
+            )
+            for node in flow.own_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                qual = qualified_name(node.func, imports)
+                if qual not in _CONSTRUCTOR_QUALS:
+                    continue
+                if any(
+                    _references_any(arg, tuple(params))
+                    for arg in _call_args(node)
+                ):
+                    continue  # seeded by an explicit caller-provided value
+                minting.add(name)
+                break
+        return minting

@@ -1,0 +1,226 @@
+"""SRV001 — serve error codes and the protocol's stable table must agree.
+
+Clients program against the error-code table in
+:mod:`repro.serve.protocol` (``ERROR_CODES``): retry policies key on
+``BACKPRESSURE``/``SHUTTING_DOWN``, test harnesses assert exact codes,
+and the wire format promises the set is stable.  The table is only
+trustworthy while it is *complete* (every code a server can raise is in
+it) and *live* (every code in it can actually be raised).  This rule
+pins both directions statically.
+
+Checks, anchored in ``serve/protocol.py`` when it is in the scanned set:
+
+* every module-level code constant (an uppercase ``NAME = "NAME"``
+  string assignment whose value equals its own name — the registry's
+  self-naming convention) must appear in the ``ERROR_CODES`` tuple;
+* every ``ERROR_CODES`` entry must be such a constant (no strays);
+* every ``ServeError(code, ...)`` raised anywhere under ``repro/serve``
+  must pass a registered constant — a string literal bypasses the table
+  (typos ship silently), an unknown name is not part of the contract;
+* a registered code never referenced outside the protocol module is
+  dead contract surface and is reported at its definition.
+
+Codes reserved for forward compatibility would carry a justified
+suppression on their definition line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.rules.base import FileContext, Rule, enclosing_symbols
+from repro.lint.violations import Violation
+
+_PROTOCOL_SUFFIX = "serve/protocol.py"
+_TABLE_NAME = "ERROR_CODES"
+_ERROR_CLASS = "ServeError"
+
+
+def _code_constants(tree: ast.Module) -> Dict[str, ast.Assign]:
+    """Self-named string constants: ``BAD_REQUEST = "BAD_REQUEST"``."""
+    out: Dict[str, ast.Assign] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name) or not target.id.isupper():
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            and value.value == target.id
+        ):
+            out[target.id] = node
+    return out
+
+
+def _table_entries(tree: ast.Module) -> Optional[Tuple[ast.Assign, List[ast.expr]]]:
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if isinstance(target, ast.Name) and target.id == _TABLE_NAME:
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                return node, list(node.value.elts)
+            return node, []
+    return None
+
+
+def _first_arg_code(call: ast.Call) -> Optional[ast.expr]:
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "code":
+            return kw.value
+    return None
+
+
+class Srv001ErrorCodeTable(Rule):
+    code = "SRV001"
+    summary = "serve error code missing from the protocol's stable table"
+    project_wide = True
+
+    def check_project(self, files: List[FileContext]) -> Iterator[Violation]:
+        from repro.lint.dataflow import find_file
+
+        protocol = find_file(files, _PROTOCOL_SUFFIX)
+        if protocol is None:
+            return
+        constants = _code_constants(protocol.tree)
+        table = _table_entries(protocol.tree)
+        if table is None:
+            yield Violation(
+                code=self.code,
+                path=protocol.path,
+                line=1,
+                col=0,
+                message=(
+                    f"serve/protocol.py defines no {_TABLE_NAME} table; the "
+                    "stable error-code contract has nothing to check against"
+                ),
+                symbol=_TABLE_NAME,
+            )
+            return
+        table_assign, entries = table
+
+        tabled: Set[str] = set()
+        for entry in entries:
+            if isinstance(entry, ast.Name):
+                tabled.add(entry.id)
+                if entry.id not in constants:
+                    yield Violation(
+                        code=self.code,
+                        path=protocol.path,
+                        line=table_assign.lineno,
+                        col=table_assign.col_offset,
+                        message=(
+                            f"{_TABLE_NAME} lists {entry.id!r} but no "
+                            "self-named code constant of that name exists"
+                        ),
+                        symbol=_TABLE_NAME,
+                    )
+            elif isinstance(entry, ast.Constant) and isinstance(entry.value, str):
+                tabled.add(entry.value)
+                yield Violation(
+                    code=self.code,
+                    path=protocol.path,
+                    line=table_assign.lineno,
+                    col=table_assign.col_offset,
+                    message=(
+                        f"{_TABLE_NAME} lists the literal {entry.value!r}; "
+                        "table entries must reference the named constants so "
+                        "raisers and table cannot drift"
+                    ),
+                    symbol=_TABLE_NAME,
+                )
+
+        for name, assign in constants.items():
+            if name not in tabled:
+                yield Violation(
+                    code=self.code,
+                    path=protocol.path,
+                    line=assign.lineno,
+                    col=assign.col_offset,
+                    message=(
+                        f"error code {name!r} is not listed in {_TABLE_NAME}; "
+                        "clients keying retry policy on the table will never "
+                        "see it"
+                    ),
+                    symbol=name,
+                )
+
+        referenced: Set[str] = set()
+        for ctx in files:
+            if not ctx.in_dirs("serve") or ctx is protocol:
+                continue
+            symbols = enclosing_symbols(ctx.tree)
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Name) and node.id in constants:
+                    referenced.add(node.id)
+                elif isinstance(node, ast.Attribute) and node.attr in constants:
+                    referenced.add(node.attr)
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node.func
+                callee_name = (
+                    callee.id
+                    if isinstance(callee, ast.Name)
+                    else callee.attr if isinstance(callee, ast.Attribute) else None
+                )
+                if callee_name != _ERROR_CLASS:
+                    continue
+                arg = _first_arg_code(node)
+                if arg is None:
+                    continue
+                yield from self._check_raise_site(
+                    ctx, node, arg, constants, symbols
+                )
+        for name, assign in constants.items():
+            if name not in referenced:
+                yield Violation(
+                    code=self.code,
+                    path=protocol.path,
+                    line=assign.lineno,
+                    col=assign.col_offset,
+                    message=(
+                        f"error code {name!r} is registered but never "
+                        "referenced anywhere under repro/serve; dead contract "
+                        "surface — wire it up or retire it"
+                    ),
+                    symbol=name,
+                )
+
+    def _check_raise_site(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        arg: ast.expr,
+        constants: Dict[str, ast.Assign],
+        symbols: Dict[int, str],
+    ) -> Iterator[Violation]:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            known = " (a registered code, but as a literal)" if arg.value in constants else ""
+            yield self.violation(
+                ctx,
+                call,
+                f"ServeError raised with string literal {arg.value!r}{known}; "
+                "pass the named constant from repro.serve.protocol so the "
+                "stable table check can see it",
+                symbol=symbols.get(id(call), ""),
+            )
+            return
+        name = None
+        if isinstance(arg, ast.Name):
+            name = arg.id
+        elif isinstance(arg, ast.Attribute):
+            name = arg.attr
+        if name is not None and name.isupper() and name not in constants:
+            yield self.violation(
+                ctx,
+                call,
+                f"ServeError raised with {name!r}, which is not a code "
+                "registered in the protocol's ERROR_CODES table",
+                symbol=symbols.get(id(call), ""),
+            )

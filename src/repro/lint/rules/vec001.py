@@ -1,0 +1,231 @@
+"""VEC001 — every public columnar kernel must have scalar-parity coverage.
+
+The columnar layer (:mod:`repro.util.vectorized`) is *pure acceleration*:
+Theorems 3.7/4.6 are proved for the scalar samplers, so the columnar
+path inherits their guarantees only while it is bit-identical to the
+scalar oracle.  That contract is enforced dynamically by the parity
+tests in ``tests/util/test_vectorized.py`` — but only for kernels those
+tests actually touch.  A kernel added to the module's ``__all__`` without
+a registered parity test is exactly the hole this rule closes: it ships
+on the hot path with no oracle pinning it.
+
+Checks, all anchored in ``util/vectorized.py`` when it is in the scanned
+set:
+
+* the module must declare ``__all__`` (the public-kernel registry);
+* every ``__all__`` entry must resolve to a module-level definition
+  (stale exports break ``from ... import *`` consumers);
+* every public module-level function/class must appear in ``__all__``
+  (kernels must opt into the registry, not hide beside it);
+* the scalar-oracle switch trio (``scalar_oracle``,
+  ``set_columnar_enabled``, ``columnar_enabled``) must be exported —
+  without it the equivalence tests cannot force the scalar path;
+* every ``__all__`` entry must be referenced by the registered parity
+  test file ``tests/util/test_vectorized.py`` (located by walking up
+  from the module to the enclosing repo root).  An unexercised kernel is
+  reported at the ``__all__`` assignment.
+
+A kernel that is genuinely untestable in isolation (none currently)
+would carry a justified suppression on the ``__all__`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.rules.base import FileContext, Rule
+from repro.lint.violations import Violation
+
+_MODULE_SUFFIX = "util/vectorized.py"
+_PARITY_TEST = ("tests", "util", "test_vectorized.py")
+_ORACLE_SWITCH = ("scalar_oracle", "set_columnar_enabled", "columnar_enabled")
+
+
+def _extract_all(tree: ast.Module) -> Optional[Tuple[ast.Assign, List[str]]]:
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            continue
+        names: List[str] = []
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    names.append(elt.value)
+        return node, names
+    return None
+
+
+def _module_definitions(tree: ast.Module) -> Set[str]:
+    """Names defined (or bound) at module top level."""
+    defined: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    defined.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            defined.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                defined.add(alias.asname or alias.name.split(".")[0])
+    return defined
+
+
+def _public_definitions(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    out: List[Tuple[str, ast.AST]] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                out.append((node.name, node))
+    return out
+
+
+def _find_parity_test(module_path: str) -> Optional[Path]:
+    """Walk up from the module file to the repo root holding ``tests/``."""
+    here = Path(module_path).resolve()
+    for parent in here.parents:
+        candidate = parent.joinpath(*_PARITY_TEST)
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _referenced_names(tree: ast.Module) -> Set[str]:
+    """Every identifier a test file mentions, as Name or attribute access."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.name.split(".")[-1])
+    return names
+
+
+class Vec001ColumnarParity(Rule):
+    code = "VEC001"
+    summary = "columnar kernel without scalar-oracle parity coverage"
+    project_wide = True
+
+    def check_project(self, files: List[FileContext]) -> Iterator[Violation]:
+        from repro.lint.dataflow import find_file
+
+        module = find_file(files, _MODULE_SUFFIX)
+        if module is None:
+            return
+        extracted = _extract_all(module.tree)
+        if extracted is None:
+            yield Violation(
+                code=self.code,
+                path=module.path,
+                line=1,
+                col=0,
+                message=(
+                    "util/vectorized.py declares no __all__; the public-kernel "
+                    "registry is what the parity contract is checked against"
+                ),
+                symbol="__all__",
+            )
+            return
+        assign, exported = extracted
+        defined = _module_definitions(module.tree)
+
+        for name in exported:
+            if name not in defined:
+                yield Violation(
+                    code=self.code,
+                    path=module.path,
+                    line=assign.lineno,
+                    col=assign.col_offset,
+                    message=(
+                        f"__all__ exports {name!r} but the module defines no "
+                        "such name (stale export)"
+                    ),
+                    symbol="__all__",
+                )
+
+        exported_set = set(exported)
+        for name, node in _public_definitions(module.tree):
+            if name not in exported_set:
+                yield Violation(
+                    code=self.code,
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"public kernel {name!r} is not in __all__; every "
+                        "public kernel must register for parity coverage "
+                        "(or be made private)"
+                    ),
+                    symbol=name,
+                )
+
+        for name in _ORACLE_SWITCH:
+            if name not in exported_set:
+                yield Violation(
+                    code=self.code,
+                    path=module.path,
+                    line=assign.lineno,
+                    col=assign.col_offset,
+                    message=(
+                        f"__all__ must export the scalar-oracle switch "
+                        f"{name!r}; without it equivalence tests cannot force "
+                        "the scalar path"
+                    ),
+                    symbol="__all__",
+                )
+
+        parity_path = _find_parity_test(module.path)
+        if parity_path is None:
+            yield Violation(
+                code=self.code,
+                path=module.path,
+                line=assign.lineno,
+                col=assign.col_offset,
+                message=(
+                    "registered parity test tests/util/test_vectorized.py not "
+                    "found above util/vectorized.py; the columnar layer has "
+                    "no scalar-oracle coverage at all"
+                ),
+                symbol="__all__",
+            )
+            return
+        try:
+            parity_tree = ast.parse(
+                parity_path.read_text(encoding="utf-8"), filename=str(parity_path)
+            )
+        except SyntaxError:
+            yield Violation(
+                code=self.code,
+                path=module.path,
+                line=assign.lineno,
+                col=assign.col_offset,
+                message=f"parity test file {parity_path} does not parse",
+                symbol="__all__",
+            )
+            return
+        referenced = _referenced_names(parity_tree)
+        for name in exported:
+            if name in defined and name not in referenced:
+                yield Violation(
+                    code=self.code,
+                    path=module.path,
+                    line=assign.lineno,
+                    col=assign.col_offset,
+                    message=(
+                        f"public kernel {name!r} is never exercised by the "
+                        "registered parity test tests/util/test_vectorized.py; "
+                        "add a scalar-oracle parity test before shipping it on "
+                        "the hot path"
+                    ),
+                    symbol=name,
+                )

@@ -17,7 +17,7 @@ them without knowing which rule produced them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 #: Every rule code the engine knows, with its one-line summary.  Rules in
 #: ``repro.lint.rules`` register DET/SKT codes; LNT codes are emitted by
@@ -26,11 +26,34 @@ CODE_SUMMARIES: Dict[str, str] = {
     "DET001": "randomness bypasses repro.util.rng (resolve_rng/spawn_rng)",
     "DET002": "unordered set/dict-keys iteration in a determinism-critical path",
     "DET003": "wall clock / OS entropy in estimator or sketch code",
+    "DET004": "function that receives an RNG also constructs its own",
+    "ASY001": "blocking call inside an async def in repro/serve",
+    "ASY002": "module-level mutable state mutated from a coroutine body",
+    "VEC001": "columnar kernel without scalar-oracle parity coverage",
+    "SRV001": "serve error code missing from the protocol's stable table",
     "SKT001": "restore() does not cover every attribute snapshot/__init__ sets",
     "SKT002": "persistence registry round-trip contract broken",
     "LNT001": "suppression comment lacks a justification",
     "LNT002": "suppression names an unknown rule code",
 }
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A mechanical rewrite that resolves a violation.
+
+    Spans are half-open source positions in the same coordinates ``ast``
+    reports (1-based lines, 0-based columns); ``replacement`` is the full
+    new text for the span.  Only rules whose rewrite is provably
+    behaviour-preserving attach one — the fixer never guesses.
+    """
+
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    replacement: str
+    description: str = ""
 
 
 @dataclass(frozen=True)
@@ -46,6 +69,8 @@ class Violation:
     symbol: str = ""
     #: True when a committed baseline entry grandfathers this violation.
     baselined: bool = field(default=False, compare=False)
+    #: Attached when the producing rule knows a safe mechanical rewrite.
+    fix: Optional[Fix] = field(default=None, compare=False)
 
     def fingerprint(self) -> Dict[str, Any]:
         """The identity used for baseline matching.
@@ -74,4 +99,5 @@ class Violation:
             "message": self.message,
             "symbol": self.symbol,
             "baselined": self.baselined,
+            "fixable": self.fix is not None,
         }

@@ -67,6 +67,27 @@ def _now() -> float:
     return time.perf_counter()  # repro-lint: disable=DET003 -- serve latency metrics and span timestamps are wall time by design; no estimator state depends on them
 
 
+# Synchronous checkpoint-file helpers, always dispatched off the event
+# loop via asyncio.to_thread by the coroutines above them (ASY001).
+
+
+def _mkdir_sync(directory: Path) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+
+
+def _write_manifest_sync(directory: Path, manifest: Dict[str, Any]) -> None:
+    """Atomic manifest write: full content to a temp file, then rename."""
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    tmp.replace(directory / MANIFEST_NAME)
+
+
+def _read_manifest_sync(manifest_path: Path) -> Optional[str]:
+    if not manifest_path.exists():
+        return None
+    return manifest_path.read_text()
+
+
 class SessionManager:
     """Open/feed/poll/snapshot/merge/close sessions, concurrently and safely.
 
@@ -428,10 +449,13 @@ class SessionManager:
         Writes one atomic sketch-state file per session plus a manifest
         mapping session ids to filenames; sessions whose algorithms lack
         snapshot support are listed as skipped rather than failing the
-        checkpoint.  Sessions stay open afterwards.
+        checkpoint.  Sessions stay open afterwards.  Snapshots are taken
+        under the per-session lock, but all file I/O runs off the event
+        loop (``asyncio.to_thread``) so other sessions keep feeding while
+        the checkpoint streams to disk.
         """
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
+        await asyncio.to_thread(_mkdir_sync, directory)
         saved: Dict[str, str] = {}
         skipped: List[str] = []
         for index, sid in enumerate(self.session_ids()):
@@ -441,7 +465,8 @@ class SessionManager:
                     skipped.append(sid)
                     continue
                 filename = f"session-{index:05d}.sketch"
-                session.snapshot_state().save(directory / filename)
+                state = session.snapshot_state()
+                await asyncio.to_thread(state.save, directory / filename)
                 saved[sid] = filename
                 if self.telemetry.enabled:
                     self.telemetry.count(
@@ -449,9 +474,7 @@ class SessionManager:
                         help="session snapshots taken (client-requested or shutdown)",
                     )
         manifest = {"version": 1, "sessions": saved, "skipped": sorted(skipped)}
-        tmp = directory / (MANIFEST_NAME + ".tmp")
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-        tmp.replace(directory / MANIFEST_NAME)
+        await asyncio.to_thread(_write_manifest_sync, directory, manifest)
         if self.telemetry.enabled:
             self.telemetry.emit(
                 ServeCheckpointed(directory=str(directory), sessions=len(saved))
@@ -462,14 +485,15 @@ class SessionManager:
         """Resurrect every session a :meth:`checkpoint_all` run saved."""
         directory = Path(directory)
         manifest_path = directory / MANIFEST_NAME
-        if not manifest_path.exists():
+        raw = await asyncio.to_thread(_read_manifest_sync, manifest_path)
+        if raw is None:
             raise ServeError(
                 BAD_STATE, f"no checkpoint manifest at {manifest_path}"
             )
-        manifest = json.loads(manifest_path.read_text())
+        manifest = json.loads(raw)
         restored: List[str] = []
         for sid, filename in sorted(manifest.get("sessions", {}).items()):
-            state = SketchState.load(directory / filename)
+            state = await asyncio.to_thread(SketchState.load, directory / filename)
             await self.restore(sid, state)
             restored.append(sid)
         return restored

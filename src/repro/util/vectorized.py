@@ -163,7 +163,7 @@ class ColumnMemo:
     def __init__(self) -> None:
         self._cache: dict = {}
 
-    def __call__(self, vertex, neighbors: Sequence) -> Optional[np.ndarray]:
+    def __call__(self, vertex: object, neighbors: Sequence) -> Optional[np.ndarray]:
         entry = self._cache.get(vertex)
         if entry is None or entry[0] is not neighbors:
             entry = (neighbors, as_vertex_array(neighbors))

@@ -1,0 +1,9 @@
+"""Keep pytest out of the planted-violation fixture trees.
+
+The VEC001 fixture tree contains a file literally named
+``test_vectorized.py`` (the rule cross-checks the parity-test file by
+name); without this ignore, pytest would try to collect it and fail
+importing the fixture's fake ``repro.util.vectorized``.
+"""
+
+collect_ignore = ["fixtures"]

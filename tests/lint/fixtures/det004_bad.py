@@ -1,0 +1,44 @@
+"""Planted DET004 violations: RNG-receiving functions minting their own.
+
+Each bad line carries a planted-line tag; the controls cover the two
+legitimate shapes (passthrough normalization, seed-only functions).
+"""
+
+import random
+
+from repro.util.rng import resolve_rng
+
+
+def _fresh_stream():
+    return resolve_rng(1234)
+
+
+def _seeded_stream(seed):
+    return resolve_rng(seed)
+
+
+def bad_second_resolve(rng, n):
+    extra = resolve_rng(99)  # PLANT:DET004
+    return [extra.random() for _ in range(n)]
+
+
+def bad_raw_construction(rng):
+    noise = random.Random(0)  # PLANT:DET004
+    return noise.random() + rng.random()
+
+
+def bad_helper_stream(rng):
+    other = _fresh_stream()  # PLANT:DET004
+    return other.random()
+
+
+def fine_passthrough(rng):
+    return resolve_rng(rng)
+
+
+def fine_seed_only(seed):
+    return resolve_rng(seed)
+
+
+def fine_helper_with_explicit_seed(rng, seed):
+    return _seeded_stream(seed)

@@ -1,0 +1,39 @@
+"""Planted ASY001 violations: blocking calls inside coroutines.
+
+Each bad line carries a planted-line tag; everything else is a negative
+control (sync functions and nested sync defs may block freely).
+"""
+
+import asyncio
+import subprocess
+import time
+from pathlib import Path
+
+
+async def bad_sleep():
+    time.sleep(0.1)  # PLANT:ASY001
+
+
+async def bad_file_io(directory):
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)  # PLANT:ASY001
+    target = directory / "out.json"
+    target.write_text("{}")  # PLANT:ASY001
+    with open("config.json") as handle:  # PLANT:ASY001
+        payload = handle.read()
+    subprocess.run(["ls"])  # PLANT:ASY001
+    return payload
+
+
+async def fine_async():
+    await asyncio.sleep(0.01)
+
+    def helper():
+        time.sleep(1)  # nested sync def: not awaited code, not flagged
+
+    return helper
+
+
+def sync_blocking_is_fine(directory):
+    time.sleep(0.001)
+    Path(directory).mkdir(exist_ok=True)

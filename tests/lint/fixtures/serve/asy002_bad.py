@@ -1,0 +1,36 @@
+"""Planted ASY002 violations: module-level state mutated by coroutines.
+
+Each bad line carries a planted-line tag; the controls show the allowed
+shapes (local shadowing, synchronous mutation).
+"""
+
+_CACHE = {}
+_LIVE = []
+_COUNTER = 0
+
+
+async def bad_cache_write(key, value):
+    _CACHE[key] = value  # PLANT:ASY002
+
+
+async def bad_cache_delete(key):
+    del _CACHE[key]  # PLANT:ASY002
+
+
+async def bad_list_append(session):
+    _LIVE.append(session)  # PLANT:ASY002
+
+
+async def bad_global_rebind():
+    global _COUNTER
+    _COUNTER = _COUNTER + 1  # PLANT:ASY002
+
+
+async def fine_local_shadow():
+    _CACHE = {}
+    _CACHE["a"] = 1  # shadowed local, not the module dict
+    return _CACHE
+
+
+def sync_mutation_is_fine():
+    _LIVE.append("registered at import time")

@@ -1,0 +1,19 @@
+"""Raise sites for the SRV001 fixture tree."""
+
+from .protocol import BAD_REQUEST, UNLISTED_CODE, ServeError
+
+
+def reject(reason):
+    raise ServeError(BAD_REQUEST, reason)
+
+
+def unlisted(sid):
+    raise ServeError(UNLISTED_CODE, sid)
+
+
+def missing(sid):
+    raise ServeError("NO_SUCH_SESSION", sid)  # PLANT:SRV001
+
+
+def odd(sid):
+    raise ServeError(MYSTERY_CODE, sid)  # PLANT:SRV001

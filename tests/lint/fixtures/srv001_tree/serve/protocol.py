@@ -1,0 +1,20 @@
+"""Planted SRV001 violations: a protocol module whose table drifted."""
+
+
+class ServeError(Exception):
+    def __init__(self, code, message):
+        super().__init__(message)
+        self.code = code
+
+
+BAD_REQUEST = "BAD_REQUEST"
+NO_SUCH_SESSION = "NO_SUCH_SESSION"  # PLANT:SRV001 -- only raised as a literal, so dead
+UNLISTED_CODE = "UNLISTED_CODE"  # PLANT:SRV001 -- raised but missing from the table
+DEAD_CODE = "DEAD_CODE"  # PLANT:SRV001 -- tabled but never referenced
+
+ERROR_CODES = (  # PLANT:SRV001 -- GHOST_CODE has no constant backing it
+    BAD_REQUEST,
+    NO_SUCH_SESSION,
+    DEAD_CODE,
+    GHOST_CODE,
+)

@@ -1,0 +1,44 @@
+"""Planted VEC001 violations: a columnar module with registry holes.
+
+The planted-line tags mark each anchor; the mini parity test in
+``../../../../tests/util/test_vectorized.py`` exercises only
+``covered_kernel`` and the oracle switch trio.
+"""
+
+__all__ = [  # PLANT:VEC001 -- anchors the stale-export and unexercised findings
+    "ghost_kernel",
+    "covered_kernel",
+    "uncovered_kernel",
+    "scalar_oracle",
+    "set_columnar_enabled",
+    "columnar_enabled",
+]
+
+_ENABLED = True
+
+
+def columnar_enabled():
+    return _ENABLED
+
+
+def set_columnar_enabled(enabled):
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def scalar_oracle():
+    return None
+
+
+def covered_kernel(values):
+    return [v + 1 for v in values]
+
+
+def uncovered_kernel(values):
+    return [v * 2 for v in values]
+
+
+def stray_public_kernel(values):  # PLANT:VEC001
+    return list(values)

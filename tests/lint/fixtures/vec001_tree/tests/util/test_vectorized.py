@@ -1,0 +1,16 @@
+"""Mini parity test for the VEC001 fixture tree (never collected)."""
+
+from repro.util.vectorized import (
+    columnar_enabled,
+    covered_kernel,
+    scalar_oracle,
+    set_columnar_enabled,
+)
+
+
+def test_covered_kernel_parity():
+    previous = set_columnar_enabled(False)
+    assert not columnar_enabled()
+    assert scalar_oracle() is None
+    assert covered_kernel([1, 2]) == [2, 3]
+    set_columnar_enabled(previous)

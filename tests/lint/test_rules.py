@@ -139,9 +139,130 @@ def test_skt002_key_mismatch(tmp_path):
     assert "key to equal the class name" in report.violations[0].message
 
 
+def test_det003_allows_benchmarks(tmp_path):
+    bench_dir = tmp_path / "benchmarks"
+    bench_dir.mkdir()
+    clone = bench_dir / "bench_timer.py"
+    clone.write_text("import time\n\nelapsed = time.perf_counter()\n")
+    report = lint_with("DET003", clone)
+    assert report.violations == []
+
+
+def test_det004_planted():
+    fixture = FIXTURES / "det004_bad.py"
+    report = lint_with("DET004", fixture)
+    assert [v.code for v in report.violations] == ["DET004"] * 3
+    assert sorted(v.line for v in report.violations) == planted_lines(
+        fixture, "DET004"
+    )
+    messages = " ".join(v.message for v in report.violations)
+    assert "resolve_rng" in messages  # the second-resolve finding
+    assert "Random" in messages  # the raw construction finding
+    assert "_fresh_stream" in messages  # the helper-minting finding
+
+
+def test_asy001_planted():
+    fixture = FIXTURES / "serve" / "asy001_bad.py"
+    report = lint_with("ASY001", fixture)
+    assert [v.code for v in report.violations] == ["ASY001"] * 5
+    assert sorted(v.line for v in report.violations) == planted_lines(
+        fixture, "ASY001"
+    )
+    messages = " ".join(v.message for v in report.violations)
+    assert "asyncio.sleep" in messages  # time.sleep gets the targeted hint
+    assert "asyncio.to_thread" in messages  # the generic dispatch hint
+
+
+def test_asy001_only_fires_under_serve(tmp_path):
+    clone = tmp_path / "plain.py"
+    clone.write_text((FIXTURES / "serve" / "asy001_bad.py").read_text())
+    report = lint_with("ASY001", clone)
+    assert report.violations == []
+
+
+def test_asy002_planted():
+    fixture = FIXTURES / "serve" / "asy002_bad.py"
+    report = lint_with("ASY002", fixture)
+    assert [v.code for v in report.violations] == ["ASY002"] * 4
+    assert sorted(v.line for v in report.violations) == planted_lines(
+        fixture, "ASY002"
+    )
+    messages = " ".join(v.message for v in report.violations)
+    assert "_CACHE" in messages and "_LIVE" in messages and "_COUNTER" in messages
+    assert "session manager" in messages
+
+
+def test_vec001_planted():
+    tree = FIXTURES / "vec001_tree"
+    report = lint_with("VEC001", tree / "src")
+    fixture = tree / "src" / "repro" / "util" / "vectorized.py"
+    assert [v.code for v in report.violations] == ["VEC001"] * 3
+    planted = planted_lines(fixture, "VEC001")
+    assert sorted(set(v.line for v in report.violations)) == planted
+    messages = " ".join(v.message for v in report.violations)
+    assert "ghost_kernel" in messages  # stale export
+    assert "stray_public_kernel" in messages  # public but unregistered
+    assert "'uncovered_kernel'" in messages  # exported but never exercised
+    assert "'covered_kernel'" not in messages  # exercised by the mini test
+
+
+def test_vec001_real_module_is_covered():
+    report = lint_with("VEC001", REPO_ROOT / "src")
+    assert report.violations == []
+
+
+def test_srv001_planted():
+    tree = FIXTURES / "srv001_tree"
+    report = lint_with("SRV001", tree)
+    protocol = tree / "serve" / "protocol.py"
+    handlers = tree / "serve" / "handlers.py"
+    assert [v.code for v in report.violations] == ["SRV001"] * 6
+    assert sorted(v.line for v in report.violations) == sorted(
+        planted_lines(protocol, "SRV001") + planted_lines(handlers, "SRV001")
+    )
+    messages = " ".join(v.message for v in report.violations)
+    assert "GHOST_CODE" in messages  # table entry with no constant
+    assert "UNLISTED_CODE" in messages  # raised but missing from the table
+    assert "DEAD_CODE" in messages  # tabled but never referenced
+    assert "NO_SUCH_SESSION" in messages  # the string-literal raise
+    assert "MYSTERY_CODE" in messages  # unknown name at a raise site
+
+
+def test_srv001_real_protocol_is_consistent():
+    report = lint_with("SRV001", REPO_ROOT / "src")
+    assert report.violations == []
+
+
+def test_engine_skips_tool_dirs(tmp_path):
+    # .venv/.tox/.mypy_cache/.eggs must never be scanned: a local
+    # virtualenv would otherwise drown the report in third-party findings.
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+    bad = "import random\nrandom.random()\n"
+    for skipped in (".venv", ".tox", ".mypy_cache", ".eggs", "__pycache__"):
+        sub = tmp_path / skipped / "lib"
+        sub.mkdir(parents=True)
+        (sub / "third_party.py").write_text(bad)
+    from repro.lint.engine import discover_files
+
+    found = discover_files([str(tmp_path)])
+    assert [p.name for p in found] == ["ok.py"]
+    report = run_lint([str(tmp_path)])
+    assert report.files_checked == 1
+    assert report.violations == []
+
+
 def test_src_tree_is_clean():
     """The tentpole gate: the shipped source tree has zero findings."""
     report = run_lint([str(REPO_ROOT / "src")])
     assert report.parse_errors == []
     assert report.active == []
     assert report.exit_code == 0
+
+
+def test_benchmarks_and_examples_are_clean():
+    """CI lints benchmarks/ and examples/ too; keep them at zero findings."""
+    paths = [REPO_ROOT / "benchmarks", REPO_ROOT / "examples"]
+    report = run_lint([str(p) for p in paths if p.exists()])
+    assert report.parse_errors == []
+    assert report.active == []

@@ -13,20 +13,25 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.graph.graph import canonical_edge
 from repro.util import vectorized
 from repro.util.hashing import MixHash64, PairwiseHash, _splitmix64, _to_int_key
 from repro.util.sampling import BottomKSampler
 from repro.util.vectorized import (
     ColumnMemo,
+    PairColumns,
     VertexTable,
     as_vertex_array,
     as_vertex_scalar,
+    canonical_pair_columns,
+    edge_columns,
     encode_int_keys,
     encode_pair_keys,
     in_sorted,
     mixhash_int_array,
     mixhash_unit_array,
     pairwise_int_array,
+    set_columnar_enabled,
     splitmix64_array,
 )
 
@@ -236,6 +241,46 @@ class TestColumnMemo:
         neighbors = [("a", 1), ("b", 2)]
         assert memo(0, neighbors) is None
         assert memo(0, neighbors) is None
+
+
+class TestEdgeColumnsMatchCanonicalEdge:
+    @given(source=uint64s, neighbors=st.lists(uint64s, min_size=1, max_size=60))
+    def test_canonical_pair_columns(self, source, neighbors):
+        u, v = canonical_pair_columns(np.uint64(source), _as_u64(neighbors))
+        expected = [canonical_edge(source, n) for n in neighbors]
+        assert list(zip(u.tolist(), v.tolist())) == expected
+
+    @given(source=uint64s, neighbors=st.lists(uint64s, min_size=1, max_size=60))
+    def test_edge_columns_matches_scalar(self, source, neighbors):
+        columns = edge_columns(source, neighbors)
+        assert columns is not None
+        u, v = columns
+        assert list(zip(u.tolist(), v.tolist())) == [
+            canonical_edge(source, n) for n in neighbors
+        ]
+
+    def test_edge_columns_falls_back_on_gadget_labels(self):
+        assert edge_columns("a", [1, 2]) is None
+        assert edge_columns(1, [("x", 2)]) is None
+
+    def test_edge_columns_disabled_forces_scalar_path(self):
+        previous = set_columnar_enabled(False)
+        try:
+            assert edge_columns(1, [2, 3]) is None
+        finally:
+            set_columnar_enabled(previous)
+
+    @given(pairs=pair_batches)
+    def test_pair_columns_view_is_lazy_tuple_oracle(self, pairs):
+        u = _as_u64([min(p) for p in pairs])
+        v = _as_u64([max(p) for p in pairs])
+        view = PairColumns(u, v)
+        assert len(view) == len(pairs)
+        materialised = [view[i] for i in range(len(view))]
+        assert materialised == [(min(p), max(p)) for p in pairs]
+        assert all(
+            type(a) is int and type(b) is int for a, b in materialised
+        )
 
 
 class TestColumnarSwitch:
