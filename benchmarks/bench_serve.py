@@ -3,15 +3,23 @@
 A plain artifact-writing script (CI runs it with ``--quick``)::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [--quick] [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick --workers 2 --binary
 
-Starts one :class:`~repro.serve.server.ServeServer` in-process, then
-drives it over real TCP with the load generator: every session streams a
-full two-pass planted-triangle workload in chunks, polls anytime
-estimates mid-flood, and finishes to a final estimate.  The artifact
-(default ``BENCH_serve.json``) records fleet size, peak concurrency,
-pairs/sec, client-observed poll latency percentiles, and the bit-identity
-audit (every session's final estimate must equal the batch runner's,
-exactly).
+Starts one :class:`~repro.serve.server.ServeServer` in-process — or, with
+``--workers N``, a :class:`~repro.serve.router.ServeRouter` fronting N
+forked worker processes — then drives it over real TCP with the load
+generator: every session streams a full two-pass planted-triangle
+workload in chunks, polls anytime estimates mid-flood, and finishes to a
+final estimate.  With ``--binary`` the fleet feeds via the binary
+pair-batch frame instead of JSON lines.  After the fleet run, an ingest
+microbench streams one dense G(n, m) graph through a single session
+twice — once as JSON feed frames, once as binary frames, identical
+chunking and pipelining — against the same live endpoint.
+
+The artifact (default ``BENCH_serve.json``) records fleet size, peak
+concurrency, pairs/sec, client-observed poll latency percentiles, the
+bit-identity audit (every session's final estimate must equal the batch
+runner's, exactly), and the JSON-vs-binary ingest comparison.
 
 Self-declared gates (evaluated by ``repro-cycles bench-report``):
 
@@ -19,11 +27,26 @@ Self-declared gates (evaluated by ``repro-cycles bench-report``):
   hold the whole fleet open at once, even under ``--quick``;
 * ``serve.all_bit_identical >= 1`` — serving is an execution mode, not
   an approximation: one mismatched estimate anywhere fails the bench;
-* ``serve.poll_p99_seconds <= 2.0`` — an anytime poll issued while all
-  sessions flood feeds must still answer inside the latency SLO;
+* ``serve.poll_p99_seconds <= 2.0`` (direct) / ``<= 4.0`` (routed) — an
+  anytime poll issued while all sessions flood feeds must still answer
+  inside the latency SLO; the routed ceiling is higher because the
+  router adds one relay hop under the flood;
 * ``serve.pairs_per_second >= 2000`` — a sanity floor on fleet ingest
   throughput (the quick workload does ~400k pairs; the gate only
-  catches order-of-magnitude collapses, not machine noise).
+  catches order-of-magnitude collapses, not machine noise);
+* ``ingest.wire_binary_speedup >= 10`` — decoding a binary pair-batch
+  frame (header unpack + ``np.frombuffer``) must beat JSON-parsing the
+  equivalent feed line by an order of magnitude.  This is the layer the
+  binary format replaces, so it is where the format must prove itself;
+* ``ingest.binary_speedup >= 1.3`` — the *end-to-end* single-session
+  gain is structurally smaller than the wire-layer gain because both
+  formats share the per-pair validator and estimator-kernel cost that
+  dominates once frames are cheap to decode (measured ~2x here); the
+  gate guards the direction, the artifact records the real ratio;
+* ``ingest.binary_pairs_per_second >= 100000`` — a floor on absolute
+  binary-path ingest, an order of magnitude above the fleet-discipline
+  JSON throughput this bench recorded before binary framing existed
+  (~42k pairs/s), with headroom for slow CI machines (measured ~800k).
 """
 
 from __future__ import annotations
@@ -39,22 +62,53 @@ if __package__ in (None, ""):  # script execution without PYTHONPATH=src
     if _SRC not in sys.path:
         sys.path.insert(0, _SRC)
 
-from repro.serve.loadgen import run_load_async
+from repro.serve.loadgen import run_ingest_async, run_load_async
 from repro.serve.manager import SessionManager
+from repro.serve.router import ServeRouter
 from repro.serve.server import ServeServer
 
 #: The ISSUE-level floor: quick mode may shrink graphs, never the fleet.
 MIN_SESSIONS = 1000
 
-GATES = [
-    {"metric": "serve.concurrent_peak", "min": MIN_SESSIONS},
-    {"metric": "serve.all_bit_identical", "min": 1},
-    {"metric": "serve.poll_p99_seconds", "max": 2.0},
-    {"metric": "serve.pairs_per_second", "min": 2000},
-]
+def gates_for(workers: int) -> list:
+    """The artifact's self-declared gates, shaped by the serving mode.
+
+    The poll SLO is mode-dependent: the router adds one relay hop, and
+    under a full-fleet feed flood that roughly triples client-observed
+    poll latency (0.8s direct vs ~2.3s routed, measured), so routed
+    artifacts declare a 4.0s ceiling where direct ones declare 2.0s.
+    """
+    return [
+        {"metric": "serve.concurrent_peak", "min": MIN_SESSIONS},
+        {"metric": "serve.all_bit_identical", "min": 1},
+        {"metric": "serve.poll_p99_seconds", "max": 2.0 if workers == 0 else 4.0},
+        {"metric": "serve.pairs_per_second", "min": 2000},
+        {"metric": "ingest.wire_binary_speedup", "min": 10.0},
+        {"metric": "ingest.binary_speedup", "min": 1.3},
+        {"metric": "ingest.binary_pairs_per_second", "min": 100_000},
+    ]
 
 
-async def _run_fleet(sessions, connections, chunk_pairs, max_inflight_feeds):
+#: Default (single-server) gate set, kept for importers and docs.
+GATES = gates_for(0)
+
+
+async def _drive(port, sessions, connections, chunk_pairs, use_binary):
+    """Fleet run then ingest microbench, both against one live endpoint."""
+    fleet = await run_load_async(
+        sessions=sessions,
+        host="127.0.0.1",
+        port=port,
+        connections=connections,
+        chunk_pairs=chunk_pairs,
+        use_binary=use_binary,
+    )
+    ingest = await run_ingest_async(host="127.0.0.1", port=port)
+    return fleet, ingest
+
+
+async def _run_single(sessions, connections, chunk_pairs, max_inflight_feeds,
+                      use_binary):
     manager = SessionManager(
         max_sessions=max(sessions + 16, 1024),
         max_inflight_feeds=max_inflight_feeds,
@@ -63,17 +117,24 @@ async def _run_fleet(sessions, connections, chunk_pairs, max_inflight_feeds):
     await server.start()
     server_task = asyncio.ensure_future(server.serve_until_stopped())
     try:
-        result = await run_load_async(
-            sessions=sessions,
-            host="127.0.0.1",
-            port=server.bound_port,
-            connections=connections,
-            chunk_pairs=chunk_pairs,
+        return await _drive(
+            server.bound_port, sessions, connections, chunk_pairs, use_binary
         )
     finally:
         server.stop()
         await server_task
-    return result
+
+
+async def _run_routed(router, sessions, connections, chunk_pairs, use_binary):
+    await router.start()
+    router_task = asyncio.ensure_future(router.serve_until_stopped())
+    try:
+        return await _drive(
+            router.bound_port, sessions, connections, chunk_pairs, use_binary
+        )
+    finally:
+        router.stop()
+        await router_task
 
 
 def run(
@@ -82,12 +143,30 @@ def run(
     connections: int = 32,
     chunk_pairs: int = 96,
     max_inflight_feeds: int = 256,
+    workers: int = 0,
+    binary: bool = False,
 ) -> dict:
     if sessions is None:
         sessions = MIN_SESSIONS if quick else 2 * MIN_SESSIONS
-    result = asyncio.run(
-        _run_fleet(sessions, connections, chunk_pairs, max_inflight_feeds)
-    )
+    if workers > 0:
+        router = ServeRouter(
+            workers,
+            port=0,
+            max_sessions=max(sessions + 16, 1024),
+            max_inflight_feeds=max_inflight_feeds,
+        )
+        router.spawn_workers()
+        try:
+            fleet, ingest = asyncio.run(
+                _run_routed(router, sessions, connections, chunk_pairs, binary)
+            )
+        finally:
+            router.join_workers()
+    else:
+        fleet, ingest = asyncio.run(
+            _run_single(sessions, connections, chunk_pairs, max_inflight_feeds,
+                        binary)
+        )
     return {
         "workload": {
             "quick": quick,
@@ -95,21 +174,39 @@ def run(
             "connections": connections,
             "chunk_pairs": chunk_pairs,
             "max_inflight_feeds": max_inflight_feeds,
+            "workers": workers,
+            "binary": binary,
         },
         "cpu_count": os.cpu_count() or 1,
-        "serve": result.to_dict(),
-        "gates": GATES,
+        "serve": fleet.to_dict(),
+        "ingest": ingest,
+        "gates": gates_for(workers),
     }
 
 
 def render(artifact: dict) -> None:
+    workload = artifact["workload"]
     serve = artifact["serve"]
+    ingest = artifact["ingest"]
+    mode = (
+        f"router({workload['workers']} workers)" if workload["workers"]
+        else "single-server"
+    )
+    frames = "binary" if workload["binary"] else "json"
     print(
+        f"[{mode} {frames}-fleet] "
         f"sessions={serve['sessions']} peak={serve['concurrent_peak']} "
         f"pairs/s={serve['pairs_per_second']:.0f} "
         f"poll p50/p95/p99={serve['poll_p50_seconds']*1e3:.1f}/"
         f"{serve['poll_p95_seconds']*1e3:.1f}/{serve['poll_p99_seconds']*1e3:.1f} ms "
         f"bit_identical={serve['bit_identical_sessions']}/{serve['sessions']}"
+    )
+    print(
+        f"[ingest {ingest['pairs']} pairs x{ingest['chunk_pairs']}] "
+        f"json={ingest['json_pairs_per_second']/1e3:.0f}k "
+        f"binary={ingest['binary_pairs_per_second']/1e3:.0f}k pairs/s "
+        f"(end-to-end {ingest['binary_speedup']:.2f}x, "
+        f"wire decode {ingest['wire_binary_speedup']:.1f}x)"
     )
 
 
@@ -123,14 +220,21 @@ def main(argv=None) -> int:
                         help="TCP connections the fleet multiplexes over")
     parser.add_argument("--chunk-pairs", type=int, default=96,
                         help="pairs per feed chunk")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="front the fleet with a session router over N "
+                             "worker processes (0 = single in-process server)")
+    parser.add_argument("--binary", action="store_true",
+                        help="fleet feeds use binary pair-batch frames")
     parser.add_argument("--out", default="BENCH_serve.json",
                         help="artifact path (default BENCH_serve.json)")
     args = parser.parse_args(argv)
     if args.sessions is not None and args.sessions < MIN_SESSIONS:
         parser.error(f"--sessions must be at least {MIN_SESSIONS}")
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
     artifact = run(
         quick=args.quick, sessions=args.sessions, connections=args.connections,
-        chunk_pairs=args.chunk_pairs,
+        chunk_pairs=args.chunk_pairs, workers=args.workers, binary=args.binary,
     )
     render(artifact)
     with open(args.out, "w") as fh:

@@ -370,6 +370,26 @@ def cmd_algorithms(args) -> int:
     return 0
 
 
+def _install_stop_handlers(stop) -> None:
+    """Route SIGINT/SIGTERM to a graceful server stop, explicitly.
+
+    The default KeyboardInterrupt path is not enough: a server launched
+    with ``&`` from a non-interactive shell (CI smoke runs) inherits
+    SIGINT as *ignored*, so ``kill -INT`` would be silently dropped and
+    the graceful checkpoint path never run.  An explicit loop handler
+    overrides the inherited disposition.
+    """
+    import asyncio
+    import signal
+
+    loop = asyncio.get_running_loop()
+    try:
+        loop.add_signal_handler(signal.SIGINT, stop)
+        loop.add_signal_handler(signal.SIGTERM, stop)
+    except NotImplementedError:  # pragma: no cover - non-POSIX event loop
+        pass
+
+
 def cmd_serve(args) -> int:
     """Run the asyncio streaming-counting service until interrupted.
 
@@ -379,6 +399,12 @@ def cmd_serve(args) -> int:
     snapshot-capable session there, and ``--resume`` restores them on the
     next start.  ``--telemetry``/``--trace`` wire the serve metrics and
     per-session spans to the same files every other runner uses.
+
+    ``--workers N`` scales out horizontally: N persistent worker
+    processes behind a hash-sharding router, with binary pair-batch
+    framing negotiated per connection and cross-worker merges that stay
+    bit-identical to single-process runs.  ``--auth`` (router mode only)
+    loads per-tenant tokens and quotas from a JSON file.
     """
     import asyncio
 
@@ -387,6 +413,64 @@ def cmd_serve(args) -> int:
     from repro.serve.manager import SessionManager
     from repro.serve.protocol import ServeError
     from repro.serve.server import ServeServer
+
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.auth and not args.workers:
+        print("--auth requires --workers (quotas are router-enforced)",
+              file=sys.stderr)
+        return 2
+
+    if args.workers:
+        from repro.serve.router import ServeRouter, load_tenants
+
+        if args.telemetry or args.trace:
+            print(
+                "note: --telemetry/--trace apply to single-process serve; "
+                "router workers run without them",
+                file=sys.stderr,
+            )
+        try:
+            tenants = load_tenants(args.auth) if args.auth else None
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"serve: bad --auth file: {exc}", file=sys.stderr)
+            return 2
+        router = ServeRouter(
+            args.workers,
+            args.host,
+            args.port,
+            max_sessions=args.max_sessions,
+            max_inflight_feeds=args.max_inflight_feeds,
+            byte_budget=args.byte_budget,
+            space_budget=args.space_budget,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            tenants=tenants,
+        )
+        router.spawn_workers()  # fork before the event loop exists
+
+        async def _route() -> None:
+            await router.start()
+            _install_stop_handlers(router.stop)
+            print(
+                f"routing {args.workers} worker(s) on "
+                f"{args.host}:{router.bound_port}",
+                flush=True,
+            )
+            await router.serve_until_stopped()
+
+        exit_code = 0
+        try:
+            asyncio.run(_route())
+        except KeyboardInterrupt:
+            pass  # workers share the SIGINT and checkpoint themselves
+        except OSError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            exit_code = 1
+        finally:
+            router.join_workers()
+        return exit_code
 
     telemetry = open_telemetry(args.telemetry) if args.telemetry else NULL_TELEMETRY
     tracer = (
@@ -417,12 +501,10 @@ def cmd_serve(args) -> int:
                 print(f"resumed {len(restored)} checkpointed session(s)")
             except ServeError as exc:
                 print(f"no sessions resumed: {exc.message}")
+        _install_stop_handlers(server.stop)
         print(f"serving on {args.host}:{server.bound_port}", flush=True)
         await server.serve_until_stopped()
 
-    if args.resume and not args.checkpoint_dir:
-        print("--resume requires --checkpoint-dir", file=sys.stderr)
-        return 2
     exit_code = 0
     try:
         if tracer is not NULL_TRACER:
@@ -616,6 +698,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write serve telemetry (JSONL) to this path")
     serve.add_argument("--trace", default=None,
                        help="write per-session trace spans (Chrome trace) to this path")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="scale out: run a hash-sharding router over N "
+                       "worker processes (0 = single in-process server)")
+    serve.add_argument("--auth", default=None,
+                       help="tenant config JSON (tokens + quotas), enforced "
+                       "at the router; requires --workers")
     serve.set_defaults(func=cmd_serve)
 
     from repro.obs.bench_report import build_parser as build_bench_parser

@@ -97,7 +97,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
+        help="print the repro package version and exit",
+    )
     return parser
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
 
 
 def _split_codes(raw: Optional[str]) -> Optional[List[str]]:

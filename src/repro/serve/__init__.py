@@ -4,8 +4,9 @@ Turns the library's batch machinery (registry algorithms, incremental
 stream validation, snapshot/restore, bit-exact shard merge, anytime
 ``current_estimate()``) into a long-lived multi-tenant service:
 
-* :mod:`repro.serve.protocol` — the JSON-line wire protocol: ops, error
-  codes, framing, session-snapshot encoding;
+* :mod:`repro.serve.protocol` — the wire protocol: JSON-line control
+  ops, the binary pair-batch feed frame, error codes, framing,
+  session-snapshot encoding;
 * :mod:`repro.serve.session` — one tenant's stream: incremental
   validation, list assembly, algorithm dispatch identical to the batch
   runner (estimates are bit-identical to offline runs);
@@ -13,10 +14,14 @@ stream validation, snapshot/restore, bit-exact shard merge, anytime
   cross-session merge, graceful-shutdown checkpointing, telemetry;
 * :mod:`repro.serve.server` — the asyncio TCP front-end
   (``repro-cycles serve``) and the transport-free request dispatcher;
-* :mod:`repro.serve.client` — ``ServeClient`` (TCP, multiplexing) and
-  ``InProcessClient`` (same surface, no sockets);
+* :mod:`repro.serve.router` — horizontal scale-out
+  (``repro-cycles serve --workers N``): hash-sharded sessions over
+  persistent worker processes, cross-worker merge, tenant quotas;
+* :mod:`repro.serve.client` — ``ServeClient`` (TCP, multiplexing,
+  binary-frame negotiation) and ``InProcessClient`` (same surface,
+  no sockets);
 * :mod:`repro.serve.loadgen` — the load generator behind
-  ``benchmarks/bench_serve.py`` and the CI serve-smoke job.
+  ``benchmarks/bench_serve.py`` and the CI serve-gauntlet job.
 
 See ``docs/SERVING.md`` for the protocol and lifecycle reference.
 """

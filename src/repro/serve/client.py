@@ -27,7 +27,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.serve.manager import SessionManager
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
+    decode_binary_feed,
     decode_frame,
+    encode_binary_feed,
     encode_frame,
     encode_pairs,
     ServeError,
@@ -99,6 +101,10 @@ class _ClientOps:
     ) -> Dict[str, Any]:
         return await self.request("feed", session=session, pairs=encode_pairs(pairs))
 
+    async def auth(self, token: str) -> Dict[str, Any]:
+        """Authenticate this connection with a tenant token (router op)."""
+        return await self.request("auth", token=token)
+
     async def finish_pass(self, session: str) -> Dict[str, Any]:
         return await self.request("finish_pass", session=session)
 
@@ -163,6 +169,7 @@ class ServeClient(_ClientOps):
         self._ids = itertools.count(1)
         self._write_lock = asyncio.Lock()
         self._closed = False
+        self._binary = False
 
     async def connect(self) -> "ServeClient":
         self._reader, self._writer = await asyncio.open_connection(
@@ -208,6 +215,33 @@ class ServeClient(_ClientOps):
             await self._writer.drain()
         return _unwrap(await future)
 
+    async def negotiate_binary(self) -> bool:
+        """Offer binary pair-batch framing; ``True`` if the server accepts.
+
+        Responses stay newline-JSON either way, so the multiplexing
+        reader loop is untouched — only feed *requests* change shape.
+        """
+        out = await self.request("hello", binary=1)
+        self._binary = bool(out.get("binary"))
+        return self._binary
+
+    async def feed_binary(self, session: str, srcs: Any, dsts: Any) -> Dict[str, Any]:
+        """Feed one columnar uint64 pair batch as a binary frame."""
+        if self._writer is None or self._closed:
+            raise RuntimeError("client is not connected")
+        if not self._binary:
+            raise RuntimeError(
+                "binary framing not negotiated; call negotiate_binary() first"
+            )
+        req_id = next(self._ids)
+        frame = encode_binary_feed(req_id, session, srcs, dsts)
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending[req_id] = future
+        async with self._write_lock:
+            self._writer.write(frame)
+            await self._writer.drain()
+        return _unwrap(await future)
+
     async def shutdown_server(self) -> None:
         """Ask the server to stop (fire-and-confirm)."""
         await self.request("shutdown")
@@ -249,6 +283,19 @@ class InProcessClient(_ClientOps):
         if op == "feed":
             # Mirror the server's payload accounting without a transport.
             message["_nbytes"] = len(encode_frame(message))
+        return _unwrap(await handle_request(self.manager, message))
+
+    async def feed_binary(self, session: str, srcs: Any, dsts: Any) -> Dict[str, Any]:
+        """Binary feed surface parity: round-trip the codec in-process."""
+        frame = encode_binary_feed(0, session, srcs, dsts)
+        _, sid, dec_srcs, dec_dsts = decode_binary_feed(frame)
+        message: Dict[str, Any] = {
+            "id": next(self._ids),
+            "op": "feed",
+            "session": sid,
+            "_arrays": (dec_srcs, dec_dsts),
+            "_nbytes": len(frame),
+        }
         return _unwrap(await handle_request(self.manager, message))
 
     async def aclose(self) -> None:

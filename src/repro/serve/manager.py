@@ -291,6 +291,39 @@ class SessionManager:
                         )
                 return out
 
+    async def feed_arrays(
+        self, session_id: str, srcs: Any, dsts: Any, *, nbytes: int = 0
+    ) -> Dict[str, Any]:
+        """Ingest a binary columnar chunk under the same feed gate."""
+        async with self._feed_gate:
+            async with self._lock(session_id):
+                session = self._get(session_id)
+                start = _now()
+                session.account_bytes(nbytes)
+                out = session.feed_arrays(srcs, dsts)
+                if self.telemetry.enabled:
+                    self.telemetry.observe_seconds(
+                        "serve_feed_seconds",
+                        _now() - start,
+                        help="server-side wall time ingesting one chunk",
+                    )
+                    self.telemetry.count(
+                        "serve_session_pairs_total",
+                        len(srcs),
+                        help="adjacency pairs ingested across all serve sessions",
+                    )
+                    self.telemetry.count(
+                        "serve_session_chunks_total",
+                        help="feed chunks ingested across all serve sessions",
+                    )
+                    if nbytes:
+                        self.telemetry.count(
+                            "serve_bytes_total",
+                            nbytes,
+                            help="approximate request payload bytes accepted",
+                        )
+                return out
+
     async def finish_pass(self, session_id: str) -> Dict[str, Any]:
         async with self._lock(session_id):
             return self._get(session_id).finish_pass()

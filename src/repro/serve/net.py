@@ -1,0 +1,42 @@
+"""Socket readiness helpers shared by the router, benchmarks, and CI.
+
+A freshly spawned server (or router worker) binds its port a beat after
+the process starts; anything that connects immediately races it.  The
+historical fix — ``sleep 2`` in CI scripts — is both slow and flaky.
+:func:`wait_for_port` replaces it with a bounded poll loop that retries
+a real TCP connect until the listener answers or the deadline passes.
+
+These helpers are synchronous by design: they run before an event loop
+exists (router worker spawn), in shell one-liners
+(``python -c "from repro.serve.net import wait_for_port; ..."``), and in
+benchmark harnesses.  Async callers dispatch through
+``asyncio.to_thread`` (ASY001).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+__all__ = ["wait_for_port"]
+
+
+def wait_for_port(
+    host: str, port: int, timeout: float = 10.0, interval: float = 0.05
+) -> bool:
+    """Poll until a TCP connect to ``host:port`` succeeds.
+
+    Returns ``True`` as soon as a connection is accepted, ``False`` once
+    ``timeout`` seconds elapse without one.  Each attempt is its own
+    short-lived socket, so a listener that comes up mid-poll is seen on
+    the next attempt at the latest.
+    """
+    deadline = time.monotonic() + timeout  # repro-lint: disable=DET003 -- readiness polling is inherently wall-clock; nothing estimator-visible depends on it
+    while True:
+        try:
+            with socket.create_connection((host, port), timeout=max(interval, 0.25)):
+                return True
+        except OSError:
+            if time.monotonic() >= deadline:  # repro-lint: disable=DET003 -- same readiness deadline as above
+                return False
+            time.sleep(interval)

@@ -17,9 +17,20 @@ Response::
     {"id": 7, "ok": true, "pairs": 2, "pairs_total": 128}
     {"id": 7, "ok": false, "error": {"code": "STREAM_FORMAT", "message": "..."}}
 
-Ops: ``hello``, ``algorithms``, ``open``, ``feed``, ``finish_pass``,
-``poll``, ``snapshot``, ``merge``, ``close``, ``stats``, ``shutdown``.
-See ``docs/SERVING.md`` for the full parameter tables.
+Ops: ``hello``, ``algorithms``, ``auth``, ``open``, ``feed``,
+``finish_pass``, ``poll``, ``snapshot``, ``merge``, ``close``, ``stats``,
+``shutdown``.  See ``docs/SERVING.md`` for the full parameter tables.
+
+**Binary pair-batch frames.**  JSON pair arrays dominate ingest CPU, so
+feeds may instead travel as length-prefixed binary frames: a 16-byte
+little-endian header (magic ``0xB1``, frame version, session-id length,
+pair count, request id) followed by the UTF-8 session id and two
+columnar ``uint64`` payloads (all sources, then all destinations).  A
+connection must negotiate binary framing first (``hello`` with
+``binary: 1``); control frames and every response stay JSON, so the two
+framings interleave freely on one connection.  See
+:func:`encode_binary_feed` / :func:`decode_binary_feed` and the wire
+spec in ``docs/SERVING.md``.
 
 Session snapshots travel as the JSON-dict form of a
 :class:`~repro.sketch.state.SketchState` of kind ``serve-session`` —
@@ -31,12 +42,16 @@ on another with no side channel.
 from __future__ import annotations
 
 import json
+import struct
 from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.sketch.state import SketchState, SketchStateError
 
 #: Bumped on wire-visible changes; ``hello`` reports it so clients can refuse.
-PROTOCOL_VERSION = 1
+#: Version 2 added binary pair-batch frames, ``auth`` and tenant quotas.
+PROTOCOL_VERSION = 2
 
 #: Session-snapshot container identity (see ``session.py`` for the payload).
 SESSION_STATE_KIND = "serve-session"
@@ -63,6 +78,12 @@ MERGE_INCOMPATIBLE = "MERGE_INCOMPATIBLE"
 BAD_STATE = "BAD_STATE"
 SERVER_SHUTDOWN = "SERVER_SHUTDOWN"
 INTERNAL = "INTERNAL"
+BAD_FRAME = "BAD_FRAME"
+FRAME_TOO_LARGE = "FRAME_TOO_LARGE"
+BINARY_NOT_NEGOTIATED = "BINARY_NOT_NEGOTIATED"
+UNAUTHENTICATED = "UNAUTHENTICATED"
+QUOTA_EXCEEDED = "QUOTA_EXCEEDED"
+RATE_LIMITED = "RATE_LIMITED"
 
 ERROR_CODES = (
     BAD_REQUEST,
@@ -80,6 +101,12 @@ ERROR_CODES = (
     BAD_STATE,
     SERVER_SHUTDOWN,
     INTERNAL,
+    BAD_FRAME,
+    FRAME_TOO_LARGE,
+    BINARY_NOT_NEGOTIATED,
+    UNAUTHENTICATED,
+    QUOTA_EXCEEDED,
+    RATE_LIMITED,
 )
 
 #: Validation modes a session can be opened with.
@@ -202,6 +229,124 @@ def decode_pairs(raw: Any) -> List[Tuple[Any, Any]]:
 def encode_pairs(pairs: Sequence[Tuple[Any, Any]]) -> List[List[Any]]:
     """Wire form of a pair chunk (inverse of :func:`decode_pairs`)."""
     return [[src, dst] for src, dst in pairs]
+
+
+# -- binary pair-batch frames -------------------------------------------------
+#
+# Layout (all little-endian)::
+#
+#     offset  size  field
+#     0       1     magic          0xB1
+#     1       1     frame version  1
+#     2       2     session_len    uint16, UTF-8 byte length of the session id
+#     4       4     n_pairs        uint32
+#     8       8     req_id         uint64, echoed in the JSON response
+#     16      session_len          session id, UTF-8
+#     ...     8 * n_pairs          sources, uint64 columnar
+#     ...     8 * n_pairs          destinations, uint64 columnar
+#
+# The first byte can never collide with JSON framing (a JSON line starts
+# with ``{`` = 0x7B), so a reader dispatches on it.  Responses to binary
+# feeds are ordinary JSON lines — only the hot request direction is binary.
+
+#: First byte of a binary frame; distinguishes it from a JSON line.
+BINARY_MAGIC = 0xB1
+#: Bumped independently of PROTOCOL_VERSION on binary-layout changes.
+BINARY_FRAME_VERSION = 1
+
+_BINARY_HEADER = struct.Struct("<BBHIQ")
+#: Fixed header size in bytes (16).
+BINARY_HEADER_BYTES = _BINARY_HEADER.size
+
+
+def encode_binary_feed(
+    req_id: int,
+    session: str,
+    srcs: "np.ndarray[Any, np.dtype[np.uint64]]",
+    dsts: "np.ndarray[Any, np.dtype[np.uint64]]",
+) -> bytes:
+    """A feed chunk as one binary frame (header + session + columns)."""
+    if srcs.shape != dsts.shape or srcs.ndim != 1:
+        raise ServeError(BAD_FRAME, "srcs/dsts must be equal-length 1-d arrays")
+    session_bytes = session.encode("utf-8")
+    if len(session_bytes) > 0xFFFF:
+        raise ServeError(BAD_FRAME, "session id exceeds 65535 UTF-8 bytes")
+    n = int(srcs.shape[0])
+    if n > 0xFFFFFFFF:
+        raise ServeError(BAD_FRAME, "chunk exceeds uint32 pair count")
+    header = _BINARY_HEADER.pack(
+        BINARY_MAGIC, BINARY_FRAME_VERSION, len(session_bytes), n, req_id
+    )
+    frame = b"".join(
+        (
+            header,
+            session_bytes,
+            np.ascontiguousarray(srcs, dtype="<u8").tobytes(),
+            np.ascontiguousarray(dsts, dtype="<u8").tobytes(),
+        )
+    )
+    if len(frame) > MAX_FRAME_BYTES:
+        raise ServeError(
+            FRAME_TOO_LARGE,
+            f"binary frame is {len(frame)} bytes (cap {MAX_FRAME_BYTES})",
+        )
+    return frame
+
+
+def decode_binary_header(header: bytes) -> Tuple[int, int, int]:
+    """Parse a 16-byte binary header into ``(session_len, n_pairs, req_id)``.
+
+    Validates magic, frame version, and the total frame size against
+    ``MAX_FRAME_BYTES`` so a reader can refuse before allocating the body.
+    """
+    if len(header) != BINARY_HEADER_BYTES:
+        raise ServeError(BAD_FRAME, "truncated binary header")
+    magic, version, session_len, n_pairs, req_id = _BINARY_HEADER.unpack(header)
+    if magic != BINARY_MAGIC:
+        raise ServeError(BAD_FRAME, f"bad binary magic 0x{magic:02X}")
+    if version != BINARY_FRAME_VERSION:
+        raise ServeError(BAD_FRAME, f"unsupported binary frame version {version}")
+    total = BINARY_HEADER_BYTES + session_len + 16 * n_pairs
+    if total > MAX_FRAME_BYTES:
+        raise ServeError(
+            FRAME_TOO_LARGE,
+            f"binary frame is {total} bytes (cap {MAX_FRAME_BYTES})",
+        )
+    return session_len, n_pairs, req_id
+
+
+def decode_binary_body(
+    body: bytes, session_len: int, n_pairs: int
+) -> Tuple[str, "np.ndarray[Any, np.dtype[np.uint64]]", "np.ndarray[Any, np.dtype[np.uint64]]"]:
+    """Parse a binary frame body into ``(session, srcs, dsts)`` columns."""
+    if len(body) != session_len + 16 * n_pairs:
+        raise ServeError(BAD_FRAME, "truncated binary frame body")
+    try:
+        session = body[:session_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ServeError(BAD_FRAME, f"session id is not UTF-8: {exc}") from exc
+    columns = np.frombuffer(body, dtype="<u8", count=2 * n_pairs, offset=session_len)
+    srcs = columns[:n_pairs].astype(np.uint64, copy=False)
+    dsts = columns[n_pairs:].astype(np.uint64, copy=False)
+    return session, srcs, dsts
+
+
+def decode_binary_feed(
+    frame: bytes,
+) -> Tuple[int, str, "np.ndarray[Any, np.dtype[np.uint64]]", "np.ndarray[Any, np.dtype[np.uint64]]"]:
+    """Invert :func:`encode_binary_feed` on a complete frame (tests, tools).
+
+    The server never materialises whole frames this way — it reads the
+    header and body separately off the socket — but round-tripping through
+    one buffer is the natural property-test surface.
+    """
+    session_len, n_pairs, req_id = decode_binary_header(
+        frame[:BINARY_HEADER_BYTES]
+    )
+    session, srcs, dsts = decode_binary_body(
+        frame[BINARY_HEADER_BYTES:], session_len, n_pairs
+    )
+    return req_id, session, srcs, dsts
 
 
 # -- session-snapshot wire form ----------------------------------------------

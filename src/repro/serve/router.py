@@ -1,0 +1,799 @@
+"""Horizontal scale-out: a session router over persistent worker processes.
+
+One asyncio process caps `repro.serve` at a core's worth of ingest.  The
+router front-end lifts that the same way the offline driver does — by
+sharding over warm workers and merging through the bit-exact shard-merge
+layer:
+
+* **Workers** are persistent child processes (forked before the router's
+  event loop exists, mirroring the warm ``ShardPool`` discipline of
+  ``sketch/driver.py``), each running an ordinary
+  :class:`~repro.serve.server.ServeServer` on a loopback port.  Their
+  ports travel back over a pipe; readiness is confirmed with
+  :func:`~repro.serve.net.wait_for_port`.
+* **Routing** is deterministic hash placement:
+  ``crc32(session_id) % n_workers``.  Any router (or a restarted one)
+  computes the same placement — no routing table to persist.
+* **Hot ops relay raw.**  Per client connection the router lazily opens
+  one upstream socket per needed worker (binary negotiated on open, the
+  single hello ack consumed before the pump task starts) and forwards
+  feed/poll/finish_pass/snapshot frames verbatim — correlation ids pass
+  through untouched, responses pump back under the client write lock, and
+  binary pair-batch frames are routed by parsing only the 16-byte header
+  plus session id.  Per-connection pipelining happens *in the workers*;
+  the router adds no head-of-line coupling between sessions on different
+  workers.
+* **Control ops** (open/close/merge/stats/shutdown) go through one shared
+  :class:`~repro.serve.client.ServeClient` per worker so the router can
+  account tenant quotas and orchestrate cross-worker merges.  A merge
+  whose sources live on several workers snapshots the remote sources,
+  restores them under temporary ids on the target's worker (restore
+  preserves the lineage origin), and merges there — the same
+  origin/fork-point rule as a single-process merge, so a multi-worker run
+  merged at pass boundaries stays **bit-identical to** ``run_sharded``
+  (pinned in ``tests/serve/test_router.py``).
+* **Tenants** (optional) authenticate with per-tenant tokens (``auth``
+  op) and are metered at the router: concurrent sessions
+  (``QUOTA_EXCEEDED``), accepted payload bytes (``QUOTA_EXCEEDED``), and
+  a pairs-per-second token bucket (``RATE_LIMITED``).  With no tenant
+  file the router is open, like a bare server.
+
+Shutdown: the ``shutdown`` op fans out to every worker (each checkpoints
+its live sessions to its own ``worker-<i>`` directory exactly as a bare
+server would), then stops the router.  ``join_workers`` reaps the
+children synchronously after the event loop exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.manager import SessionManager
+from repro.serve.net import wait_for_port
+from repro.serve.protocol import (
+    BAD_FRAME,
+    BAD_REQUEST,
+    BINARY_HEADER_BYTES,
+    BINARY_MAGIC,
+    BINARY_NOT_NEGOTIATED,
+    FRAME_TOO_LARGE,
+    INTERNAL,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    QUOTA_EXCEEDED,
+    RATE_LIMITED,
+    UNAUTHENTICATED,
+    UNKNOWN_OP,
+    ServeError,
+    decode_binary_header,
+    decode_frame,
+    encode_frame,
+    error_response,
+    get_int,
+    get_str,
+    ok_response,
+    request_id,
+)
+from repro.serve.server import ServeServer, _algorithms_listing
+
+__all__ = ["Tenant", "load_tenants", "ServeRouter", "worker_for"]
+
+#: Ops the router answers (or orchestrates) itself; everything else with a
+#: ``session`` field relays raw to the owning worker.
+_ROUTER_OPS = ("hello", "auth", "algorithms", "open", "close", "merge", "shutdown")
+
+#: Prefix for the transient ids a cross-worker merge parks snapshots under.
+_MERGE_TEMP_PREFIX = "__router-merge__"
+
+
+def worker_for(session_id: str, n_workers: int) -> int:
+    """Deterministic hash placement of a session onto a worker index."""
+    return zlib.crc32(session_id.encode("utf-8")) % n_workers
+
+
+# -- tenants -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant's identity and quota envelope (``None`` = unlimited)."""
+
+    name: str
+    token: str
+    max_sessions: Optional[int] = None
+    max_bytes: Optional[int] = None
+    max_pairs_per_second: Optional[float] = None
+
+
+def load_tenants(path: Any) -> Dict[str, Tenant]:
+    """Parse a tenant config file into a token → :class:`Tenant` map.
+
+    Format::
+
+        {"tenants": [{"name": "alice", "token": "s3cret",
+                      "max_sessions": 100, "max_bytes": 10000000,
+                      "max_pairs_per_second": 200000}, ...]}
+    """
+    blob = json.loads(Path(path).read_text())
+    tenants: Dict[str, Tenant] = {}
+    for entry in blob.get("tenants", []):
+        tenant = Tenant(
+            name=str(entry["name"]),
+            token=str(entry["token"]),
+            max_sessions=entry.get("max_sessions"),
+            max_bytes=entry.get("max_bytes"),
+            max_pairs_per_second=entry.get("max_pairs_per_second"),
+        )
+        if tenant.token in tenants:
+            raise ValueError(f"duplicate tenant token for {tenant.name!r}")
+        tenants[tenant.token] = tenant
+    return tenants
+
+
+# -- worker process ------------------------------------------------------------
+
+
+def _worker_main(index: int, conn: Any, config: Dict[str, Any]) -> None:
+    """Entry point of one worker process: a bare serve server on port 0.
+
+    Runs in the child after fork; sends the bound port back through the
+    pipe, then serves until stopped (the ``shutdown`` op from the router,
+    or SIGINT delivered to the foreground process group — either way the
+    server's shutdown path checkpoints live sessions first).
+    """
+
+    async def _run() -> None:
+        manager = SessionManager(
+            max_sessions=config.get("max_sessions", 10_000),
+            max_inflight_feeds=config.get("max_inflight_feeds", 64),
+            default_byte_budget=config.get("byte_budget"),
+            default_space_budget_words=config.get("space_budget"),
+        )
+        server = ServeServer(
+            manager,
+            "127.0.0.1",
+            0,
+            shutdown_checkpoint_dir=config.get("checkpoint_dir"),
+        )
+        await server.start()
+        # Explicit handlers: the worker inherits the router's signal
+        # dispositions across fork, and those may be SIG_IGN (a router
+        # backgrounded with `&` in a non-interactive shell).  Relying on
+        # KeyboardInterrupt would make such workers unkillable-gracefully.
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGINT, server.stop)
+            loop.add_signal_handler(signal.SIGTERM, server.stop)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loop
+            pass
+        if config.get("resume") and config.get("checkpoint_dir"):
+            try:
+                await manager.load_checkpoints(config["checkpoint_dir"])
+            except ServeError:
+                pass  # nothing to resume is a fresh start, not a failure
+        conn.send(server.bound_port)
+        conn.close()
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass  # graceful path already ran inside serve_until_stopped's finally
+
+
+class _Connection:
+    """Per-client-connection routing state."""
+
+    __slots__ = ("writer", "write_lock", "binary", "tenant", "upstreams", "pumps")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.binary = False
+        self.tenant: Optional[Tenant] = None
+        # worker index -> (reader, writer) raw relay link
+        self.upstreams: Dict[int, Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
+        self.pumps: List[asyncio.Task] = []
+
+
+class ServeRouter:
+    """The multi-worker front-end: spawn, route, meter, merge, reap."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_sessions: int = 10_000,
+        max_inflight_feeds: int = 64,
+        byte_budget: Optional[int] = None,
+        space_budget: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        tenants: Optional[Dict[str, Tenant]] = None,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.n_workers = n_workers
+        self.host = host
+        self.port = port
+        self.checkpoint_dir = checkpoint_dir
+        self._worker_config = {
+            "max_sessions": max_sessions,
+            "max_inflight_feeds": max_inflight_feeds,
+            "byte_budget": byte_budget,
+            "space_budget": space_budget,
+            "resume": resume,
+        }
+        self.tenants = tenants or {}
+        self.worker_ports: List[int] = []
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._controls: List[Optional[ServeClient]] = []
+        self._control_lock: Optional[asyncio.Lock] = None
+        # Tenant accounting, all keyed by tenant name (router-enforced).
+        self._tenant_sessions: Dict[str, Set[str]] = {}
+        self._tenant_bytes: Dict[str, int] = {}
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._session_tenant: Dict[str, str] = {}
+
+    # -- worker lifecycle (synchronous: fork before the event loop) -----------
+
+    def worker_checkpoint_dir(self, index: int) -> Optional[str]:
+        if self.checkpoint_dir is None:
+            return None
+        return str(Path(self.checkpoint_dir) / f"worker-{index}")
+
+    def spawn_workers(self, timeout: float = 20.0) -> List[int]:
+        """Fork the worker fleet and collect their bound ports.
+
+        Must run before the router's event loop starts (fork-safety): the
+        children inherit a clean pre-loop state, exactly like the warm
+        shard pools of the offline driver.
+        """
+        if self._processes:
+            raise RuntimeError("workers already spawned")
+        ctx = multiprocessing.get_context("fork")
+        for index in range(self.n_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            config = dict(self._worker_config)
+            config["checkpoint_dir"] = self.worker_checkpoint_dir(index)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(index, child_conn, config),
+                daemon=True,
+                name=f"repro-serve-worker-{index}",
+            )
+            process.start()
+            child_conn.close()
+            if not parent_conn.poll(timeout):
+                raise RuntimeError(f"worker {index} did not report a port")
+            port = int(parent_conn.recv())
+            parent_conn.close()
+            if not wait_for_port("127.0.0.1", port, timeout=timeout):
+                raise RuntimeError(f"worker {index} never started listening")
+            self.worker_ports.append(port)
+            self._processes.append(process)
+        self._controls = [None] * self.n_workers
+        return list(self.worker_ports)
+
+    def join_workers(self, timeout: float = 10.0) -> None:
+        """Reap worker processes — call after the event loop exits.
+
+        Escalates gently: a short join first (a foreground Ctrl-C already
+        delivered SIGINT to the whole process group, so workers are
+        usually mid-checkpoint), then SIGINT for stragglers (their own
+        graceful shutdown path, checkpoints included), then terminate.
+        """
+        for process in self._processes:
+            process.join(1.0)
+        for process in self._processes:
+            if process.is_alive() and process.pid is not None:
+                try:
+                    os.kill(process.pid, signal.SIGINT)
+                except (ProcessLookupError, OSError):
+                    pass
+        for process in self._processes:
+            process.join(timeout)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+        self._processes = []
+
+    def worker_index(self, session_id: str) -> int:
+        """The worker a session id routes to (public for tests/benches)."""
+        return worker_for(session_id, self.n_workers)
+
+    # -- router service --------------------------------------------------------
+
+    @property
+    def bound_port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("router is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if not self.worker_ports:
+            raise RuntimeError("spawn_workers() must run before start()")
+        self._stopping = asyncio.Event()
+        self._control_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_FRAME_BYTES
+        )
+
+    async def serve_until_stopped(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None and self._stopping is not None
+        try:
+            await self._stopping.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            try:
+                await asyncio.shield(self._close_controls())
+            except asyncio.CancelledError:
+                pass
+
+    def stop(self) -> None:
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def _close_controls(self) -> None:
+        for client in self._controls:
+            if client is not None:
+                await client.aclose()
+        self._controls = [None] * self.n_workers
+
+    async def _control(self, index: int) -> ServeClient:
+        assert self._control_lock is not None
+        async with self._control_lock:
+            client = self._controls[index]
+            if client is None:
+                client = ServeClient("127.0.0.1", self.worker_ports[index])
+                await client.connect()
+                self._controls[index] = client
+            return client
+
+    # -- tenant metering -------------------------------------------------------
+
+    def _require_tenant(self, conn: _Connection) -> Optional[Tenant]:
+        if not self.tenants:
+            return None  # open router: no metering
+        if conn.tenant is None:
+            raise ServeError(
+                UNAUTHENTICATED,
+                "this router requires an 'auth' op with a tenant token "
+                "before session ops",
+            )
+        return conn.tenant
+
+    def _charge_open(self, tenant: Optional[Tenant], session_id: str) -> None:
+        if tenant is None:
+            return
+        held = self._tenant_sessions.setdefault(tenant.name, set())
+        if (
+            tenant.max_sessions is not None
+            and session_id not in held
+            and len(held) >= tenant.max_sessions
+        ):
+            raise ServeError(
+                QUOTA_EXCEEDED,
+                f"tenant {tenant.name!r} is at its session quota "
+                f"({tenant.max_sessions} open)",
+            )
+
+    def _charge_feed(
+        self, tenant: Optional[Tenant], nbytes: int, n_pairs: int
+    ) -> None:
+        if tenant is None:
+            return
+        if tenant.max_bytes is not None:
+            used = self._tenant_bytes.get(tenant.name, 0)
+            if used + nbytes > tenant.max_bytes:
+                raise ServeError(
+                    QUOTA_EXCEEDED,
+                    f"tenant {tenant.name!r} byte quota exhausted: "
+                    f"{used} + {nbytes} > {tenant.max_bytes}",
+                )
+            self._tenant_bytes[tenant.name] = used + nbytes
+        limit = tenant.max_pairs_per_second
+        if limit is not None:
+            now = time.monotonic()  # repro-lint: disable=DET003 -- rate limiting is a wall-clock policy at the router edge; no estimator state depends on it
+            tokens, last = self._buckets.get(tenant.name, (float(limit), now))
+            tokens = min(float(limit), tokens + (now - last) * limit)
+            if n_pairs > tokens:
+                raise ServeError(
+                    RATE_LIMITED,
+                    f"tenant {tenant.name!r} exceeds {limit} pairs/s "
+                    f"(chunk of {n_pairs} with {tokens:.0f} tokens left); "
+                    "retry after a pause",
+                )
+            self._buckets[tenant.name] = (tokens - n_pairs, now)
+
+    def _record_session(self, tenant: Optional[Tenant], session_id: str) -> None:
+        if tenant is None:
+            return
+        self._tenant_sessions.setdefault(tenant.name, set()).add(session_id)
+        self._session_tenant[session_id] = tenant.name
+
+    def _release_session(self, session_id: str) -> None:
+        name = self._session_tenant.pop(session_id, None)
+        if name is not None:
+            self._tenant_sessions.get(name, set()).discard(session_id)
+
+    # -- raw relay -------------------------------------------------------------
+
+    async def _upstream(
+        self, conn: _Connection, index: int
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        link = conn.upstreams.get(index)
+        if link is None:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", self.worker_ports[index], limit=MAX_FRAME_BYTES
+            )
+            # Negotiate binary and consume the single hello ack *before*
+            # the pump starts, so the pump relays only correlated
+            # responses and never needs to filter.
+            writer.write(encode_frame({"id": 0, "op": "hello", "binary": 1}))
+            await writer.drain()
+            await reader.readline()
+            link = (reader, writer)
+            conn.upstreams[index] = link
+            conn.pumps.append(asyncio.ensure_future(self._pump(reader, conn)))
+        return link
+
+    async def _pump(self, reader: asyncio.StreamReader, conn: _Connection) -> None:
+        """Relay one worker's response lines verbatim to the client."""
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                async with conn.write_lock:
+                    conn.writer.write(line)
+                    await conn.writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+
+    async def _relay(self, conn: _Connection, session_id: str, frame: bytes) -> None:
+        _, writer = await self._upstream(conn, self.worker_index(session_id))
+        writer.write(frame)
+        await writer.drain()
+
+    # -- router-local ops ------------------------------------------------------
+
+    async def _send(self, conn: _Connection, response: Dict[str, Any]) -> None:
+        async with conn.write_lock:
+            conn.writer.write(encode_frame(response))
+            await conn.writer.drain()
+
+    @staticmethod
+    def _rewrite(req_id: Any, out: Dict[str, Any]) -> Dict[str, Any]:
+        """A control-client response, re-correlated to the client's id."""
+        fields = {k: v for k, v in out.items() if k not in ("id", "ok")}
+        return ok_response(req_id, **fields)
+
+    async def _handle_local(
+        self, conn: _Connection, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        req_id = request_id(message)
+        try:
+            op = str(message.get("op"))
+            if op == "hello":
+                if message.get("binary"):
+                    conn.binary = True
+                return ok_response(
+                    req_id,
+                    protocol=PROTOCOL_VERSION,
+                    server="repro-router",
+                    workers=self.n_workers,
+                    binary=1 if conn.binary else 0,
+                    auth_required=bool(self.tenants),
+                )
+            if op == "auth":
+                token = get_str(message, "token")
+                tenant = self.tenants.get(token)
+                if tenant is None:
+                    raise ServeError(UNAUTHENTICATED, "unknown tenant token")
+                conn.tenant = tenant
+                return ok_response(
+                    req_id,
+                    tenant=tenant.name,
+                    max_sessions=tenant.max_sessions,
+                    max_bytes=tenant.max_bytes,
+                    max_pairs_per_second=tenant.max_pairs_per_second,
+                )
+            if op == "algorithms":
+                return ok_response(req_id, algorithms=_algorithms_listing())
+            tenant = self._require_tenant(conn)
+            if op == "open":
+                session_id = get_str(message, "session")
+                self._charge_open(tenant, session_id)
+                out = await self._forward(
+                    self.worker_index(session_id), message
+                )
+                self._record_session(tenant, session_id)
+                return self._rewrite(req_id, out)
+            if op == "close":
+                session_id = get_str(message, "session")
+                out = await self._forward(
+                    self.worker_index(session_id), message
+                )
+                self._release_session(session_id)
+                return self._rewrite(req_id, out)
+            if op == "merge":
+                return await self._merge(conn, tenant, message)
+            if op == "stats":
+                return await self._stats(req_id)
+            if op == "shutdown":
+                for index in range(self.n_workers):
+                    try:
+                        client = await self._control(index)
+                        await client.request("shutdown")
+                    except (ServeClientError, ConnectionError, OSError):
+                        pass  # a dead worker cannot checkpoint; reap anyway
+                response = ok_response(req_id, stopping=True, workers=self.n_workers)
+                self.stop()
+                return response
+            raise ServeError(UNKNOWN_OP, f"unknown op {op!r}")
+        except ServeError as exc:
+            return error_response(req_id, exc)
+        except ServeClientError as exc:
+            return error_response(req_id, ServeError(exc.code, exc.message))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - a bad request must not kill the router
+            return error_response(
+                req_id, ServeError(INTERNAL, f"{type(exc).__name__}: {exc}")
+            )
+
+    async def _forward(self, index: int, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One control-plane request to a worker, as the router itself."""
+        client = await self._control(index)
+        params = {
+            k: v for k, v in message.items() if k not in ("id", "op") and not k.startswith("_")
+        }
+        return await client.request(str(message["op"]), **params)
+
+    async def _stats(self, req_id: Any) -> Dict[str, Any]:
+        per_worker: List[Dict[str, Any]] = []
+        for index in range(self.n_workers):
+            client = await self._control(index)
+            out = await client.request("stats")
+            per_worker.append(
+                {
+                    "worker": index,
+                    "sessions_open": out.get("sessions_open", 0),
+                    "sessions_total": out.get("sessions_total", 0),
+                    "open_high_water": out.get("open_high_water", 0),
+                }
+            )
+        return ok_response(
+            req_id,
+            workers=per_worker,
+            sessions_open=sum(w["sessions_open"] for w in per_worker),
+            sessions_total=sum(w["sessions_total"] for w in per_worker),
+            open_high_water=sum(w["open_high_water"] for w in per_worker),
+        )
+
+    async def _merge(
+        self,
+        conn: _Connection,
+        tenant: Optional[Tenant],
+        message: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Cross-worker merge via snapshot → restore-on-target → local merge.
+
+        Restoring a snapshot preserves the source's lineage origin, so the
+        target worker's local merge applies the exact origin/fork-point
+        rule a single-process merge would — bit-identical results.
+        """
+        req_id = request_id(message)
+        target = get_str(message, "target")
+        sources = message.get("sources")
+        if not isinstance(sources, list) or not all(
+            isinstance(s, str) for s in sources
+        ):
+            raise ServeError(BAD_REQUEST, "'sources' must be a list of session ids")
+        merge_seed = get_int(message, "merge_seed", 0)
+        close_sources = bool(message.get("close_sources", True))
+        self._charge_open(tenant, target)
+        target_worker = self.worker_index(target)
+        local_sources: List[str] = []
+        remote_sources: List[Tuple[int, str]] = []
+        for sid in sources:
+            index = self.worker_index(sid)
+            if index == target_worker:
+                local_sources.append(sid)
+            else:
+                remote_sources.append((index, sid))
+        target_client = await self._control(target_worker)
+        temp_ids: List[str] = []
+        for index, sid in remote_sources:
+            client = await self._control(index)
+            snap = await client.request("snapshot", session=sid)
+            temp = f"{_MERGE_TEMP_PREFIX}{sid}"
+            await target_client.request("open", session=temp, state=snap["state"])
+            temp_ids.append(temp)
+        try:
+            out = await target_client.request(
+                "merge",
+                target=target,
+                sources=local_sources + temp_ids,
+                merge_seed=merge_seed,
+                close_sources=close_sources,
+            )
+        finally:
+            if not close_sources:
+                # The client asked to keep its sources; the parked
+                # snapshot copies are router plumbing and always go.
+                for temp in temp_ids:
+                    try:
+                        await target_client.request("close", session=temp)
+                    except ServeClientError:
+                        pass
+        if close_sources:
+            for index, sid in remote_sources:
+                client = await self._control(index)
+                try:
+                    await client.request("close", session=sid)
+                except ServeClientError:
+                    pass
+            for sid in sources:
+                self._release_session(sid)
+        self._record_session(tenant, target)
+        return self._rewrite(req_id, out)
+
+    # -- connection loop -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        try:
+            while True:
+                try:
+                    first = await reader.readexactly(1)
+                except asyncio.IncompleteReadError:
+                    break
+                if first[0] == BINARY_MAGIC:
+                    if not await self._route_binary(conn, reader, first):
+                        break
+                    continue
+                if first == b"\n":
+                    continue
+                try:
+                    line = first + await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(
+                        conn,
+                        error_response(
+                            None,
+                            ServeError(
+                                BAD_REQUEST,
+                                f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                            ),
+                        ),
+                    )
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    message = decode_frame(stripped)
+                except ServeError as exc:
+                    await self._send(conn, error_response(None, exc))
+                    continue
+                op = message.get("op")
+                if op in _ROUTER_OPS or "session" not in message:
+                    response = await self._handle_local(conn, message)
+                    await self._send(conn, response)
+                    if op == "shutdown" and response.get("ok"):
+                        break
+                    continue
+                # Hot path: feed/poll/finish_pass/snapshot/stats — relay
+                # the original line verbatim to the owning worker.
+                try:
+                    session_id = get_str(message, "session")
+                    if op == "feed":
+                        tenant = self._require_tenant(conn)
+                        pairs = message.get("pairs")
+                        n_pairs = len(pairs) if isinstance(pairs, list) else 0
+                        self._charge_feed(tenant, len(line), n_pairs)
+                    else:
+                        self._require_tenant(conn)
+                except ServeError as exc:
+                    await self._send(conn, error_response(request_id(message), exc))
+                    continue
+                await self._relay(conn, session_id, line)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels handlers parked in a read; exit quietly.
+            pass
+        finally:
+            for pump in conn.pumps:
+                pump.cancel()
+            for _, up_writer in conn.upstreams.values():
+                try:
+                    up_writer.close()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    async def _route_binary(
+        self, conn: _Connection, reader: asyncio.StreamReader, first: bytes
+    ) -> bool:
+        """Read one binary frame and relay it; False = close the connection."""
+        try:
+            header = first + await reader.readexactly(BINARY_HEADER_BYTES - 1)
+        except asyncio.IncompleteReadError:
+            return False
+        try:
+            session_len, n_pairs, req_id = decode_binary_header(header)
+        except ServeError as exc:
+            # Both BAD_FRAME (bad magic/version) and FRAME_TOO_LARGE (an
+            # over-claimed length) leave the byte stream unframeable:
+            # respond without an id, then drop the connection.
+            assert exc.code in (BAD_FRAME, FRAME_TOO_LARGE)
+            await self._send(conn, error_response(None, exc))
+            return False
+        try:
+            body = await reader.readexactly(session_len + 16 * n_pairs)
+        except asyncio.IncompleteReadError:
+            return False
+        if not conn.binary:
+            await self._send(
+                conn,
+                error_response(
+                    req_id,
+                    ServeError(
+                        BINARY_NOT_NEGOTIATED,
+                        "binary frames require a hello with 'binary': 1 "
+                        "on this connection first",
+                    ),
+                ),
+            )
+            return True
+        try:
+            session_id = body[:session_len].decode("utf-8")
+        except UnicodeDecodeError:
+            await self._send(
+                conn,
+                error_response(
+                    req_id,
+                    ServeError(BAD_REQUEST, "binary session id is not UTF-8"),
+                ),
+            )
+            return True
+        try:
+            tenant = self._require_tenant(conn)
+            self._charge_feed(tenant, BINARY_HEADER_BYTES + len(body), n_pairs)
+        except ServeError as exc:
+            await self._send(conn, error_response(req_id, exc))
+            return True
+        await self._relay(conn, session_id, header + body)
+        return True

@@ -8,10 +8,16 @@ Two layers, deliberately separable:
   and the tests drive it directly, so every op is exercised without a
   running event-loop server.
 * :class:`ServeServer` — ``asyncio.start_server`` wiring: one reader task
-  per connection, newline framing with the protocol's frame cap as the
-  read limit (oversized frames surface as ``BAD_REQUEST``, not memory
-  growth), responses written under a per-connection lock so interleaved
-  session tasks never produce torn lines.
+  per connection dispatching on the first byte of each frame (JSON line
+  or binary pair-batch, once negotiated), the protocol's frame cap as the
+  read limit (oversized frames surface as ``BAD_REQUEST`` /
+  ``FRAME_TOO_LARGE``, not memory growth), responses written under a
+  per-connection lock so interleaved session tasks never produce torn
+  lines.  Requests **pipeline** up to :data:`PIPELINE_DEPTH` per
+  connection: a slow feed no longer head-of-line-blocks an unrelated
+  session's poll on the same socket, while same-session requests chain in
+  arrival order and cross-session ops (merge, shutdown) drain the
+  pipeline first.
 
 Graceful shutdown (``stop()``, or the ``shutdown`` op) stops accepting
 connections, optionally checkpoints every live session via
@@ -28,12 +34,17 @@ from typing import Any, Dict, Optional
 from repro.serve.manager import SessionManager
 from repro.serve.protocol import (
     BAD_REQUEST,
+    BINARY_HEADER_BYTES,
+    BINARY_MAGIC,
+    BINARY_NOT_NEGOTIATED,
     INTERNAL,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     UNKNOWN_OP,
     VALIDATE_STRICT,
     ServeError,
+    decode_binary_body,
+    decode_binary_header,
     decode_frame,
     decode_pairs,
     decode_state,
@@ -50,6 +61,12 @@ from repro.serve.protocol import (
 from repro.streaming.registry import iter_specs, serve_capabilities
 
 __all__ = ["handle_request", "ServeServer"]
+
+#: Per-connection cap on concurrently executing requests.  Pipelining cuts
+#: head-of-line p99 (a slow feed on session A no longer blocks a poll on
+#: session B sharing the socket); per-session order is preserved by
+#: chaining same-session requests (see ``_handle_connection``).
+PIPELINE_DEPTH = 32
 
 
 def _algorithms_listing() -> list:
@@ -117,9 +134,15 @@ async def handle_request(
             )
         if op == "feed":
             session_id = get_str(message, "session")
-            pairs = decode_pairs(message.get("pairs"))
             nbytes = message.get("_nbytes", 0)
-            out = await manager.feed(session_id, pairs, nbytes=int(nbytes))
+            arrays = message.get("_arrays")
+            if arrays is not None:
+                out = await manager.feed_arrays(
+                    session_id, arrays[0], arrays[1], nbytes=int(nbytes)
+                )
+            else:
+                pairs = decode_pairs(message.get("pairs"))
+                out = await manager.feed(session_id, pairs, nbytes=int(nbytes))
             return ok_response(req_id, **out)
         if op == "finish_pass":
             out = await manager.finish_pass(get_str(message, "session"))
@@ -239,58 +262,175 @@ class ServeServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         write_lock = asyncio.Lock()
+        inflight = asyncio.Semaphore(PIPELINE_DEPTH)
+        chains: Dict[Any, asyncio.Task] = {}
+        tasks: set = set()
+        binary_ok = False
+
+        async def send(response: Dict[str, Any]) -> None:
+            async with write_lock:
+                writer.write(encode_frame(response))
+                await writer.drain()
+
+        async def run_request(
+            message: Dict[str, Any], prev: Optional[asyncio.Task]
+        ) -> None:
+            # Same-session requests chain on their predecessor (response
+            # included), so pipelining never reorders one session's ops.
+            try:
+                if prev is not None:
+                    try:
+                        await prev
+                    except Exception:
+                        pass
+                await send(await handle_request(self.manager, message))
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            finally:
+                inflight.release()
+
+        def dispatch(message: Dict[str, Any]) -> None:
+            key = message.get("session")
+            task = asyncio.ensure_future(run_request(message, chains.get(key)))
+            tasks.add(task)
+            chains[key] = task
+
+            def _done(t: "asyncio.Task", key: Any = key) -> None:
+                tasks.discard(t)
+                if chains.get(key) is t:
+                    del chains[key]
+
+            task.add_done_callback(_done)
+
+        def count_request() -> None:
+            if self.manager.telemetry.enabled:
+                self.manager.telemetry.count(
+                    "serve_requests_total",
+                    help="protocol requests handled by the server",
+                )
+
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    response = error_response(
-                        None,
-                        ServeError(
-                            BAD_REQUEST,
-                            f"frame exceeds {MAX_FRAME_BYTES} bytes",
-                        ),
-                    )
-                    async with write_lock:
-                        writer.write(encode_frame(response))
-                        await writer.drain()
+                    first = await reader.readexactly(1)
+                except asyncio.IncompleteReadError:
                     break
-                if not line:
+                if first[0] == BINARY_MAGIC:
+                    try:
+                        header = first + await reader.readexactly(
+                            BINARY_HEADER_BYTES - 1
+                        )
+                    except asyncio.IncompleteReadError:
+                        break  # peer died mid-header
+                    count_request()
+                    try:
+                        session_len, n_pairs, req_id = decode_binary_header(header)
+                    except ServeError as exc:
+                        # BAD_FRAME / FRAME_TOO_LARGE: the byte stream can
+                        # no longer be re-framed — report, then close.
+                        await send(error_response(None, exc))
+                        break
+                    try:
+                        body = await reader.readexactly(session_len + 16 * n_pairs)
+                    except asyncio.IncompleteReadError:
+                        break  # peer died mid-frame
+                    if not binary_ok:
+                        await send(
+                            error_response(
+                                req_id,
+                                ServeError(
+                                    BINARY_NOT_NEGOTIATED,
+                                    "binary frames require a hello with "
+                                    "'binary': 1 on this connection first",
+                                ),
+                            )
+                        )
+                        continue
+                    try:
+                        session_id, srcs, dsts = decode_binary_body(
+                            body, session_len, n_pairs
+                        )
+                    except ServeError as exc:
+                        await send(error_response(req_id, exc))
+                        continue
+                    await inflight.acquire()
+                    dispatch(
+                        {
+                            "id": req_id,
+                            "op": "feed",
+                            "session": session_id,
+                            "_arrays": (srcs, dsts),
+                            "_nbytes": BINARY_HEADER_BYTES + len(body),
+                        }
+                    )
+                    continue
+                if first == b"\n":
+                    continue
+                try:
+                    line = first + await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await send(
+                        error_response(
+                            None,
+                            ServeError(
+                                BAD_REQUEST,
+                                f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                            ),
+                        )
+                    )
                     break
                 stripped = line.strip()
                 if not stripped:
                     continue
-                if self.manager.telemetry.enabled:
-                    self.manager.telemetry.count(
-                        "serve_requests_total",
-                        help="protocol requests handled by the server",
-                    )
+                count_request()
                 try:
                     message = decode_frame(stripped)
                 except ServeError as exc:
-                    response = error_response(None, exc)
-                else:
-                    if message.get("op") == "shutdown":
-                        response = ok_response(
-                            request_id(message), stopping=True
-                        )
-                        async with write_lock:
-                            writer.write(encode_frame(response))
-                            await writer.drain()
-                        self._stopping.set()
-                        break
-                    message["_nbytes"] = len(line)
+                    await send(error_response(None, exc))
+                    continue
+                op = message.get("op")
+                if op == "shutdown":
+                    if tasks:
+                        await asyncio.gather(*tasks, return_exceptions=True)
+                    await send(ok_response(request_id(message), stopping=True))
+                    self._stopping.set()
+                    break
+                if op == "hello":
+                    if message.get("binary"):
+                        binary_ok = True
                     response = await handle_request(self.manager, message)
-                async with write_lock:
-                    writer.write(encode_frame(response))
-                    await writer.drain()
+                    if response.get("ok"):
+                        response["binary"] = 1 if binary_ok else 0
+                    await send(response)
+                    continue
+                message["_nbytes"] = len(line)
+                if op == "merge" or "session" not in message:
+                    # Cross-session (merge) and connection-global ops act
+                    # as barriers: drain the pipeline, then run inline.
+                    if tasks:
+                        await asyncio.gather(*tasks, return_exceptions=True)
+                    await send(await handle_request(self.manager, message))
+                    continue
+                await inflight.acquire()
+                dispatch(message)
         except (ConnectionResetError, BrokenPipeError):
             pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels handlers parked in a read; exiting
+            # quietly here keeps worker/server shutdown logs clean.
+            pass
         finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+                asyncio.CancelledError,
+            ):
                 pass
 
     async def serve_until_stopped(self) -> None:

@@ -117,6 +117,15 @@ class ServeSession:
         self.origin_state = origin_state
 
         self._fast, self._skip_pairs = _dispatch_flags(algorithm, None)
+        # Columnar acceleration: binary feeds arrive as uint64 columns, so
+        # a segment that maps 1:1 onto a frame slice hands its column to
+        # the algorithm through the bind_columns provider channel instead
+        # of re-converting the Python list.  Pure acceleration — the
+        # provider's fallback is exactly the conversion the algorithms
+        # perform themselves — so estimates stay bit-identical.
+        self._column_hint: Optional[Tuple[Any, Any, Any]] = None
+        self._open_list_column: Optional[Any] = None
+        algorithm.bind_columns(self._provide_column)
         self.pass_index = 0
         self.pass_started = False
         self.passes_completed = 0
@@ -194,22 +203,39 @@ class ServeSession:
             )
         self.bytes_used += nbytes
 
+    def _provide_column(self, vertex: Any, neighbors: Any) -> Any:
+        """The bound column provider: the primed frame slice, or a fresh
+        conversion (exactly what the algorithms do unaided)."""
+        hint = self._column_hint
+        if hint is not None and hint[0] == vertex and hint[1] is neighbors:
+            return hint[2]
+        from repro.util.vectorized import as_vertex_array
+
+        return as_vertex_array(neighbors)
+
     def _flush_open_list(self) -> None:
         """Run the buffered adjacency list through the runner's hook order."""
         if self._open_list is None:
             return
         vertex, neighbors = self._open_list
+        column = self._open_list_column
         self._open_list = None
+        self._open_list_column = None
+        if column is not None and len(column) == len(neighbors):
+            self._column_hint = (vertex, neighbors, column)
         algorithm = self.algorithm
-        algorithm.begin_list(vertex)
-        if self._fast:
-            if not self._skip_pairs:
-                algorithm.process_list(vertex, neighbors)
-        else:
-            process = algorithm.process
-            for nbr in neighbors:
-                process(vertex, nbr)
-        algorithm.end_list(vertex, neighbors)
+        try:
+            algorithm.begin_list(vertex)
+            if self._fast:
+                if not self._skip_pairs:
+                    algorithm.process_list(vertex, neighbors)
+            else:
+                process = algorithm.process
+                for nbr in neighbors:
+                    process(vertex, nbr)
+            algorithm.end_list(vertex, neighbors)
+        finally:
+            self._column_hint = None
         self.lists_this_pass += 1
 
     def feed(self, pairs: Sequence[Tuple[Any, Any]]) -> Dict[str, Any]:
@@ -226,6 +252,9 @@ class ServeSession:
             self.algorithm.begin_pass(self.pass_index)
             self.pass_started = True
         validator = self._validator if self.pass_index == 0 else None
+        # Scalar pairs may extend or replace the open list, so any primed
+        # frame column for it no longer covers the whole list.
+        self._open_list_column = None
         open_list = self._open_list
         for src, dst in pairs:
             if validator is not None:
@@ -264,6 +293,76 @@ class ServeSession:
                 )
         return {
             "pairs": len(pairs),
+            "pairs_total": self.pairs_total,
+            "pass": self.pass_index,
+        }
+
+    def feed_arrays(self, srcs: Any, dsts: Any) -> Dict[str, Any]:
+        """Ingest one binary chunk: two equal-length ``uint64`` columns.
+
+        Semantically identical to :meth:`feed` over ``zip(srcs, dsts)`` —
+        same hooks, same validation, same errors — but the list-boundary
+        split, validation and bookkeeping are vectorized, and complete
+        segments hand their frame slices to the algorithm as ready-made
+        columns.  This is the path that lifts ingest from the per-pair
+        JSON rate to the columnar kernels' rate.
+        """
+        self._require_live()
+        n = int(len(srcs))
+        if not self.pass_started:
+            self.algorithm.begin_pass(self.pass_index)
+            self.pass_started = True
+        if self.pass_index == 0 and self._validator is not None:
+            try:
+                self._validator.feed_array(srcs, dsts)
+            except StreamFormatError as exc:
+                raise ServeError(STREAM_FORMAT, str(exc)) from exc
+        if n:
+            import numpy as np
+
+            boundaries = (np.flatnonzero(srcs[1:] != srcs[:-1]) + 1).tolist()
+            starts = [0, *boundaries, n]
+            src_list = srcs.tolist()
+            dst_list = dsts.tolist()
+            open_list = self._open_list
+            open_column = self._open_list_column
+            for i in range(len(starts) - 1):
+                head = src_list[starts[i]]
+                seg = dst_list[starts[i] : starts[i + 1]]
+                if i == 0 and open_list is not None and open_list[0] == head:
+                    open_list[1].extend(seg)
+                    open_column = None  # spans frames; no single slice
+                    continue
+                self._open_list = open_list
+                self._open_list_column = open_column
+                self._flush_open_list()
+                open_list = (head, seg)
+                open_column = dsts[starts[i] : starts[i + 1]]
+            self._open_list = open_list
+            self._open_list_column = open_column
+            self.pairs_this_pass += n
+            self.pairs_total += n
+        self.chunks += 1
+        if (
+            self.pairs_per_pass is not None
+            and self.pairs_this_pass > self.pairs_per_pass
+        ):
+            raise ServeError(
+                STREAM_FORMAT,
+                f"pass {self.pass_index} is longer than pass 0 "
+                f"({self.pairs_this_pass} > {self.pairs_per_pass} pairs): "
+                "multi-pass streams must replay identically",
+            )
+        if self.space_budget_words is not None:
+            words = self.algorithm.space_words()
+            if words > self.space_budget_words:
+                raise ServeError(
+                    SPACE_BUDGET_EXCEEDED,
+                    f"session {self.session_id!r} live state {words} words "
+                    f"exceeds cap {self.space_budget_words}",
+                )
+        return {
+            "pairs": n,
             "pairs_total": self.pairs_total,
             "pass": self.pass_index,
         }

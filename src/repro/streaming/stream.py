@@ -272,6 +272,77 @@ class PairSequenceValidator:
         for src, dst in pairs:
             self.feed_pair(src, dst)
 
+    def feed_array(self, srcs, dsts) -> None:
+        """Validate a columnar chunk (two equal-length ``uint64`` arrays).
+
+        The vectorized counterpart of :meth:`feed` for binary pair-batch
+        frames.  The happy path runs whole-chunk checks (no self loops,
+        list heads fresh and mutually distinct, no within-segment
+        duplicates) and then commits the chunk's bookkeeping in bulk —
+        identical end state to the per-pair loop.  On *any* suspected
+        violation it delegates to :meth:`feed`, whose per-pair replay
+        raises the canonical error with the canonical partial state, so a
+        conservative (false-positive) suspicion only costs speed.
+        """
+        n = int(len(srcs))
+        if n == 0:
+            return
+        src_list = srcs.tolist()
+        dst_list = dsts.tolist()
+        if self._finished or bool((srcs == dsts).any()):
+            self.feed(zip(src_list, dst_list))
+            return
+        import numpy as _np
+
+        boundaries = (_np.flatnonzero(srcs[1:] != srcs[:-1]) + 1).tolist()
+        starts = [0, *boundaries, n]
+        heads = [src_list[i] for i in starts[:-1]]
+        continuing = self._current is not None and heads[0] == self._current
+        new_heads = heads[1:] if continuing else heads
+        suspect = len(set(heads)) != len(heads)
+        if not suspect:
+            seen = self._seen_lists
+            current = self._current
+            for head in new_heads:
+                if head in seen or head == current:
+                    suspect = True
+                    break
+        segments: List[set] = []
+        if not suspect:
+            for i in range(len(heads)):
+                seg = set(dst_list[starts[i] : starts[i + 1]])
+                if len(seg) != starts[i + 1] - starts[i]:
+                    suspect = True
+                    break
+                segments.append(seg)
+        if not suspect and continuing:
+            if not self._current_neighbors.isdisjoint(segments[0]):
+                suspect = True
+        if suspect:
+            self.feed(zip(src_list, dst_list))
+            return
+        # Commit: identical end state to feeding the pairs one at a time.
+        self._directed_seen.update(zip(src_list, dst_list))
+        if continuing:
+            self._current_neighbors |= segments[0]
+            self._max_list_length = max(
+                self._max_list_length, len(self._current_neighbors)
+            )
+            closed = heads[:-1]
+        else:
+            if self._current is not None:
+                self._seen_lists.add(self._current)
+            closed = heads[:-1]
+        self._seen_lists.update(closed)
+        self._current = heads[-1]
+        if not (continuing and len(heads) == 1):
+            self._current_neighbors = segments[-1]
+        if segments[1:] or not continuing:
+            self._max_list_length = max(
+                self._max_list_length, *(len(seg) for seg in segments)
+            )
+        self._pairs += n
+
     # -- summaries -----------------------------------------------------------
 
     def _summary(self) -> PairSequenceSummary:
