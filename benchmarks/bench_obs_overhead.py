@@ -16,7 +16,15 @@ It writes ``BENCH_obs.json`` with two sections:
    ``null_overhead_within_5pct``: the instrumented runner with telemetry
    off must stay within 5% of the bare loop (``bench-report`` classifies
    booleans as gated invariants, so a flip fails CI).
-2. **Convergence** — a fully deterministic
+2. **Live plane** — serve-granularity ingest through a
+   :class:`~repro.serve.manager.SessionManager` with the metrics-only
+   registry on (``Telemetry(sink=None)`` plus per-op latency
+   histograms — exactly what router workers run under the ``/metrics``
+   plane) versus telemetry off.  The serve plane meters per feed
+   *chunk*, not per adjacency list, so the committed gate
+   ``live_overhead_within_5pct`` (live within 5% of off) holds with
+   room even though per-batch runner metrics would not.
+3. **Convergence** — a fully deterministic
    :class:`repro.obs.diagnostics.ConvergenceVerdict` for the two-pass
    triangle counter on a planted-triangle workload at the Theorem 3.7
    space setting.  Every ``*_ok`` boolean is true and gated: a future
@@ -124,6 +132,62 @@ def bench_overhead(graph, budget: int, repeats: int, tmp_dir: str) -> dict:
     }
 
 
+def bench_live_plane(graph, pairs_target: int, chunk_pairs: int,
+                     repeats: int) -> dict:
+    """Serve-granularity ingest rate: metrics registry on vs off.
+
+    Feeds one session through a :class:`SessionManager` in fixed-size
+    chunks — the live plane's unit of instrumentation (one histogram
+    observation plus a few counter bumps per chunk) — with telemetry
+    off, then with the metrics-only registry the ``/metrics`` endpoint
+    scrapes.
+    """
+    import asyncio
+
+    from repro.obs.telemetry import NULL_TELEMETRY
+    from repro.serve.client import InProcessClient
+    from repro.serve.manager import SessionManager
+
+    stream = AdjacencyListStream(graph, seed=11)
+    pairs = []
+    for vertex, neighbors in stream.iter_lists():
+        pairs.extend((vertex, neighbor) for neighbor in neighbors)
+        if len(pairs) >= pairs_target:
+            break
+    chunks = [
+        pairs[i:i + chunk_pairs] for i in range(0, len(pairs), chunk_pairs)
+    ]
+
+    async def _rate(telemetry) -> float:
+        manager = SessionManager(telemetry=telemetry)
+        client = InProcessClient(manager)
+        await client.open("bench-live", "triangle-exact", budget=256, seed=1)
+        start = time.perf_counter()
+        for chunk in chunks:
+            await client.feed("bench-live", chunk)
+        elapsed = time.perf_counter() - start
+        await client.close_session("bench-live")
+        return len(pairs) / elapsed if elapsed > 0 else 0.0
+
+    best_off = best_live = 0.0
+    for _ in range(repeats):
+        best_off = max(best_off, asyncio.run(_rate(NULL_TELEMETRY)))
+        live = Telemetry(sink=None)  # metrics-only: what /metrics scrapes
+        with live:
+            best_live = max(best_live, asyncio.run(_rate(live)))
+    return {
+        "pairs": len(pairs),
+        "chunk_pairs": chunk_pairs,
+        "repeats": repeats,
+        "off_pairs_per_second": best_off,
+        "live_pairs_per_second": best_live,
+        "live_overhead_fraction": (
+            1.0 - best_live / best_off if best_off > 0 else None
+        ),
+        "live_overhead_within_5pct": best_live >= 0.95 * best_off,
+    }
+
+
 def _trial_factory(budget, seed):
     """Module-level trial factory (kept picklable like the harness ones)."""
     return TwoPassTriangleCounter(sample_size=budget, seed=seed)
@@ -175,6 +239,15 @@ def main(argv=None) -> int:
     print(f"  null overhead {overhead['null_overhead_fraction']:+.2%} "
           f"(within 5%: {overhead['null_overhead_within_5pct']})")
 
+    print(f"live plane: manager ingest, metrics registry on vs off ...")
+    live_plane = bench_live_plane(
+        graph, pairs_target=m, chunk_pairs=512, repeats=max(3, repeats - 2)
+    )
+    print(f"  off  {live_plane['off_pairs_per_second']:>12,.0f} pairs/s")
+    print(f"  live {live_plane['live_pairs_per_second']:>12,.0f} pairs/s")
+    print(f"  live-plane overhead {live_plane['live_overhead_fraction']:+.2%} "
+          f"(within 5%: {live_plane['live_overhead_within_5pct']})")
+
     print(f"convergence: Theorem 3.7 verdict, {runs} planted-triangle trials ...")
     convergence = bench_convergence(runs)
     print(f"  sample_size={convergence['sample_size']} "
@@ -186,6 +259,7 @@ def main(argv=None) -> int:
         "workload": {"n": n, "m": m, "quick": args.quick},
         "cpu_count": os.cpu_count(),
         "overhead": overhead,
+        "live_plane": live_plane,
         "convergence": convergence,
     }
     with open(args.out, "w") as fh:
@@ -194,6 +268,9 @@ def main(argv=None) -> int:
 
     if not overhead["null_overhead_within_5pct"]:
         print("ERROR: disabled telemetry costs more than 5% vs the bare loop")
+        return 1
+    if not live_plane["live_overhead_within_5pct"]:
+        print("ERROR: metrics-only live plane costs more than 5% vs telemetry off")
         return 1
     if not convergence["ok"]:
         print("ERROR: convergence verdict failed at the paper's space setting")

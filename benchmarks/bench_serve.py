@@ -29,8 +29,18 @@ Self-declared gates (evaluated by ``repro-cycles bench-report``):
   an approximation: one mismatched estimate anywhere fails the bench;
 * ``serve.poll_p99_seconds <= 2.0`` (direct) / ``<= 4.0`` (routed) — an
   anytime poll issued while all sessions flood feeds must still answer
-  inside the latency SLO; the routed ceiling is higher because the
-  router adds one relay hop under the flood;
+  inside the latency SLO.  The ceilings are **derived from the default
+  ** :class:`~repro.obs.slo.SLOPolicy` (direct = the policy's
+  ``poll_p99_seconds``, routed = 2x it for the extra relay hop under a
+  full-fleet flood), so CI gates and the router's live ``router_slo_*``
+  gauges enforce one vocabulary;
+* ``serve.hist_poll_p99_seconds`` — the p99 computed from the full
+  poll-latency *histogram* the artifact now records
+  (``serve.poll_histogram``, the same exponential-bounds blob the live
+  ``/metrics`` endpoint exposes), guarding the sampled and the bucketed
+  views against disagreeing.  Its ceiling is twice the sampled one:
+  the bucketed quantile is an upper bound that can overshoot by one
+  power-of-two bucket;
 * ``serve.pairs_per_second >= 2000`` — a sanity floor on fleet ingest
   throughput (the quick workload does ~400k pairs; the gate only
   catches order-of-magnitude collapses, not machine noise);
@@ -62,6 +72,8 @@ if __package__ in (None, ""):  # script execution without PYTHONPATH=src
     if _SRC not in sys.path:
         sys.path.insert(0, _SRC)
 
+from repro.obs.metrics import histogram_quantile
+from repro.obs.slo import SLOPolicy
 from repro.serve.loadgen import run_ingest_async, run_load_async
 from repro.serve.manager import SessionManager
 from repro.serve.router import ServeRouter
@@ -70,23 +82,37 @@ from repro.serve.server import ServeServer
 #: The ISSUE-level floor: quick mode may shrink graphs, never the fleet.
 MIN_SESSIONS = 1000
 
-def gates_for(workers: int) -> list:
+def gates_for(workers: int, slo: SLOPolicy = None) -> list:
     """The artifact's self-declared gates, shaped by the serving mode.
 
-    The poll SLO is mode-dependent: the router adds one relay hop, and
+    Latency ceilings are derived from the :class:`SLOPolicy` — the same
+    vocabulary the router's live ``router_slo_*`` gauges enforce.  The
+    poll SLO is mode-dependent: the router adds one relay hop, and
     under a full-fleet feed flood that roughly triples client-observed
     poll latency (0.8s direct vs ~2.3s routed, measured), so routed
-    artifacts declare a 4.0s ceiling where direct ones declare 2.0s.
+    artifacts declare twice the policy ceiling where direct ones
+    declare it as-is (defaults: 2.0s direct, 4.0s routed).
     """
-    return [
+    if slo is None:
+        slo = SLOPolicy()
+    poll_ceiling = slo.poll_p99_seconds * (1.0 if workers == 0 else 2.0)
+    gates = [
         {"metric": "serve.concurrent_peak", "min": MIN_SESSIONS},
         {"metric": "serve.all_bit_identical", "min": 1},
-        {"metric": "serve.poll_p99_seconds", "max": 2.0 if workers == 0 else 4.0},
+        {"metric": "serve.poll_p99_seconds", "max": poll_ceiling},
+        # The bucketed quantile reports the bucket's upper bound, which
+        # can overshoot the sampled p99 by one power-of-two bucket.
+        {"metric": "serve.hist_poll_p99_seconds", "max": 2.0 * poll_ceiling},
         {"metric": "serve.pairs_per_second", "min": 2000},
         {"metric": "ingest.wire_binary_speedup", "min": 10.0},
         {"metric": "ingest.binary_speedup", "min": 1.3},
         {"metric": "ingest.binary_pairs_per_second", "min": 100_000},
     ]
+    if slo.feed_pairs_per_second > 0:
+        gates.append(
+            {"metric": "serve.pairs_per_second", "min": slo.feed_pairs_per_second}
+        )
+    return gates
 
 
 #: Default (single-server) gate set, kept for importers and docs.
@@ -167,6 +193,12 @@ def run(
             _run_single(sessions, connections, chunk_pairs, max_inflight_feeds,
                         binary)
         )
+    slo = SLOPolicy()
+    serve = fleet.to_dict()
+    # The bucketed view of the same latencies the percentile fields
+    # summarise; its p99 is gated alongside the sampled p99 so the two
+    # views cannot silently diverge.
+    serve["hist_poll_p99_seconds"] = histogram_quantile(serve["poll_histogram"], 0.99)
     return {
         "workload": {
             "quick": quick,
@@ -178,9 +210,10 @@ def run(
             "binary": binary,
         },
         "cpu_count": os.cpu_count() or 1,
-        "serve": fleet.to_dict(),
+        "slo": slo.to_dict(),
+        "serve": serve,
         "ingest": ingest,
-        "gates": gates_for(workers),
+        "gates": gates_for(workers, slo),
     }
 
 
@@ -199,6 +232,7 @@ def render(artifact: dict) -> None:
         f"pairs/s={serve['pairs_per_second']:.0f} "
         f"poll p50/p95/p99={serve['poll_p50_seconds']*1e3:.1f}/"
         f"{serve['poll_p95_seconds']*1e3:.1f}/{serve['poll_p99_seconds']*1e3:.1f} ms "
+        f"(hist p99<={serve['hist_poll_p99_seconds']*1e3:.1f} ms) "
         f"bit_identical={serve['bit_identical_sessions']}/{serve['sessions']}"
     )
     print(

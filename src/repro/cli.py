@@ -20,8 +20,12 @@ Installed as ``repro-cycles``.  Subcommands:
   ``.jsonl`` telemetry logs) against baselines and exit non-zero on
   regression (the CI perf gate; see ``repro.obs.bench_report``);
 * ``obs-report`` — render a run report (phase timeline, throughput,
-  convergence curves) from a telemetry log and/or trace file (see
-  ``docs/OBSERVABILITY.md``);
+  convergence curves) from one or more telemetry logs and/or trace files;
+  ``obs-report stitch-trace`` merges per-process Chrome traces into one
+  (see ``docs/OBSERVABILITY.md``);
+* ``top`` — live terminal dashboard polling a routed fleet's ``/metrics``
+  scrape endpoint (sessions, ingest rates, latency sparklines, SLO
+  verdicts);
 * ``lint`` — alias for the ``repro-lint`` static analyser (determinism and
   sketch-state contracts; see ``docs/LINTING.md``).
 
@@ -38,6 +42,9 @@ Examples::
     repro-cycles bench-report fresh/BENCH_parallel.json --against BENCH_parallel.json
     repro-cycles algorithms
     repro-cycles serve --port 7340 --telemetry serve.jsonl --checkpoint-dir ckpt/
+    repro-cycles serve --port 7340 --workers 4 --metrics-port 9640 --trace serve.trace
+    repro-cycles top --port 9640 --once
+    repro-cycles obs-report stitch-trace --trace serve.trace --trace serve.worker-0.trace --out fleet.trace
 """
 
 from __future__ import annotations
@@ -405,10 +412,19 @@ def cmd_serve(args) -> int:
     framing negotiated per connection and cross-worker merges that stay
     bit-identical to single-process runs.  ``--auth`` (router mode only)
     loads per-tenant tokens and quotas from a JSON file.
+
+    ``--metrics-port`` (router mode) exposes the live observability
+    plane: a ``/metrics`` Prometheus scrape endpoint aggregating
+    per-worker metric snapshots, relay-latency histograms and SLO gauges
+    (thresholds via the ``--slo-*`` flags; see ``docs/OBSERVABILITY.md``
+    and ``repro-cycles top``).  In router mode ``--telemetry``/``--trace``
+    name the *router's* artifacts; each worker writes a
+    ``.worker-<i>`` sibling, and the per-process trace files stitch into
+    one tree with ``repro-cycles obs-report stitch-trace``.
     """
     import asyncio
 
-    from repro.obs.telemetry import NULL_TELEMETRY, open_telemetry
+    from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, open_telemetry
     from repro.obs.trace import NULL_TRACER, Tracer, write_chrome_trace
     from repro.serve.manager import SessionManager
     from repro.serve.protocol import ServeError
@@ -421,21 +437,48 @@ def cmd_serve(args) -> int:
         print("--auth requires --workers (quotas are router-enforced)",
               file=sys.stderr)
         return 2
+    if args.metrics_port is not None and not args.workers:
+        print("--metrics-port requires --workers (the scrape endpoint "
+              "aggregates the router's worker fleet)", file=sys.stderr)
+        return 2
 
     if args.workers:
-        from repro.serve.router import ServeRouter, load_tenants
+        from repro.obs.slo import SLOPolicy
+        from repro.serve.router import (
+            ServeRouter,
+            load_tenants,
+            worker_artifact_path,
+        )
 
-        if args.telemetry or args.trace:
-            print(
-                "note: --telemetry/--trace apply to single-process serve; "
-                "router workers run without them",
-                file=sys.stderr,
-            )
         try:
             tenants = load_tenants(args.auth) if args.auth else None
         except (OSError, ValueError, KeyError) as exc:
             print(f"serve: bad --auth file: {exc}", file=sys.stderr)
             return 2
+        try:
+            telemetry = (
+                open_telemetry(args.telemetry) if args.telemetry
+                else (Telemetry(sink=None) if args.metrics_port is not None
+                      else NULL_TELEMETRY)
+            )
+        except ValueError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
+        tracer = (
+            Tracer(seed=0, telemetry=telemetry, root="serve")
+            if args.trace
+            else NULL_TRACER
+        )
+        slo = (
+            SLOPolicy(
+                poll_p99_seconds=args.slo_poll_p99,
+                feed_pairs_per_second=args.slo_feed_rate,
+                verdict_age_seconds=args.slo_verdict_age,
+                loop_lag_p99_seconds=args.slo_loop_lag_p99,
+            )
+            if args.metrics_port is not None
+            else None
+        )
         router = ServeRouter(
             args.workers,
             args.host,
@@ -447,6 +490,19 @@ def cmd_serve(args) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             tenants=tenants,
+            metrics_port=args.metrics_port,
+            slo=slo,
+            slo_interval_s=args.slo_interval,
+            telemetry=telemetry,
+            tracer=tracer,
+            worker_telemetry_paths=(
+                [worker_artifact_path(args.telemetry, i) for i in range(args.workers)]
+                if args.telemetry else None
+            ),
+            worker_trace_paths=(
+                [worker_artifact_path(args.trace, i) for i in range(args.workers)]
+                if args.trace else None
+            ),
         )
         router.spawn_workers()  # fork before the event loop exists
 
@@ -458,11 +514,21 @@ def cmd_serve(args) -> int:
                 f"{args.host}:{router.bound_port}",
                 flush=True,
             )
+            if args.metrics_port is not None:
+                print(
+                    f"metrics on http://{args.host}:"
+                    f"{router.metrics_bound_port}/metrics",
+                    flush=True,
+                )
             await router.serve_until_stopped()
 
         exit_code = 0
         try:
-            asyncio.run(_route())
+            if tracer is not NULL_TRACER:
+                with tracer:
+                    asyncio.run(_route())
+            else:
+                asyncio.run(_route())
         except KeyboardInterrupt:
             pass  # workers share the SIGINT and checkpoint themselves
         except OSError as exc:
@@ -470,6 +536,9 @@ def cmd_serve(args) -> int:
             exit_code = 1
         finally:
             router.join_workers()
+            if args.trace and tracer.spans:
+                write_chrome_trace(args.trace, tracer.spans)
+            telemetry.close()
         return exit_code
 
     telemetry = open_telemetry(args.telemetry) if args.telemetry else NULL_TELEMETRY
@@ -536,6 +605,13 @@ def cmd_obs_report(args) -> int:
     from repro.obs.obs_report import run_obs_report
 
     return run_obs_report(args)
+
+
+def cmd_top(args) -> int:
+    """Live /metrics dashboard; exit 2 when --once cannot scrape."""
+    from repro.obs.top import run_top
+
+    return run_top(args)
 
 
 def cmd_lint(args) -> int:
@@ -695,15 +771,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--resume", action="store_true",
                        help="restore sessions checkpointed in --checkpoint-dir")
     serve.add_argument("--telemetry", default=None,
-                       help="write serve telemetry (JSONL) to this path")
+                       help="write serve telemetry (JSONL) to this path; in "
+                       "router mode workers write .worker-<i> siblings")
     serve.add_argument("--trace", default=None,
-                       help="write per-session trace spans (Chrome trace) to this path")
+                       help="write per-session trace spans (Chrome trace) to "
+                       "this path; in router mode workers write .worker-<i> "
+                       "siblings that stitch via obs-report stitch-trace")
     serve.add_argument("--workers", type=int, default=0,
                        help="scale out: run a hash-sharding router over N "
                        "worker processes (0 = single in-process server)")
     serve.add_argument("--auth", default=None,
                        help="tenant config JSON (tokens + quotas), enforced "
                        "at the router; requires --workers")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="serve a Prometheus /metrics scrape endpoint on "
+                       "this port (0 picks a free one); requires --workers")
+    serve.add_argument("--slo-poll-p99", type=float, default=2.0,
+                       help="SLO: p99 poll latency ceiling in seconds "
+                       "(0 disables; default 2.0)")
+    serve.add_argument("--slo-feed-rate", type=float, default=0.0,
+                       help="SLO: ingest throughput floor in pairs/s over the "
+                       "evaluation window (0 disables; default 0)")
+    serve.add_argument("--slo-verdict-age", type=float, default=300.0,
+                       help="SLO: ceiling on seconds since a convergence poll "
+                       "last refreshed a verdict (0 disables; default 300)")
+    serve.add_argument("--slo-loop-lag-p99", type=float, default=0.25,
+                       help="SLO: p99 event-loop lag ceiling in seconds "
+                       "(0 disables; default 0.25)")
+    serve.add_argument("--slo-interval", type=float, default=5.0,
+                       help="seconds between SLO evaluations (default 5)")
     serve.set_defaults(func=cmd_serve)
 
     from repro.obs.bench_report import build_parser as build_bench_parser
@@ -732,6 +828,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build_obs_parser(obs)
     obs.set_defaults(func=cmd_obs_report)
+
+    from repro.obs.top import build_parser as build_top_parser
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of a routed serve fleet's /metrics",
+        description="Poll a router's /metrics scrape endpoint and render a "
+        "live dashboard: per-worker sessions and ingest rates, latency "
+        "histogram sparklines, and SLO pass/fail gauges.  --once prints a "
+        "single frame and exits (CI mode).",
+    )
+    build_top_parser(top)
+    top.set_defaults(func=cmd_top)
 
     lint = sub.add_parser(
         "lint",

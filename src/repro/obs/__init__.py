@@ -48,16 +48,21 @@ from repro.obs.events import (
 from repro.obs.metrics import (
     COUNTER,
     GAUGE,
+    HISTOGRAM,
+    HISTOGRAM_BOUNDS,
     TIMER,
+    Histogram,
     MetricFamily,
     MetricRegistry,
     Snapshot,
     format_series,
+    histogram_quantile,
+    label_snapshot,
     merge_snapshots,
     parse_series,
     strip_timers,
 )
-from repro.obs.names import METRIC_NAMES, is_valid_metric_name
+from repro.obs.names import METRIC_NAMES, is_valid_metric_name, unregistered_series
 from repro.obs.rollup import deterministic_rollup, rollup_metrics
 from repro.obs.sinks import (
     NULL_SINK,
@@ -83,8 +88,11 @@ from repro.obs.trace import (
     span_id_for,
     span_tree,
     spans_from_events,
+    stitch_chrome_traces,
+    stitch_spans,
     write_chrome_trace,
 )
+from repro.obs.slo import SLOPolicy, SLOStatus, evaluate_slo, pooled_histogram
 
 __all__ = [
     "Telemetry",
@@ -122,10 +130,16 @@ __all__ = [
     "COUNTER",
     "GAUGE",
     "TIMER",
+    "HISTOGRAM",
+    "HISTOGRAM_BOUNDS",
+    "Histogram",
+    "histogram_quantile",
     "format_series",
     "parse_series",
+    "label_snapshot",
     "merge_snapshots",
     "strip_timers",
+    "unregistered_series",
     "rollup_metrics",
     "deterministic_rollup",
     "Tracer",
@@ -139,6 +153,12 @@ __all__ = [
     "chrome_trace_events",
     "write_chrome_trace",
     "read_chrome_trace",
+    "stitch_spans",
+    "stitch_chrome_traces",
+    "SLOPolicy",
+    "SLOStatus",
+    "evaluate_slo",
+    "pooled_histogram",
     "EstimatePoint",
     "estimate_trace",
     "ConvergenceVerdict",

@@ -9,7 +9,10 @@ instrument for that series.  Three instrument kinds exist:
 * :class:`Counter` — monotonically increasing total (``inc``);
 * :class:`Gauge` — instantaneous value plus its high-water mark (``set``);
 * :class:`Timer` — accumulated wall-time observations (sum / count / max),
-  with a context-manager ``time()`` helper.
+  with a context-manager ``time()`` helper;
+* :class:`Histogram` — bucketed observations over *fixed* exponential
+  bounds (:data:`HISTOGRAM_BOUNDS`), so independently collected
+  histograms merge deterministically bucket-by-bucket.
 
 Everything serialises through :meth:`MetricRegistry.snapshot`: a flat,
 JSON-safe ``{series_key: {kind, ...values}}`` dict whose series keys look
@@ -22,14 +25,27 @@ experiment harness's per-trial roll-up uses.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 Snapshot = Dict[str, Dict[str, Any]]
 
 COUNTER = "counter"
 GAUGE = "gauge"
 TIMER = "timer"
-KINDS = (COUNTER, GAUGE, TIMER)
+HISTOGRAM = "histogram"
+KINDS = (COUNTER, GAUGE, TIMER, HISTOGRAM)
+
+#: Metric kinds that record wall-clock quantities and are therefore
+#: excluded from determinism comparisons (see :func:`strip_timers`).
+WALL_CLOCK_KINDS = (TIMER, HISTOGRAM)
+
+#: The one fixed bucket layout every histogram in the tree uses: upper
+#: bounds in seconds, powers of two from 1 µs to ~8.4 s (24 buckets),
+#: plus an implicit ``+Inf`` overflow bucket.  Fixing the bounds is what
+#: makes :func:`merge_snapshots` deterministic — two workers can never
+#: disagree on bucket edges, so merging is pure elementwise addition.
+HISTOGRAM_BOUNDS: Tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(24))
 
 
 def format_series(name: str, labels: Mapping[str, str]) -> str:
@@ -138,6 +154,77 @@ class Timer:
         self.max_seconds = blob["max_seconds"]
 
 
+class Histogram:
+    """Bucketed observations over fixed exponential bounds.
+
+    ``buckets[i]`` counts observations with ``value <= bounds[i]`` that
+    no earlier bucket claimed (non-cumulative storage); ``buckets[-1]``
+    is the ``+Inf`` overflow.  :meth:`cumulative` produces the
+    Prometheus-style running totals for exposition.
+    """
+
+    kind = HISTOGRAM
+
+    __slots__ = ("bounds", "buckets", "total", "count")
+
+    def __init__(self, bounds: Sequence[float] = HISTOGRAM_BOUNDS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.total: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("histogram observations cannot be negative")
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative(self) -> Iterator[Tuple[float, int]]:
+        """Yield ``(upper_bound, running_count)``; the last bound is inf."""
+        running = 0
+        for bound, n in zip(self.bounds, self.buckets):
+            running += n
+            yield bound, running
+        yield float("inf"), self.count
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (0..1) by linear bucket attribution.
+
+        Returns the upper bound of the bucket holding the q-th
+        observation — a conservative (over-) estimate, which is the safe
+        direction for latency SLOs.  Empty histograms estimate 0.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for bound, n in zip(self.bounds, self.buckets):
+            running += n
+            if running >= rank:
+                return bound
+        return self.bounds[-1] if self.bounds else 0.0
+
+    def dump(self) -> Dict[str, Any]:
+        return {
+            "kind": HISTOGRAM,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "total": self.total,
+            "count": self.count,
+        }
+
+    def load(self, blob: Mapping[str, Any]) -> None:
+        self.bounds = tuple(float(b) for b in blob["bounds"])
+        self.buckets = [int(n) for n in blob["buckets"]]
+        self.total = blob["total"]
+        self.count = int(blob["count"])
+
+
 class _TimerContext:
     __slots__ = ("_timer", "_start")
 
@@ -155,7 +242,7 @@ class _TimerContext:
         self._timer.observe(time.perf_counter() - self._start)
 
 
-_INSTRUMENTS = {COUNTER: Counter, GAUGE: Gauge, TIMER: Timer}
+_INSTRUMENTS = {COUNTER: Counter, GAUGE: Gauge, TIMER: Timer, HISTOGRAM: Histogram}
 
 
 class MetricFamily:
@@ -219,6 +306,9 @@ class MetricRegistry:
     def timer(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()) -> MetricFamily:
         return self._family(name, TIMER, help, labelnames)
 
+    def histogram(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, HISTOGRAM, help, labelnames)
+
     def families(self) -> List[MetricFamily]:
         return [self._families[name] for name in sorted(self._families)]
 
@@ -269,6 +359,16 @@ def merge_snapshots(snapshots: Iterable[Snapshot]) -> Snapshot:
             elif kind == GAUGE:
                 slot["value"] = max(slot["value"], blob["value"])
                 slot["high_water"] = max(slot["high_water"], blob["high_water"])
+            elif kind == HISTOGRAM:
+                if list(slot["bounds"]) != list(blob["bounds"]):
+                    raise ValueError(
+                        f"series {series_key!r} has conflicting histogram "
+                        "bucket bounds; all histograms must use the fixed "
+                        "HISTOGRAM_BOUNDS layout"
+                    )
+                slot["buckets"] = [a + b for a, b in zip(slot["buckets"], blob["buckets"])]
+                slot["total"] += blob["total"]
+                slot["count"] += blob["count"]
             else:  # timer
                 slot["total_seconds"] += blob["total_seconds"]
                 slot["count"] += blob["count"]
@@ -276,11 +376,35 @@ def merge_snapshots(snapshots: Iterable[Snapshot]) -> Snapshot:
     return {key: merged[key] for key in sorted(merged)}
 
 
+def label_snapshot(snapshot: Snapshot, **labels: str) -> Snapshot:
+    """Re-key every series with extra labels (e.g. ``worker="3"``).
+
+    The router tags each worker's shipped snapshot with its worker index
+    before merging, so per-worker series stay distinguishable in the
+    ``/metrics`` exposition while :func:`merge_snapshots` still pools
+    identically-labelled series.
+    """
+    out: Snapshot = {}
+    for series_key, blob in snapshot.items():
+        name, existing = parse_series(series_key)
+        existing.update({k: str(v) for k, v in labels.items()})
+        out[format_series(name, existing)] = dict(blob)
+    return out
+
+
 def strip_timers(snapshot: Snapshot) -> Snapshot:
-    """Drop timer series — the wall-clock part of a snapshot.
+    """Drop wall-clock series (timers *and* histograms) from a snapshot.
 
     Counters and gauges emitted by the instrumented runner are pure
-    functions of (stream, seed); timers are not.  Determinism assertions
-    (serial roll-up == parallel roll-up) compare stripped snapshots.
+    functions of (stream, seed); timers and latency histograms are not.
+    Determinism assertions (serial roll-up == parallel roll-up) compare
+    stripped snapshots.
     """
-    return {k: v for k, v in snapshot.items() if v["kind"] != TIMER}
+    return {k: v for k, v in snapshot.items() if v["kind"] not in WALL_CLOCK_KINDS}
+
+
+def histogram_quantile(blob: Mapping[str, Any], q: float) -> float:
+    """Quantile estimate straight from a snapshot blob of kind histogram."""
+    h = Histogram(blob["bounds"])
+    h.load(blob)
+    return h.quantile(q)

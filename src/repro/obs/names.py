@@ -19,7 +19,14 @@ from __future__ import annotations
 import re
 from typing import Dict, List
 
-__all__ = ["METRIC_NAMES", "METRIC_NAME_PATTERN", "is_valid_metric_name", "validate_registry"]
+__all__ = [
+    "METRIC_NAMES",
+    "METRIC_NAME_PATTERN",
+    "is_valid_metric_name",
+    "registered_help",
+    "unregistered_series",
+    "validate_registry",
+]
 
 #: ``segment(.segment)*`` where a segment is a lowercase identifier.
 METRIC_NAME_PATTERN = r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$"
@@ -55,7 +62,40 @@ METRIC_NAMES: Dict[str, str] = {
     "serve_errors_total": "requests rejected with a protocol error",
     "serve_bytes_total": "approximate request payload bytes accepted",
     "serve_requests_total": "protocol requests handled by the server",
+    # live plane: serve/manager.py histograms + queue depth
+    "serve_op_latency_seconds": "per-operation serve latency histogram (op=feed|poll|merge|snapshot, wire=json|binary)",
+    "serve_feed_gate_depth": "feeds queued behind the ingest semaphore (high water = worst backlog)",
+    "serve_loop_lag_seconds": "event-loop scheduling lag histogram (sleep overshoot)",
+    # live plane: serve/router.py
+    "router_relay_seconds": "router-side relay latency histogram per relayed op",
+    "router_tenant_bytes_total": "accepted feed payload bytes per tenant (router-metered)",
+    "router_workers": "worker processes behind the router",
+    "router_scrapes_total": "/metrics scrapes served by the router",
+    "router_slo_ok": "1 when the labelled SLO objective currently holds, else 0",
+    "router_slo_poll_p99_seconds": "p99 poll latency estimated from the live histogram",
+    "router_slo_feed_pairs_per_second": "ingest throughput over the last SLO evaluation window",
+    "router_slo_verdict_age_seconds": "seconds since a convergence poll last refreshed a verdict",
+    "router_slo_loop_lag_p99_seconds": "p99 event-loop lag estimated from the live histogram",
 }
+
+
+def registered_help(name: str) -> str:
+    """Canonical help text for a registered name (empty if unknown)."""
+    return METRIC_NAMES.get(name, "")
+
+
+def unregistered_series(snapshot: "Dict[str, object]") -> List[str]:
+    """Series keys in a snapshot whose metric *name* is not declared here.
+
+    The router's ``/metrics`` endpoint refuses to expose unregistered
+    names — the runtime counterpart of lint rule OBS001's static check.
+    """
+    out = []
+    for series_key in snapshot:
+        name = series_key.partition("{")[0]
+        if name not in METRIC_NAMES:
+            out.append(series_key)
+    return sorted(out)
 
 
 def is_valid_metric_name(name: str) -> bool:

@@ -1,7 +1,7 @@
 """``repro-cycles obs-report`` — a self-contained run report.
 
-Consumes a JSONL telemetry log (``--telemetry`` output) and/or a Chrome
-trace file (``--trace`` output) from one run and renders:
+Consumes JSONL telemetry logs (``--telemetry`` output) and/or Chrome
+trace files (``--trace`` output) and renders:
 
 * a **run summary** (algorithm, passes, pairs, estimate, space peaks);
 * a **phase timeline** built from trace spans (falling back to
@@ -10,6 +10,17 @@ trace file (``--trace`` output) from one run and renders:
 * **sampler occupancy** (last reading of every ``observables()`` gauge);
 * a **convergence curve** from :class:`~repro.obs.events.EstimateSample`
   events, with relative errors when ``--truth`` is given.
+
+Both ``--log`` and ``--trace`` repeat: a routed serve run leaves one
+telemetry/trace file per process (router + ``.worker-<i>`` siblings),
+and passing them all merges the event streams and **stitches** the span
+sets into one tree (span identity is a pure function of seed and
+structural path, so the same logical span observed by several processes
+deduplicates — see :func:`repro.obs.trace.stitch_spans`).
+
+The ``stitch-trace`` mode skips the report entirely: it stitches the
+``--trace`` files into one Chrome trace written to ``--out`` (the CI
+artifact for routed gauntlet runs).
 
 Formats: ``text`` (default), ``markdown``, and ``html`` — the HTML is a
 single self-contained file (inline CSS + SVG, no external assets) so CI
@@ -36,7 +47,13 @@ from repro.obs.events import (
 )
 from repro.obs.diagnostics import EstimatePoint, estimate_trace
 from repro.obs.sinks import read_jsonl_events
-from repro.obs.trace import SpanRecord, read_chrome_trace, spans_from_events
+from repro.obs.trace import (
+    SpanRecord,
+    read_chrome_trace,
+    spans_from_events,
+    stitch_chrome_traces,
+    stitch_spans,
+)
 
 __all__ = ["RunData", "load_run_data", "render_report", "build_parser", "run_obs_report", "main"]
 
@@ -49,27 +66,55 @@ class RunData:
     spans: List[SpanRecord] = field(default_factory=list)
     log_path: Optional[str] = None
     trace_path: Optional[str] = None
+    log_paths: List[str] = field(default_factory=list)
+    trace_paths: List[str] = field(default_factory=list)
+
+
+def _as_paths(value: Any) -> List[str]:
+    if value is None:
+        return []
+    if isinstance(value, (str, os.PathLike)):
+        return [str(value)]
+    return [str(v) for v in value]
 
 
 def load_run_data(
-    log_path: Optional[str] = None, trace_path: Optional[str] = None
+    log_path: Any = None, trace_path: Any = None
 ) -> RunData:
-    """Load a telemetry log and/or trace file into one :class:`RunData`.
+    """Load telemetry log(s) and/or trace file(s) into one :class:`RunData`.
 
-    A log alone still yields spans when the run traced into the same
-    JSONL (``SpanFinished`` events); a trace file alone yields only the
-    timeline sections.
+    Either argument accepts a single path or a sequence of paths (a
+    routed serve run leaves one file per process).  Event streams
+    concatenate in the given order; multiple span sets **stitch** by
+    deterministic span identity, so the router's and workers' views of
+    the same session collapse into one tree.  A log alone still yields
+    spans when the run traced into the same JSONL (``SpanFinished``
+    events); a trace file alone yields only the timeline sections.
     """
-    if log_path is None and trace_path is None:
+    logs, traces = _as_paths(log_path), _as_paths(trace_path)
+    if not logs and not traces:
         raise ValueError("obs-report needs a telemetry log, a trace file, or both")
-    data = RunData(log_path=log_path, trace_path=trace_path)
-    if log_path is not None:
-        data.events = read_jsonl_events(log_path)
-        data.spans = spans_from_events(data.events)
-    if trace_path is not None:
-        # The trace file is authoritative for spans when both are given
+    data = RunData(
+        log_path=logs[0] if logs else None,
+        trace_path=traces[0] if traces else None,
+        log_paths=logs,
+        trace_paths=traces,
+    )
+    for path in logs:
+        data.events.extend(read_jsonl_events(path))
+    if traces:
+        # Trace files are authoritative for spans when both are given
         # (identical content, but already ordered by track).
-        data.spans = read_chrome_trace(trace_path)
+        if len(traces) == 1:
+            data.spans = read_chrome_trace(traces[0])
+        else:
+            data.spans = stitch_spans([read_chrome_trace(path) for path in traces])
+    elif len(logs) == 1:
+        data.spans = spans_from_events(data.events)
+    elif logs:
+        data.spans = stitch_spans(
+            [spans_from_events(read_jsonl_events(path)) for path in logs]
+        )
     return data
 
 
@@ -343,7 +388,7 @@ def render_html(data: RunData, truth: Optional[float] = None) -> str:
         "</style></head><body>",
         "<h1>Run report</h1>",
     ]
-    sources = [p for p in (data.log_path, data.trace_path) if p]
+    sources = list(data.log_paths) + list(data.trace_paths)
     if sources:
         parts.append(f"<p>sources: {esc(', '.join(sources))}</p>")
 
@@ -426,8 +471,28 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.A
             prog="repro-cycles obs-report",
             description="Render a run report from telemetry and/or trace files.",
         )
-    parser.add_argument("--log", default=None, help="JSONL telemetry log (--telemetry output)")
-    parser.add_argument("--trace", default=None, help="Chrome trace file (--trace output)")
+    parser.add_argument(
+        "mode",
+        nargs="?",
+        choices=("report", "stitch-trace"),
+        default="report",
+        help="report (default) renders the run report; stitch-trace merges "
+        "the --trace files into one Chrome trace written to --out",
+    )
+    parser.add_argument(
+        "--log",
+        action="append",
+        default=None,
+        help="JSONL telemetry log (--telemetry output); repeat to merge "
+        "several processes' logs into one report",
+    )
+    parser.add_argument(
+        "--trace",
+        action="append",
+        default=None,
+        help="Chrome trace file (--trace output); repeat to stitch several "
+        "processes' traces into one span tree",
+    )
     parser.add_argument(
         "--truth",
         type=float,
@@ -440,6 +505,25 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.A
 
 
 def run_obs_report(args: argparse.Namespace) -> int:
+    if getattr(args, "mode", "report") == "stitch-trace":
+        traces = _as_paths(args.trace)
+        if not traces:
+            print("obs-report: stitch-trace needs at least one --trace", file=sys.stderr)
+            return 2
+        if not args.out:
+            print("obs-report: stitch-trace needs --out TRACE_PATH", file=sys.stderr)
+            return 2
+        try:
+            stitched = stitch_chrome_traces(traces, args.out)
+        except (OSError, ValueError, json.JSONDecodeError, KeyError) as exc:
+            print(f"obs-report: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"obs-report: stitched {len(stitched)} span(s) from "
+            f"{len(traces)} file(s) into {os.path.abspath(args.out)}",
+            file=sys.stderr,
+        )
+        return 0
     if args.log is None and args.trace is None:
         print("obs-report: pass --log and/or --trace", file=sys.stderr)
         return 2

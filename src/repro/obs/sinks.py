@@ -16,8 +16,10 @@ one attribute lookup (``telemetry.enabled``) and no call.  Four sinks:
 
 Textfile conventions (node-exporter textfile-collector compatible):
 ``# HELP``/``# TYPE`` headers per family, ``kind timer`` families expand
-to ``<name>_total`` / ``<name>_count`` / ``<name>_max`` samples, and
-gauges also export their ``<name>_high_water`` mark.
+to ``<name>_total`` / ``<name>_count`` / ``<name>_max`` samples, gauges
+also export their ``<name>_high_water`` mark, and histograms expand to
+the standard cumulative ``<name>_bucket{le="..."}`` series (ending at
+``le="+Inf"``) plus ``<name>_sum`` / ``<name>_count``.
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ from repro.obs.events import MetricsReport, TelemetryEvent, decode_event, encode
 from repro.obs.metrics import (
     COUNTER,
     GAUGE,
+    HISTOGRAM,
     TIMER,
     Snapshot,
     format_series,
@@ -243,6 +246,16 @@ def render_textfile(snapshot: Snapshot, help_texts: Optional[Mapping[str, str]] 
                 lines.append(
                     _sample_line(f"{name}_high_water", labels, blob["high_water"])
                 )
+            elif kind == HISTOGRAM:
+                running = 0
+                for bound, n in zip(blob["bounds"], blob["buckets"]):
+                    running += n
+                    le = dict(labels, le=_format_value(float(bound)))
+                    lines.append(_sample_line(f"{name}_bucket", le, running))
+                inf = dict(labels, le="+Inf")
+                lines.append(_sample_line(f"{name}_bucket", inf, blob["count"]))
+                lines.append(_sample_line(f"{name}_sum", labels, blob["total"]))
+                lines.append(_sample_line(f"{name}_count", labels, blob["count"]))
             else:  # timer
                 lines.append(_sample_line(f"{name}_total", labels, blob["total_seconds"]))
                 lines.append(_sample_line(f"{name}_count", labels, blob["count"]))
@@ -275,8 +288,9 @@ def parse_textfile(text: str) -> Tuple[Snapshot, Dict[str, str]]:
     """Invert :func:`render_textfile`: ``(snapshot, help_texts)``.
 
     Timer families reassemble from their ``_total``/``_count``/``_max``
-    samples and gauges from their value + ``_high_water`` pair, guided by
-    the ``# TYPE`` declarations.
+    samples, gauges from their value + ``_high_water`` pair, and
+    histograms from their cumulative ``_bucket{le=...}`` ladder plus
+    ``_sum``/``_count``, guided by the ``# TYPE`` declarations.
     """
     kinds: Dict[str, str] = {}
     helps: Dict[str, str] = {}
@@ -309,21 +323,54 @@ def parse_textfile(text: str) -> Tuple[Snapshot, Dict[str, str]]:
             slots[f"{name}_total"] = (name, "total_seconds")
             slots[f"{name}_count"] = (name, "count")
             slots[f"{name}_max"] = (name, "max_seconds")
+        elif kind == HISTOGRAM:
+            slots[f"{name}_bucket"] = (name, "_bucket")
+            slots[f"{name}_sum"] = (name, "total")
+            slots[f"{name}_count"] = (name, "count")
         else:
             raise ValueError(f"unknown TYPE {kind!r} for family {name!r}")
     defaults = {
         COUNTER: lambda: {"kind": COUNTER, "value": 0},
         GAUGE: lambda: {"kind": GAUGE, "value": 0, "high_water": 0},
         TIMER: lambda: {"kind": TIMER, "total_seconds": 0.0, "count": 0, "max_seconds": 0.0},
+        HISTOGRAM: lambda: {"kind": HISTOGRAM, "total": 0.0, "count": 0, "_cum": {}},
     }
     snapshot: Snapshot = {}
     for sample_name, labels, value in samples:
         if sample_name not in slots:
             raise ValueError(f"sample {sample_name!r} has no # TYPE declaration")
         family, slot = slots[sample_name]
+        if slot == "_bucket":
+            # The ``le`` bound is part of the sample, not of the series.
+            le_text = labels.pop("le", None)
+            if le_text is None:
+                raise ValueError(f"histogram sample {sample_name!r} lacks an le label")
+            bound = float(le_text.replace("+Inf", "inf"))
+            series_key = format_series(family, labels)
+            blob = snapshot.setdefault(series_key, defaults[HISTOGRAM]())
+            blob["_cum"][bound] = int(value)
+            continue
         series_key = format_series(family, labels)
         blob = snapshot.setdefault(series_key, defaults[kinds[family]]())
         blob[slot] = value
+    # De-cumulate histogram bucket ladders back into per-bucket counts.
+    for blob in snapshot.values():
+        if blob["kind"] != HISTOGRAM:
+            continue
+        cum = blob.pop("_cum", {})
+        bounds = sorted(b for b in cum if math.isfinite(b))
+        running = 0
+        buckets: List[int] = []
+        for bound in bounds:
+            if cum[bound] < running:
+                raise ValueError("histogram bucket ladder is not cumulative")
+            buckets.append(cum[bound] - running)
+            running = cum[bound]
+        buckets.append(int(blob["count"]) - running)
+        if buckets[-1] < 0:
+            raise ValueError("histogram _count is below the last finite bucket")
+        blob["bounds"] = [float(b) for b in bounds]
+        blob["buckets"] = buckets
     return snapshot, helps
 
 

@@ -1,0 +1,148 @@
+"""Service-level objectives evaluated over live metric snapshots.
+
+An :class:`SLOPolicy` names the four objectives the serve fleet is
+operated against (ISSUE/PAPER framing: the paper's space/accuracy
+budgets become *latency/throughput/freshness* budgets once the
+estimator runs as a service):
+
+* ``poll_p99_seconds`` — ceiling on the p99 server-side poll latency,
+  estimated from the live ``serve_op_latency_seconds{op=poll}``
+  histogram (conservative upper-bound quantile, see
+  :meth:`~repro.obs.metrics.Histogram.quantile`);
+* ``feed_pairs_per_second`` — floor on ingest throughput over the last
+  evaluation window (0 disables the floor while idle fleets warm up);
+* ``verdict_age_seconds`` — ceiling on the time since *any* session's
+  convergence verdict was refreshed by a poll — an anytime estimator
+  whose verdicts go stale is not "live";
+* ``loop_lag_p99_seconds`` — ceiling on p99 event-loop scheduling lag
+  (``serve_loop_lag_seconds``), the canary for a starved router.
+
+The router evaluates the policy periodically (`--slo-*` flags), exports
+each objective as ``router_slo_*`` gauges plus a boolean
+``router_slo_ok{objective=...}``, and ``bench_serve.py`` derives
+absolute bench-report gates from the same policy so CI and the live
+plane enforce one vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.metrics import HISTOGRAM, Snapshot, histogram_quantile, parse_series
+
+__all__ = ["SLOPolicy", "SLOStatus", "pooled_histogram", "evaluate_slo"]
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Objective thresholds; ``None``/0 disables an objective."""
+
+    poll_p99_seconds: float = 2.0
+    feed_pairs_per_second: float = 0.0
+    verdict_age_seconds: float = 300.0
+    loop_lag_p99_seconds: float = 0.25
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "poll_p99_seconds": self.poll_p99_seconds,
+            "feed_pairs_per_second": self.feed_pairs_per_second,
+            "verdict_age_seconds": self.verdict_age_seconds,
+            "loop_lag_p99_seconds": self.loop_lag_p99_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One evaluated objective: observed value vs its threshold."""
+
+    objective: str
+    value: float
+    threshold: float
+    #: ``"max"`` — value must stay at or below threshold; ``"min"`` — at
+    #: or above.
+    direction: str
+    ok: bool
+
+
+def pooled_histogram(
+    snapshot: Snapshot, name: str, where: Optional[Mapping[str, str]] = None
+) -> Optional[Dict[str, Any]]:
+    """Merge every histogram series of ``name`` whose labels match ``where``.
+
+    ``where`` is a label subset (e.g. ``{"op": "poll"}``); series keyed
+    by extra labels (wire, worker) pool into one blob.  Returns ``None``
+    when no series matches.
+    """
+    pooled: Optional[Dict[str, Any]] = None
+    for series_key in sorted(snapshot):
+        blob = snapshot[series_key]
+        if blob.get("kind") != HISTOGRAM:
+            continue
+        series_name, labels = parse_series(series_key)
+        if series_name != name:
+            continue
+        if where and any(labels.get(k) != v for k, v in where.items()):
+            continue
+        if pooled is None:
+            pooled = {
+                "kind": HISTOGRAM,
+                "bounds": list(blob["bounds"]),
+                "buckets": list(blob["buckets"]),
+                "total": blob["total"],
+                "count": blob["count"],
+            }
+        else:
+            if list(pooled["bounds"]) != list(blob["bounds"]):
+                raise ValueError(f"histogram {name!r} mixes bucket bounds across series")
+            pooled["buckets"] = [a + b for a, b in zip(pooled["buckets"], blob["buckets"])]
+            pooled["total"] += blob["total"]
+            pooled["count"] += blob["count"]
+    return pooled
+
+
+def _status(objective: str, value: float, threshold: float, direction: str) -> SLOStatus:
+    if direction == "max":
+        ok = value <= threshold
+    else:
+        ok = value >= threshold
+    return SLOStatus(objective=objective, value=value, threshold=threshold,
+                     direction=direction, ok=ok)
+
+
+def evaluate_slo(
+    policy: SLOPolicy,
+    snapshot: Snapshot,
+    *,
+    pairs_per_second: float,
+    verdict_age_seconds: float,
+) -> List[SLOStatus]:
+    """Evaluate every enabled objective against a fleet-merged snapshot.
+
+    ``pairs_per_second`` (windowed ingest rate) and
+    ``verdict_age_seconds`` (time since the last verdict-refreshing
+    poll) are rates/ages the caller tracks between snapshots — a single
+    snapshot cannot express them.
+    """
+    statuses: List[SLOStatus] = []
+    if policy.poll_p99_seconds > 0:
+        poll = pooled_histogram(snapshot, "serve_op_latency_seconds", {"op": "poll"})
+        p99 = histogram_quantile(poll, 0.99) if poll else 0.0
+        statuses.append(_status("poll_p99_seconds", p99, policy.poll_p99_seconds, "max"))
+    if policy.feed_pairs_per_second > 0:
+        statuses.append(_status(
+            "feed_pairs_per_second", pairs_per_second,
+            policy.feed_pairs_per_second, "min",
+        ))
+    if policy.verdict_age_seconds > 0:
+        statuses.append(_status(
+            "verdict_age_seconds", verdict_age_seconds,
+            policy.verdict_age_seconds, "max",
+        ))
+    if policy.loop_lag_p99_seconds > 0:
+        lag = pooled_histogram(snapshot, "serve_loop_lag_seconds")
+        lag_p99 = histogram_quantile(lag, 0.99) if lag else 0.0
+        statuses.append(_status(
+            "loop_lag_p99_seconds", lag_p99, policy.loop_lag_p99_seconds, "max",
+        ))
+    return statuses

@@ -73,6 +73,11 @@ class Telemetry:
         family = self.registry.timer(name, help=help, labelnames=tuple(sorted(labels)))
         family.labels(**labels).observe(seconds)
 
+    def observe_histogram(self, name: str, value: float, help: str = "", **labels: str) -> None:
+        """Record one observation on histogram ``name`` (fixed bounds)."""
+        family = self.registry.histogram(name, help=help, labelnames=tuple(sorted(labels)))
+        family.labels(**labels).observe(value)
+
     def metrics_snapshot(self) -> Snapshot:
         return self.registry.snapshot()
 
@@ -127,6 +132,9 @@ class _NullTelemetry(Telemetry):
         pass
 
     def observe_seconds(self, name: str, seconds: float, help: str = "", **labels: str) -> None:
+        pass
+
+    def observe_histogram(self, name: str, value: float, help: str = "", **labels: str) -> None:
         pass
 
     def close(self) -> None:

@@ -57,6 +57,8 @@ __all__ = [
     "chrome_trace_events",
     "write_chrome_trace",
     "read_chrome_trace",
+    "stitch_spans",
+    "stitch_chrome_traces",
     "TraceSink",
 ]
 
@@ -489,6 +491,39 @@ def read_chrome_trace(path: str) -> List[SpanRecord]:
             )
         )
     return spans
+
+
+def stitch_spans(span_sets: Sequence[Sequence[SpanRecord]]) -> List[SpanRecord]:
+    """Merge per-process span sets into one trace, deduplicated by identity.
+
+    Because span ids are pure functions of (seed, structural path), the
+    same logical span observed by two processes — the router's relay
+    view and the worker's session view share negotiated trace contexts —
+    collapses to *one* record: identity keys the merge, and the copy
+    with the longest duration wins (the process that owned the span
+    encloses every observer's view of it).  Output order is sorted by
+    (path, span_id), independent of input file order, so stitching is
+    deterministic.
+    """
+    best: Dict[Tuple[str, str], SpanRecord] = {}
+    for spans in span_sets:
+        for record in spans:
+            key = (record.path, record.span_id)
+            held = best.get(key)
+            if held is None or (record.end_s - record.start_s) > (held.end_s - held.start_s):
+                best[key] = record
+    return [best[key] for key in sorted(best)]
+
+
+def stitch_chrome_traces(paths: Sequence[str], out_path: str) -> List[SpanRecord]:
+    """Read several Chrome trace files, stitch them, write one trace.
+
+    Returns the stitched span set (what was written) so callers can
+    assert on ``span_tree`` determinism without re-reading the file.
+    """
+    stitched = stitch_spans([read_chrome_trace(path) for path in paths])
+    write_chrome_trace(out_path, stitched)
+    return stitched
 
 
 class TraceSink(TelemetrySink):

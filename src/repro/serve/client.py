@@ -80,6 +80,7 @@ class _ClientOps:
         byte_budget: Optional[int] = None,
         space_budget: Optional[int] = None,
         state: Optional[Dict[str, Any]] = None,
+        trace: Optional[Any] = None,
     ) -> Dict[str, Any]:
         params: Dict[str, Any] = {"session": session}
         if state is not None:
@@ -94,6 +95,14 @@ class _ClientOps:
             params["byte_budget"] = byte_budget
         if space_budget is not None:
             params["space_budget"] = space_budget
+        if trace is not None:
+            # A TraceContext (or an equivalent dict): the server records
+            # this session's span under our (seed, path) so per-process
+            # traces stitch by span id.
+            if isinstance(trace, dict):
+                params["trace"] = {"seed": int(trace["seed"]), "path": str(trace["path"])}
+            else:
+                params["trace"] = {"seed": int(trace.seed), "path": str(trace.path)}
         return await self.request("open", **params)
 
     async def feed(
@@ -147,8 +156,12 @@ class _ClientOps:
             close_sources=close_sources,
         )
 
-    async def stats(self, session: Optional[str] = None) -> Dict[str, Any]:
+    async def stats(
+        self, session: Optional[str] = None, *, metrics: bool = False
+    ) -> Dict[str, Any]:
         if session is None:
+            if metrics:
+                return await self.request("stats", metrics=1)
             return await self.request("stats")
         return await self.request("stats", session=session)
 

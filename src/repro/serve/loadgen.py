@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.planted import planted_triangles
+from repro.obs.metrics import Histogram
 from repro.serve.client import InProcessClient, ServeClient, _ClientOps
 from repro.serve.manager import SessionManager
 from repro.serve.protocol import (
@@ -96,6 +97,11 @@ class LoadResult:
     poll_p95_seconds: float
     poll_p99_seconds: float
     poll_max_seconds: float
+    #: Full client-observed poll-latency distribution over the standard
+    #: exponential bounds (the same blob shape the live ``/metrics``
+    #: histograms expose), so BENCH_serve.json keeps the whole shape,
+    #: not just three percentiles.
+    poll_histogram: Dict[str, Any]
     bit_identical_sessions: int
     mismatched_sessions: int
     all_bit_identical: int
@@ -281,6 +287,9 @@ async def run_load_async(
         for i in range(sessions)
     )
     latencies = sorted(poll_latencies)
+    histogram = Histogram()
+    for latency in latencies:
+        histogram.observe(max(0.0, latency))
     return LoadResult(
         sessions=sessions,
         concurrent_peak=int(stats["open_high_water"]),
@@ -292,6 +301,7 @@ async def run_load_async(
         poll_p95_seconds=_percentile(latencies, 0.95),
         poll_p99_seconds=_percentile(latencies, 0.99),
         poll_max_seconds=latencies[-1] if latencies else 0.0,
+        poll_histogram=histogram.dump(),
         bit_identical_sessions=identical,
         mismatched_sessions=len(outcomes) - identical,
         all_bit_identical=int(identical == len(outcomes)),

@@ -40,7 +40,7 @@ from repro.obs.events import (
     SessionsMerged,
 )
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.obs.trace import NULL_TRACER, TraceContext, Tracer, encode_span
 from repro.serve.protocol import (
     BAD_STATE,
     MERGE_INCOMPATIBLE,
@@ -61,6 +61,9 @@ __all__ = ["SessionManager"]
 
 #: Manifest filename written next to per-session snapshot files.
 MANIFEST_NAME = "serve-checkpoint.json"
+
+_FEED_GATE_HELP = "feeds queued behind the ingest semaphore (high water = worst backlog)"
+_OP_LATENCY_HELP = "per-operation serve latency histogram (op=feed|poll|merge|snapshot, wire=json|binary)"
 
 
 def _now() -> float:
@@ -118,7 +121,12 @@ class SessionManager:
         self._sessions: Dict[str, ServeSession] = {}
         self._locks: Dict[str, asyncio.Lock] = {}
         self._opened_at: Dict[str, float] = {}
+        #: Hello/open-negotiated trace contexts: the session span records
+        #: under the *client's* (seed, path), so the same logical span
+        #: gets the same id in every process and stitching can dedupe.
+        self._trace_ctx: Dict[str, TraceContext] = {}
         self._feed_gate = asyncio.Semaphore(max_inflight_feeds)
+        self._feed_pending = 0
         self._closing = False
         self.sessions_total = 0
         self.open_high_water = 0
@@ -185,6 +193,43 @@ class SessionManager:
                 help="serve sessions currently open (high water = peak concurrency)",
             )
 
+    def set_trace_context(self, session_id: str, ctx: TraceContext) -> None:
+        """Adopt a client-negotiated trace context for one session."""
+        if session_id in self._sessions:
+            self._trace_ctx[session_id] = ctx
+
+    def _record_session_span(self, session: ServeSession, opened: float) -> None:
+        sid = session.session_id
+        ctx = self._trace_ctx.pop(sid, None)
+        if not self.tracer.enabled:
+            return
+        attrs = dict(
+            pairs=session.pairs_total,
+            chunks=session.chunks,
+            polls=session.polls,
+            passes_completed=session.passes_completed,
+        )
+        if ctx is not None:
+            # Record under the negotiated (seed, path) so the client's
+            # and every relay's view of this session share one span id.
+            child = Tracer.from_context(ctx)
+            record = child.record_span(
+                f"session:{sid}",
+                category="session",
+                start_s=opened,
+                end_s=_now(),
+                **attrs,
+            )
+            self.tracer.adopt([encode_span(record)])
+        else:
+            self.tracer.record_span(
+                f"session:{sid}",
+                category="session",
+                start_s=opened,
+                end_s=_now(),
+                **attrs,
+            )
+
     def _uninstall(self, session: ServeSession, reason: str) -> None:
         sid = session.session_id
         opened = self._opened_at.pop(sid, 0.0)
@@ -207,16 +252,7 @@ class SessionManager:
                 len(self._sessions),
                 help="serve sessions currently open (high water = peak concurrency)",
             )
-        self.tracer.record_span(
-            f"session:{sid}",
-            category="session",
-            start_s=opened,
-            end_s=_now(),
-            pairs=session.pairs_total,
-            chunks=session.chunks,
-            polls=session.polls,
-            passes_completed=session.passes_completed,
-        )
+        self._record_session_span(session, opened)
 
     # -- lifecycle ops ---------------------------------------------------------
 
@@ -258,71 +294,102 @@ class SessionManager:
         self._install(session, resumed=True)
         return session
 
+    def _track_feed_gate(self, delta: int) -> None:
+        self._feed_pending += delta
+        if self.telemetry.enabled:
+            self.telemetry.set_gauge(
+                "serve_feed_gate_depth", self._feed_pending, help=_FEED_GATE_HELP
+            )
+
     async def feed(
         self, session_id: str, pairs: Sequence, *, nbytes: int = 0
     ) -> Dict[str, Any]:
         """Ingest a chunk under the feed gate (global backpressure)."""
-        async with self._feed_gate:
-            async with self._lock(session_id):
-                session = self._get(session_id)
-                start = _now()
-                session.account_bytes(nbytes)
-                out = session.feed(pairs)
-                if self.telemetry.enabled:
-                    self.telemetry.observe_seconds(
-                        "serve_feed_seconds",
-                        _now() - start,
-                        help="server-side wall time ingesting one chunk",
-                    )
-                    self.telemetry.count(
-                        "serve_session_pairs_total",
-                        len(pairs),
-                        help="adjacency pairs ingested across all serve sessions",
-                    )
-                    self.telemetry.count(
-                        "serve_session_chunks_total",
-                        help="feed chunks ingested across all serve sessions",
-                    )
-                    if nbytes:
-                        self.telemetry.count(
-                            "serve_bytes_total",
-                            nbytes,
-                            help="approximate request payload bytes accepted",
+        self._track_feed_gate(+1)
+        try:
+            async with self._feed_gate:
+                async with self._lock(session_id):
+                    session = self._get(session_id)
+                    start = _now()
+                    session.account_bytes(nbytes)
+                    out = session.feed(pairs)
+                    if self.telemetry.enabled:
+                        elapsed = _now() - start
+                        self.telemetry.observe_seconds(
+                            "serve_feed_seconds",
+                            elapsed,
+                            help="server-side wall time ingesting one chunk",
                         )
-                return out
+                        self.telemetry.observe_histogram(
+                            "serve_op_latency_seconds",
+                            elapsed,
+                            help=_OP_LATENCY_HELP,
+                            op="feed",
+                            wire="json",
+                        )
+                        self.telemetry.count(
+                            "serve_session_pairs_total",
+                            len(pairs),
+                            help="adjacency pairs ingested across all serve sessions",
+                        )
+                        self.telemetry.count(
+                            "serve_session_chunks_total",
+                            help="feed chunks ingested across all serve sessions",
+                        )
+                        if nbytes:
+                            self.telemetry.count(
+                                "serve_bytes_total",
+                                nbytes,
+                                help="approximate request payload bytes accepted",
+                            )
+                    return out
+        finally:
+            self._track_feed_gate(-1)
 
     async def feed_arrays(
         self, session_id: str, srcs: Any, dsts: Any, *, nbytes: int = 0
     ) -> Dict[str, Any]:
         """Ingest a binary columnar chunk under the same feed gate."""
-        async with self._feed_gate:
-            async with self._lock(session_id):
-                session = self._get(session_id)
-                start = _now()
-                session.account_bytes(nbytes)
-                out = session.feed_arrays(srcs, dsts)
-                if self.telemetry.enabled:
-                    self.telemetry.observe_seconds(
-                        "serve_feed_seconds",
-                        _now() - start,
-                        help="server-side wall time ingesting one chunk",
-                    )
-                    self.telemetry.count(
-                        "serve_session_pairs_total",
-                        len(srcs),
-                        help="adjacency pairs ingested across all serve sessions",
-                    )
-                    self.telemetry.count(
-                        "serve_session_chunks_total",
-                        help="feed chunks ingested across all serve sessions",
-                    )
-                    if nbytes:
-                        self.telemetry.count(
-                            "serve_bytes_total",
-                            nbytes,
-                            help="approximate request payload bytes accepted",
+        self._track_feed_gate(+1)
+        try:
+            async with self._feed_gate:
+                async with self._lock(session_id):
+                    session = self._get(session_id)
+                    start = _now()
+                    session.account_bytes(nbytes)
+                    out = session.feed_arrays(srcs, dsts)
+                    if self.telemetry.enabled:
+                        elapsed = _now() - start
+                        self.telemetry.observe_seconds(
+                            "serve_feed_seconds",
+                            elapsed,
+                            help="server-side wall time ingesting one chunk",
                         )
-                return out
+                        self.telemetry.observe_histogram(
+                            "serve_op_latency_seconds",
+                            elapsed,
+                            help=_OP_LATENCY_HELP,
+                            op="feed",
+                            wire="binary",
+                        )
+                        self.telemetry.count(
+                            "serve_session_pairs_total",
+                            len(srcs),
+                            help="adjacency pairs ingested across all serve sessions",
+                        )
+                        self.telemetry.count(
+                            "serve_session_chunks_total",
+                            help="feed chunks ingested across all serve sessions",
+                        )
+                        if nbytes:
+                            self.telemetry.count(
+                                "serve_bytes_total",
+                                nbytes,
+                                help="approximate request payload bytes accepted",
+                            )
+                    return out
+        finally:
+            self._track_feed_gate(-1)
 
     async def finish_pass(self, session_id: str) -> Dict[str, Any]:
         async with self._lock(session_id):
@@ -334,10 +401,18 @@ class SessionManager:
             start = _now()
             out = session.poll(**kwargs)
             if self.telemetry.enabled:
+                elapsed = _now() - start
                 self.telemetry.observe_seconds(
                     "serve_poll_seconds",
-                    _now() - start,
+                    elapsed,
                     help="server-side wall time answering one poll",
+                )
+                self.telemetry.observe_histogram(
+                    "serve_op_latency_seconds",
+                    elapsed,
+                    help=_OP_LATENCY_HELP,
+                    op="poll",
+                    wire="json",
                 )
                 self.telemetry.count(
                     "serve_polls_total", help="anytime-estimate polls answered"
@@ -346,8 +421,16 @@ class SessionManager:
 
     async def snapshot(self, session_id: str) -> SketchState:
         async with self._lock(session_id):
+            start = _now()
             state = self._get(session_id).snapshot_state()
             if self.telemetry.enabled:
+                self.telemetry.observe_histogram(
+                    "serve_op_latency_seconds",
+                    _now() - start,
+                    help=_OP_LATENCY_HELP,
+                    op="snapshot",
+                    wire="json",
+                )
                 self.telemetry.count(
                     "serve_snapshots_total",
                     help="session snapshots taken (client-requested or shutdown)",
@@ -386,6 +469,7 @@ class SessionManager:
         any source saw (per-pass length checks restart), which is exactly
         how shard → full-stream pass sequences work.
         """
+        merge_start = _now()
         if len(source_ids) < 1:
             raise ServeError(MERGE_INCOMPATIBLE, "merge needs at least one source")
         if len(set(source_ids)) != len(source_ids):
@@ -464,6 +548,13 @@ class SessionManager:
                 self.telemetry.count(
                     "serve_merges_total",
                     help="cross-session sketch merges performed",
+                )
+                self.telemetry.observe_histogram(
+                    "serve_op_latency_seconds",
+                    _now() - merge_start,
+                    help=_OP_LATENCY_HELP,
+                    op="merge",
+                    wire="json",
                 )
             if close_sources:
                 for session in sources:

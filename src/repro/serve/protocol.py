@@ -32,6 +32,16 @@ framings interleave freely on one connection.  See
 :func:`encode_binary_feed` / :func:`decode_binary_feed` and the wire
 spec in ``docs/SERVING.md``.
 
+**Trace context.**  ``hello`` advertises ``trace: 1``; an ``open`` may
+then carry ``trace: {"seed": int, "path": str}`` — the client tracer's
+context at the open site.  The server records the session's span under
+that (seed, path), so client, router-relay and worker views of one
+session share a deterministic span id and per-process trace files
+stitch into a single tree (``obs-report stitch-trace``).  Binary frames
+carry no trace field; they inherit the context of the session they
+reference, negotiated at ``open``.  Both fields are optional and
+ignorable, so the protocol version stays 2.
+
 Session snapshots travel as the JSON-dict form of a
 :class:`~repro.sketch.state.SketchState` of kind ``serve-session`` —
 self-contained (spec name, budget, algorithm state, validator state,

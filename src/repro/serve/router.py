@@ -38,6 +38,23 @@ layer:
   a pairs-per-second token bucket (``RATE_LIMITED``).  With no tenant
   file the router is open, like a bare server.
 
+* **Live plane** (optional): with ``metrics_port`` set the router runs a
+  tiny HTTP listener serving Prometheus text exposition at ``/metrics``.
+  Workers run metrics-only telemetry (``Telemetry(sink=None)`` — no I/O
+  on their hot paths) and ship full metric snapshots through the
+  ``stats`` control op (``metrics: 1``); the router labels each with its
+  ``worker`` index, merges them with
+  :func:`~repro.obs.metrics.merge_snapshots`, folds in its own registry
+  (relay latency histograms, loop lag, scrape counters, SLO gauges) and
+  refuses to expose any series whose name is missing from
+  :data:`~repro.obs.names.METRIC_NAMES`.  An :class:`SLOPolicy` is
+  evaluated periodically over the same fleet snapshot and exported as
+  ``router_slo_*`` gauges.  Trace contexts negotiated on ``open`` are
+  observed in flight: the router records a ``relay:worker-<k>`` span
+  under the client's ``session:<sid>`` path, so per-process trace files
+  (client, router, workers) stitch into one tree by span id
+  (``repro-cycles obs-report stitch-trace``).
+
 Shutdown: the ``shutdown`` op fans out to every worker (each checkpoints
 its live sessions to its own ``worker-<i>`` directory exactly as a bare
 server would), then stops the router.  ``join_workers`` reaps the
@@ -55,8 +72,20 @@ import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs.metrics import Snapshot, label_snapshot, merge_snapshots
+from repro.obs.names import METRIC_NAMES, unregistered_series
+from repro.obs.sinks import render_textfile
+from repro.obs.slo import SLOPolicy, evaluate_slo
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, open_telemetry
+from repro.obs.trace import (
+    NULL_TRACER,
+    TraceContext,
+    Tracer,
+    encode_span,
+    write_chrome_trace,
+)
 from repro.serve.client import ServeClient, ServeClientError
 from repro.serve.manager import SessionManager
 from repro.serve.net import wait_for_port
@@ -84,9 +113,31 @@ from repro.serve.protocol import (
     ok_response,
     request_id,
 )
-from repro.serve.server import ServeServer, _algorithms_listing
+from repro.serve.server import (
+    LAG_PROBE_INTERVAL_S,
+    ServeServer,
+    _algorithms_listing,
+    parse_trace_field,
+)
 
-__all__ = ["Tenant", "load_tenants", "ServeRouter", "worker_for"]
+__all__ = [
+    "Tenant",
+    "load_tenants",
+    "ServeRouter",
+    "worker_for",
+    "worker_artifact_path",
+    "SCRAPE_CONTENT_TYPE",
+]
+
+#: Content type of the ``/metrics`` exposition (Prometheus text format).
+SCRAPE_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_RELAY_HELP = "router-side relay latency histogram per relayed op"
+_LOOP_LAG_HELP = "event-loop scheduling lag histogram (sleep overshoot)"
+
+
+def _now() -> float:
+    return time.perf_counter()  # repro-lint: disable=DET003 -- relay latency metrics and span timestamps are wall time by design; no estimator state depends on them
 
 #: Ops the router answers (or orchestrates) itself; everything else with a
 #: ``session`` field relays raw to the owning worker.
@@ -99,6 +150,16 @@ _MERGE_TEMP_PREFIX = "__router-merge__"
 def worker_for(session_id: str, n_workers: int) -> int:
     """Deterministic hash placement of a session onto a worker index."""
     return zlib.crc32(session_id.encode("utf-8")) % n_workers
+
+
+def worker_artifact_path(base: str, index: int) -> str:
+    """Per-worker sibling of a base artifact path: ``serve.trace`` →
+    ``serve.worker-3.trace`` (full multi-part suffixes preserved, so
+    ``serve.trace.json`` → ``serve.worker-3.trace.json``)."""
+    path = Path(base)
+    suffix = "".join(path.suffixes)
+    stem = path.name[: len(path.name) - len(suffix)] if suffix else path.name
+    return str(path.with_name(f"{stem}.worker-{index}{suffix}"))
 
 
 # -- tenants -------------------------------------------------------------------
@@ -153,11 +214,28 @@ def _worker_main(index: int, conn: Any, config: Dict[str, Any]) -> None:
     """
 
     async def _run() -> None:
+        telemetry = NULL_TELEMETRY
+        if config.get("telemetry_path"):
+            telemetry = open_telemetry(str(config["telemetry_path"]))
+        elif config.get("metrics"):
+            # Metrics-only: the registry accumulates (shipped to the
+            # router through `stats` with `metrics: 1`), events drop —
+            # the live plane costs the worker no I/O.
+            telemetry = Telemetry(sink=None)
+        tracer: Tracer = NULL_TRACER
+        if config.get("trace_path"):
+            tracer = Tracer(
+                seed=int(config.get("trace_seed", 0)),
+                telemetry=None,
+                root=f"worker-{index}",
+            )
         manager = SessionManager(
             max_sessions=config.get("max_sessions", 10_000),
             max_inflight_feeds=config.get("max_inflight_feeds", 64),
             default_byte_budget=config.get("byte_budget"),
             default_space_budget_words=config.get("space_budget"),
+            telemetry=telemetry,
+            tracer=tracer,
         )
         server = ServeServer(
             manager,
@@ -183,7 +261,16 @@ def _worker_main(index: int, conn: Any, config: Dict[str, Any]) -> None:
                 pass  # nothing to resume is a fresh start, not a failure
         conn.send(server.bound_port)
         conn.close()
-        await server.serve_until_stopped()
+        try:
+            if tracer.enabled:
+                with tracer:
+                    await server.serve_until_stopped()
+            else:
+                await server.serve_until_stopped()
+        finally:
+            if tracer.enabled and config.get("trace_path"):
+                write_chrome_trace(str(config["trace_path"]), tracer.spans)
+            telemetry.close()
 
     try:
         asyncio.run(_run())
@@ -222,27 +309,69 @@ class ServeRouter:
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
         tenants: Optional[Dict[str, Tenant]] = None,
+        metrics_port: Optional[int] = None,
+        slo: Optional[SLOPolicy] = None,
+        slo_interval_s: float = 5.0,
+        telemetry: Telemetry = NULL_TELEMETRY,
+        tracer: Tracer = NULL_TRACER,
+        worker_telemetry_paths: Optional[Sequence[Optional[str]]] = None,
+        worker_trace_paths: Optional[Sequence[Optional[str]]] = None,
+        worker_metrics: bool = False,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
+        for label, paths in (
+            ("worker_telemetry_paths", worker_telemetry_paths),
+            ("worker_trace_paths", worker_trace_paths),
+        ):
+            if paths is not None and len(paths) != n_workers:
+                raise ValueError(f"{label} must list one path per worker")
         self.n_workers = n_workers
         self.host = host
         self.port = port
         self.checkpoint_dir = checkpoint_dir
+        self.metrics_port = metrics_port
+        self.slo = slo
+        self.slo_interval_s = slo_interval_s
+        self.telemetry = telemetry
+        self.tracer = tracer
+        self._worker_telemetry_paths = (
+            list(worker_telemetry_paths) if worker_telemetry_paths else [None] * n_workers
+        )
+        self._worker_trace_paths = (
+            list(worker_trace_paths) if worker_trace_paths else [None] * n_workers
+        )
+        # The scrape/SLO planes need worker registries accumulating even
+        # when the workers write no telemetry files of their own.
+        self._worker_metrics = bool(
+            worker_metrics or metrics_port is not None or slo is not None
+        )
         self._worker_config = {
             "max_sessions": max_sessions,
             "max_inflight_feeds": max_inflight_feeds,
             "byte_budget": byte_budget,
             "space_budget": space_budget,
             "resume": resume,
+            "metrics": self._worker_metrics,
+            "trace_seed": int(tracer.seed),
         }
         self.tenants = tenants or {}
         self.worker_ports: List[int] = []
         self._processes: List[multiprocessing.process.BaseProcess] = []
         self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
+        self._lag_task: Optional[asyncio.Task] = None
+        self._slo_task: Optional[asyncio.Task] = None
         self._stopping: Optional[asyncio.Event] = None
         self._controls: List[Optional[ServeClient]] = []
         self._control_lock: Optional[asyncio.Lock] = None
+        # Live-plane state: open-negotiated trace contexts per session,
+        # the last verdict-refreshing poll, and the previous SLO window's
+        # (monotonic time, fleet pairs total) anchor for throughput.
+        self._session_trace: Dict[str, Tuple[TraceContext, float]] = {}
+        self._last_poll_s: Optional[float] = None
+        self._started_s: Optional[float] = None
+        self._slo_window: Optional[Tuple[float, float]] = None
         # Tenant accounting, all keyed by tenant name (router-enforced).
         self._tenant_sessions: Dict[str, Set[str]] = {}
         self._tenant_bytes: Dict[str, int] = {}
@@ -270,6 +399,8 @@ class ServeRouter:
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             config = dict(self._worker_config)
             config["checkpoint_dir"] = self.worker_checkpoint_dir(index)
+            config["telemetry_path"] = self._worker_telemetry_paths[index]
+            config["trace_path"] = self._worker_trace_paths[index]
             process = ctx.Process(
                 target=_worker_main,
                 args=(index, child_conn, config),
@@ -325,6 +456,12 @@ class ServeRouter:
             raise RuntimeError("router is not started")
         return self._server.sockets[0].getsockname()[1]
 
+    @property
+    def metrics_bound_port(self) -> int:
+        if self._metrics_server is None or not self._metrics_server.sockets:
+            raise RuntimeError("the router has no /metrics listener")
+        return self._metrics_server.sockets[0].getsockname()[1]
+
     async def start(self) -> None:
         if not self.worker_ports:
             raise RuntimeError("spawn_workers() must run before start()")
@@ -333,6 +470,20 @@ class ServeRouter:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, limit=MAX_FRAME_BYTES
         )
+        self._started_s = _now()
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_scrape, self.host, self.metrics_port
+            )
+        if self.telemetry.enabled:
+            self.telemetry.set_gauge(
+                "router_workers",
+                self.n_workers,
+                help="worker processes behind the router",
+            )
+            self._lag_task = asyncio.ensure_future(self._lag_probe())
+            if self.slo is not None:
+                self._slo_task = asyncio.ensure_future(self._slo_loop())
 
     async def serve_until_stopped(self) -> None:
         if self._server is None:
@@ -341,6 +492,19 @@ class ServeRouter:
         try:
             await self._stopping.wait()
         finally:
+            for task in (self._lag_task, self._slo_task):
+                if task is not None:
+                    task.cancel()
+                    try:
+                        await task
+                    except asyncio.CancelledError:
+                        pass
+            self._lag_task = None
+            self._slo_task = None
+            if self._metrics_server is not None:
+                self._metrics_server.close()
+                await self._metrics_server.wait_closed()
+                self._metrics_server = None
             self._server.close()
             await self._server.wait_closed()
             try:
@@ -423,6 +587,13 @@ class ServeRouter:
                     "retry after a pause",
                 )
             self._buckets[tenant.name] = (tokens - n_pairs, now)
+        if self.telemetry.enabled:
+            self.telemetry.count(
+                "router_tenant_bytes_total",
+                nbytes,
+                help="accepted feed payload bytes per tenant (router-metered)",
+                tenant=tenant.name,
+            )
 
     def _record_session(self, tenant: Optional[Tenant], session_id: str) -> None:
         if tenant is None:
@@ -469,10 +640,28 @@ class ServeRouter:
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
 
-    async def _relay(self, conn: _Connection, session_id: str, frame: bytes) -> None:
+    async def _relay(
+        self,
+        conn: _Connection,
+        session_id: str,
+        frame: bytes,
+        op: str = "feed",
+        wire: str = "json",
+    ) -> None:
         _, writer = await self._upstream(conn, self.worker_index(session_id))
-        writer.write(frame)
-        await writer.drain()
+        if self.telemetry.enabled:
+            start = _now()
+            writer.write(frame)
+            await writer.drain()
+            # Write-side latency only: responses pump back asynchronously,
+            # so this histogram surfaces upstream backpressure, not the
+            # worker's service time (that lives in serve_op_latency_seconds).
+            self.telemetry.observe_histogram(
+                "router_relay_seconds", _now() - start, help=_RELAY_HELP, op=op, wire=wire
+            )
+        else:
+            writer.write(frame)
+            await writer.drain()
 
     # -- router-local ops ------------------------------------------------------
 
@@ -522,11 +711,17 @@ class ServeRouter:
             tenant = self._require_tenant(conn)
             if op == "open":
                 session_id = get_str(message, "session")
+                trace_ctx = parse_trace_field(message)
                 self._charge_open(tenant, session_id)
                 out = await self._forward(
                     self.worker_index(session_id), message
                 )
                 self._record_session(tenant, session_id)
+                if trace_ctx is not None and self.tracer.enabled:
+                    # The worker records session:<sid> under this context;
+                    # the router adds its relay view on close (same span
+                    # ids → the stitcher merges the files into one tree).
+                    self._session_trace[session_id] = (trace_ctx, _now())
                 return self._rewrite(req_id, out)
             if op == "close":
                 session_id = get_str(message, "session")
@@ -534,12 +729,15 @@ class ServeRouter:
                     self.worker_index(session_id), message
                 )
                 self._release_session(session_id)
+                self._record_relay_span(session_id)
                 return self._rewrite(req_id, out)
             if op == "merge":
                 return await self._merge(conn, tenant, message)
             if op == "stats":
                 return await self._stats(req_id)
             if op == "shutdown":
+                for sid in list(self._session_trace):
+                    self._record_relay_span(sid)
                 for index in range(self.n_workers):
                     try:
                         client = await self._control(index)
@@ -589,6 +787,214 @@ class ServeRouter:
             sessions_total=sum(w["sessions_total"] for w in per_worker),
             open_high_water=sum(w["open_high_water"] for w in per_worker),
         )
+
+    # -- live plane: /metrics, SLO loop, relay spans ---------------------------
+
+    def _record_relay_span(self, session_id: str) -> None:
+        """Record the router's relay view of a traced session on close."""
+        entry = self._session_trace.pop(session_id, None)
+        if entry is None or not self.tracer.enabled:
+            return
+        ctx, opened = entry
+        worker = self.worker_index(session_id)
+        # Anchor under the client's session:<sid> path so the relay span
+        # parents onto the very span the worker records — same seed, same
+        # structural path, same ids in every process.
+        child = Tracer.from_context(
+            TraceContext(seed=ctx.seed, path=f"{ctx.path}/session:{session_id}")
+        )
+        record = child.record_span(
+            f"relay:worker-{worker}",
+            category="relay",
+            start_s=opened,
+            end_s=_now(),
+            worker=float(worker),
+        )
+        if record is not None:
+            self.tracer.adopt([encode_span(record)])
+
+    async def _fleet_snapshot(self) -> Snapshot:
+        """The merged metric view: router registry + per-worker snapshots.
+
+        Worker snapshots arrive through the ``stats`` control op
+        (``metrics: 1``) and are labelled with their worker index before
+        merging, so per-worker series stay distinguishable while
+        fleet-wide pooling (:func:`~repro.obs.slo.pooled_histogram`)
+        still works.  A worker that cannot answer drops out of the
+        scrape; it must not take the router's whole live plane with it.
+        """
+        snapshots: List[Snapshot] = []
+        if self.telemetry.enabled:
+            snapshots.append(self.telemetry.metrics_snapshot())
+        for index in range(self.n_workers):
+            try:
+                client = await self._control(index)
+                out = await client.request("stats", metrics=1)
+            except (ServeClientError, ConnectionError, OSError):
+                continue
+            snapshots.append(
+                label_snapshot(out.get("metrics") or {}, worker=str(index))
+            )
+        return merge_snapshots(snapshots)
+
+    async def _render_metrics(self) -> str:
+        """Prometheus text exposition of the fleet snapshot.
+
+        Refuses (raises ``ValueError``) if any series name is missing
+        from :data:`~repro.obs.names.METRIC_NAMES` — the runtime
+        counterpart of lint rule OBS001.
+        """
+        if self.telemetry.enabled:
+            self.telemetry.count(
+                "router_scrapes_total", help="/metrics scrapes served by the router"
+            )
+        merged = await self._fleet_snapshot()
+        rogue = unregistered_series(merged)
+        if rogue:
+            raise ValueError(
+                "refusing to expose unregistered metric series: "
+                + ", ".join(rogue[:5])
+                + ("..." if len(rogue) > 5 else "")
+            )
+        return render_textfile(merged, METRIC_NAMES)
+
+    async def _handle_scrape(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One ``GET /metrics`` over a minimal HTTP/1.1 exchange."""
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers; scrapers send no body
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            target = parts[1].split("?", 1)[0] if len(parts) > 1 else ""
+            if method != "GET":
+                status, ctype = "405 Method Not Allowed", "text/plain"
+                body = b"only GET is supported\n"
+            elif target not in ("/metrics", "/metrics/"):
+                status, ctype = "404 Not Found", "text/plain"
+                body = b"try /metrics\n"
+            else:
+                try:
+                    text = await self._render_metrics()
+                    status, ctype = "200 OK", SCRAPE_CONTENT_TYPE
+                    body = text.encode("utf-8")
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - a failed scrape must answer, not kill the listener
+                    status, ctype = "500 Internal Server Error", "text/plain"
+                    body = f"scrape failed: {type(exc).__name__}: {exc}\n".encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    async def _lag_probe(self) -> None:
+        """Sample event-loop scheduling lag as sleep overshoot."""
+        while True:
+            start = time.monotonic()  # repro-lint: disable=DET003 -- loop-lag observability is wall time by design; no estimator state depends on it
+            await asyncio.sleep(LAG_PROBE_INTERVAL_S)
+            lag = time.monotonic() - start - LAG_PROBE_INTERVAL_S  # repro-lint: disable=DET003 -- loop-lag observability is wall time by design; no estimator state depends on it
+            self.telemetry.observe_histogram(
+                "serve_loop_lag_seconds", max(0.0, lag), help=_LOOP_LAG_HELP
+            )
+
+    @staticmethod
+    def _counter_total(snapshot: Snapshot, name: str) -> float:
+        total = 0.0
+        for series_key, blob in snapshot.items():
+            if series_key.partition("{")[0] == name:
+                total += float(blob.get("value", 0.0))
+        return total
+
+    async def _slo_loop(self) -> None:
+        """Periodically evaluate the SLO policy over the fleet snapshot."""
+        assert self.slo is not None
+        while True:
+            await asyncio.sleep(self.slo_interval_s)
+            try:
+                merged = await self._fleet_snapshot()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - one failed control round skips one evaluation
+                continue
+            self._evaluate_slo(merged)
+
+    def _evaluate_slo(self, snapshot: Snapshot) -> None:
+        """One SLO evaluation pass: compute rates/ages, export gauges."""
+        assert self.slo is not None
+        now = _now()
+        pairs = self._counter_total(snapshot, "serve_session_pairs_total")
+        if self._slo_window is None:
+            # First pass anchors the throughput window; a zero-rate
+            # verdict before any window exists would be a false alarm.
+            self._slo_window = (now, pairs)
+            return
+        then, prev = self._slo_window
+        rate = max(0.0, (pairs - prev) / (now - then)) if now > then else 0.0
+        self._slo_window = (now, pairs)
+        anchored = (
+            self._last_poll_s
+            if self._last_poll_s is not None
+            else (self._started_s if self._started_s is not None else now)
+        )
+        age = max(0.0, now - anchored)
+        statuses = evaluate_slo(
+            self.slo, snapshot, pairs_per_second=rate, verdict_age_seconds=age
+        )
+        if not self.telemetry.enabled:
+            return
+        for status in statuses:
+            self.telemetry.set_gauge(
+                "router_slo_ok",
+                1.0 if status.ok else 0.0,
+                help="1 when the labelled SLO objective currently holds, else 0",
+                objective=status.objective,
+            )
+            if status.objective == "poll_p99_seconds":
+                self.telemetry.set_gauge(
+                    "router_slo_poll_p99_seconds",
+                    status.value,
+                    help="p99 poll latency estimated from the live histogram",
+                )
+            elif status.objective == "feed_pairs_per_second":
+                self.telemetry.set_gauge(
+                    "router_slo_feed_pairs_per_second",
+                    status.value,
+                    help="ingest throughput over the last SLO evaluation window",
+                )
+            elif status.objective == "verdict_age_seconds":
+                self.telemetry.set_gauge(
+                    "router_slo_verdict_age_seconds",
+                    status.value,
+                    help="seconds since a convergence poll last refreshed a verdict",
+                )
+            elif status.objective == "loop_lag_p99_seconds":
+                self.telemetry.set_gauge(
+                    "router_slo_loop_lag_p99_seconds",
+                    status.value,
+                    help="p99 event-loop lag estimated from the live histogram",
+                )
 
     async def _merge(
         self,
@@ -655,6 +1061,7 @@ class ServeRouter:
                     pass
             for sid in sources:
                 self._release_session(sid)
+                self._record_relay_span(sid)
         self._record_session(tenant, target)
         return self._rewrite(req_id, out)
 
@@ -719,7 +1126,9 @@ class ServeRouter:
                 except ServeError as exc:
                     await self._send(conn, error_response(request_id(message), exc))
                     continue
-                await self._relay(conn, session_id, line)
+                if op == "poll":
+                    self._last_poll_s = _now()
+                await self._relay(conn, session_id, line, op=str(op))
         except (ConnectionResetError, BrokenPipeError):
             pass
         except asyncio.CancelledError:
@@ -795,5 +1204,5 @@ class ServeRouter:
         except ServeError as exc:
             await self._send(conn, error_response(req_id, exc))
             return True
-        await self._relay(conn, session_id, header + body)
+        await self._relay(conn, session_id, header + body, op="feed", wire="binary")
         return True

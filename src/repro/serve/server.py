@@ -29,8 +29,10 @@ leaves parseable telemetry behind.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any, Dict, Optional
 
+from repro.obs.trace import TraceContext
 from repro.serve.manager import SessionManager
 from repro.serve.protocol import (
     BAD_REQUEST,
@@ -67,6 +69,34 @@ __all__ = ["handle_request", "ServeServer"]
 #: session B sharing the socket); per-session order is preserved by
 #: chaining same-session requests (see ``_handle_connection``).
 PIPELINE_DEPTH = 32
+
+#: Cadence of the event-loop lag probe (sleep-overshoot sampling).
+LAG_PROBE_INTERVAL_S = 0.25
+
+_LOOP_LAG_HELP = "event-loop scheduling lag histogram (sleep overshoot)"
+
+
+def parse_trace_field(message: Dict[str, Any]) -> Optional[TraceContext]:
+    """Decode the optional ``trace`` field of an ``open`` request.
+
+    ``{"seed": int, "path": str}`` — the client tracer's context at the
+    point it opened the session.  Malformed contexts raise
+    ``BAD_REQUEST`` rather than silently losing the stitch.
+    """
+    blob = message.get("trace")
+    if blob is None:
+        return None
+    if (
+        not isinstance(blob, dict)
+        or not isinstance(blob.get("seed"), int)
+        or isinstance(blob.get("seed"), bool)
+        or not isinstance(blob.get("path"), str)
+        or not blob["path"]
+    ):
+        raise ServeError(
+            BAD_REQUEST, "'trace' must be {'seed': int, 'path': str}"
+        )
+    return TraceContext(seed=blob["seed"], path=blob["path"])
 
 
 def _algorithms_listing() -> list:
@@ -107,11 +137,15 @@ async def handle_request(
                 protocol=PROTOCOL_VERSION,
                 server="repro-cycles",
                 sessions_open=manager.open_count,
+                # Capability flag: opens on this server may carry a
+                # trace context; binary frames inherit the session's.
+                trace=1,
             )
         if op == "algorithms":
             return ok_response(req_id, algorithms=_algorithms_listing())
         if op == "open":
             session_id = get_str(message, "session")
+            trace_ctx = parse_trace_field(message)
             state_blob = message.get("state")
             if state_blob is not None:
                 session = await manager.restore(session_id, decode_state(state_blob))
@@ -125,6 +159,8 @@ async def handle_request(
                     byte_budget=message.get("byte_budget"),
                     space_budget_words=message.get("space_budget"),
                 )
+            if trace_ctx is not None:
+                manager.set_trace_context(session.session_id, trace_ctx)
             return ok_response(
                 req_id,
                 session=session.session_id,
@@ -186,11 +222,17 @@ async def handle_request(
         if op == "stats":
             session_id = message.get("session")
             if session_id is None:
+                extra: Dict[str, Any] = {}
+                if message.get("metrics"):
+                    # Ship the full metric snapshot (the router's scrape
+                    # aggregation path); JSON-safe by construction.
+                    extra["metrics"] = manager.telemetry.metrics_snapshot()
                 return ok_response(
                     req_id,
                     sessions_open=manager.open_count,
                     sessions_total=manager.sessions_total,
                     open_high_water=manager.open_high_water,
+                    **extra,
                 )
             out = await manager.stats(get_str(message, "session"))
             return ok_response(req_id, **out)
@@ -242,6 +284,18 @@ class ServeServer:
         self.shutdown_checkpoint_dir = shutdown_checkpoint_dir
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping = asyncio.Event()
+        self._lag_task: Optional[asyncio.Task] = None
+
+    async def _lag_probe(self) -> None:
+        """Sample event-loop scheduling lag as sleep overshoot, forever."""
+        telemetry = self.manager.telemetry
+        while True:
+            start = time.perf_counter()  # repro-lint: disable=DET003 -- loop-lag telemetry is wall time by design; no estimator state depends on it
+            await asyncio.sleep(LAG_PROBE_INTERVAL_S)
+            lag = time.perf_counter() - start - LAG_PROBE_INTERVAL_S  # repro-lint: disable=DET003 -- loop-lag telemetry is wall time by design; no estimator state depends on it
+            telemetry.observe_histogram(
+                "serve_loop_lag_seconds", max(0.0, lag), help=_LOOP_LAG_HELP
+            )
 
     @property
     def bound_port(self) -> int:
@@ -444,9 +498,18 @@ class ServeServer:
         if self._server is None:
             await self.start()
         assert self._server is not None
+        if self.manager.telemetry.enabled and self._lag_task is None:
+            self._lag_task = asyncio.ensure_future(self._lag_probe())
         try:
             await self._stopping.wait()
         finally:
+            if self._lag_task is not None:
+                self._lag_task.cancel()
+                try:
+                    await self._lag_task
+                except asyncio.CancelledError:
+                    pass
+                self._lag_task = None
             self._server.close()
             await self._server.wait_closed()
             try:

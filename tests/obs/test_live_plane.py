@@ -1,0 +1,277 @@
+"""Live-plane unit tests: histograms, exposition, labeling, SLOs, top.
+
+Pins the contracts the router's ``/metrics`` endpoint rests on:
+
+* histogram bucketing, merge, and the conservative quantile estimate;
+* Prometheus text exposition correctness — label escaping, the
+  cumulative ``_bucket`` ladder ending at ``le="+Inf"``, ``_sum`` and
+  ``_count`` samples — and that ``parse_textfile`` inverts
+  ``render_textfile`` exactly (the round-trip ``repro-cycles top``
+  depends on);
+* ``label_snapshot`` (how worker snapshots gain ``worker=<i>``);
+* the ``unregistered_series`` runtime check behind the endpoint's
+  refusal to expose undeclared names;
+* SLO evaluation directions and disabled objectives;
+* the ``top`` dashboard renderer.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    HISTOGRAM_BOUNDS,
+    Histogram,
+    MetricRegistry,
+    histogram_quantile,
+    label_snapshot,
+    merge_snapshots,
+    parse_series,
+    strip_timers,
+)
+from repro.obs.names import METRIC_NAMES, unregistered_series
+from repro.obs.sinks import parse_textfile, render_textfile
+from repro.obs.slo import SLOPolicy, evaluate_slo, pooled_histogram
+from repro.obs.telemetry import Telemetry
+from repro.obs.top import render_top
+
+
+def _snapshot_with_histogram(name, values, **labels):
+    telemetry = Telemetry(sink=None)
+    for value in values:
+        telemetry.observe_histogram(name, value, **labels)
+    return telemetry.metrics_snapshot()
+
+
+class TestHistogram:
+    def test_observe_places_into_correct_bucket(self):
+        h = Histogram()
+        h.observe(HISTOGRAM_BOUNDS[0])  # exactly on the first bound
+        h.observe(HISTOGRAM_BOUNDS[3] * 0.99)
+        h.observe(HISTOGRAM_BOUNDS[-1] * 2)  # beyond the last bound
+        assert h.buckets[0] == 1
+        assert h.buckets[3] == 1
+        assert h.buckets[-1] == 1  # +Inf overflow bucket
+        assert h.count == 3
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().observe(-1e-9)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_cumulative_ends_at_count(self):
+        h = Histogram()
+        for v in (1e-6, 1e-3, 1.0, 100.0):
+            h.observe(v)
+        ladder = list(h.cumulative())
+        assert ladder[-1] == (math.inf, h.count)
+        running = [n for _, n in ladder]
+        assert running == sorted(running)  # monotone non-decreasing
+
+    def test_quantile_is_conservative_upper_bound(self):
+        h = Histogram()
+        for _ in range(100):
+            h.observe(0.010)  # lands in the (0.008388, 0.016777] bucket
+        p = h.quantile(0.99)
+        assert p >= 0.010
+        assert p in HISTOGRAM_BOUNDS
+
+    def test_quantile_empty_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_dump_load_round_trip(self):
+        h = Histogram()
+        for v in (0.001, 0.5, 3.0):
+            h.observe(v)
+        other = Histogram()
+        other.load(h.dump())
+        assert other.dump() == h.dump()
+
+    def test_merge_snapshots_adds_buckets_elementwise(self):
+        a = _snapshot_with_histogram("serve_op_latency_seconds", [0.001], op="poll")
+        b = _snapshot_with_histogram(
+            "serve_op_latency_seconds", [0.001, 0.002], op="poll"
+        )
+        merged = merge_snapshots([a, b])
+        (blob,) = [v for v in merged.values()]
+        assert blob["count"] == 3
+        assert sum(blob["buckets"]) == 3
+
+    def test_strip_timers_drops_histograms(self):
+        snap = _snapshot_with_histogram("serve_op_latency_seconds", [0.001], op="poll")
+        registry = MetricRegistry()
+        registry.counter("serve_polls_total").labels().inc()
+        snap.update(registry.snapshot())
+        stripped = strip_timers(snap)
+        assert list(stripped) == ["serve_polls_total"]
+
+
+class TestExposition:
+    def test_histogram_exposition_shape(self):
+        snap = _snapshot_with_histogram(
+            "serve_op_latency_seconds", [0.010, 0.010, 5.0], op="poll", wire="json"
+        )
+        text = render_textfile(snap, METRIC_NAMES)
+        assert "# TYPE serve_op_latency_seconds histogram" in text
+        assert '_bucket{le="+Inf",op="poll",wire="json"} 3' in text
+        assert "serve_op_latency_seconds_count" in text
+        assert "serve_op_latency_seconds_sum" in text
+        # Cumulative ladder: counts along le= lines never decrease.
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if "_bucket{" in line
+        ]
+        assert counts == sorted(counts)
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricRegistry()
+        tricky = 'a\\b"c\nd'
+        registry.counter(
+            "serve_errors_total", labelnames=("code",)
+        ).labels(code=tricky).inc(2)
+        snap = registry.snapshot()
+        text = render_textfile(snap)
+        assert '\\\\' in text and '\\"' in text and "\\n" in text
+        parsed, _ = parse_textfile(text)
+        assert parsed == snap
+
+    def test_full_round_trip_counters_gauges_histograms(self):
+        telemetry = Telemetry(sink=None)
+        telemetry.count("serve_requests_total", 4, op="feed")
+        telemetry.set_gauge("serve_sessions_open", 2, worker="0")
+        telemetry.observe_histogram("serve_op_latency_seconds", 0.25, op="poll")
+        snap = telemetry.metrics_snapshot()
+        parsed, helps = parse_textfile(render_textfile(snap, METRIC_NAMES))
+        assert parsed == snap
+        assert helps["serve_requests_total"] == METRIC_NAMES["serve_requests_total"]
+
+    def test_internal_keys_are_unquoted(self):
+        # The snapshot keyspace never carries exposition quoting.
+        snap = _snapshot_with_histogram("serve_op_latency_seconds", [0.1], op="poll")
+        (key,) = snap
+        assert key == "serve_op_latency_seconds{op=poll}"
+
+
+class TestLabelSnapshot:
+    def test_adds_worker_label_to_every_series(self):
+        telemetry = Telemetry(sink=None)
+        telemetry.count("serve_polls_total", 3)
+        telemetry.set_gauge("serve_sessions_open", 1)
+        labeled = label_snapshot(telemetry.metrics_snapshot(), worker="1")
+        for key in labeled:
+            _, labels = parse_series(key)
+            assert labels["worker"] == "1"
+
+    def test_does_not_mutate_input(self):
+        telemetry = Telemetry(sink=None)
+        telemetry.count("serve_polls_total", 3)
+        snap = telemetry.metrics_snapshot()
+        before = {k: dict(v) for k, v in snap.items()}
+        label_snapshot(snap, worker="0")
+        assert snap == before
+
+    def test_labeled_snapshots_merge_disjointly(self):
+        snaps = []
+        for worker in ("0", "1"):
+            telemetry = Telemetry(sink=None)
+            telemetry.count("serve_polls_total", 5)
+            snaps.append(label_snapshot(telemetry.metrics_snapshot(), worker=worker))
+        merged = merge_snapshots(snaps)
+        assert len(merged) == 2  # one series per worker, not summed
+
+
+class TestUnregisteredSeries:
+    def test_registered_names_pass(self):
+        telemetry = Telemetry(sink=None)
+        telemetry.count("serve_polls_total")
+        assert unregistered_series(telemetry.metrics_snapshot()) == []
+
+    def test_unknown_name_flagged_with_and_without_labels(self):
+        snap = {
+            "serve_polls_totals": {"kind": "counter", "value": 1},
+            "mystery_metric{op=feed}": {"kind": "counter", "value": 1},
+        }
+        assert unregistered_series(snap) == [
+            "mystery_metric{op=feed}",
+            "serve_polls_totals",
+        ]
+
+
+class TestSLO:
+    def test_pooled_histogram_pools_label_subsets(self):
+        telemetry = Telemetry(sink=None)
+        telemetry.observe_histogram("serve_op_latency_seconds", 0.1, op="poll", wire="json")
+        telemetry.observe_histogram("serve_op_latency_seconds", 0.2, op="poll", wire="binary")
+        telemetry.observe_histogram("serve_op_latency_seconds", 9.0, op="feed", wire="json")
+        blob = pooled_histogram(
+            telemetry.metrics_snapshot(), "serve_op_latency_seconds", {"op": "poll"}
+        )
+        assert blob["count"] == 2  # feed series excluded
+
+    def test_pooled_histogram_missing_returns_none(self):
+        assert pooled_histogram({}, "serve_op_latency_seconds") is None
+
+    def test_evaluate_slo_directions(self):
+        snap = _snapshot_with_histogram(
+            "serve_op_latency_seconds", [0.001] * 100, op="poll"
+        )
+        policy = SLOPolicy(
+            poll_p99_seconds=1.0,
+            feed_pairs_per_second=100.0,
+            verdict_age_seconds=60.0,
+            loop_lag_p99_seconds=0.0,  # disabled
+        )
+        statuses = {
+            s.objective: s
+            for s in evaluate_slo(
+                policy, snap, pairs_per_second=50.0, verdict_age_seconds=10.0
+            )
+        }
+        assert statuses["poll_p99_seconds"].ok
+        assert not statuses["feed_pairs_per_second"].ok  # 50 < floor 100
+        assert statuses["verdict_age_seconds"].ok
+        assert "loop_lag_p99_seconds" not in statuses  # threshold 0 disables
+
+    def test_histogram_quantile_matches_class_quantile(self):
+        h = Histogram()
+        for v in (0.001, 0.01, 0.1, 1.0):
+            h.observe(v)
+        assert histogram_quantile(h.dump(), 0.99) == h.quantile(0.99)
+
+
+class TestTopRender:
+    def _fleet_snapshot(self, pairs_per_worker):
+        telemetry = Telemetry(sink=None)
+        telemetry.set_gauge("router_workers", len(pairs_per_worker))
+        telemetry.count("router_scrapes_total")
+        telemetry.set_gauge("router_slo_ok", 1, objective="poll_p99_seconds")
+        telemetry.set_gauge("router_slo_poll_p99_seconds", 0.25)
+        telemetry.set_gauge("router_slo_ok", 0, objective="verdict_age_seconds")
+        telemetry.set_gauge("router_slo_verdict_age_seconds", 900.0)
+        snaps = [telemetry.metrics_snapshot()]
+        for worker, pairs in enumerate(pairs_per_worker):
+            wt = Telemetry(sink=None)
+            wt.set_gauge("serve_sessions_open", 1)
+            wt.count("serve_sessions_total", 1)
+            wt.count("serve_session_pairs_total", pairs)
+            wt.observe_histogram("serve_op_latency_seconds", 0.004, op="poll")
+            snaps.append(label_snapshot(wt.metrics_snapshot(), worker=str(worker)))
+        return merge_snapshots(snaps)
+
+    def test_frame_sections_and_verdicts(self):
+        frame = render_top(self._fleet_snapshot([600, 400]), source="test")
+        assert "workers: 2" in frame
+        assert "poll_p99_seconds" in frame and "ok" in frame
+        assert "VIOLATED" in frame  # the stale-verdict objective
+        assert "600" in frame and "400" in frame
+        assert "p99<=" in frame  # latency sparkline line
+
+    def test_rate_column_from_counter_deltas(self):
+        prev = self._fleet_snapshot([1000, 0])
+        cur = self._fleet_snapshot([3000, 0])
+        frame = render_top(cur, prev=prev, interval_s=2.0)
+        assert "1,000" in frame  # (3000-1000)/2s on worker 0

@@ -1,0 +1,133 @@
+"""Trace stitching and the multi-input ``obs-report`` modes.
+
+Cross-process stitching rests on span ids being pure functions of
+(seed, structural path): the same logical span observed by two
+processes collapses to one record, and the output order is sorted by
+identity — so stitching N per-process traces is deterministic in both
+file order and wall clock.  ``obs-report stitch-trace`` is the CLI
+packaging of the same helper; ``--log``/``--trace`` are repeatable and
+merge into one report.
+"""
+
+import json
+
+from repro.obs.obs_report import build_parser, load_run_data, run_obs_report
+from repro.obs.trace import (
+    TraceContext,
+    Tracer,
+    read_chrome_trace,
+    span_tree,
+    stitch_chrome_traces,
+    stitch_spans,
+    write_chrome_trace,
+)
+
+
+def _worker_spans(ctx, start, end):
+    """What a worker process records under a negotiated trace context."""
+    tracer = Tracer.from_context(ctx)
+    tracer.record_span("feed", category="serve", start_s=start, end_s=end, pairs=6.0)
+    return tracer.spans
+
+
+class TestStitchSpans:
+    def test_dedupes_by_identity_longest_wins(self):
+        ctx = TraceContext(seed=9, path="client/session:a")
+        short = _worker_spans(ctx, 0.0, 1.0)
+        long = _worker_spans(ctx, 0.0, 5.0)
+        stitched = stitch_spans([short, long])
+        assert len(stitched) == 1
+        assert stitched[0].end_s == 5.0
+
+    def test_order_independent_of_input_order(self):
+        a = _worker_spans(TraceContext(seed=9, path="client/session:a"), 0.0, 1.0)
+        b = _worker_spans(TraceContext(seed=9, path="client/session:b"), 0.0, 2.0)
+        assert span_tree(stitch_spans([a, b])) == span_tree(stitch_spans([b, a]))
+
+    def test_distinct_seeds_do_not_collide(self):
+        same_path = "client/session:a"
+        a = _worker_spans(TraceContext(seed=1, path=same_path), 0.0, 1.0)
+        b = _worker_spans(TraceContext(seed=2, path=same_path), 0.0, 1.0)
+        assert len(stitch_spans([a, b])) == 2
+
+
+class TestStitchChromeTraces:
+    def _write_fleet(self, tmp_path):
+        paths = []
+        for worker in range(2):
+            ctx = TraceContext(seed=9, path=f"client/session:w{worker}")
+            path = str(tmp_path / f"serve.worker-{worker}.trace")
+            write_chrome_trace(path, _worker_spans(ctx, 0.0, 1.0 + worker))
+            paths.append(path)
+        return paths
+
+    def test_round_trip_and_determinism(self, tmp_path):
+        paths = self._write_fleet(tmp_path)
+        out = str(tmp_path / "fleet.trace")
+        stitched = stitch_chrome_traces(paths, out)
+        assert span_tree(read_chrome_trace(out)) == span_tree(stitched)
+        # Repeat with reversed input order: bit-identical structure.
+        out2 = str(tmp_path / "fleet2.trace")
+        again = stitch_chrome_traces(list(reversed(paths)), out2)
+        assert span_tree(again) == span_tree(stitched)
+
+    def test_cli_stitch_trace_mode(self, tmp_path, capsys):
+        paths = self._write_fleet(tmp_path)
+        out = str(tmp_path / "fleet.trace")
+        args = build_parser().parse_args(
+            ["stitch-trace", "--trace", paths[0], "--trace", paths[1], "--out", out]
+        )
+        assert run_obs_report(args) == 0
+        assert "stitched" in capsys.readouterr().err
+        assert len(read_chrome_trace(out)) == 2
+
+    def test_cli_stitch_trace_requires_trace_and_out(self, tmp_path):
+        args = build_parser().parse_args(["stitch-trace", "--out", "x.trace"])
+        assert run_obs_report(args) == 2
+        args = build_parser().parse_args(
+            ["stitch-trace", "--trace", str(tmp_path / "a.trace")]
+        )
+        assert run_obs_report(args) == 2
+
+
+class TestMultiInputReport:
+    def _log(self, tmp_path, name, pass_index):
+        path = str(tmp_path / name)
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"event": "PassStarted", "pass_index": pass_index}) + "\n")
+            fh.write(json.dumps({
+                "event": "PassFinished", "pass_index": pass_index, "lists": 2,
+                "pairs": 6, "seconds": 1.0, "pairs_per_second": 6.0,
+            }) + "\n")
+        return path
+
+    def test_multiple_logs_concatenate_in_order(self, tmp_path):
+        logs = [
+            self._log(tmp_path, "a.jsonl", 0),
+            self._log(tmp_path, "b.jsonl", 1),
+        ]
+        data = load_run_data(logs)
+        assert len(data.events) == 4
+        assert data.log_paths == logs
+        assert data.log_path == logs[0]  # back-compat first-or-None view
+
+    def test_string_path_still_accepted(self, tmp_path):
+        log = self._log(tmp_path, "a.jsonl", 0)
+        data = load_run_data(log)
+        assert data.log_paths == [log]
+        assert len(data.events) == 2
+
+    def test_multiple_traces_stitch_into_report_spans(self, tmp_path):
+        paths = []
+        for worker in range(2):
+            ctx = TraceContext(seed=3, path=f"client/session:w{worker}")
+            path = str(tmp_path / f"w{worker}.trace")
+            write_chrome_trace(path, _worker_spans(ctx, 0.0, 1.0))
+            paths.append(path)
+        data = load_run_data(trace_path=paths)
+        assert len(data.spans) == 2
+        assert data.trace_paths == paths
+
+    def test_default_mode_still_report(self):
+        args = build_parser().parse_args(["--log", "missing.jsonl"])
+        assert args.mode == "report"
